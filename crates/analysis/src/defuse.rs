@@ -1,0 +1,442 @@
+//! DEF-USE analysis over statically-scheduled loops: extracting
+//! producer-consumer thread pairs and emitting WB_CONS / INV_PROD
+//! placements (paper §V-A1).
+//!
+//! For every pair of nodes (P, C) where C is reachable from P and some
+//! array is written by P and read by C:
+//!
+//! * compute, per consumer thread, the element interval its chunk reads;
+//! * invert the producer's (perfectly tiling) write pattern to find the
+//!   producing iterations, hence — through the static schedule — the
+//!   producing threads;
+//! * for every producer != consumer, emit a `WB_CONS(region, consumer)` at
+//!   the end of P on the producer, and an `INV_PROD(region, producer)` at
+//!   the start of C on the consumer.
+//!
+//! When the analysis cannot identify the peer (a `Whole` pattern, or a
+//! non-tiling write), it falls back to peer-unknown operations, which the
+//! runtime turns into plain global `WB_L3` / `INV_L2` — §V-A1: "the
+//! producer writes back the data to the last level cache".
+
+use hic_runtime::{CommOp, EpochPlan};
+use hic_sim::ThreadId;
+
+use crate::program::{Node, Pattern, Program};
+use crate::schedule::Chunks;
+
+/// Analysis output: for each node, per-thread plans at its start (INV
+/// side) and end (WB side).
+#[derive(Debug, Clone)]
+pub struct NodePlans {
+    /// `start[n][t]`: plan to execute after the barrier entering node `n`.
+    pub start: Vec<Vec<EpochPlan>>,
+    /// `end[n][t]`: plan to execute before the barrier leaving node `n`.
+    pub end: Vec<Vec<EpochPlan>>,
+}
+
+impl NodePlans {
+    fn empty(nodes: usize, threads: usize) -> NodePlans {
+        NodePlans {
+            start: vec![vec![EpochPlan::new(); threads]; nodes],
+            end: vec![vec![EpochPlan::new(); threads]; nodes],
+        }
+    }
+
+    /// Total planned WB (resp. INV) operations with a known peer across
+    /// all nodes and threads — used by tests and the Figure 11 harness.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut wb_known = 0;
+        let mut wb_unknown = 0;
+        let mut inv_known = 0;
+        let mut inv_unknown = 0;
+        for per_thread in self.end.iter().chain(self.start.iter()) {
+            for plan in per_thread {
+                for op in &plan.wb {
+                    if op.peer.is_some() {
+                        wb_known += 1;
+                    } else {
+                        wb_unknown += 1;
+                    }
+                }
+                for op in &plan.inv {
+                    if op.peer.is_some() {
+                        inv_known += 1;
+                    } else {
+                        inv_unknown += 1;
+                    }
+                }
+            }
+        }
+        (wb_known, wb_unknown, inv_known, inv_unknown)
+    }
+}
+
+/// The DEF-USE analyzer.
+pub struct Analyzer<'p> {
+    program: &'p Program,
+    threads: usize,
+}
+
+impl<'p> Analyzer<'p> {
+    pub fn new(program: &'p Program, threads: usize) -> Analyzer<'p> {
+        assert!(threads > 0);
+        Analyzer { program, threads }
+    }
+
+    /// Iterations executed by thread `t` in node `n` (serial sections run
+    /// entirely on thread 0).
+    fn thread_iters(&self, node: &Node, t: usize) -> (u64, u64) {
+        match node {
+            Node::Serial { .. } => {
+                if t == 0 {
+                    (0, 1)
+                } else {
+                    (0, 0)
+                }
+            }
+            Node::ParFor { iters, .. } => Chunks::new(*iters, self.threads).range(t),
+        }
+    }
+
+    fn node_iters(&self, node: &Node) -> u64 {
+        match node {
+            Node::Serial { .. } => 1,
+            Node::ParFor { iters, .. } => *iters,
+        }
+    }
+
+    /// Effective per-iteration pattern: a serial section's accesses cover
+    /// whatever the access says for its single "iteration 0"; a `Whole`
+    /// pattern means the full array on iteration 0.
+    fn serial_covers_all(node: &Node) -> bool {
+        matches!(node, Node::Serial { .. })
+    }
+
+    /// Run the analysis.
+    pub fn analyze(&self) -> NodePlans {
+        let prog = self.program;
+        let n_nodes = prog.nodes.len();
+        let mut plans = NodePlans::empty(n_nodes, self.threads);
+
+        for (pi, pnode) in prog.nodes.iter().enumerate() {
+            for (ci, cnode) in prog.nodes.iter().enumerate() {
+                if !prog.reachable(pi, ci) {
+                    continue;
+                }
+                for wacc in pnode.writes() {
+                    for racc in cnode.reads() {
+                        if wacc.array != racc.array {
+                            continue;
+                        }
+                        // Indirect reads are the inspector's job (§V-A2).
+                        if matches!(racc.pattern, Pattern::Indirect { .. }) {
+                            continue;
+                        }
+                        self.pair(&mut plans, pi, pnode, ci, cnode, wacc, racc);
+                    }
+                }
+            }
+        }
+        plans
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pair(
+        &self,
+        plans: &mut NodePlans,
+        pi: usize,
+        pnode: &Node,
+        ci: usize,
+        cnode: &Node,
+        wacc: &crate::program::Access,
+        racc: &crate::program::Access,
+    ) {
+        let array = wacc.array;
+        let len = self.program.array_len(array);
+        let base = self.program.arrays[array.0];
+        let p_iters = self.node_iters(pnode);
+        let invertible = wacc.pattern.tiles_perfectly() && !Self::serial_covers_all(pnode);
+
+        for tc in 0..self.threads {
+            let (a, b) = self.thread_iters(cnode, tc);
+            if a >= b {
+                continue;
+            }
+            // Elements this consumer reads.
+            let (elo, ehi) = if Self::serial_covers_all(cnode)
+                || matches!(racc.pattern, Pattern::Whole)
+            {
+                (0, len)
+            } else {
+                match racc.pattern.touched(a, b, len) {
+                    Some(r) => r,
+                    None => continue,
+                }
+            };
+
+            if !invertible {
+                // Unknown producers: peer-less ops. The producer side
+                // writes back its whole written range; the consumer
+                // invalidates its whole read range.
+                let region = base.slice(elo, ehi);
+                Self::push_inv(&mut plans.start[ci][tc], CommOp::unknown(region));
+                for tp in 0..self.threads {
+                    let (pa, pb) = self.thread_iters(pnode, tp);
+                    if pa >= pb {
+                        continue;
+                    }
+                    let (wlo, whi) = if Self::serial_covers_all(pnode)
+                        || matches!(wacc.pattern, Pattern::Whole)
+                    {
+                        (0, len)
+                    } else {
+                        match wacc.pattern.touched(pa, pb, len) {
+                            Some(r) => r,
+                            None => continue,
+                        }
+                    };
+                    Self::push_wb(
+                        &mut plans.end[pi][tp],
+                        CommOp::unknown(base.slice(wlo, whi)),
+                    );
+                }
+                continue;
+            }
+
+            // Invertible: walk the consumer's element range and group
+            // maximal runs by producing thread.
+            let mut run_start = elo;
+            let mut run_owner: Option<usize> = None;
+            let flush =
+                |plans: &mut NodePlans, lo: u64, hi: u64, owner: Option<usize>| {
+                    let tp = match owner {
+                        Some(tp) => tp,
+                        None => return,
+                    };
+                    if tp == tc || lo >= hi {
+                        return;
+                    }
+                    let region = base.slice(lo, hi);
+                    Self::push_inv(
+                        &mut plans.start[ci][tc],
+                        CommOp::known(region, ThreadId(tp)),
+                    );
+                    Self::push_wb(
+                        &mut plans.end[pi][tp],
+                        CommOp::known(region, ThreadId(tc)),
+                    );
+                };
+            let chunks = Chunks::new(p_iters, self.threads);
+            for e in elo..ehi {
+                let owner = wacc
+                    .pattern
+                    .producing_iter(e, p_iters)
+                    .map(|it| chunks.owner(it));
+                if owner != run_owner {
+                    flush(plans, run_start, e, run_owner);
+                    run_start = e;
+                    run_owner = owner;
+                }
+            }
+            flush(plans, run_start, ehi, run_owner);
+        }
+    }
+
+    fn push_wb(plan: &mut EpochPlan, op: CommOp) {
+        if !plan.wb.contains(&op) {
+            plan.wb.push(op);
+        }
+    }
+
+    fn push_inv(plan: &mut EpochPlan, op: CommOp) {
+        if !plan.inv.contains(&op) {
+            plan.inv.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Access, ArrayId, Node, Pattern, Program};
+    use hic_mem::{Region, WordAddr};
+
+    fn region(words: u64) -> Region {
+        Region::new(WordAddr(1024), words)
+    }
+
+    /// 1D Jacobi-like: node 0 writes B[i] reading A stencil; node 1 writes
+    /// A[i] reading B stencil; repeats.
+    fn jacobi_1d(n: u64) -> Program {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        Program {
+            arrays: vec![Region::new(WordAddr(1024), n), Region::new(WordAddr(4096), n)],
+            nodes: vec![
+                Node::ParFor {
+                    iters: n,
+                    reads: vec![Access::new(a, Pattern::Range { scale: 1, lo: -1, hi: 2 })],
+                    writes: vec![Access::new(b, Pattern::ident())],
+                },
+                Node::ParFor {
+                    iters: n,
+                    reads: vec![Access::new(b, Pattern::Range { scale: 1, lo: -1, hi: 2 })],
+                    writes: vec![Access::new(a, Pattern::ident())],
+                },
+            ],
+            repeat: true,
+        }
+    }
+
+    #[test]
+    fn jacobi_halo_exchange_is_neighbor_to_neighbor() {
+        let prog = jacobi_1d(64);
+        let plans = Analyzer::new(&prog, 4).analyze();
+        // Thread 1 consumes node 0's input A at its chunk [16,32): the
+        // halo elements 15 (from thread 0) and 32 (from thread 2).
+        let inv = &plans.start[0][1].inv;
+        assert_eq!(inv.len(), 2, "two halo regions: {inv:?}");
+        let froms: Vec<_> = inv.iter().map(|o| o.peer.unwrap().0).collect();
+        assert!(froms.contains(&0) && froms.contains(&2));
+        // Each halo is exactly one element.
+        assert!(inv.iter().all(|o| o.region.words == 1));
+        // Producer side: thread 0 in node 1 (which writes A) must WB its
+        // chunk-edge element to thread 1.
+        let wb = &plans.end[1][0].wb;
+        assert!(
+            wb.iter().any(|o| o.peer == Some(ThreadId(1)) && o.region.words == 1),
+            "thread 0 writes back its edge element: {wb:?}"
+        );
+        // Interior threads never appear as peers of thread 0 in node 0.
+        let inv0 = &plans.start[0][0].inv;
+        assert!(inv0.iter().all(|o| o.peer == Some(ThreadId(1))), "{inv0:?}");
+    }
+
+    #[test]
+    fn no_self_communication() {
+        let prog = jacobi_1d(64);
+        let plans = Analyzer::new(&prog, 4).analyze();
+        for n in 0..2 {
+            for t in 0..4 {
+                assert!(plans.start[n][t].inv.iter().all(|o| o.peer != Some(ThreadId(t))));
+                assert!(plans.end[n][t].wb.iter().all(|o| o.peer != Some(ThreadId(t))));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_section_produces_for_all() {
+        // Serial init writes X; parallel loop reads X[i].
+        let x = ArrayId(0);
+        let prog = Program {
+            arrays: vec![region(64)],
+            nodes: vec![
+                Node::Serial { reads: vec![], writes: vec![Access::whole(x)] },
+                Node::ParFor {
+                    iters: 64,
+                    reads: vec![Access::new(x, Pattern::ident())],
+                    writes: vec![],
+                },
+            ],
+            repeat: false,
+        };
+        let plans = Analyzer::new(&prog, 4).analyze();
+        // Thread 0 (serial executor) writes back the whole array.
+        assert_eq!(plans.end[0][0].wb.len(), 1);
+        assert_eq!(plans.end[0][0].wb[0].peer, None, "consumers unknown -> global WB");
+        assert_eq!(plans.end[0][0].wb[0].region.words, 64);
+        // Every consumer thread invalidates its read range.
+        for t in 0..4 {
+            let inv = &plans.start[1][t].inv;
+            assert_eq!(inv.len(), 1);
+            assert_eq!(inv[0].region.words, 16);
+        }
+        // Other threads write back nothing at node 0.
+        for t in 1..4 {
+            assert!(plans.end[0][t].wb.is_empty());
+        }
+    }
+
+    #[test]
+    fn whole_read_consumes_everyone_elses_chunk() {
+        // Reduction-gather shape: node 0 writes Y[i] in parallel; node 1
+        // is serial and reads all of Y.
+        let y = ArrayId(0);
+        let prog = Program {
+            arrays: vec![region(32)],
+            nodes: vec![
+                Node::ParFor {
+                    iters: 32,
+                    reads: vec![],
+                    writes: vec![Access::new(y, Pattern::ident())],
+                },
+                Node::Serial { reads: vec![Access::whole(y)], writes: vec![] },
+            ],
+            repeat: false,
+        };
+        let plans = Analyzer::new(&prog, 4).analyze();
+        // Thread 0 runs the serial read: it must invalidate the chunks of
+        // threads 1..3 but not its own.
+        let inv = &plans.start[1][0].inv;
+        assert_eq!(inv.len(), 3, "{inv:?}");
+        let peers: Vec<_> = inv.iter().map(|o| o.peer.unwrap().0).collect();
+        assert_eq!(peers, vec![1, 2, 3]);
+        // Producers 1..3 write back to consumer 0; producer 0 (= consumer)
+        // does not.
+        for t in 1..4 {
+            assert!(plans.end[0][t].wb.iter().any(|o| o.peer == Some(ThreadId(0))));
+        }
+        assert!(plans.end[0][0].wb.is_empty());
+    }
+
+    #[test]
+    fn unreachable_pairs_are_ignored() {
+        // Node 1 writes what node 0 reads, but there is no loop back.
+        let x = ArrayId(0);
+        let prog = Program {
+            arrays: vec![region(16)],
+            nodes: vec![
+                Node::ParFor {
+                    iters: 16,
+                    reads: vec![Access::new(x, Pattern::ident())],
+                    writes: vec![],
+                },
+                Node::ParFor {
+                    iters: 16,
+                    reads: vec![],
+                    writes: vec![Access::new(x, Pattern::ident())],
+                },
+            ],
+            repeat: false,
+        };
+        let plans = Analyzer::new(&prog, 2).analyze();
+        let (wk, wu, ik, iu) = plans.counts();
+        assert_eq!((wk, wu, ik, iu), (0, 0, 0, 0), "no reachable producer-consumer pair");
+    }
+
+    #[test]
+    fn aligned_chunks_produce_no_communication() {
+        // Writer and reader use the same identity pattern and the same
+        // chunking: every thread consumes its own data.
+        let x = ArrayId(0);
+        let prog = Program {
+            arrays: vec![region(64)],
+            nodes: vec![
+                Node::ParFor {
+                    iters: 64,
+                    reads: vec![],
+                    writes: vec![Access::new(x, Pattern::ident())],
+                },
+                Node::ParFor {
+                    iters: 64,
+                    reads: vec![Access::new(x, Pattern::ident())],
+                    writes: vec![],
+                },
+            ],
+            repeat: false,
+        };
+        let plans = Analyzer::new(&prog, 4).analyze();
+        let (wk, wu, ik, iu) = plans.counts();
+        assert_eq!((wk, wu, ik, iu), (0, 0, 0, 0), "perfectly aligned: no comm");
+    }
+}

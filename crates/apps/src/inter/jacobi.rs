@@ -1,0 +1,177 @@
+//! Jacobi — the paper's 2D Jacobi application, fully instrumented by the
+//! `hic-analysis` DEF-USE pass.
+//!
+//! The grid is row-banded over threads; each sweep reads a 3-row stencil
+//! and writes one row, so the only cross-thread data are the band-edge
+//! (halo) rows. The analyzer extracts exactly those producer-consumer
+//! pairs and emits `WB_CONS` / `INV_PROD` per neighbor — which `Addr+L`
+//! resolves to *local* operations whenever both threads share a block.
+//! This is the application where level-adaptive instructions shine
+//! (paper Figure 11: Jacobi's global WB/INV drop sharply under Addr+L).
+
+use hic_analysis::{Access, Analyzer, ArrayId, Node, Pattern, Program};
+use hic_runtime::{Config, ProgramBuilder};
+use hic_sim::rng::SplitMix64;
+
+use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+
+pub struct Jacobi {
+    rows: usize,
+    cols: usize,
+    iters: usize,
+}
+
+impl Jacobi {
+    pub fn new(scale: Scale) -> Jacobi {
+        let (rows, cols, iters) = match scale {
+            Scale::Test => (34, 16, 2),
+            Scale::Small => (130, 16, 3),
+            Scale::Paper => (1024, 1024, 10),
+        };
+        Jacobi { rows, cols, iters }
+    }
+
+    fn input(&self) -> Vec<f32> {
+        let mut rng = SplitMix64::new(0x1AC0B1 + self.rows as u64);
+        (0..self.rows * self.cols).map(|_| rng.unit_f32()).collect()
+    }
+
+    fn host(&self) -> Vec<f32> {
+        let (r, c) = (self.rows, self.cols);
+        let mut a = self.input();
+        let mut b = a.clone();
+        for _ in 0..self.iters {
+            for i in 1..r - 1 {
+                for j in 1..c - 1 {
+                    b[i * c + j] = 0.25
+                        * (a[(i - 1) * c + j]
+                            + a[(i + 1) * c + j]
+                            + a[i * c + j - 1]
+                            + a[i * c + j + 1]);
+                }
+            }
+            for i in 1..r - 1 {
+                for j in 1..c - 1 {
+                    a[i * c + j] = 0.25
+                        * (b[(i - 1) * c + j]
+                            + b[(i + 1) * c + j]
+                            + b[i * c + j - 1]
+                            + b[i * c + j + 1]);
+                }
+            }
+        }
+        a
+    }
+}
+
+impl App for Jacobi {
+    fn name(&self) -> &'static str {
+        "Jacobi"
+    }
+
+    fn patterns(&self) -> PatternInfo {
+        PatternInfo::new(&[SyncPattern::Barrier], &[])
+    }
+
+    fn run(&self, config: Config) -> AppRun {
+        let (r, c, iters) = (self.rows, self.cols, self.iters);
+        let input = self.input();
+
+        let mut p = ProgramBuilder::new(config);
+        let nthreads = p.num_threads();
+        let ga = p.alloc((r * c) as u64);
+        let gb = p.alloc((r * c) as u64);
+        for i in 0..r * c {
+            p.init_f32(ga, i as u64, input[i]);
+            p.init_f32(gb, i as u64, input[i]);
+        }
+        let bar = p.barrier();
+
+        // The affine program the "compiler" sees: two sweeps per
+        // iteration (A->B and B->A), looping.
+        let interior = (r - 2) as u64;
+        let cw = c as i64;
+        let program = Program {
+            arrays: vec![ga, gb],
+            nodes: vec![
+                Node::ParFor {
+                    iters: interior,
+                    reads: vec![Access::new(
+                        ArrayId(0),
+                        Pattern::Range { scale: cw, lo: 0, hi: 3 * cw },
+                    )],
+                    writes: vec![Access::new(
+                        ArrayId(1),
+                        Pattern::Range { scale: cw, lo: cw, hi: 2 * cw },
+                    )],
+                },
+                Node::ParFor {
+                    iters: interior,
+                    reads: vec![Access::new(
+                        ArrayId(1),
+                        Pattern::Range { scale: cw, lo: 0, hi: 3 * cw },
+                    )],
+                    writes: vec![Access::new(
+                        ArrayId(0),
+                        Pattern::Range { scale: cw, lo: cw, hi: 2 * cw },
+                    )],
+                },
+            ],
+            repeat: true,
+        };
+        let plans = Analyzer::new(&program, nthreads).analyze();
+        let chunks = hic_analysis::Chunks::new(interior, nthreads);
+
+        let out = p.run(nthreads, move |ctx| {
+            let t = ctx.tid();
+            let (ilo, ihi) = chunks.range(t);
+            let grids = [ga, gb];
+            for _ in 0..iters {
+                for node in 0..2 {
+                    // Consume: invalidate the halo rows the analyzer found.
+                    ctx.plan_inv(&plans.start[node][t]);
+                    let src = grids[node];
+                    let dst = grids[1 - node];
+                    for it in ilo..ihi {
+                        let i = it as usize + 1; // interior row
+                        for j in 1..c - 1 {
+                            let up = ctx.read_f32(src, ((i - 1) * c + j) as u64);
+                            let dn = ctx.read_f32(src, ((i + 1) * c + j) as u64);
+                            let lf = ctx.read_f32(src, (i * c + j - 1) as u64);
+                            let rt = ctx.read_f32(src, (i * c + j + 1) as u64);
+                            let v = 0.25 * (up + dn + lf + rt);
+                            ctx.write_f32(dst, (i * c + j) as u64, v);
+                            ctx.tick(5);
+                        }
+                    }
+                    // Produce: write back the band-edge rows to the
+                    // neighbors the analyzer named.
+                    ctx.plan_wb(&plans.end[node][t]);
+                    ctx.plan_barrier(bar);
+                }
+            }
+            // Post the final grid for verification.
+            if ihi > ilo {
+                let lo_w = ((ilo as usize + 1) * c) as u64;
+                let hi_w = ((ihi as usize + 1) * c) as u64;
+                ctx.plan_wb(&hic_runtime::EpochPlan::new().with_wb(
+                    hic_runtime::CommOp::unknown(ga.slice(lo_w, hi_w)),
+                ));
+            }
+            ctx.plan_barrier(bar);
+        });
+
+        let want = self.host();
+        let mut max_err = 0.0f32;
+        for i in 0..r * c {
+            max_err = max_err.max((out.peek_f32(ga, i as u64) - want[i]).abs());
+        }
+        AppRun {
+            name: self.name().to_string(),
+            config,
+            correct: max_err <= 1e-5,
+            detail: format!("{r}x{c}, {iters} iters, max err {max_err:.2e}"),
+            stats: out.stats,
+        }
+    }
+}

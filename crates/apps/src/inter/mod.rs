@@ -1,0 +1,6 @@
+//! The inter-block application suite (programming model 2, §V).
+
+pub mod cg;
+pub mod ep;
+pub mod is;
+pub mod jacobi;

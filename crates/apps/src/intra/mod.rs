@@ -1,0 +1,10 @@
+//! The intra-block application suite (programming model 1, §IV).
+
+pub mod barnes;
+pub mod cholesky;
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod raytrace;
+pub mod volrend;
+pub mod water;

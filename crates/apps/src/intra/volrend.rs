@@ -1,0 +1,162 @@
+//! Volrend — volume ray casting with a scanline task queue
+//! (SPLASH-2 Volrend analogue).
+//!
+//! Two frames are rendered with different opacity transfer settings; a
+//! global barrier separates the frames, and within a frame scanline jobs
+//! come from a lock-protected queue. The queue head for the next frame is
+//! reset by thread 0 *outside* a critical section and consumed by other
+//! threads after their own queue operations — the **Outside critical**
+//! pattern. Table I: main **Barrier, Outside critical**.
+
+use hic_runtime::{Config, ProgramBuilder};
+
+use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+
+pub struct Volrend {
+    /// Volume is `n x n x n` density samples.
+    n: usize,
+    /// Image is `w x w`.
+    w: usize,
+}
+
+impl Volrend {
+    pub fn new(scale: Scale) -> Volrend {
+        let (n, w) = match scale {
+            Scale::Test => (8, 12),
+            Scale::Small => (16, 28),
+            Scale::Paper => (128, 256), // stands in for the "head" dataset
+        };
+        Volrend { n, w }
+    }
+
+    /// Synthetic density volume: a soft sphere plus a diagonal ramp.
+    fn density(n: usize, x: usize, y: usize, z: usize) -> f32 {
+        let c = (n as f32 - 1.0) / 2.0;
+        let dx = (x as f32 - c) / c;
+        let dy = (y as f32 - c) / c;
+        let dz = (z as f32 - c) / c;
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let sphere = (1.0 - r2).max(0.0);
+        sphere * 0.8 + 0.05 * ((x + y + z) as f32 / (3.0 * n as f32))
+    }
+
+    /// Integrate one ray through the volume at image pixel (ix, iy) for a
+    /// given frame's opacity scale.
+    fn cast(vol: &dyn Fn(usize, usize, usize) -> f32, n: usize, w: usize, ix: usize, iy: usize, opacity: f32) -> f32 {
+        // Nearest-sample orthographic ray along z.
+        let vx = ((ix * n) / w).min(n - 1);
+        let vy = ((iy * n) / w).min(n - 1);
+        let mut transmittance = 1.0f32;
+        let mut light = 0.0f32;
+        for z in 0..n {
+            let d = vol(vx, vy, z);
+            let a = (d * opacity).min(1.0);
+            light += transmittance * a * (0.3 + 0.7 * (z as f32 / n as f32));
+            transmittance *= 1.0 - a;
+            if transmittance < 1e-3 {
+                break;
+            }
+        }
+        light
+    }
+
+    fn host_render(&self, opacity: f32) -> Vec<f32> {
+        let n = self.n;
+        let vol = move |x: usize, y: usize, z: usize| Self::density(n, x, y, z);
+        let mut img = vec![0.0f32; self.w * self.w];
+        for iy in 0..self.w {
+            for ix in 0..self.w {
+                img[iy * self.w + ix] = Self::cast(&vol, n, self.w, ix, iy, opacity);
+            }
+        }
+        img
+    }
+}
+
+impl App for Volrend {
+    fn name(&self) -> &'static str {
+        "Volrend"
+    }
+
+    fn patterns(&self) -> PatternInfo {
+        PatternInfo::new(&[SyncPattern::Barrier, SyncPattern::OutsideCritical], &[])
+    }
+
+    fn run(&self, config: Config) -> AppRun {
+        let (n, w) = (self.n, self.w);
+        let opacities = [1.2f32, 2.4f32];
+
+        let mut p = ProgramBuilder::new(config);
+        let nthreads = p.num_threads();
+        let volume = p.alloc((n * n * n) as u64);
+        let image = p.alloc((w * w) as u64 * opacities.len() as u64);
+        let next_line = p.alloc(1);
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    p.init_f32(
+                        volume,
+                        ((x * n + y) * n + z) as u64,
+                        Volrend::density(n, x, y, z),
+                    );
+                }
+            }
+        }
+        let queue_lock = p.lock(); // OCC: queue reset happens outside a CS
+        let bar = p.barrier();
+
+        let out = p.run(nthreads, move |ctx| {
+            for (frame, &opacity) in opacities.iter().enumerate() {
+                // Thread 0 resets the scanline queue for this frame
+                // *outside* any critical section; the barrier's WB/INV
+                // publishes it.
+                if ctx.tid() == 0 {
+                    ctx.write(next_line, 0, 0);
+                }
+                ctx.barrier(bar);
+                loop {
+                    ctx.lock(queue_lock);
+                    let line = ctx.read(next_line, 0) as usize;
+                    if line < w {
+                        ctx.write(next_line, 0, line as u32 + 1);
+                    }
+                    ctx.unlock(queue_lock);
+                    if line >= w {
+                        break;
+                    }
+                    // Render scanline `line`, sampling the volume through
+                    // simulated memory.
+                    for ix in 0..w {
+                        let vol = |x: usize, y: usize, z: usize| {
+                            ctx.read_f32(volume, ((x * n + y) * n + z) as u64)
+                        };
+                        let v = Volrend::cast(&vol, n, w, ix, line, opacity);
+                        ctx.write_f32(
+                            image,
+                            (frame * w * w + line * w + ix) as u64,
+                            v,
+                        );
+                        ctx.tick(6 + 2 * n as u64);
+                    }
+                }
+                ctx.barrier(bar);
+            }
+        });
+
+        let mut max_err = 0.0f32;
+        for (frame, &opacity) in opacities.iter().enumerate() {
+            let want = self.host_render(opacity);
+            for i in 0..w * w {
+                let got = out.peek_f32(image, (frame * w * w + i) as u64);
+                max_err = max_err.max((got - want[i]).abs());
+            }
+        }
+        AppRun {
+            name: self.name().to_string(),
+            config,
+            correct: max_err <= 1e-4,
+            detail: format!("vol {n}^3, image {w}x{w}, 2 frames, max error {max_err:.2e}"),
+            stats: out.stats,
+        }
+    }
+}

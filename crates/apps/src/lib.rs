@@ -1,0 +1,122 @@
+//! Applications for evaluating the hardware-incoherent hierarchy.
+//!
+//! Two suites, mirroring the paper's evaluation (§VI):
+//!
+//! * **intra-block** (programming model 1, run on the 16-core single-block
+//!   machine): kernels re-derived from the SPLASH-2 applications with the
+//!   same synchronization and communication structure — FFT, LU
+//!   (contiguous and non-contiguous), Cholesky, Barnes, Raytrace, Volrend,
+//!   Ocean (contiguous and non-contiguous), and Water (nsquared and
+//!   spatial);
+//! * **inter-block** (programming model 2, run on the 4x8 machine):
+//!   NAS-style EP, IS, and CG, plus a 2D Jacobi solver, instrumented with
+//!   plans from the `hic-analysis` mini-compiler.
+//!
+//! Every application checks its numerical result against a deterministic
+//! host-side reference of the *same* algorithm, so a stale read caused by
+//! a wrong annotation policy fails the run visibly.
+
+// Index-style loops mirror the host/simulated math side by side; the
+// lint's iterator rewrites would obscure that symmetry.
+#![allow(clippy::needless_range_loop)]
+
+pub mod inter;
+pub mod intra;
+pub mod patterns;
+
+pub use patterns::{PatternInfo, SyncPattern};
+
+use hic_machine::RunStats;
+use hic_runtime::Config;
+
+/// Input-size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests (sub-second per run).
+    Test,
+    /// The default figure-harness inputs (seconds per run).
+    Small,
+    /// Paper-sized inputs (64K-point FFT, 512x512 LU, ... — minutes).
+    Paper,
+}
+
+/// The result of one application run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    pub name: String,
+    pub config: Config,
+    pub stats: RunStats,
+    /// Did the simulated result match the host reference?
+    pub correct: bool,
+    /// Human-readable note (what was checked, residuals, ...).
+    pub detail: String,
+}
+
+/// A runnable application.
+pub trait App: Sync {
+    /// Short name, as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Communication patterns (Table I).
+    fn patterns(&self) -> PatternInfo;
+
+    /// Run under a configuration and validate the result.
+    fn run(&self, config: Config) -> AppRun;
+}
+
+/// The intra-block suite at a given scale, in the paper's Figure 9 order.
+pub fn intra_apps(scale: Scale) -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(intra::fft::Fft::new(scale)),
+        Box::new(intra::lu::Lu::new(scale, true)),
+        Box::new(intra::lu::Lu::new(scale, false)),
+        Box::new(intra::cholesky::Cholesky::new(scale)),
+        Box::new(intra::barnes::Barnes::new(scale)),
+        Box::new(intra::raytrace::Raytrace::new(scale)),
+        Box::new(intra::volrend::Volrend::new(scale)),
+        Box::new(intra::ocean::Ocean::new(scale, true)),
+        Box::new(intra::ocean::Ocean::new(scale, false)),
+        Box::new(intra::water::Water::new(scale, true)),
+        Box::new(intra::water::Water::new(scale, false)),
+    ]
+}
+
+/// The inter-block suite at a given scale (EP, IS, CG, Jacobi).
+pub fn inter_apps(scale: Scale) -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(inter::ep::Ep::new(scale)),
+        Box::new(inter::is::Is::new(scale)),
+        Box::new(inter::cg::Cg::new(scale)),
+        Box::new(inter::jacobi::Jacobi::new(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_the_papers_apps() {
+        let intra = intra_apps(Scale::Test);
+        let names: Vec<_> = intra.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FFT",
+                "LU cont",
+                "LU non-cont",
+                "Cholesky",
+                "Barnes",
+                "Raytrace",
+                "Volrend",
+                "Ocean cont",
+                "Ocean non-cont",
+                "Water Nsq",
+                "Water Spatial"
+            ]
+        );
+        let inter = inter_apps(Scale::Test);
+        let names: Vec<_> = inter.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["EP", "IS", "CG", "Jacobi"]);
+    }
+}

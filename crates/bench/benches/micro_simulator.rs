@@ -1,0 +1,145 @@
+//! Microbenchmarks of the simulator substrate itself: cache operations,
+//! mesh latency math, MESI transitions, incoherent WB/INV execution
+//! (full traversal vs MEB-served), and the synchronization table. These
+//! bound the simulator's own throughput and double as ablation probes for
+//! the MEB's costly-traversal-avoidance claim (§IV-B1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use hic_coherence::MesiSystem;
+use hic_core::{CohInstr, Target};
+use hic_machine::IncoherentSystem;
+use hic_mem::{Addr, Cache, LineAddr, WordAddr};
+use hic_noc::Mesh;
+use hic_sim::{CoreId, MachineConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_cache");
+    group.bench_function("fill_write_read", |b| {
+        let geom = MachineConfig::intra_block().l1;
+        b.iter_batched(
+            || Cache::new(geom),
+            |mut cache| {
+                for i in 0..512u64 {
+                    cache.fill(LineAddr(i), [i as u32; 16], 0);
+                    cache.write_word(LineAddr(i), (i % 16) as usize, i as u32);
+                    cache.read_word(LineAddr(i), 0);
+                }
+                cache.resident_lines()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mesh = Mesh::new(16, 4);
+    c.bench_function("micro_mesh_rt_latency", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..16 {
+                for j in 0..16 {
+                    acc += mesh.rt_latency(i, j);
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_mesi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_mesi");
+    group.bench_function("producer_consumer_roundtrip", |b| {
+        b.iter_batched(
+            || MesiSystem::new(MachineConfig::intra_block()),
+            |mut m| {
+                for i in 0..64u64 {
+                    m.write(CoreId(0), Addr(i * 64).word(), i as u32);
+                    m.read(CoreId(1), Addr(i * 64).word());
+                }
+                m.traffic.total()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_incoherent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_incoherent");
+    // The MEB claim of §IV-B1: WB ALL served from the MEB vs a full tag
+    // traversal, for a small critical-section-sized write set.
+    group.bench_function("wb_all_full_traversal", |b| {
+        b.iter_batched(
+            || {
+                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+                for i in 0..8u64 {
+                    m.write(CoreId(0), Addr(i * 64).word(), 1);
+                }
+                m
+            },
+            |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("wb_all_meb_served", |b| {
+        b.iter_batched(
+            || {
+                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+                m.meb_begin(CoreId(0));
+                for i in 0..8u64 {
+                    m.write(CoreId(0), Addr(i * 64).word(), 1);
+                }
+                m
+            },
+            |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("inv_range_64_lines", |b| {
+        b.iter_batched(
+            || {
+                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+                for i in 0..64u64 {
+                    m.write(CoreId(0), WordAddr(i * 16), 1);
+                }
+                m
+            },
+            |mut m| {
+                m.exec_coh(
+                    CoreId(0),
+                    CohInstr::inv(Target::range(hic_mem::Region::new(WordAddr(0), 1024))),
+                )
+                .0
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    c.bench_function("micro_sync_lock_queue", |b| {
+        b.iter(|| {
+            let mut s = hic_sync::SyncController::new();
+            let l = s.alloc_lock();
+            s.lock_acquire(l, CoreId(0), 0).unwrap();
+            for i in 1..16 {
+                s.lock_acquire(l, CoreId(i), i as u64).unwrap();
+            }
+            let mut t = 100;
+            let mut owner = CoreId(0);
+            for _ in 0..16 {
+                if let Some(g) = s.lock_release(l, owner, t).unwrap() {
+                    owner = g.core;
+                    t = g.at + 10;
+                }
+            }
+            t
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_mesh, bench_mesi, bench_incoherent, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Run the application suite and print a results table.
+//!
+//! ```text
+//! suite [--scale test|small|paper] [--intra|--inter] [name-filter ...]
+//! ```
+//!
+//! Every run is validated against its host reference; the binary exits
+//! nonzero if any run is incorrect, so it doubles as an end-to-end check.
+
+use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_runtime::{Config, InterConfig, IntraConfig};
+
+fn parse_scale(args: &[String]) -> Scale {
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("test") => Scale::Test,
+            Some("small") => Scale::Small,
+            Some("paper") => Scale::Paper,
+            other => panic!("unknown scale {other:?} (use test|small|paper)"),
+        },
+        None => Scale::Test,
+    }
+}
+
+fn wanted(args: &[String], name: &str) -> bool {
+    let filters: Vec<&String> = args
+        .iter()
+        .skip_while(|a| a.starts_with("--") || a.parse::<usize>().is_ok())
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    // Skip the value that follows --scale.
+    let filters: Vec<&&String> = filters
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "test" | "small" | "paper"))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
+    let run_intra = !args.iter().any(|a| a == "--inter");
+    let run_inter = !args.iter().any(|a| a == "--intra");
+    let mut failures = 0usize;
+
+    let mut report = |name: &str,
+                      cfg: &str,
+                      correct: bool,
+                      cycles: u64,
+                      wall: std::time::Duration,
+                      detail: &str| {
+        if !correct {
+            failures += 1;
+        }
+        println!(
+            "{:-14} {:-6} {:-5} {:>12} {:>9.2?}  {}",
+            name,
+            cfg,
+            if correct { "ok" } else { "WRONG" },
+            cycles,
+            wall,
+            detail
+        );
+    };
+
+    println!(
+        "{:-14} {:-6} {:-5} {:>12} {:>9}  detail",
+        "app", "config", "check", "cycles", "wall"
+    );
+    if run_intra {
+        for app in intra_apps(scale) {
+            if !wanted(&args, app.name()) {
+                continue;
+            }
+            for cfg in IntraConfig::ALL {
+                let t0 = std::time::Instant::now();
+                let r = app.run(Config::Intra(cfg));
+                report(app.name(), cfg.name(), r.correct, r.stats.total_cycles, t0.elapsed(), &r.detail);
+            }
+        }
+    }
+    if run_inter {
+        for app in inter_apps(scale) {
+            if !wanted(&args, app.name()) {
+                continue;
+            }
+            for cfg in InterConfig::ALL {
+                let t0 = std::time::Instant::now();
+                let r = app.run(Config::Inter(cfg));
+                report(app.name(), cfg.name(), r.correct, r.stats.total_cycles, t0.elapsed(), &r.detail);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} runs computed WRONG results");
+        std::process::exit(1);
+    }
+}

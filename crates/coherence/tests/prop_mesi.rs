@@ -1,0 +1,95 @@
+//! Property test: the directory-MESI system is sequentially consistent
+//! with respect to the (global) order in which the simulator performs
+//! operations — every read returns exactly what the last write to that
+//! word (in execution order) stored — and the directory invariants hold
+//! after every step.
+
+use proptest::prelude::*;
+
+use hic_coherence::MesiSystem;
+use hic_mem::WordAddr;
+use hic_sim::{CoreId, MachineConfig};
+
+#[derive(Debug, Clone)]
+enum MesiOp {
+    Read { core: usize, word: u64 },
+    Write { core: usize, word: u64, value: u32 },
+}
+
+fn arb_op(cores: usize, words: u64) -> impl Strategy<Value = MesiOp> {
+    prop_oneof![
+        (0..cores, 0..words).prop_map(|(core, word)| MesiOp::Read { core, word }),
+        (0..cores, 0..words, any::<u32>())
+            .prop_map(|(core, word, value)| MesiOp::Write { core, word, value }),
+    ]
+}
+
+fn run_sequence(cfg: MachineConfig, ops: Vec<MesiOp>) -> Result<(), TestCaseError> {
+    let cores = cfg.num_cores();
+    let mut m = MesiSystem::new(cfg);
+    // Reference model: last written value per word.
+    let mut model = std::collections::HashMap::<u64, u32>::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            MesiOp::Read { core, word } => {
+                prop_assert!(core < cores);
+                let (v, lat) = m.read(CoreId(core), WordAddr(word));
+                let want = model.get(&word).copied().unwrap_or(0);
+                prop_assert_eq!(
+                    v, want,
+                    "step {}: core {} read word {} -> {} want {}",
+                    step, core, word, v, want
+                );
+                prop_assert!(lat >= 2, "no access is faster than an L1 hit");
+            }
+            MesiOp::Write { core, word, value } => {
+                m.write(CoreId(core), WordAddr(word), value);
+                model.insert(word, value);
+            }
+        }
+        if let Err(e) = m.check_invariants() {
+            return Err(TestCaseError::fail(format!("step {step}: {e}")));
+        }
+        // peek agrees with the model at every step, for every word.
+        for (&w, &want) in &model {
+            prop_assert_eq!(m.peek_word(WordAddr(w)), want, "peek of word {} at step {}", w, step);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Flat (single-block) machine. Word space spans a few cache sets and
+    /// forces line sharing (16 words per line over 8 lines).
+    #[test]
+    fn flat_mesi_is_sequentially_consistent(
+        ops in proptest::collection::vec(arb_op(16, 128), 1..120)
+    ) {
+        run_sequence(MachineConfig::intra_block(), ops)?;
+    }
+
+    /// Hierarchical (4x8) machine: cross-block recalls, L3 directory.
+    #[test]
+    fn hierarchical_mesi_is_sequentially_consistent(
+        ops in proptest::collection::vec(arb_op(32, 128), 1..100)
+    ) {
+        run_sequence(MachineConfig::inter_block(), ops)?;
+    }
+
+    /// Capacity stress: words spread over many lines mapping to few sets,
+    /// forcing L1 evictions, writebacks, and directory cleanup.
+    #[test]
+    fn mesi_survives_capacity_evictions(
+        ops in proptest::collection::vec(
+            // 8 distinct lines all in L1 set 0 (stride = sets * 16 words).
+            (0..4usize, 0..8u64, any::<u32>()).prop_map(|(core, line, value)| {
+                MesiOp::Write { core, word: line * 128 * 16, value }
+            }),
+            1..80
+        )
+    ) {
+        run_sequence(MachineConfig::intra_block(), ops)?;
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's primary contribution: architectural support for managing a
+//! hardware-incoherent multiprocessor cache hierarchy.
+//!
+//! This crate implements, as reusable policy components:
+//!
+//! * the **WB / INV instruction family** (§III-B, §V): data granularities,
+//!   address ranges, whole-cache (`ALL`) flavors, explicit-level flavors
+//!   (`WB_L3`, `INV_L2`), and the level-adaptive `WB_CONS` / `INV_PROD`;
+//! * the **instruction reordering rules** of §III-C (Figure 3) and a write
+//!   buffer model that enforces them;
+//! * the **Modified Entry Buffer (MEB)** that accumulates written line IDs
+//!   so small critical sections avoid full-cache writeback traversals
+//!   (§IV-B1);
+//! * the **Invalidated Entry Buffer (IEB)** that turns up-front `INV ALL`
+//!   into on-demand first-read invalidations (§IV-B2);
+//! * the **ThreadMap** table the L2 controller consults to resolve
+//!   level-adaptive instructions (§V-B);
+//! * the **storage-overhead model** comparing incoherent vs. directory-MESI
+//!   hierarchies (§VII-A).
+//!
+//! The timing simulator in `hic-machine` drives these components; they are
+//! all individually unit-testable state machines.
+
+pub mod ieb;
+pub mod isa;
+pub mod meb;
+pub mod ordering;
+pub mod storage;
+pub mod threadmap;
+
+pub use ieb::Ieb;
+pub use isa::{CohInstr, Granularity, InvScope, Target, WbScope};
+pub use meb::{Meb, MebDrain};
+pub use ordering::{AccessKind, OrderConstraint, WriteBuffer};
+pub use storage::{coherent_storage_bits, incoherent_storage_bits, StorageReport};
+pub use threadmap::ThreadMap;

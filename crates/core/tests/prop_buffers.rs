@@ -1,0 +1,120 @@
+//! Property tests for the paper's hardware structures: the write buffer's
+//! ordering rules, and the MEB/IEB state machines.
+
+use proptest::prelude::*;
+
+use hic_core::ieb::IebAction;
+use hic_core::ordering::{AccessKind, WriteBuffer};
+use hic_core::{Ieb, Meb, MebDrain};
+use hic_mem::{LineAddr, WordAddr};
+
+fn arb_buffered_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Store),
+        Just(AccessKind::Wb),
+        Just(AccessKind::Inv),
+    ]
+}
+
+proptest! {
+    /// Whatever is pushed and popped, per-address FIFO order always holds,
+    /// and a load's path decision is consistent with the youngest
+    /// same-address entry.
+    #[test]
+    fn write_buffer_fifo_and_load_paths(
+        ops in proptest::collection::vec((arb_buffered_kind(), 0u64..8), 1..64)
+    ) {
+        let mut wb = WriteBuffer::new(16);
+        let mut pushed = 0usize;
+        for (kind, addr) in ops {
+            if wb.is_full() {
+                wb.pop();
+            }
+            wb.push(kind, WordAddr(addr));
+            pushed += 1;
+            prop_assert!(wb.per_address_fifo_holds());
+            // A load to an address with a buffered INV must stall; with a
+            // buffered store (and no younger INV) must forward.
+            use hic_core::ordering::LoadPath;
+            match wb.load_path(WordAddr(addr)) {
+                LoadPath::StallForInv { .. } => {}
+                LoadPath::ForwardFromStore { .. } => {}
+                LoadPath::Proceed => {
+                    // Only possible if the youngest same-address entry is
+                    // a WB.
+                    prop_assert_eq!(kind, AccessKind::Wb);
+                }
+            }
+        }
+        prop_assert!(pushed > 0);
+    }
+
+    /// The MEB never reports an ID it was not told about, never reports
+    /// duplicates, and overflows exactly when more than `cap` distinct
+    /// IDs arrive.
+    #[test]
+    fn meb_reports_exactly_what_was_written(
+        ids in proptest::collection::vec(0usize..32, 0..40),
+        cap in 1usize..20
+    ) {
+        let mut meb = Meb::new(cap);
+        meb.begin_epoch();
+        for &id in &ids {
+            meb.on_clean_word_write(id);
+        }
+        let mut distinct: Vec<usize> = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        match meb.drain() {
+            MebDrain::Overflowed => {
+                prop_assert!(distinct.len() > cap,
+                    "overflowed with only {} distinct ids (cap {})", distinct.len(), cap);
+            }
+            MebDrain::Ids(got) => {
+                prop_assert!(distinct.len() <= cap);
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), got.len(), "duplicate IDs reported");
+                let mut want = distinct.clone();
+                want.sort_unstable();
+                let mut g2 = got.clone();
+                g2.sort_unstable();
+                prop_assert_eq!(g2, want, "wrong ID set");
+            }
+        }
+    }
+
+    /// IEB: within one epoch, each line refreshes at most once as long as
+    /// capacity is not exceeded; with evictions, re-refreshes can happen
+    /// but never for a line currently held.
+    #[test]
+    fn ieb_refreshes_once_within_capacity(
+        lines in proptest::collection::vec(0u64..6, 1..40),
+        cap in 1usize..8
+    ) {
+        let mut ieb = Ieb::new(cap);
+        ieb.begin_epoch();
+        let mut refreshed = std::collections::HashSet::new();
+        let distinct: std::collections::HashSet<u64> = lines.iter().copied().collect();
+        let within_capacity = distinct.len() <= cap;
+        for &l in &lines {
+            match ieb.on_read(LineAddr(l), false) {
+                IebAction::RefreshFromShared => {
+                    if within_capacity {
+                        prop_assert!(
+                            refreshed.insert(l),
+                            "line {l} refreshed twice though the IEB never overflowed"
+                        );
+                    }
+                }
+                IebAction::Normal => {
+                    prop_assert!(refreshed.contains(&l) || !within_capacity);
+                }
+            }
+        }
+        if within_capacity {
+            prop_assert_eq!(ieb.evictions(), 0);
+        }
+    }
+}

@@ -1,0 +1,994 @@
+//! The hardware-incoherent cache hierarchy with WB/INV management.
+//!
+//! Caches never snoop and no directory exists. Data moves only when:
+//!
+//! * a miss pulls a line up (L2 -> L1, L3/memory -> L2);
+//! * an eviction or a WB instruction pushes dirty words down;
+//! * an INV instruction drops local copies (writing dirty words back
+//!   first — no update is ever lost, §III-B).
+//!
+//! The hierarchy is non-inclusive. A dirty push lands in the first lower
+//! level that holds the line, else in memory; the read path always probes
+//! levels in order, so visibility is preserved.
+//!
+//! Latency model (DESIGN.md §2): cache round trips from Table III plus
+//! mesh hops; `ALL` flavors pay a tag-traversal cost of
+//! `lines / tags_per_cycle` cycles, writebacks pipeline at one line per
+//! `wb_pipeline_ii` cycles; the MEB replaces the traversal by its own
+//! (tiny) occupancy, and the IEB replaces the up-front `INV ALL` with
+//! per-first-read refreshes.
+
+use hic_core::{CohInstr, Ieb, InvScope, Meb, MebDrain, Target, ThreadMap, WbScope};
+use hic_core::ieb::IebAction;
+use hic_mem::addr::WORDS_PER_LINE;
+use hic_mem::cache::{DirtyMask, EvictedLine};
+use hic_mem::{Cache, LineAddr, Memory, Word, WordAddr};
+use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
+use hic_sim::{CoreId, MachineConfig, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Cycles for a flash (gang) clear of a whole cache's valid bits. ALL-
+/// flavor operations complete in this time when the dirty-line counter
+/// says there is nothing to write back.
+const FLASH_CYCLES: u64 = 4;
+
+/// Event counters used by the Figure 11 harness and by tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncCounters {
+    /// WB instructions executed, split by the level they reached.
+    pub local_wbs: u64,
+    pub global_wbs: u64,
+    /// INV instructions executed, split by the level they reached.
+    pub local_invs: u64,
+    pub global_invs: u64,
+    /// Lines actually transferred by WB operations.
+    pub lines_written_back: u64,
+    /// Lines dropped by INV operations.
+    pub lines_invalidated: u64,
+    /// First-read refreshes performed under IEB epochs.
+    pub ieb_refreshes: u64,
+    /// WB ALLs served from the MEB / that fell back to full traversal.
+    pub meb_drains: u64,
+    pub meb_overflows: u64,
+}
+
+/// The hardware-incoherent memory system.
+#[derive(Debug)]
+pub struct IncoherentSystem {
+    cfg: MachineConfig,
+    mesh: Mesh,
+    cpb: usize,
+    bpb: usize,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Vec<Cache>,
+    mem: Memory,
+    meb: Vec<Meb>,
+    ieb: Vec<Ieb>,
+    tmap: ThreadMap,
+    pub traffic: TrafficLedger,
+    pub counters: IncCounters,
+}
+
+impl IncoherentSystem {
+    pub fn new(cfg: MachineConfig) -> IncoherentSystem {
+        let ncores = cfg.num_cores();
+        let nblocks = cfg.num_blocks();
+        let cpb = cfg.cores_per_block();
+        let bpb = cfg.l2_banks_per_block;
+        let l3_banks = cfg.inter.as_ref().map(|e| e.l3_banks).unwrap_or(0);
+        IncoherentSystem {
+            mesh: Mesh::new(ncores, cfg.hop_cycles),
+            cpb,
+            bpb,
+            l1: (0..ncores).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: (0..nblocks * bpb).map(|_| Cache::new(cfg.l2)).collect(),
+            l3: (0..l3_banks).map(|_| Cache::new(cfg.inter.as_ref().unwrap().l3)).collect(),
+            mem: Memory::new(),
+            meb: (0..ncores).map(|_| Meb::new(cfg.meb_entries)).collect(),
+            ieb: (0..ncores).map(|_| Ieb::new(cfg.ieb_entries)).collect(),
+            tmap: ThreadMap::identity(nblocks, cpb),
+            traffic: TrafficLedger::new(),
+            counters: IncCounters::default(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Replace the thread-to-block map (the runtime fills it at spawn).
+    pub fn set_thread_map(&mut self, tmap: ThreadMap) {
+        self.tmap = tmap;
+    }
+
+    pub fn thread_map(&self) -> &ThreadMap {
+        &self.tmap
+    }
+
+    #[inline]
+    fn block_of(&self, c: CoreId) -> usize {
+        c.0 / self.cpb
+    }
+
+    /// Global L2 bank index of a line's home within `blk`.
+    #[inline]
+    fn home_bank(&self, blk: usize, line: LineAddr) -> usize {
+        blk * self.bpb + (line.0 as usize % self.bpb)
+    }
+
+    /// Mesh tile of a global L2 bank.
+    #[inline]
+    fn bank_tile(&self, global_bank: usize) -> usize {
+        let blk = global_bank / self.bpb;
+        blk * self.cpb + (global_bank % self.bpb)
+    }
+
+    fn is_hier(&self) -> bool {
+        !self.l3.is_empty()
+    }
+
+    #[inline]
+    fn l3_bank(&self, line: LineAddr) -> usize {
+        line.0 as usize % self.l3.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Downward pushes (eviction / WB / INV writebacks)
+    // ------------------------------------------------------------------
+
+    /// Push dirty words below L1: into the block's L2 if it holds the
+    /// line, else below L2. Counted as L1 writeback traffic.
+    fn push_below_l1(&mut self, blk: usize, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
+        debug_assert!(mask != 0);
+        let bytes = mask.count_ones() as usize * 4;
+        self.traffic.add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
+        let hb = self.home_bank(blk, line);
+        if self.l2[hb].merge_words(line, data, mask) {
+            return;
+        }
+        self.push_below_l2(line, data, mask);
+    }
+
+    /// Push dirty words below L2: into L3 if present, else memory.
+    fn push_below_l2(&mut self, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
+        debug_assert!(mask != 0);
+        let bytes = mask.count_ones() as usize * 4;
+        if self.is_hier() {
+            let l3b = self.l3_bank(line);
+            if self.l3[l3b].merge_words(line, data, mask) {
+                self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                return;
+            }
+        }
+        self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        self.mem.merge_words(line, data, mask);
+    }
+
+    /// Push dirty words below L3 (L3 evictions): memory.
+    fn push_below_l3(&mut self, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
+        debug_assert!(mask != 0);
+        let bytes = mask.count_ones() as usize * 4;
+        self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        self.mem.merge_words(line, data, mask);
+    }
+
+    fn handle_l1_eviction(&mut self, blk: usize, victim: EvictedLine) {
+        if victim.dirty != 0 {
+            self.push_below_l1(blk, victim.addr, &victim.data, victim.dirty);
+        }
+    }
+
+    fn handle_l2_eviction(&mut self, victim: EvictedLine) {
+        if victim.dirty != 0 {
+            self.push_below_l2(victim.addr, &victim.data, victim.dirty);
+        }
+    }
+
+    fn handle_l3_eviction(&mut self, victim: EvictedLine) {
+        if victim.dirty != 0 {
+            self.push_below_l3(victim.addr, &victim.data, victim.dirty);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Upward fetches
+    // ------------------------------------------------------------------
+
+    /// Ensure the block's L2 holds `line`; returns the extra latency past
+    /// the home-bank round trip.
+    fn fetch_into_l2(&mut self, blk: usize, line: LineAddr) -> u64 {
+        let hb = self.home_bank(blk, line);
+        if self.l2[hb].probe(line).is_hit() {
+            return 0;
+        }
+        let hb_tile = self.bank_tile(hb);
+        if self.is_hier() {
+            let l3b = self.l3_bank(line);
+            let mut lat =
+                self.mesh.rt_latency_to_corner(hb_tile, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
+            if !self.l3[l3b].probe(line).is_hit() {
+                lat += self.cfg.mem_rt;
+                let data = self.mem.read_line(line);
+                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                if let Some(v) = self.l3[l3b].fill(line, data, 0) {
+                    self.handle_l3_eviction(v);
+                }
+            }
+            let data = *self.l3[l3b].view(line).expect("just filled").data;
+            self.traffic.add(TrafficCategory::L2L3, self.cfg.line_flits());
+            if let Some(v) = self.l2[hb].fill(line, data, 0) {
+                self.handle_l2_eviction(v);
+            }
+            lat
+        } else {
+            let corner = self.mesh.nearest_corner(hb_tile);
+            let lat = self.mesh.rt_latency_to_corner(hb_tile, corner) + self.cfg.mem_rt;
+            let data = self.mem.read_line(line);
+            self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+            if let Some(v) = self.l2[hb].fill(line, data, 0) {
+                self.handle_l2_eviction(v);
+            }
+            lat
+        }
+    }
+
+    /// Fetch `line` into core `c`'s L1 (it must currently miss).
+    /// Returns the latency beyond the L1 probe.
+    fn fetch_into_l1(&mut self, c: CoreId, line: LineAddr) -> u64 {
+        let blk = self.block_of(c);
+        let hb = self.home_bank(blk, line);
+        let mut lat = self.mesh.rt_latency(c.0, self.bank_tile(hb)) + self.cfg.l2_rt;
+        lat += self.fetch_into_l2(blk, line);
+        let data = *self.l2[hb].view(line).expect("in L2 now").data;
+        self.traffic.add(TrafficCategory::Linefill, self.cfg.line_flits());
+        if let Some(v) = self.l1[c.0].fill(line, data, 0) {
+            self.handle_l1_eviction(blk, v);
+        }
+        lat
+    }
+
+    // ------------------------------------------------------------------
+    // Loads and stores
+    // ------------------------------------------------------------------
+
+    /// Incoherent load: serves whatever the local hierarchy holds (which
+    /// may be stale — that is the point). Under an active IEB epoch the
+    /// first read of each line is refreshed from the shared cache.
+    pub fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        let line = w.line();
+        let idx = w.index_in_line();
+        if self.ieb[c.0].active() {
+            let hit = self.l1[c.0].probe(line).is_hit();
+            let word_dirty = hit && self.l1[c.0].word_dirty(line, idx);
+            match self.ieb[c.0].on_read(line, word_dirty) {
+                IebAction::Normal => {}
+                IebAction::RefreshFromShared => {
+                    self.counters.ieb_refreshes += 1;
+                    let blk = self.block_of(c);
+                    if let Some(inv) = self.l1[c.0].invalidate(line) {
+                        if inv.dirty != 0 {
+                            self.push_below_l1(blk, line, &inv.data, inv.dirty);
+                        }
+                    }
+                    let lat = self.cfg.l1_rt + self.fetch_into_l1(c, line);
+                    let v = self.l1[c.0].read_word(line, idx).expect("just filled");
+                    return (v, lat);
+                }
+            }
+        }
+        if let Some(v) = self.l1[c.0].read_word(line, idx) {
+            return (v, self.cfg.l1_rt);
+        }
+        let lat = self.cfg.l1_rt + self.fetch_into_l1(c, line);
+        let v = self.l1[c.0].read_word(line, idx).expect("just filled");
+        (v, lat)
+    }
+
+    /// Incoherent store: write-allocate into the L1, set the word's dirty
+    /// bit, and feed the MEB on clean->dirty transitions.
+    pub fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        let line = w.line();
+        let idx = w.index_in_line();
+        match self.l1[c.0].write_word(line, idx, v) {
+            Some(was_clean) => {
+                if was_clean {
+                    let id = self.l1[c.0].line_id(line).expect("resident");
+                    self.meb[c.0].on_clean_word_write(id);
+                }
+                self.cfg.l1_rt
+            }
+            None => {
+                let lat = self.cfg.l1_rt + self.fetch_into_l1(c, line);
+                let was_clean = self.l1[c.0].write_word(line, idx, v).expect("just filled");
+                debug_assert!(was_clean);
+                let id = self.l1[c.0].line_id(line).expect("resident");
+                self.meb[c.0].on_clean_word_write(id);
+                lat
+            }
+        }
+    }
+
+    /// Uncacheable load: served by the globally shared level — the L3 on
+    /// the multi-block machine, the L2 otherwise — without touching the
+    /// L1. Correct use requires that the word is accessed *only*
+    /// uncacheably (the MPI library guarantees this for its buffers).
+    pub fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        let line = w.line();
+        let idx = w.index_in_line();
+        self.traffic.add(TrafficCategory::Sync, 2);
+        if self.is_hier() {
+            let l3b = self.l3_bank(line);
+            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b)
+                + self.cfg.inter.as_ref().unwrap().l3_rt;
+            if !self.l3[l3b].probe(line).is_hit() {
+                lat += self.cfg.mem_rt;
+                let data = self.mem.read_line(line);
+                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                if let Some(v) = self.l3[l3b].fill(line, data, 0) {
+                    self.handle_l3_eviction(v);
+                }
+            }
+            (self.l3[l3b].view(line).expect("filled").data[idx], lat)
+        } else {
+            let blk = self.block_of(c);
+            let hb = self.home_bank(blk, line);
+            let mut lat = self.mesh.rt_latency(c.0, self.bank_tile(hb)) + self.cfg.l2_rt;
+            lat += self.fetch_into_l2(blk, line);
+            (self.l2[hb].view(line).expect("filled").data[idx], lat)
+        }
+    }
+
+    /// Uncacheable store (see [`IncoherentSystem::read_uncached`]).
+    pub fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        let line = w.line();
+        let idx = w.index_in_line();
+        self.traffic.add(TrafficCategory::Sync, 2);
+        let mut one = [0u32; WORDS_PER_LINE];
+        one[idx] = v;
+        let mask: DirtyMask = 1 << idx;
+        if self.is_hier() {
+            let l3b = self.l3_bank(line);
+            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b)
+                + self.cfg.inter.as_ref().unwrap().l3_rt;
+            if !self.l3[l3b].probe(line).is_hit() {
+                lat += self.cfg.mem_rt;
+                let data = self.mem.read_line(line);
+                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                if let Some(vi) = self.l3[l3b].fill(line, data, 0) {
+                    self.handle_l3_eviction(vi);
+                }
+            }
+            self.l3[l3b].merge_words(line, &one, mask);
+            lat
+        } else {
+            let blk = self.block_of(c);
+            let hb = self.home_bank(blk, line);
+            let mut lat = self.mesh.rt_latency(c.0, self.bank_tile(hb)) + self.cfg.l2_rt;
+            lat += self.fetch_into_l2(blk, line);
+            self.l2[hb].merge_words(line, &one, mask);
+            lat
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // WB / INV execution
+    // ------------------------------------------------------------------
+
+    /// Execute a coherence-management instruction for core `c`.
+    /// Returns `(latency, is_wb)` so the caller can charge the right stall
+    /// category.
+    pub fn exec_coh(&mut self, c: CoreId, instr: CohInstr) -> (u64, bool) {
+        match instr {
+            CohInstr::Wb { target, scope } => (self.exec_wb(c, target, scope), true),
+            CohInstr::Inv { target, scope } => (self.exec_inv(c, target, scope), false),
+        }
+    }
+
+    /// Resolve a WB scope to "global" (must reach L3) using the ThreadMap.
+    fn wb_is_global(&self, c: CoreId, scope: WbScope) -> bool {
+        match scope {
+            WbScope::ToL2 => false,
+            WbScope::ToL3 => self.is_hier(),
+            WbScope::Cons(t) => self.is_hier() && !self.is_local_thread(c, t),
+        }
+    }
+
+    fn inv_is_global(&self, c: CoreId, scope: InvScope) -> bool {
+        match scope {
+            InvScope::FromL1 => false,
+            InvScope::FromL2 => self.is_hier(),
+            InvScope::Prod(t) => self.is_hier() && !self.is_local_thread(c, t),
+        }
+    }
+
+    fn is_local_thread(&self, c: CoreId, t: ThreadId) -> bool {
+        self.tmap.is_local(hic_sim::BlockId(self.block_of(c)), t)
+    }
+
+    fn exec_wb(&mut self, c: CoreId, target: Target, scope: WbScope) -> u64 {
+        let global = self.wb_is_global(c, scope);
+        if global {
+            self.counters.global_wbs += 1;
+        } else {
+            self.counters.local_wbs += 1;
+        }
+        let blk = self.block_of(c);
+        let mut lat;
+        // Collect (line, words-to-push) pairs from the L1.
+        let mut work: Vec<(LineAddr, DirtyMask)> = Vec::new();
+        match target {
+            Target::All => {
+                // Try the MEB first: if it tracked the epoch, walk its IDs
+                // instead of every tag.
+                match self.meb_lines(c) {
+                    Some(ids) => {
+                        self.counters.meb_drains += 1;
+                        lat = ids.len() as u64; // one lookup per entry
+                        for id in ids {
+                            if let Some(v) = self.l1[c.0].line_at_id(id) {
+                                if v.dirty != 0 {
+                                    work.push((v.addr, v.dirty));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // A dirty-line counter lets a clean cache skip the
+                        // tag traversal entirely.
+                        lat = if self.l1[c.0].dirty_lines_resident() == 0 {
+                            FLASH_CYCLES
+                        } else {
+                            self.cfg.l1.num_lines() as u64 / self.cfg.tags_per_cycle
+                        };
+                        for v in self.l1[c.0].valid_lines() {
+                            if v.dirty != 0 {
+                                work.push((v.addr, v.dirty));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                let lines = target.lines().expect("non-ALL target");
+                lat = lines.len() as u64; // tag check per line
+                for line in lines {
+                    if let Some(v) = self.l1[c.0].view(line) {
+                        let mask = v.dirty & target.word_mask(line);
+                        if mask != 0 {
+                            work.push((line, mask));
+                        }
+                    }
+                }
+            }
+        }
+        lat += self.cfg.l1_rt;
+        // Transfer phase. WB proceeds like a store through the write
+        // buffer (§III-C): the transfers are *posted* and pipeline at one
+        // line per `wb_pipeline_ii`; the core does not wait for network
+        // round trips. Only the whole-cache flavor pays a drain
+        // acknowledgement (it marks an epoch boundary where completion
+        // must be visible before the synchronization proceeds).
+        if !work.is_empty() {
+            for &(line, mask) in &work {
+                let data = *self.l1[c.0].view(line).expect("resident").data;
+                self.push_below_l1(blk, line, &data, mask);
+                // Paper §III-B: the transferred words are now clean valid.
+                // Words outside the target mask keep their dirty bits — a
+                // partial WB must not lose co-located updates.
+                self.l1[c.0].clean_words(line, mask);
+                self.counters.lines_written_back += 1;
+            }
+            lat += work.len() as u64 * self.cfg.wb_pipeline_ii;
+        }
+        if matches!(target, Target::All) {
+            // Drain ack: round trip to the nearest-home L2 bank.
+            let hb0 = self.bank_tile(blk * self.bpb);
+            lat += self.mesh.rt_latency(c.0, hb0) + self.cfg.l2_rt;
+        }
+        // Global scope: additionally push the L2's dirty copies down to L3.
+        if global {
+            let mut l2_work: Vec<(LineAddr, DirtyMask)> = Vec::new();
+            match target {
+                Target::All => {
+                    // WB_CONS ALL across blocks writes back the whole local
+                    // block's L2 (§V-B). Each bank's controller traverses
+                    // its own tags concurrently; a bank with no dirty
+                    // lines flash-completes.
+                    let mut trav = FLASH_CYCLES;
+                    for bank in 0..self.bpb {
+                        let gb = blk * self.bpb + bank;
+                        if self.l2[gb].dirty_lines_resident() > 0 {
+                            trav = self.cfg.l2.num_lines() as u64 / self.cfg.tags_per_cycle;
+                        }
+                        for v in self.l2[gb].valid_lines() {
+                            if v.dirty != 0 {
+                                l2_work.push((v.addr, v.dirty));
+                            }
+                        }
+                    }
+                    lat += trav;
+                }
+                _ => {
+                    for line in target.lines().expect("non-ALL") {
+                        let hb = self.home_bank(blk, line);
+                        if let Some(v) = self.l2[hb].view(line) {
+                            let mask = v.dirty & target.word_mask(line);
+                            if mask != 0 {
+                                l2_work.push((line, mask));
+                            }
+                        }
+                    }
+                }
+            }
+            if !l2_work.is_empty() {
+                // L2 -> L3 pushes are posted as well; an ALL flavor pays
+                // one drain ack to the L3 bank.
+                lat += self.cfg.l2_rt + l2_work.len() as u64 * self.cfg.wb_pipeline_ii;
+                if matches!(target, Target::All) {
+                    let hb_tile = self.bank_tile(blk * self.bpb);
+                    let l3b = self.l3_bank(l2_work[0].0);
+                    lat += self.mesh.rt_latency_to_corner(hb_tile, l3b)
+                        + self.cfg.inter.as_ref().map(|e| e.l3_rt).unwrap_or(0);
+                }
+                for (line, mask) in l2_work {
+                    let hb = self.home_bank(blk, line);
+                    let data = *self.l2[hb].view(line).expect("resident").data;
+                    self.push_below_l2(line, &data, mask);
+                    self.l2[hb].clean_words(line, mask);
+                }
+            }
+        }
+        lat
+    }
+
+    fn exec_inv(&mut self, c: CoreId, target: Target, scope: InvScope) -> u64 {
+        let global = self.inv_is_global(c, scope);
+        if global {
+            self.counters.global_invs += 1;
+        } else {
+            self.counters.local_invs += 1;
+        }
+        let blk = self.block_of(c);
+        let mut lat = self.cfg.l1_rt;
+        let mut wb_work = 0u64;
+        match target {
+            Target::All => {
+                // Clean cache: gang-clear the valid bits. Dirty lines
+                // force a traversal to find and write them back first.
+                lat += if self.l1[c.0].dirty_lines_resident() == 0 {
+                    FLASH_CYCLES
+                } else {
+                    self.cfg.l1.num_lines() as u64 / self.cfg.tags_per_cycle
+                };
+                for line in self.l1[c.0].valid_line_addrs() {
+                    if let Some(inv) = self.l1[c.0].invalidate(line) {
+                        self.counters.lines_invalidated += 1;
+                        if inv.dirty != 0 {
+                            self.push_below_l1(blk, line, &inv.data, inv.dirty);
+                            wb_work += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let lines = target.lines().expect("non-ALL");
+                lat += lines.len() as u64;
+                for line in lines {
+                    if let Some(inv) = self.l1[c.0].invalidate(line) {
+                        self.counters.lines_invalidated += 1;
+                        if inv.dirty != 0 {
+                            self.push_below_l1(blk, line, &inv.data, inv.dirty);
+                            wb_work += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if wb_work > 0 {
+            // Dirty-line writebacks triggered by the INV are posted.
+            lat += wb_work * self.cfg.wb_pipeline_ii;
+        }
+        // Global scope: also invalidate the block's L2 copies. The command
+        // to the (shared, remote) L2 controller is a posted message for
+        // targeted flavors; ALL pays a completion round trip.
+        if global {
+            lat += self.cfg.l2_rt;
+            if matches!(target, Target::All) {
+                let hb0_tile = self.bank_tile(blk * self.bpb);
+                lat += self.mesh.rt_latency(c.0, hb0_tile);
+            }
+            let mut l2_wb = 0u64;
+            match target {
+                Target::All => {
+                    // Banks gang-clear / traverse concurrently.
+                    let mut trav = FLASH_CYCLES;
+                    for bank in 0..self.bpb {
+                        let gb = blk * self.bpb + bank;
+                        if self.l2[gb].dirty_lines_resident() > 0 {
+                            trav = self.cfg.l2.num_lines() as u64 / self.cfg.tags_per_cycle;
+                        }
+                        for line in self.l2[gb].valid_line_addrs() {
+                            if let Some(inv) = self.l2[gb].invalidate(line) {
+                                if inv.dirty != 0 {
+                                    self.push_below_l2(line, &inv.data, inv.dirty);
+                                    l2_wb += 1;
+                                }
+                            }
+                        }
+                    }
+                    lat += trav;
+                }
+                _ => {
+                    for line in target.lines().expect("non-ALL") {
+                        let hb = self.home_bank(blk, line);
+                        if let Some(inv) = self.l2[hb].invalidate(line) {
+                            if inv.dirty != 0 {
+                                self.push_below_l2(line, &inv.data, inv.dirty);
+                                l2_wb += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if l2_wb > 0 {
+                lat += l2_wb * self.cfg.wb_pipeline_ii;
+            }
+        }
+        lat
+    }
+
+    /// If the core's MEB recorded the current epoch without overflowing,
+    /// return its line IDs; `None` means full traversal.
+    fn meb_lines(&mut self, c: CoreId) -> Option<Vec<usize>> {
+        if !self.meb[c.0].recording() {
+            return None;
+        }
+        match self.meb[c.0].drain() {
+            MebDrain::Ids(ids) => Some(ids),
+            MebDrain::Overflowed => {
+                self.counters.meb_overflows += 1;
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-tracking hooks (driven by `Op::MebBegin` / `Op::IebBegin`...)
+    // ------------------------------------------------------------------
+
+    pub fn meb_begin(&mut self, c: CoreId) {
+        self.meb[c.0].begin_epoch();
+    }
+
+    pub fn ieb_begin(&mut self, c: CoreId) {
+        self.ieb[c.0].begin_epoch();
+    }
+
+    pub fn ieb_end(&mut self, c: CoreId) {
+        self.ieb[c.0].end_epoch();
+    }
+
+    // ------------------------------------------------------------------
+    // Simulator backdoors (no timing, no traffic)
+    // ------------------------------------------------------------------
+
+    /// Newest written-back value of a word: L2-dirty, then L3-dirty, then
+    /// any cached copy at L2/L3, then memory. Note: *unwritten-back* L1
+    /// dirty data is intentionally not consulted — `peek_word` answers
+    /// "what would a fresh reader see", which is the property the
+    /// correctness tests check after final writebacks.
+    pub fn peek_word(&self, w: WordAddr) -> Word {
+        let line = w.line();
+        let idx = w.index_in_line();
+        for bank in &self.l2 {
+            if let Some(v) = bank.view(line) {
+                if v.dirty & (1 << idx) != 0 {
+                    return v.data[idx];
+                }
+            }
+        }
+        for bank in &self.l3 {
+            if let Some(v) = bank.view(line) {
+                if v.dirty & (1 << idx) != 0 {
+                    return v.data[idx];
+                }
+            }
+        }
+        for bank in &self.l2 {
+            if let Some(v) = bank.view(line) {
+                return v.data[idx];
+            }
+        }
+        for bank in &self.l3 {
+            if let Some(v) = bank.view(line) {
+                return v.data[idx];
+            }
+        }
+        self.mem.read_word(w)
+    }
+
+    /// The value core `c` would load right now (stale or not), without
+    /// timing. Used by staleness tests.
+    pub fn peek_local(&self, c: CoreId, w: WordAddr) -> Word {
+        let line = w.line();
+        let idx = w.index_in_line();
+        if let Some(v) = self.l1[c.0].view(line) {
+            return v.data[idx];
+        }
+        self.peek_word(w)
+    }
+
+    /// Write a word directly to memory, dropping every cached copy.
+    /// For test setup only.
+    pub fn poke_word(&mut self, w: WordAddr, v: Word) {
+        let line = w.line();
+        for c in &mut self.l1 {
+            c.invalidate(line);
+        }
+        for b in &mut self.l2 {
+            b.invalidate(line);
+        }
+        for b in &mut self.l3 {
+            b.invalidate(line);
+        }
+        self.mem.write_word(w, v);
+    }
+
+    /// Does core `c`'s L1 currently hold the line containing `w`?
+    pub fn l1_holds(&self, c: CoreId, w: WordAddr) -> bool {
+        self.l1[c.0].probe(w.line()).is_hit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_mem::{Addr, Region};
+
+    fn intra() -> IncoherentSystem {
+        IncoherentSystem::new(MachineConfig::intra_block())
+    }
+
+    fn inter() -> IncoherentSystem {
+        IncoherentSystem::new(MachineConfig::inter_block())
+    }
+
+    fn w(byte: u64) -> WordAddr {
+        Addr(byte).word()
+    }
+
+    #[test]
+    fn stale_read_without_wb_inv() {
+        let mut m = intra();
+        m.poke_word(w(0x100), 1);
+        // Both cores cache the line.
+        assert_eq!(m.read(CoreId(0), w(0x100)).0, 1);
+        assert_eq!(m.read(CoreId(1), w(0x100)).0, 1);
+        // Core 0 writes but does not write back.
+        m.write(CoreId(0), w(0x100), 2);
+        // Core 1 still reads the stale value: no hardware coherence.
+        assert_eq!(m.read(CoreId(1), w(0x100)).0, 1, "must be stale");
+    }
+
+    #[test]
+    fn wb_then_inv_communicates() {
+        let mut m = intra();
+        m.poke_word(w(0x200), 1);
+        assert_eq!(m.read(CoreId(1), w(0x200)).0, 1); // consumer caches stale
+        m.write(CoreId(0), w(0x200), 2);
+        let (lat_wb, is_wb) = m.exec_coh(CoreId(0), CohInstr::wb(Target::word(w(0x200))));
+        assert!(is_wb);
+        assert!(lat_wb > 0);
+        let (lat_inv, is_wb) = m.exec_coh(CoreId(1), CohInstr::inv(Target::word(w(0x200))));
+        assert!(!is_wb);
+        assert!(lat_inv > 0);
+        assert_eq!(m.read(CoreId(1), w(0x200)).0, 2, "WB+INV must deliver");
+    }
+
+    #[test]
+    fn wb_writes_only_dirty_words_no_false_sharing_loss() {
+        // §III-B: two cores write different words of the same line, both
+        // WB; neither overwrites the other.
+        let mut m = intra();
+        let a = w(0x300);
+        let b = WordAddr(a.0 + 1);
+        m.write(CoreId(0), a, 11);
+        m.write(CoreId(1), b, 22);
+        m.exec_coh(CoreId(0), CohInstr::wb(Target::word(a)));
+        m.exec_coh(CoreId(1), CohInstr::wb(Target::word(b)));
+        assert_eq!(m.peek_word(a), 11);
+        assert_eq!(m.peek_word(b), 22);
+    }
+
+    #[test]
+    fn inv_preserves_colocated_dirty_data() {
+        // §III-B: INV writes dirty data back before invalidating.
+        let mut m = intra();
+        let a = w(0x400);
+        m.write(CoreId(0), a, 7);
+        m.exec_coh(CoreId(0), CohInstr::inv(Target::word(a)));
+        assert!(!m.l1_holds(CoreId(0), a));
+        assert_eq!(m.peek_word(a), 7, "dirty word survived the INV");
+    }
+
+    #[test]
+    fn wb_all_vs_meb_latency() {
+        let mut m = intra();
+        // Dirty a handful of lines.
+        for i in 0..5u64 {
+            m.write(CoreId(0), w(0x1000 + i * 64), i as Word);
+        }
+        let (lat_full, _) = m.exec_coh(CoreId(0), CohInstr::wb_all());
+        assert!(lat_full >= 128, "full traversal costs >= lines/tags_per_cycle");
+
+        let mut m2 = intra();
+        m2.meb_begin(CoreId(0));
+        for i in 0..5u64 {
+            m2.write(CoreId(0), w(0x1000 + i * 64), i as Word);
+        }
+        let (lat_meb, _) = m2.exec_coh(CoreId(0), CohInstr::wb_all());
+        assert!(
+            lat_meb < lat_full,
+            "MEB path ({lat_meb}) must be cheaper than traversal ({lat_full})"
+        );
+        assert_eq!(m2.counters.meb_drains, 1);
+        // Both wrote the same data back.
+        for i in 0..5u64 {
+            assert_eq!(m2.peek_word(w(0x1000 + i * 64)), i as Word);
+        }
+    }
+
+    #[test]
+    fn meb_overflow_falls_back_to_traversal() {
+        let mut m = intra();
+        m.meb_begin(CoreId(0));
+        // Dirty more lines than MEB entries (16).
+        for i in 0..20u64 {
+            m.write(CoreId(0), w(0x2000 + i * 64), 1);
+        }
+        m.exec_coh(CoreId(0), CohInstr::wb_all());
+        assert_eq!(m.counters.meb_overflows, 1);
+        for i in 0..20u64 {
+            assert_eq!(m.peek_word(w(0x2000 + i * 64)), 1, "overflow path wrote everything");
+        }
+    }
+
+    #[test]
+    fn ieb_epoch_refreshes_first_read_only() {
+        let mut m = intra();
+        m.poke_word(w(0x500), 1);
+        assert_eq!(m.read(CoreId(1), w(0x500)).0, 1); // stale copy cached
+        m.write(CoreId(0), w(0x500), 2);
+        m.exec_coh(CoreId(0), CohInstr::wb(Target::word(w(0x500))));
+        // Without IEB or INV, core 1 would read stale. With an IEB epoch,
+        // the first read refreshes.
+        m.ieb_begin(CoreId(1));
+        let (v, lat1) = m.read(CoreId(1), w(0x500));
+        assert_eq!(v, 2, "IEB first read must refresh");
+        assert!(lat1 > m.config().l1_rt, "refresh pays a miss");
+        let (v2, lat2) = m.read(CoreId(1), w(0x500));
+        assert_eq!(v2, 2);
+        assert_eq!(lat2, m.config().l1_rt, "second read is a normal hit");
+        assert_eq!(m.counters.ieb_refreshes, 1);
+        m.ieb_end(CoreId(1));
+    }
+
+    #[test]
+    fn ieb_does_not_refresh_own_dirty_words() {
+        let mut m = intra();
+        m.ieb_begin(CoreId(0));
+        m.write(CoreId(0), w(0x600), 5);
+        let (v, lat) = m.read(CoreId(0), w(0x600));
+        assert_eq!(v, 5);
+        assert_eq!(lat, m.config().l1_rt, "own dirty word needs no refresh");
+        assert_eq!(m.counters.ieb_refreshes, 0);
+    }
+
+    #[test]
+    fn range_wb_covers_exactly_overlapping_lines() {
+        let mut m = intra();
+        let base = 0x4000u64;
+        // Write 40 words = 2.5 lines.
+        for i in 0..40u64 {
+            m.write(CoreId(0), WordAddr(base / 4 + i), i as Word);
+        }
+        let region = Region::new(WordAddr(base / 4), 40);
+        m.exec_coh(CoreId(0), CohInstr::wb(Target::range(region)));
+        assert_eq!(m.counters.lines_written_back, 3);
+        for i in 0..40u64 {
+            assert_eq!(m.peek_word(WordAddr(base / 4 + i)), i as Word);
+        }
+    }
+
+    #[test]
+    fn level_adaptive_wb_resolves_by_thread_map() {
+        let mut m = inter();
+        let a = w(0x700);
+        // Core 0 (block 0) writes; consumer thread 3 is in block 0.
+        m.write(CoreId(0), a, 1);
+        m.exec_coh(CoreId(0), CohInstr::wb_cons(Target::word(a), ThreadId(3)));
+        assert_eq!(m.counters.local_wbs, 1);
+        assert_eq!(m.counters.global_wbs, 0);
+        // Consumer thread 20 is in block 2: global.
+        m.write(CoreId(0), a, 2);
+        m.exec_coh(CoreId(0), CohInstr::wb_cons(Target::word(a), ThreadId(20)));
+        assert_eq!(m.counters.global_wbs, 1);
+    }
+
+    #[test]
+    fn cross_block_communication_needs_global_wb_and_inv() {
+        let mut m = inter();
+        let a = w(0x800);
+        m.poke_word(a, 1);
+        // Consumer (core 8, block 1) caches the line in L1 and its L2.
+        assert_eq!(m.read(CoreId(8), a).0, 1);
+        // Producer (core 0, block 0) writes and does only a LOCAL wb.
+        m.write(CoreId(0), a, 2);
+        m.exec_coh(CoreId(0), CohInstr::wb(Target::word(a)));
+        // Consumer invalidates only its L1: still stale, because its L2
+        // kept the old line and the new data never left block 0.
+        m.exec_coh(CoreId(8), CohInstr::inv(Target::word(a)));
+        assert_eq!(m.read(CoreId(8), a).0, 1, "local-only WB/INV is insufficient");
+        // Now do it right: global WB + global INV.
+        m.exec_coh(CoreId(0), CohInstr::wb_l3(Target::word(a)));
+        m.exec_coh(CoreId(8), CohInstr::inv_l2(Target::word(a)));
+        assert_eq!(m.read(CoreId(8), a).0, 2, "level-adaptive path delivers");
+    }
+
+    #[test]
+    fn same_block_communication_local_ops_suffice_in_inter_machine() {
+        let mut m = inter();
+        let a = w(0x900);
+        m.poke_word(a, 1);
+        assert_eq!(m.read(CoreId(1), a).0, 1);
+        m.write(CoreId(0), a, 2);
+        m.exec_coh(CoreId(0), CohInstr::wb_cons(Target::word(a), ThreadId(1)));
+        m.exec_coh(CoreId(1), CohInstr::inv_prod(Target::word(a), ThreadId(0)));
+        assert_eq!(m.read(CoreId(1), a).0, 2);
+        assert_eq!(m.counters.local_wbs, 1);
+        assert_eq!(m.counters.local_invs, 1);
+        assert_eq!(m.counters.global_wbs + m.counters.global_invs, 0);
+    }
+
+    #[test]
+    fn wb_of_clean_data_is_a_no_op() {
+        let mut m = intra();
+        m.poke_word(w(0xA00), 3);
+        m.read(CoreId(0), w(0xA00));
+        let before = m.counters.lines_written_back;
+        let tb = m.traffic.writeback;
+        m.exec_coh(CoreId(0), CohInstr::wb(Target::word(w(0xA00))));
+        assert_eq!(m.counters.lines_written_back, before);
+        assert_eq!(m.traffic.writeback, tb, "WB has no effect without dirty data");
+    }
+
+    #[test]
+    fn no_invalidation_traffic_ever() {
+        // Self-invalidation is cache-local: the incoherent machine never
+        // sends invalidation messages (one of the paper's three traffic
+        // advantages, §VII-B).
+        let mut m = intra();
+        for i in 0..20u64 {
+            m.write(CoreId(i as usize % 16), w(0x5000 + i * 64), 1);
+            m.exec_coh(CoreId(i as usize % 16), CohInstr::wb_all());
+            m.exec_coh(CoreId(i as usize % 16), CohInstr::inv_all());
+        }
+        assert_eq!(m.traffic.invalidation, 0);
+    }
+
+    #[test]
+    fn eviction_preserves_dirty_data() {
+        let mut m = intra();
+        let step = 128 * 64; // same L1 set
+        for i in 0..8u64 {
+            m.write(CoreId(0), w(i * step), i as Word + 1);
+        }
+        for i in 0..8u64 {
+            // Data is visible either in the L1 (recent lines) or below
+            // (evicted lines wrote back). Read through the core.
+            assert_eq!(m.read(CoreId(0), w(i * step)).0, i as Word + 1);
+        }
+    }
+}

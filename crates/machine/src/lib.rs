@@ -1,0 +1,24 @@
+//! Machine assembly: the execution-driven timing simulators.
+//!
+//! Two memory systems share the same geometry, NoC, and backing memory
+//! model:
+//!
+//! * [`IncoherentSystem`] — the paper's hardware-incoherent hierarchy,
+//!   driven by WB/INV instructions, with MEB/IEB support and the
+//!   ThreadMap-based level-adaptive instructions;
+//! * `MesiSystem` (from `hic-coherence`) — the HCC baseline.
+//!
+//! [`Machine`] wraps either one together with the synchronization
+//! controller (`hic-sync`), per-core stall ledgers, and Figure-11 counters,
+//! and exposes a synchronous `execute(core, op, now)` interface that the
+//! thread runtime (`hic-runtime`) drives in global simulated-time order.
+
+pub mod incoherent;
+pub mod machine;
+pub mod ops;
+pub mod trace;
+
+pub use incoherent::{IncCounters, IncoherentSystem};
+pub use machine::{Exec, Machine, MemSys, RunStats, Wakeup};
+pub use ops::Op;
+pub use trace::{TraceEvent, TraceRing};

@@ -1,0 +1,624 @@
+//! The [`Machine`]: one memory system + the synchronization controller +
+//! per-core stall accounting, driven synchronously in simulated-time order.
+//!
+//! The runtime (in `hic-runtime`) guarantees that `execute` is called in
+//! global simulated-time order across cores (conservative event ordering),
+//! so every memory-system transition happens at a well-defined time.
+//!
+//! Blocking synchronization ops park the core inside the machine; when a
+//! later op completes the barrier / releases the lock / sets the flag, the
+//! machine emits [`Wakeup`]s that tell the runtime when each parked core
+//! resumes, and charges the waiting time to the appropriate stall category.
+
+use std::collections::HashMap;
+
+use hic_coherence::MesiSystem;
+use hic_mem::{Word, WordAddr};
+use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
+use hic_sim::{CoreId, Cycle, MachineConfig, StallCategory, StallLedger};
+use hic_sync::{Grant, SyncController, SyncId};
+
+use crate::incoherent::{IncCounters, IncoherentSystem};
+use crate::ops::Op;
+use crate::trace::{TraceEvent, TraceRing};
+
+/// The memory side of the machine: incoherent or MESI-coherent.
+#[derive(Debug)]
+pub enum MemSys {
+    Incoherent(Box<IncoherentSystem>),
+    Coherent(Box<MesiSystem>),
+}
+
+impl MemSys {
+    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        match self {
+            MemSys::Incoherent(m) => m.read(c, w),
+            MemSys::Coherent(m) => m.read(c, w),
+        }
+    }
+
+    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        match self {
+            MemSys::Incoherent(m) => m.write(c, w, v),
+            MemSys::Coherent(m) => m.write(c, w, v),
+        }
+    }
+
+    /// Traffic ledger of whichever system is active.
+    pub fn traffic(&self) -> TrafficLedger {
+        match self {
+            MemSys::Incoherent(m) => m.traffic,
+            MemSys::Coherent(m) => m.traffic,
+        }
+    }
+
+    fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        match self {
+            MemSys::Incoherent(m) => &mut m.traffic,
+            MemSys::Coherent(m) => &mut m.traffic,
+        }
+    }
+}
+
+/// Result of executing one op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exec {
+    /// The op completed: optional value (loads) and completion time.
+    Done { value: Option<Word>, end: Cycle },
+    /// The op blocked; a [`Wakeup`] will carry the resume time later.
+    Parked,
+}
+
+/// A parked core resuming at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wakeup {
+    pub core: CoreId,
+    pub at: Cycle,
+}
+
+/// Aggregated results of a finished run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Wall-clock of the program: max core completion time.
+    pub total_cycles: Cycle,
+    /// Per-core stall ledgers.
+    pub ledgers: Vec<StallLedger>,
+    /// Flit traffic.
+    pub traffic: TrafficLedger,
+    /// Incoherent-machine counters (zeros for HCC).
+    pub counters: IncCounters,
+}
+
+impl RunStats {
+    /// All core ledgers merged.
+    pub fn merged_ledger(&self) -> StallLedger {
+        self.ledgers.iter().fold(StallLedger::new(), |a, b| a.merged(b))
+    }
+}
+
+/// One simulated machine instance.
+pub struct Machine {
+    pub msys: MemSys,
+    sync: SyncController,
+    mesh: Mesh,
+    cfg: MachineConfig,
+    ledgers: Vec<StallLedger>,
+    /// Parked cores: issue time + the category their wait is charged to.
+    parked: HashMap<usize, (Cycle, StallCategory)>,
+    wakeups: Vec<Wakeup>,
+    finished_at: Vec<Option<Cycle>>,
+    trace: TraceRing,
+}
+
+impl Machine {
+    /// Build an incoherent machine.
+    pub fn incoherent(cfg: MachineConfig) -> Machine {
+        let n = cfg.num_cores();
+        Machine {
+            msys: MemSys::Incoherent(Box::new(IncoherentSystem::new(cfg.clone()))),
+            sync: SyncController::new(),
+            mesh: Mesh::new(n, cfg.hop_cycles),
+            ledgers: vec![StallLedger::new(); n],
+            parked: HashMap::new(),
+            wakeups: Vec::new(),
+            finished_at: vec![None; n],
+            trace: TraceRing::default(),
+            cfg,
+        }
+    }
+
+    /// Build a hardware-coherent (MESI directory) machine.
+    pub fn coherent(cfg: MachineConfig) -> Machine {
+        let n = cfg.num_cores();
+        Machine {
+            msys: MemSys::Coherent(Box::new(MesiSystem::new(cfg.clone()))),
+            sync: SyncController::new(),
+            mesh: Mesh::new(n, cfg.hop_cycles),
+            ledgers: vec![StallLedger::new(); n],
+            parked: HashMap::new(),
+            wakeups: Vec::new(),
+            finished_at: vec![None; n],
+            trace: TraceRing::default(),
+            cfg,
+        }
+    }
+
+    /// Keep a ring of the most recent `capacity` operations for
+    /// debugging; retrieve with [`Machine::trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceRing::new(capacity);
+    }
+
+    /// The trace ring (empty unless [`Machine::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    pub fn is_coherent(&self) -> bool {
+        matches!(self.msys, MemSys::Coherent(_))
+    }
+
+    /// Access to the incoherent system (ThreadMap setup, counters).
+    pub fn incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
+        match &mut self.msys {
+            MemSys::Incoherent(m) => Some(m),
+            MemSys::Coherent(_) => None,
+        }
+    }
+
+    pub fn sync_mut(&mut self) -> &mut SyncController {
+        &mut self.sync
+    }
+
+    /// Declare sync variables (runtime setup).
+    pub fn alloc_barrier(&mut self, participants: usize) -> SyncId {
+        self.sync.alloc_barrier(participants)
+    }
+
+    pub fn alloc_lock(&mut self) -> SyncId {
+        self.sync.alloc_lock()
+    }
+
+    pub fn alloc_flag(&mut self) -> SyncId {
+        self.sync.alloc_flag()
+    }
+
+    /// One-way latency from a core to the sync controller holding `id`.
+    /// Sync hardware lives in the shared-cache controllers: an L2 bank for
+    /// the single-block machine, an L3 (corner) bank for the multi-block
+    /// machine (§III-D).
+    fn sync_oneway(&self, c: CoreId, id: SyncId) -> u64 {
+        if self.cfg.inter.is_some() {
+            self.mesh.latency_to_corner(c.0, id.0 % 4)
+        } else {
+            let bank_tile = id.0 % self.cfg.num_cores();
+            self.mesh.latency(c.0, bank_tile)
+        }
+    }
+
+    /// Controller service time for a sync request.
+    fn sync_service(&self) -> u64 {
+        if let Some(e) = &self.cfg.inter {
+            e.l3_rt / 2
+        } else {
+            self.cfg.l2_rt / 2
+        }
+    }
+
+    fn park(&mut self, c: CoreId, issue: Cycle, cat: StallCategory) -> Exec {
+        let prev = self.parked.insert(c.0, (issue, cat));
+        debug_assert!(prev.is_none(), "core parked twice");
+        Exec::Parked
+    }
+
+    /// Process grants from the controller: the issuing core's own grant (if
+    /// any) completes its op; other cores become wakeups.
+    fn apply_grants(&mut self, grants: Vec<Grant>, id: SyncId, me: CoreId, my_issue: Cycle, cat: StallCategory) -> Option<Cycle> {
+        let mut my_end = None;
+        for g in grants {
+            let resume = g.at + self.sync_oneway(g.core, id);
+            self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+            if g.core == me {
+                self.ledgers[me.0].charge(cat, resume.saturating_sub(my_issue));
+                my_end = Some(resume);
+            } else {
+                let (issue, pcat) = self
+                    .parked
+                    .remove(&g.core.0)
+                    .expect("granted core must be parked");
+                self.ledgers[g.core.0].charge(pcat, resume.saturating_sub(issue));
+                self.wakeups.push(Wakeup { core: g.core, at: resume });
+            }
+        }
+        my_end
+    }
+
+    /// Drain pending wakeups (parked cores that may now resume).
+    pub fn take_wakeups(&mut self) -> Vec<Wakeup> {
+        std::mem::take(&mut self.wakeups)
+    }
+
+    /// Execute `op` for core `c` whose local clock reads `now`.
+    pub fn execute(&mut self, c: CoreId, op: &Op, now: Cycle) -> Exec {
+        let result = self.execute_inner(c, op, now);
+        if self.trace.enabled() {
+            let (end, blocked) = match result {
+                Exec::Done { end, .. } => (end, false),
+                Exec::Parked => (now, true),
+            };
+            self.trace.push(TraceEvent { core: c, start: now, end, op: *op, blocked });
+        }
+        result
+    }
+
+    fn execute_inner(&mut self, c: CoreId, op: &Op, now: Cycle) -> Exec {
+        debug_assert!(self.finished_at[c.0].is_none(), "op after Finish");
+        match *op {
+            Op::Load(w) => {
+                let (v, lat) = self.msys.read(c, w);
+                self.ledgers[c.0].charge(StallCategory::Rest, lat);
+                Exec::Done { value: Some(v), end: now + lat }
+            }
+            Op::Store(w, v) => {
+                let lat = self.msys.write(c, w, v);
+                self.ledgers[c.0].charge(StallCategory::Rest, lat);
+                Exec::Done { value: None, end: now + lat }
+            }
+            Op::LoadUnc(w) => {
+                let (v, lat) = match &mut self.msys {
+                    MemSys::Incoherent(m) => m.read_uncached(c, w),
+                    // Uncacheable semantics degenerate to plain coherent
+                    // accesses under MESI (hardware keeps them fresh).
+                    MemSys::Coherent(m) => m.read(c, w),
+                };
+                self.ledgers[c.0].charge(StallCategory::Rest, lat);
+                Exec::Done { value: Some(v), end: now + lat }
+            }
+            Op::StoreUnc(w, v) => {
+                let lat = match &mut self.msys {
+                    MemSys::Incoherent(m) => m.write_uncached(c, w, v),
+                    MemSys::Coherent(m) => m.write(c, w, v),
+                };
+                self.ledgers[c.0].charge(StallCategory::Rest, lat);
+                Exec::Done { value: None, end: now + lat }
+            }
+            Op::Compute(n) => {
+                self.ledgers[c.0].charge(StallCategory::Rest, n);
+                Exec::Done { value: None, end: now + n }
+            }
+            Op::Coh(instr) => match &mut self.msys {
+                MemSys::Incoherent(m) => {
+                    let (lat, is_wb) = m.exec_coh(c, instr);
+                    let cat = if is_wb { StallCategory::Wb } else { StallCategory::Inv };
+                    self.ledgers[c.0].charge(cat, lat);
+                    Exec::Done { value: None, end: now + lat }
+                }
+                // The coherent machine ignores WB/INV: hardware coherence
+                // already moves the data.
+                MemSys::Coherent(_) => Exec::Done { value: None, end: now },
+            },
+            Op::MebBegin => {
+                if let MemSys::Incoherent(m) = &mut self.msys {
+                    m.meb_begin(c);
+                }
+                Exec::Done { value: None, end: now }
+            }
+            Op::IebBegin => {
+                if let MemSys::Incoherent(m) = &mut self.msys {
+                    m.ieb_begin(c);
+                }
+                Exec::Done { value: None, end: now }
+            }
+            Op::IebEnd => {
+                if let MemSys::Incoherent(m) = &mut self.msys {
+                    m.ieb_end(c);
+                }
+                Exec::Done { value: None, end: now }
+            }
+            Op::BarrierArrive(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                let grants = self.sync.barrier_arrive(id, c, arrive).expect("barrier misuse");
+                if grants.is_empty() {
+                    self.park(c, now, StallCategory::Barrier)
+                } else {
+                    let end = self
+                        .apply_grants(grants, id, c, now, StallCategory::Barrier)
+                        .expect("last arriver is granted");
+                    Exec::Done { value: None, end }
+                }
+            }
+            Op::LockAcquire(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                match self.sync.lock_acquire(id, c, arrive).expect("lock misuse") {
+                    Some(g) => {
+                        let end = self
+                            .apply_grants(vec![g], id, c, now, StallCategory::Lock)
+                            .expect("own grant");
+                        Exec::Done { value: None, end }
+                    }
+                    None => self.park(c, now, StallCategory::Lock),
+                }
+            }
+            Op::LockRelease(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                if let Some(g) = self.sync.lock_release(id, c, arrive).expect("release misuse") {
+                    self.apply_grants(vec![g], id, c, now, StallCategory::Lock);
+                }
+                // The releaser posts the release and continues.
+                let end = arrive;
+                self.ledgers[c.0].charge(StallCategory::Rest, end - now);
+                Exec::Done { value: None, end }
+            }
+            Op::FlagSet(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                let grants = self.sync.flag_set(id, arrive).expect("flag misuse");
+                self.apply_grants(grants, id, c, now, StallCategory::Lock);
+                let end = arrive;
+                self.ledgers[c.0].charge(StallCategory::Rest, end - now);
+                Exec::Done { value: None, end }
+            }
+            Op::FlagClear(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                self.sync.flag_clear(id).expect("flag misuse");
+                self.ledgers[c.0].charge(StallCategory::Rest, arrive - now);
+                Exec::Done { value: None, end: arrive }
+            }
+            Op::FlagWait(id) => {
+                let arrive = now + self.sync_oneway(c, id) + self.sync_service();
+                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                // Flag waits are charged as lock stall: both are blocking
+                // waits on a peer's progress (Figure 9 has no separate
+                // flag category).
+                match self.sync.flag_wait(id, c, arrive).expect("flag misuse") {
+                    Some(g) => {
+                        let end = self
+                            .apply_grants(vec![g], id, c, now, StallCategory::Lock)
+                            .expect("own grant");
+                        Exec::Done { value: None, end }
+                    }
+                    None => self.park(c, now, StallCategory::Lock),
+                }
+            }
+            Op::Finish => {
+                self.finished_at[c.0] = Some(now);
+                Exec::Done { value: None, end: now }
+            }
+        }
+    }
+
+    /// Is the core parked on a blocking sync op?
+    pub fn is_parked(&self, c: CoreId) -> bool {
+        self.parked.contains_key(&c.0)
+    }
+
+    /// Number of parked cores.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Finish bookkeeping: aggregate stats once every core is done.
+    pub fn finish(&self) -> RunStats {
+        let total = self
+            .finished_at
+            .iter()
+            .map(|t| t.unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        let counters = match &self.msys {
+            MemSys::Incoherent(m) => m.counters,
+            MemSys::Coherent(_) => IncCounters::default(),
+        };
+        RunStats {
+            total_cycles: total,
+            ledgers: self.ledgers.clone(),
+            traffic: self.msys.traffic(),
+            counters,
+        }
+    }
+
+    /// Value backdoor (for result checks).
+    pub fn peek_word(&self, w: WordAddr) -> Word {
+        match &self.msys {
+            MemSys::Incoherent(m) => m.peek_word(w),
+            MemSys::Coherent(m) => m.peek_word(w),
+        }
+    }
+
+    /// Memory backdoor (for initialization before the run).
+    pub fn poke_word(&mut self, w: WordAddr, v: Word) {
+        match &mut self.msys {
+            MemSys::Incoherent(m) => m.poke_word(w, v),
+            MemSys::Coherent(m) => m.poke_word(w, v),
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("coherent", &self.is_coherent())
+            .field("cores", &self.cfg.num_cores())
+            .field("parked", &self.parked.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_core::{CohInstr, Target};
+    use hic_mem::Addr;
+
+    fn w(byte: u64) -> WordAddr {
+        Addr(byte).word()
+    }
+
+    fn intra_inc() -> Machine {
+        Machine::incoherent(MachineConfig::intra_block())
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_latency() {
+        let mut m = intra_inc();
+        let e = m.execute(CoreId(0), &Op::Store(w(0x100), 42), 0);
+        let t1 = match e {
+            Exec::Done { end, .. } => end,
+            _ => panic!(),
+        };
+        assert!(t1 > 0);
+        match m.execute(CoreId(0), &Op::Load(w(0x100)), t1) {
+            Exec::Done { value: Some(v), end } => {
+                assert_eq!(v, 42);
+                assert_eq!(end, t1 + m.config().l1_rt);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_parks_then_wakes_everyone() {
+        let mut m = intra_inc();
+        let b = m.alloc_barrier(3);
+        assert_eq!(m.execute(CoreId(0), &Op::BarrierArrive(b), 100), Exec::Parked);
+        assert_eq!(m.execute(CoreId(1), &Op::BarrierArrive(b), 200), Exec::Parked);
+        assert_eq!(m.parked_count(), 2);
+        let e = m.execute(CoreId(2), &Op::BarrierArrive(b), 300);
+        let my_end = match e {
+            Exec::Done { end, .. } => end,
+            _ => panic!("last arriver completes"),
+        };
+        assert!(my_end >= 300);
+        let wakeups = m.take_wakeups();
+        assert_eq!(wakeups.len(), 2);
+        for wk in &wakeups {
+            assert!(wk.at >= 300, "no one resumes before the last arrival");
+        }
+        assert_eq!(m.parked_count(), 0);
+        // Waiting time was charged to barrier stall.
+        let stats = m.finish();
+        assert!(stats.ledgers[0].barrier >= 200, "core 0 waited ~200+ cycles");
+    }
+
+    #[test]
+    fn lock_contention_charges_lock_stall_in_grant_order() {
+        let mut m = intra_inc();
+        let l = m.alloc_lock();
+        // Core 0 gets it immediately.
+        let e = m.execute(CoreId(0), &Op::LockAcquire(l), 0);
+        assert!(matches!(e, Exec::Done { .. }));
+        // Core 1 parks.
+        assert_eq!(m.execute(CoreId(1), &Op::LockAcquire(l), 10), Exec::Parked);
+        // Core 0 releases at t=500; core 1 wakes after that.
+        m.execute(CoreId(0), &Op::LockRelease(l), 500);
+        let wk = m.take_wakeups();
+        assert_eq!(wk.len(), 1);
+        assert_eq!(wk[0].core, CoreId(1));
+        assert!(wk[0].at > 500);
+        let stats = m.finish();
+        assert!(stats.ledgers[1].lock >= 490, "waited from 10 to past 500");
+    }
+
+    #[test]
+    fn flag_set_wakes_waiters() {
+        let mut m = intra_inc();
+        let f = m.alloc_flag();
+        assert_eq!(m.execute(CoreId(3), &Op::FlagWait(f), 50), Exec::Parked);
+        m.execute(CoreId(0), &Op::FlagSet(f), 200);
+        let wk = m.take_wakeups();
+        assert_eq!(wk.len(), 1);
+        assert_eq!(wk[0].core, CoreId(3));
+        assert!(wk[0].at > 200);
+        // A wait after the set sails through.
+        let e = m.execute(CoreId(4), &Op::FlagWait(f), 300);
+        assert!(matches!(e, Exec::Done { .. }));
+    }
+
+    #[test]
+    fn coherent_machine_ignores_wb_inv() {
+        let mut m = Machine::coherent(MachineConfig::intra_block());
+        let e = m.execute(CoreId(0), &Op::Coh(CohInstr::wb_all()), 10);
+        assert_eq!(e, Exec::Done { value: None, end: 10 });
+        let e = m.execute(CoreId(0), &Op::Coh(CohInstr::inv_all()), 10);
+        assert_eq!(e, Exec::Done { value: None, end: 10 });
+        let stats = m.finish();
+        assert_eq!(stats.merged_ledger().wb, 0);
+        assert_eq!(stats.merged_ledger().inv, 0);
+    }
+
+    #[test]
+    fn incoherent_wb_inv_charge_their_categories() {
+        let mut m = intra_inc();
+        m.execute(CoreId(0), &Op::Store(w(0x200), 1), 0);
+        m.execute(CoreId(0), &Op::Coh(CohInstr::wb(Target::word(w(0x200)))), 10);
+        m.execute(CoreId(0), &Op::Coh(CohInstr::inv(Target::word(w(0x200)))), 20);
+        let stats = m.finish();
+        assert!(stats.ledgers[0].wb > 0);
+        assert!(stats.ledgers[0].inv > 0);
+    }
+
+    #[test]
+    fn finish_records_completion_and_total() {
+        let mut m = intra_inc();
+        m.execute(CoreId(0), &Op::Finish, 123);
+        m.execute(CoreId(1), &Op::Finish, 456);
+        let stats = m.finish();
+        assert_eq!(stats.total_cycles, 456);
+    }
+
+    #[test]
+    fn compute_advances_clock_and_rest() {
+        let mut m = intra_inc();
+        let e = m.execute(CoreId(2), &Op::Compute(77), 100);
+        assert_eq!(e, Exec::Done { value: None, end: 177 });
+        let stats = m.finish();
+        assert_eq!(stats.ledgers[2].rest, 77);
+    }
+
+    #[test]
+    fn uncached_ops_bypass_the_l1() {
+        let mut m = intra_inc();
+        // An uncached store then an uncached load round-trip the value
+        // without ever allocating in any L1.
+        m.execute(CoreId(0), &Op::StoreUnc(w(0x900), 77), 0);
+        match m.execute(CoreId(1), &Op::LoadUnc(w(0x900)), 10) {
+            Exec::Done { value: Some(v), end } => {
+                assert_eq!(v, 77, "uncached accesses are always fresh");
+                assert!(end > 10, "uncached access costs a shared-cache round trip");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        if let MemSys::Incoherent(sys) = &m.msys {
+            assert!(!sys.l1_holds(CoreId(0), w(0x900)));
+            assert!(!sys.l1_holds(CoreId(1), w(0x900)));
+        }
+    }
+
+    #[test]
+    fn uncached_ops_fresh_across_blocks() {
+        let mut m = Machine::incoherent(MachineConfig::inter_block());
+        m.execute(CoreId(0), &Op::StoreUnc(w(0xA00), 5), 0);
+        match m.execute(CoreId(31), &Op::LoadUnc(w(0xA00)), 1) {
+            Exec::Done { value: Some(v), .. } => assert_eq!(v, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_traffic_is_counted() {
+        let mut m = intra_inc();
+        let b = m.alloc_barrier(2);
+        m.execute(CoreId(0), &Op::BarrierArrive(b), 0);
+        m.execute(CoreId(1), &Op::BarrierArrive(b), 0);
+        m.take_wakeups();
+        assert!(m.finish().traffic.sync >= 4, "2 requests + 2 responses");
+    }
+}

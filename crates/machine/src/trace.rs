@@ -1,0 +1,140 @@
+//! Execution tracing: a bounded ring of recent operations with their
+//! timing, for debugging simulations and for inspecting what a program
+//! actually did to the memory system.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::Machine::enable_trace`].
+
+use hic_sim::{CoreId, Cycle};
+
+use crate::ops::Op;
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub core: CoreId,
+    /// The core's local time when the op was issued.
+    pub start: Cycle,
+    /// Completion time (equals `start` while parked; the wakeup is traced
+    /// separately as a [`TraceEvent::op`] of `None`... no — parked ops are
+    /// recorded with `blocked = true` and their grant is visible as the
+    /// next event of that core).
+    pub end: Cycle,
+    pub op: Op,
+    /// True if the op parked the core (barrier/lock/flag wait).
+    pub blocked: bool,
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    next: usize,
+    total: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing { events: Vec::with_capacity(capacity), capacity, next: 0, total: 0 }
+    }
+
+    /// Is tracing active (capacity > 0)?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event (drops the oldest when full).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.total += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Events in chronological (record) order, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.next..]);
+        out.extend_from_slice(&self.events[..self.next]);
+        out
+    }
+
+    /// Total events ever recorded (including those that fell out).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Render the trace as one line per event, for logs and debugging.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for ev in self.events() {
+            let _ = writeln!(
+                s,
+                "[{:>10}..{:>10}] {} {:?}{}",
+                ev.start,
+                ev.end,
+                ev.core,
+                ev.op,
+                if ev.blocked { "  (blocked)" } else { "" }
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_mem::WordAddr;
+
+    fn ev(core: usize, start: Cycle) -> TraceEvent {
+        TraceEvent {
+            core: CoreId(core),
+            start,
+            end: start + 2,
+            op: Op::Load(WordAddr(start)),
+            blocked: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(ev(0, i));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].start, 2);
+        assert_eq!(evs[2].start, 4);
+        assert_eq!(r.total_recorded(), 5);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::new(0);
+        r.push(ev(0, 1));
+        assert!(!r.enabled());
+        assert!(r.events().is_empty());
+        assert_eq!(r.total_recorded(), 0);
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut r = TraceRing::new(4);
+        r.push(ev(1, 10));
+        r.push(TraceEvent { blocked: true, ..ev(2, 20) });
+        let text = r.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("core1"));
+        assert!(text.contains("(blocked)"));
+    }
+}

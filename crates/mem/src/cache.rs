@@ -1,0 +1,545 @@
+//! A set-associative, write-back cache with per-word dirty bits.
+//!
+//! This is the storage structure shared by L1, L2 banks, and L3 banks.
+//! Per-word dirty bits are the key hardware feature the paper relies on
+//! (§III-B): a writeback transfers *only dirty words*, so two cores that
+//! write disjoint words of the same line never overwrite each other's data.
+//!
+//! The cache stores real word values. It is policy-free: callers decide
+//! when lines move. Evictions return the victim so the caller can spill
+//! its dirty words down the hierarchy.
+
+use crate::addr::{LineAddr, WORDS_PER_LINE};
+use crate::Word;
+use hic_sim::config::CacheGeometry;
+
+/// Dirty-word bitmask: bit `i` set means word `i` of the line is dirty.
+pub type DirtyMask = u16;
+
+/// Mask with all words of a line dirty.
+pub const FULL_DIRTY: DirtyMask = u16::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    addr: LineAddr,
+    valid: bool,
+    dirty: DirtyMask,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+    data: [Word; WORDS_PER_LINE],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot { addr: LineAddr(0), valid: false, dirty: 0, lru: 0, data: [0; WORDS_PER_LINE] }
+    }
+}
+
+/// A line evicted to make room, carrying its dirty words (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine {
+    pub addr: LineAddr,
+    pub dirty: DirtyMask,
+    pub data: [Word; WORDS_PER_LINE],
+}
+
+impl EvictedLine {
+    /// Number of dirty words carried.
+    pub fn dirty_words(&self) -> u32 {
+        self.dirty.count_ones()
+    }
+}
+
+/// Immutable view of a resident line.
+#[derive(Debug, Clone, Copy)]
+pub struct LineView<'a> {
+    pub addr: LineAddr,
+    pub dirty: DirtyMask,
+    pub data: &'a [Word; WORDS_PER_LINE],
+}
+
+/// Result of a lookup: hit with the line's dirty mask, or miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    Hit { dirty: DirtyMask },
+    Miss,
+}
+
+impl LookupResult {
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupResult::Hit { .. })
+    }
+}
+
+/// Set-associative write-back cache with LRU replacement and per-word
+/// dirty bits.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Slot>,
+    tick: u64,
+    /// Number of valid lines resident.
+    line_count_resident: usize,
+    /// Number of valid lines with at least one dirty word. Hardware keeps
+    /// this as a counter register so `WB ALL` / `INV ALL` can skip the
+    /// tag traversal entirely when the cache is clean (flash-clear).
+    dirty_line_count: usize,
+}
+
+impl Cache {
+    /// Build a cache from a geometry. Panics if the geometry's line size
+    /// does not match the global 64-byte line.
+    pub fn new(geom: CacheGeometry) -> Cache {
+        assert_eq!(
+            geom.line_bytes as u64,
+            crate::addr::LINE_BYTES,
+            "cache geometry line size must match the global line size"
+        );
+        let sets = geom.num_sets();
+        let ways = geom.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways,
+            slots: vec![Slot::empty(); sets * ways],
+            tick: 0,
+            line_count_resident: 0,
+            dirty_line_count: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.line_count_resident
+    }
+
+    /// Number of resident lines with at least one dirty word (tracked in
+    /// a hardware counter; lets ALL-flavor operations flash-complete when
+    /// the cache is clean).
+    pub fn dirty_lines_resident(&self) -> usize {
+        self.dirty_line_count
+    }
+
+    #[inline]
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (addr.0 as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn set_slots(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, addr: LineAddr) -> Option<usize> {
+        let set = self.set_of(addr);
+        self.set_slots(set).find(|&i| self.slots[i].valid && self.slots[i].addr == addr)
+    }
+
+    /// The line ID the MEB stores: position of the line within the cache
+    /// (set index * ways + way), `line_id_bits` wide (paper §IV-B1).
+    pub fn line_id(&self, addr: LineAddr) -> Option<usize> {
+        self.find(addr)
+    }
+
+    /// Line address currently resident at a given line ID, if valid.
+    /// Used when draining the MEB: an ID whose slot was re-filled by a
+    /// different (never-written) line is a stale MEB entry.
+    pub fn line_at_id(&self, id: usize) -> Option<LineView<'_>> {
+        let s = self.slots.get(id)?;
+        if s.valid {
+            Some(LineView { addr: s.addr, dirty: s.dirty, data: &s.data })
+        } else {
+            None
+        }
+    }
+
+    /// Probe without disturbing LRU state.
+    pub fn probe(&self, addr: LineAddr) -> LookupResult {
+        match self.find(addr) {
+            Some(i) => LookupResult::Hit { dirty: self.slots[i].dirty },
+            None => LookupResult::Miss,
+        }
+    }
+
+    /// Immutable view of a resident line.
+    pub fn view(&self, addr: LineAddr) -> Option<LineView<'_>> {
+        self.find(addr).map(|i| LineView {
+            addr: self.slots[i].addr,
+            dirty: self.slots[i].dirty,
+            data: &self.slots[i].data,
+        })
+    }
+
+    /// Read one word if the line is resident; bumps LRU.
+    pub fn read_word(&mut self, addr: LineAddr, word: usize) -> Option<Word> {
+        let i = self.find(addr)?;
+        self.tick += 1;
+        self.slots[i].lru = self.tick;
+        Some(self.slots[i].data[word])
+    }
+
+    /// Is a specific word of a resident line dirty?
+    pub fn word_dirty(&self, addr: LineAddr, word: usize) -> bool {
+        match self.find(addr) {
+            Some(i) => self.slots[i].dirty & (1 << word) != 0,
+            None => false,
+        }
+    }
+
+    /// Write one word if the line is resident; sets its dirty bit and bumps
+    /// LRU. Returns `true` on hit. The second element reports whether the
+    /// word was clean before (the MEB inserts on clean->dirty transitions).
+    pub fn write_word(&mut self, addr: LineAddr, word: usize, value: Word) -> Option<bool> {
+        let i = self.find(addr)?;
+        self.tick += 1;
+        let s = &mut self.slots[i];
+        s.lru = self.tick;
+        if s.dirty == 0 {
+            self.dirty_line_count += 1;
+        }
+        let was_clean = s.dirty & (1 << word) == 0;
+        s.data[word] = value;
+        s.dirty |= 1 << word;
+        Some(was_clean)
+    }
+
+    /// Install a line (e.g. on a miss fill). The line arrives clean unless
+    /// `dirty` says otherwise. Returns the evicted victim, if the set was
+    /// full and a valid line had to leave.
+    pub fn fill(
+        &mut self,
+        addr: LineAddr,
+        data: [Word; WORDS_PER_LINE],
+        dirty: DirtyMask,
+    ) -> Option<EvictedLine> {
+        if let Some(i) = self.find(addr) {
+            // Refill of a resident line: overwrite data, merge dirty mask.
+            self.tick += 1;
+            let s = &mut self.slots[i];
+            s.lru = self.tick;
+            s.data = data;
+            if s.dirty == 0 && dirty != 0 {
+                self.dirty_line_count += 1;
+            }
+            s.dirty |= dirty;
+            return None;
+        }
+        let set = self.set_of(addr);
+        // Choose an invalid slot, else the LRU victim.
+        let mut victim_idx = set * self.ways;
+        let mut best_lru = u64::MAX;
+        for i in self.set_slots(set) {
+            if !self.slots[i].valid {
+                victim_idx = i;
+                break;
+            }
+            if self.slots[i].lru < best_lru {
+                best_lru = self.slots[i].lru;
+                victim_idx = i;
+            }
+        }
+        let evicted = if self.slots[victim_idx].valid {
+            self.line_count_resident -= 1;
+            if self.slots[victim_idx].dirty != 0 {
+                self.dirty_line_count -= 1;
+            }
+            let v = &self.slots[victim_idx];
+            Some(EvictedLine { addr: v.addr, dirty: v.dirty, data: v.data })
+        } else {
+            None
+        };
+        self.tick += 1;
+        if dirty != 0 {
+            self.dirty_line_count += 1;
+        }
+        self.slots[victim_idx] =
+            Slot { addr, valid: true, dirty, lru: self.tick, data };
+        self.line_count_resident += 1;
+        evicted
+    }
+
+    /// Merge dirty words into a resident line (a writeback arriving from a
+    /// cache above). Only the words selected by `mask` are written; they
+    /// become dirty here. Returns `false` if the line is not resident.
+    pub fn merge_words(
+        &mut self,
+        addr: LineAddr,
+        data: &[Word; WORDS_PER_LINE],
+        mask: DirtyMask,
+    ) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.tick += 1;
+                let s = &mut self.slots[i];
+                s.lru = self.tick;
+                for (w, incoming) in data.iter().enumerate() {
+                    if mask & (1 << w) != 0 {
+                        s.data[w] = *incoming;
+                    }
+                }
+                if s.dirty == 0 && mask != 0 {
+                    self.dirty_line_count += 1;
+                }
+                s.dirty |= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear the dirty bits of a resident line (it was just written back
+    /// and is now "clean valid", §III-B). Returns the mask that was dirty.
+    pub fn clean_line(&mut self, addr: LineAddr) -> DirtyMask {
+        match self.find(addr) {
+            Some(i) => {
+                let was = std::mem::take(&mut self.slots[i].dirty);
+                if was != 0 {
+                    self.dirty_line_count -= 1;
+                }
+                was
+            }
+            None => 0,
+        }
+    }
+
+    /// Clear only the selected dirty bits of a resident line. A partial
+    /// (word- or range-granularity) writeback must not mark words it did
+    /// not transfer as clean — their updates would be silently lost.
+    pub fn clean_words(&mut self, addr: LineAddr, mask: DirtyMask) {
+        if let Some(i) = self.find(addr) {
+            let was = self.slots[i].dirty;
+            self.slots[i].dirty &= !mask;
+            if was != 0 && self.slots[i].dirty == 0 {
+                self.dirty_line_count -= 1;
+            }
+        }
+    }
+
+    /// Invalidate a resident line, returning its content so the caller can
+    /// first write back dirty words (INV must not lose updates, §III-B).
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<EvictedLine> {
+        let i = self.find(addr)?;
+        self.slots[i].valid = false;
+        self.line_count_resident -= 1;
+        if self.slots[i].dirty != 0 {
+            self.dirty_line_count -= 1;
+        }
+        let s = &self.slots[i];
+        Some(EvictedLine { addr: s.addr, dirty: s.dirty, data: s.data })
+    }
+
+    /// Iterate over all valid lines (for WB ALL / INV ALL traversals).
+    pub fn valid_lines(&self) -> impl Iterator<Item = LineView<'_>> {
+        self.slots.iter().filter(|s| s.valid).map(|s| LineView {
+            addr: s.addr,
+            dirty: s.dirty,
+            data: &s.data,
+        })
+    }
+
+    /// Addresses of all valid lines with at least one dirty word.
+    pub fn dirty_line_addrs(&self) -> Vec<LineAddr> {
+        self.slots.iter().filter(|s| s.valid && s.dirty != 0).map(|s| s.addr).collect()
+    }
+
+    /// Addresses of all valid lines.
+    pub fn valid_line_addrs(&self) -> Vec<LineAddr> {
+        self.slots.iter().filter(|s| s.valid).map(|s| s.addr).collect()
+    }
+
+    /// Drop every line (power-on reset; used between experiment runs).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::empty();
+        }
+        self.tick = 0;
+        self.line_count_resident = 0;
+        self.dirty_line_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    fn line_data(seed: Word) -> [Word; WORDS_PER_LINE] {
+        std::array::from_fn(|i| seed.wrapping_add(i as Word))
+    }
+
+    #[test]
+    fn fill_then_read() {
+        let mut c = small_cache();
+        assert!(c.fill(LineAddr(10), line_data(100), 0).is_none());
+        assert_eq!(c.read_word(LineAddr(10), 3), Some(103));
+        assert!(c.probe(LineAddr(10)).is_hit());
+        assert_eq!(c.probe(LineAddr(11)), LookupResult::Miss);
+    }
+
+    #[test]
+    fn write_sets_per_word_dirty_bits() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(0), 0);
+        assert_eq!(c.write_word(LineAddr(1), 5, 99), Some(true)); // was clean
+        assert_eq!(c.write_word(LineAddr(1), 5, 98), Some(false)); // already dirty
+        assert!(c.word_dirty(LineAddr(1), 5));
+        assert!(!c.word_dirty(LineAddr(1), 4));
+        match c.probe(LineAddr(1)) {
+            LookupResult::Hit { dirty } => assert_eq!(dirty, 1 << 5),
+            _ => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Ways = 2.
+        c.fill(LineAddr(0), line_data(0), 0);
+        c.fill(LineAddr(4), line_data(4), 0);
+        // Touch line 0 so line 4 is LRU.
+        c.read_word(LineAddr(0), 0);
+        let ev = c.fill(LineAddr(8), line_data(8), 0).expect("must evict");
+        assert_eq!(ev.addr, LineAddr(4));
+        assert!(c.probe(LineAddr(0)).is_hit());
+        assert!(c.probe(LineAddr(8)).is_hit());
+        assert!(!c.probe(LineAddr(4)).is_hit());
+    }
+
+    #[test]
+    fn eviction_carries_dirty_words() {
+        let mut c = small_cache();
+        c.fill(LineAddr(0), line_data(0), 0);
+        c.write_word(LineAddr(0), 2, 777).unwrap();
+        c.fill(LineAddr(4), line_data(4), 0);
+        let ev = c.fill(LineAddr(8), line_data(8), 0).expect("evicts line 0");
+        assert_eq!(ev.addr, LineAddr(0));
+        assert_eq!(ev.dirty, 1 << 2);
+        assert_eq!(ev.data[2], 777);
+        assert_eq!(ev.dirty_words(), 1);
+    }
+
+    #[test]
+    fn merge_words_applies_only_masked_words() {
+        let mut c = small_cache();
+        c.fill(LineAddr(3), line_data(0), 0);
+        let incoming = line_data(1000);
+        assert!(c.merge_words(LineAddr(3), &incoming, 0b101));
+        assert_eq!(c.read_word(LineAddr(3), 0), Some(1000));
+        assert_eq!(c.read_word(LineAddr(3), 1), Some(1)); // untouched
+        assert_eq!(c.read_word(LineAddr(3), 2), Some(1002));
+        match c.probe(LineAddr(3)) {
+            LookupResult::Hit { dirty } => assert_eq!(dirty, 0b101),
+            _ => panic!(),
+        }
+        assert!(!c.merge_words(LineAddr(99), &incoming, 1));
+    }
+
+    #[test]
+    fn clean_line_clears_and_reports_dirty_mask() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(0), 0);
+        c.write_word(LineAddr(1), 0, 5).unwrap();
+        c.write_word(LineAddr(1), 7, 5).unwrap();
+        assert_eq!(c.clean_line(LineAddr(1)), (1 << 0) | (1 << 7));
+        match c.probe(LineAddr(1)) {
+            LookupResult::Hit { dirty } => assert_eq!(dirty, 0),
+            _ => panic!(),
+        }
+        assert_eq!(c.clean_line(LineAddr(222)), 0);
+    }
+
+    #[test]
+    fn invalidate_returns_content() {
+        let mut c = small_cache();
+        c.fill(LineAddr(6), line_data(60), 0);
+        c.write_word(LineAddr(6), 1, 1).unwrap();
+        let inv = c.invalidate(LineAddr(6)).unwrap();
+        assert_eq!(inv.addr, LineAddr(6));
+        assert_eq!(inv.dirty, 1 << 1);
+        assert!(!c.probe(LineAddr(6)).is_hit());
+        assert!(c.invalidate(LineAddr(6)).is_none());
+    }
+
+    #[test]
+    fn refill_of_resident_line_merges_dirty() {
+        let mut c = small_cache();
+        c.fill(LineAddr(2), line_data(0), 0);
+        c.write_word(LineAddr(2), 3, 42).unwrap();
+        // Refill (e.g. prefetch) must not drop the dirty bit.
+        c.fill(LineAddr(2), line_data(500), 0);
+        match c.probe(LineAddr(2)) {
+            LookupResult::Hit { dirty } => assert_eq!(dirty, 1 << 3),
+            _ => panic!(),
+        }
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn traversal_iterators() {
+        let mut c = small_cache();
+        c.fill(LineAddr(0), line_data(0), 0);
+        c.fill(LineAddr(1), line_data(0), 0);
+        c.write_word(LineAddr(1), 0, 9).unwrap();
+        assert_eq!(c.valid_line_addrs().len(), 2);
+        assert_eq!(c.dirty_line_addrs(), vec![LineAddr(1)]);
+        assert_eq!(c.valid_lines().count(), 2);
+    }
+
+    #[test]
+    fn line_id_is_stable_while_resident() {
+        let mut c = small_cache();
+        c.fill(LineAddr(0), line_data(0), 0);
+        let id = c.line_id(LineAddr(0)).unwrap();
+        c.read_word(LineAddr(0), 0);
+        assert_eq!(c.line_id(LineAddr(0)), Some(id));
+        let v = c.line_at_id(id).unwrap();
+        assert_eq!(v.addr, LineAddr(0));
+    }
+
+    #[test]
+    fn stale_meb_id_points_to_different_line_after_replacement() {
+        // Models paper §IV-B1: MEB entry goes stale when its line is
+        // evicted and the slot refilled by a never-written line.
+        let mut c = small_cache();
+        c.fill(LineAddr(0), line_data(0), 0);
+        c.write_word(LineAddr(0), 0, 1).unwrap();
+        let id = c.line_id(LineAddr(0)).unwrap();
+        c.fill(LineAddr(4), line_data(0), 0);
+        // Evict line 0 (LRU after touching line 4), refill slot with line 8.
+        c.fill(LineAddr(8), line_data(0), 0);
+        let now = c.line_at_id(id).unwrap();
+        // The slot holds a different, clean line: drain must skip it.
+        assert_ne!(now.addr, LineAddr(0));
+        assert_eq!(now.dirty, 0);
+    }
+
+    #[test]
+    fn reset_empties_cache() {
+        let mut c = small_cache();
+        c.fill(LineAddr(0), line_data(0), FULL_DIRTY);
+        c.reset();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.probe(LineAddr(0)).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        Cache::new(CacheGeometry { size_bytes: 3 * 64 * 2, ways: 2, line_bytes: 64 });
+    }
+}

@@ -1,0 +1,46 @@
+//! Memory-system substrate: addresses, cache lines with per-word dirty
+//! bits, set-associative caches, the flat backing memory, and a bump
+//! allocator for simulated data structures.
+//!
+//! The caches here are *policy-free*: they store real word values and
+//! valid/dirty state but do not decide when to write back or invalidate.
+//! The incoherent management engine (`hic-core`) and the MESI directory
+//! (`hic-coherence`) drive them.
+
+pub mod addr;
+pub mod alloc;
+pub mod cache;
+pub mod memory;
+
+pub use addr::{Addr, LineAddr, Region, WordAddr};
+pub use alloc::BumpAllocator;
+pub use cache::{Cache, EvictedLine, LineView, LookupResult};
+pub use memory::Memory;
+
+/// Machine word as stored in caches and memory. The simulated machine is
+/// 32-bit-word based (4-byte sharing grain, 16 dirty bits per 64 B line).
+pub type Word = u32;
+
+/// Reinterpret an `f32` application value as a machine word.
+#[inline]
+pub fn f32_to_word(x: f32) -> Word {
+    x.to_bits()
+}
+
+/// Reinterpret a machine word as an `f32` application value.
+#[inline]
+pub fn word_to_f32(w: Word) -> f32 {
+    f32::from_bits(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        for x in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE] {
+            assert_eq!(word_to_f32(f32_to_word(x)), x);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Flat backing memory: the bottom of the hierarchy.
+//!
+//! Stores real word values so the simulator is value-accurate end to end.
+//! Lines are materialized lazily (untouched memory reads as zero).
+
+use std::collections::HashMap;
+
+use crate::addr::{LineAddr, WordAddr, WORDS_PER_LINE};
+use crate::cache::DirtyMask;
+use crate::Word;
+
+/// Sparse, lazily-materialized word-addressable memory.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    lines: HashMap<u64, [Word; WORDS_PER_LINE]>,
+}
+
+impl Memory {
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Read a whole line (zeros if never written).
+    pub fn read_line(&self, addr: LineAddr) -> [Word; WORDS_PER_LINE] {
+        self.lines.get(&addr.0).copied().unwrap_or([0; WORDS_PER_LINE])
+    }
+
+    /// Write a whole line.
+    pub fn write_line(&mut self, addr: LineAddr, data: [Word; WORDS_PER_LINE]) {
+        self.lines.insert(addr.0, data);
+    }
+
+    /// Merge only the masked words of `data` into the line (a dirty-word
+    /// writeback landing in memory).
+    pub fn merge_words(
+        &mut self,
+        addr: LineAddr,
+        data: &[Word; WORDS_PER_LINE],
+        mask: DirtyMask,
+    ) {
+        let line = self.lines.entry(addr.0).or_insert([0; WORDS_PER_LINE]);
+        for w in 0..WORDS_PER_LINE {
+            if mask & (1 << w) != 0 {
+                line[w] = data[w];
+            }
+        }
+    }
+
+    /// Read one word.
+    pub fn read_word(&self, w: WordAddr) -> Word {
+        match self.lines.get(&w.line().0) {
+            Some(line) => line[w.index_in_line()],
+            None => 0,
+        }
+    }
+
+    /// Write one word.
+    pub fn write_word(&mut self, w: WordAddr, value: Word) {
+        let line = self.lines.entry(w.line().0).or_insert([0; WORDS_PER_LINE]);
+        line[w.index_in_line()] = value;
+    }
+
+    /// Number of materialized lines (for memory-footprint sanity checks).
+    pub fn materialized_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_word(WordAddr(12345)), 0);
+        assert_eq!(m.read_line(LineAddr(77)), [0; WORDS_PER_LINE]);
+    }
+
+    #[test]
+    fn word_write_read_roundtrip() {
+        let mut m = Memory::new();
+        m.write_word(WordAddr(100), 42);
+        assert_eq!(m.read_word(WordAddr(100)), 42);
+        assert_eq!(m.read_word(WordAddr(101)), 0);
+    }
+
+    #[test]
+    fn merge_words_touches_only_masked() {
+        let mut m = Memory::new();
+        let mut line = [0; WORDS_PER_LINE];
+        for (i, w) in line.iter_mut().enumerate() {
+            *w = i as Word;
+        }
+        m.write_line(LineAddr(5), line);
+        let incoming = [1000; WORDS_PER_LINE];
+        m.merge_words(LineAddr(5), &incoming, 0b11);
+        let got = m.read_line(LineAddr(5));
+        assert_eq!(got[0], 1000);
+        assert_eq!(got[1], 1000);
+        assert_eq!(got[2], 2);
+    }
+
+    #[test]
+    fn merge_into_unmaterialized_line() {
+        let mut m = Memory::new();
+        let incoming = [7; WORDS_PER_LINE];
+        m.merge_words(LineAddr(9), &incoming, 1 << 4);
+        let got = m.read_line(LineAddr(9));
+        assert_eq!(got[4], 7);
+        assert_eq!(got[3], 0);
+        assert_eq!(m.materialized_lines(), 1);
+    }
+}

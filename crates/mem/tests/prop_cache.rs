@@ -1,0 +1,154 @@
+//! Property tests for the cache substrate: whatever sequence of fills,
+//! writes, merges, invalidations, and (spilled) evictions happens, no
+//! written word is ever lost — the cache plus the backing store always
+//! holds the newest value of every word.
+
+use proptest::prelude::*;
+
+use hic_mem::addr::WORDS_PER_LINE;
+use hic_mem::{Cache, LineAddr, Memory, WordAddr};
+use hic_sim::config::CacheGeometry;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    /// Write a word (filling the line from memory if missing).
+    Write { line: u64, word: usize, value: u32 },
+    /// Read a word and check it (filling if missing).
+    Read { line: u64, word: usize },
+    /// Invalidate a line, spilling its dirty words to memory.
+    Invalidate { line: u64 },
+    /// Clean a line (write its dirty words to memory, keep it resident).
+    Clean { line: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    let line = 0u64..24; // more lines than capacity: forces evictions
+    let word = 0usize..WORDS_PER_LINE;
+    prop_oneof![
+        (line.clone(), word.clone(), any::<u32>())
+            .prop_map(|(line, word, value)| OpKind::Write { line, word, value }),
+        (line.clone(), word).prop_map(|(line, word)| OpKind::Read { line, word }),
+        line.clone().prop_map(|line| OpKind::Invalidate { line }),
+        line.prop_map(|line| OpKind::Clean { line }),
+    ]
+}
+
+fn spill(mem: &mut Memory, ev: hic_mem::cache::EvictedLine) {
+    if ev.dirty != 0 {
+        mem.merge_words(ev.addr, &ev.data, ev.dirty);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn no_written_word_is_ever_lost(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        // Tiny cache (4 sets x 2 ways) so evictions are frequent.
+        let mut cache = Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 });
+        let mut mem = Memory::new();
+        // Reference: the true current value of every word.
+        let mut model = std::collections::HashMap::<(u64, usize), u32>::new();
+
+        for op in ops {
+            match op {
+                OpKind::Write { line, word, value } => {
+                    let la = LineAddr(line);
+                    if cache.write_word(la, word, value).is_none() {
+                        let data = mem.read_line(la);
+                        if let Some(ev) = cache.fill(la, data, 0) {
+                            spill(&mut mem, ev);
+                        }
+                        cache.write_word(la, word, value).expect("just filled");
+                    }
+                    model.insert((line, word), value);
+                }
+                OpKind::Read { line, word } => {
+                    let la = LineAddr(line);
+                    let got = match cache.read_word(la, word) {
+                        Some(v) => v,
+                        None => {
+                            let data = mem.read_line(la);
+                            if let Some(ev) = cache.fill(la, data, 0) {
+                                spill(&mut mem, ev);
+                            }
+                            cache.read_word(la, word).expect("just filled")
+                        }
+                    };
+                    let want = model.get(&(line, word)).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "read {}:{} saw {} want {}", line, word, got, want);
+                }
+                OpKind::Invalidate { line } => {
+                    if let Some(ev) = cache.invalidate(LineAddr(line)) {
+                        spill(&mut mem, ev);
+                    }
+                }
+                OpKind::Clean { line } => {
+                    let la = LineAddr(line);
+                    if let Some(v) = cache.view(la) {
+                        if v.dirty != 0 {
+                            let (data, dirty) = (*v.data, v.dirty);
+                            mem.merge_words(la, &data, dirty);
+                            cache.clean_line(la);
+                        }
+                    }
+                }
+            }
+            // Counter invariants hold at every step.
+            prop_assert!(cache.dirty_lines_resident() <= cache.resident_lines());
+            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+        }
+
+        // Drain the cache: memory must now hold the model exactly.
+        for la in cache.valid_line_addrs() {
+            if let Some(ev) = cache.invalidate(la) {
+                spill(&mut mem, ev);
+            }
+        }
+        for ((line, word), want) in model {
+            let got = mem.read_word(WordAddr(line * WORDS_PER_LINE as u64 + word as u64));
+            prop_assert_eq!(got, want, "after drain, {}:{}", line, word);
+        }
+    }
+
+    /// The dirty-line counter always equals the number of lines with a
+    /// nonzero dirty mask.
+    #[test]
+    fn dirty_counter_is_exact(ops in proptest::collection::vec(arb_op(), 1..100)) {
+        let mut cache = Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 });
+        let mut mem = Memory::new();
+        for op in ops {
+            match op {
+                OpKind::Write { line, word, value } => {
+                    let la = LineAddr(line);
+                    if cache.write_word(la, word, value).is_none() {
+                        let data = mem.read_line(la);
+                        if let Some(ev) = cache.fill(la, data, 0) {
+                            spill(&mut mem, ev);
+                        }
+                        cache.write_word(la, word, value);
+                    }
+                }
+                OpKind::Read { line, word } => {
+                    let la = LineAddr(line);
+                    if cache.read_word(la, word).is_none() {
+                        let data = mem.read_line(la);
+                        if let Some(ev) = cache.fill(la, data, 0) {
+                            spill(&mut mem, ev);
+                        }
+                    }
+                }
+                OpKind::Invalidate { line } => {
+                    if let Some(ev) = cache.invalidate(LineAddr(line)) {
+                        spill(&mut mem, ev);
+                    }
+                }
+                OpKind::Clean { line } => {
+                    cache.clean_line(LineAddr(line));
+                }
+            }
+            let truth = cache.valid_lines().filter(|v| v.dirty != 0).count();
+            prop_assert_eq!(cache.dirty_lines_resident(), truth);
+        }
+    }
+}

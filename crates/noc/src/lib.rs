@@ -1,0 +1,13 @@
+//! On-chip network model: a 2D mesh with XY routing (paper Table III:
+//! "2D mesh, 4 cycles/hop, 128-bit links") and a flit-accurate traffic
+//! ledger broken down into the categories of paper Figure 10.
+//!
+//! The network is modeled as latency (hops x cycles/hop, each way) plus
+//! accounting; link contention is not queued (see DESIGN.md §5 on the
+//! timing-model substitution).
+
+pub mod mesh;
+pub mod traffic;
+
+pub use mesh::{Mesh, Tile};
+pub use traffic::{TrafficCategory, TrafficLedger};

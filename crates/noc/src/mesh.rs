@@ -1,0 +1,188 @@
+//! 2D-mesh geometry and XY-routing hop computation.
+//!
+//! Tiles are laid out row-major on the smallest square-ish grid that fits
+//! all cores. Each core tile hosts its private L1 plus one bank of the
+//! shared cache (L2 banks are per-core in the paper's intra-block machine).
+//! Memory controllers and L3 banks sit at the four corners ("connected to
+//! each chip corner", Table III).
+
+use hic_sim::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A position on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    pub x: usize,
+    pub y: usize,
+}
+
+impl Tile {
+    /// Manhattan distance (number of XY-routed hops) to another tile.
+    #[inline]
+    pub fn hops_to(self, other: Tile) -> u64 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u64
+    }
+}
+
+/// A 2D mesh hosting `n` core tiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+    n_tiles: usize,
+    hop_cycles: u64,
+}
+
+impl Mesh {
+    /// Build a mesh for `n` cores with the given per-hop latency.
+    pub fn new(n: usize, hop_cycles: u64) -> Mesh {
+        assert!(n > 0);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        Mesh { cols, rows, n_tiles: n, hop_cycles }
+    }
+
+    /// Grid dimensions (columns, rows).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Tile of core / bank `i` (row-major placement).
+    pub fn tile(&self, i: usize) -> Tile {
+        assert!(i < self.n_tiles, "tile index {i} out of {}", self.n_tiles);
+        Tile { x: i % self.cols, y: i / self.cols }
+    }
+
+    /// Tile of one of the four corners, indexed 0..4
+    /// (NW, NE, SW, SE). Memory controllers and L3 banks live here.
+    pub fn corner(&self, i: usize) -> Tile {
+        match i % 4 {
+            0 => Tile { x: 0, y: 0 },
+            1 => Tile { x: self.cols - 1, y: 0 },
+            2 => Tile { x: 0, y: self.rows - 1 },
+            _ => Tile { x: self.cols - 1, y: self.rows - 1 },
+        }
+    }
+
+    /// One-way hop count between two core tiles.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        self.tile(a).hops_to(self.tile(b))
+    }
+
+    /// One-way latency between two core tiles, cycles.
+    pub fn latency(&self, a: usize, b: usize) -> u64 {
+        self.hops(a, b) * self.hop_cycles
+    }
+
+    /// Round-trip latency between two core tiles, cycles.
+    pub fn rt_latency(&self, a: usize, b: usize) -> u64 {
+        2 * self.latency(a, b)
+    }
+
+    /// One-way latency from core tile `a` to corner `c`, cycles.
+    pub fn latency_to_corner(&self, a: usize, c: usize) -> u64 {
+        self.tile(a).hops_to(self.corner(c)) * self.hop_cycles
+    }
+
+    /// Round-trip latency from core tile `a` to corner `c`, cycles.
+    pub fn rt_latency_to_corner(&self, a: usize, c: usize) -> u64 {
+        2 * self.latency_to_corner(a, c)
+    }
+
+    /// The nearest corner to a core tile (a request picks the closest
+    /// memory controller).
+    pub fn nearest_corner(&self, a: usize) -> usize {
+        (0..4)
+            .min_by_key(|&c| self.tile(a).hops_to(self.corner(c)))
+            .expect("four corners")
+    }
+
+    /// Latency helper used by coherence: the farthest of a set of tiles
+    /// from `from` (an invalidation round completes when the slowest ack
+    /// returns).
+    pub fn max_rt_latency<'a>(
+        &self,
+        from: usize,
+        to: impl IntoIterator<Item = &'a usize>,
+    ) -> u64 {
+        to.into_iter().map(|&t| self.rt_latency(from, t)).max().unwrap_or(0)
+    }
+
+    /// Convenience: round trip from a core to an L2 bank where cores and
+    /// banks share tiles (bank `b` is at tile `b`).
+    pub fn core_to_bank_rt(&self, core: CoreId, bank: usize) -> u64 {
+        self.rt_latency(core.0, bank)
+    }
+
+    pub fn hop_cycles(&self) -> u64 {
+        self.hop_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_cores_make_a_4x4_grid() {
+        let m = Mesh::new(16, 4);
+        assert_eq!(m.dims(), (4, 4));
+        assert_eq!(m.tile(0), Tile { x: 0, y: 0 });
+        assert_eq!(m.tile(5), Tile { x: 1, y: 1 });
+        assert_eq!(m.tile(15), Tile { x: 3, y: 3 });
+    }
+
+    #[test]
+    fn eight_cores_make_a_3x3ish_grid() {
+        let m = Mesh::new(8, 4);
+        let (c, r) = m.dims();
+        assert!(c * r >= 8);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn local_tile_has_zero_network_latency() {
+        let m = Mesh::new(16, 4);
+        assert_eq!(m.rt_latency(5, 5), 0);
+    }
+
+    #[test]
+    fn hop_latency_is_manhattan_times_hop_cycles() {
+        let m = Mesh::new(16, 4);
+        // Tile 0 = (0,0), tile 15 = (3,3): 6 hops each way.
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.latency(0, 15), 24);
+        assert_eq!(m.rt_latency(0, 15), 48);
+        // Symmetric.
+        assert_eq!(m.rt_latency(15, 0), 48);
+    }
+
+    #[test]
+    fn corners_are_distinct_on_4x4() {
+        let m = Mesh::new(16, 4);
+        let corners: std::collections::HashSet<_> = (0..4).map(|i| m.corner(i)).collect();
+        assert_eq!(corners.len(), 4);
+    }
+
+    #[test]
+    fn nearest_corner_for_corner_tile_is_itself() {
+        let m = Mesh::new(16, 4);
+        assert_eq!(m.corner(m.nearest_corner(0)), m.tile(0));
+        // Tile 15 = (3,3) = SE corner.
+        assert_eq!(m.corner(m.nearest_corner(15)), m.tile(15));
+    }
+
+    #[test]
+    fn max_rt_latency_picks_farthest() {
+        let m = Mesh::new(16, 4);
+        let sharers = [1usize, 15usize];
+        assert_eq!(m.max_rt_latency(0, sharers.iter()), m.rt_latency(0, 15));
+        assert_eq!(m.max_rt_latency(0, [].iter()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn tile_out_of_range_panics() {
+        Mesh::new(4, 4).tile(4);
+    }
+}

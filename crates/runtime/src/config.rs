@@ -1,0 +1,158 @@
+//! The configurations evaluated in the paper (Table II).
+
+use hic_sim::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Intra-block configurations (upper half of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntraConfig {
+    /// Hardware cache coherence (directory MESI).
+    Hcc,
+    /// Baseline: WB ALL and INV ALL around every synchronization.
+    Base,
+    /// Base plus the MEB (critical sections drain via the MEB).
+    BM,
+    /// Base plus the IEB (critical sections skip the up-front INV ALL).
+    BI,
+    /// Base plus both buffers.
+    BMI,
+}
+
+impl IntraConfig {
+    pub const ALL: [IntraConfig; 5] =
+        [IntraConfig::Hcc, IntraConfig::Base, IntraConfig::BM, IntraConfig::BI, IntraConfig::BMI];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IntraConfig::Hcc => "HCC",
+            IntraConfig::Base => "Base",
+            IntraConfig::BM => "B+M",
+            IntraConfig::BI => "B+I",
+            IntraConfig::BMI => "B+M+I",
+        }
+    }
+
+    pub fn uses_meb(self) -> bool {
+        matches!(self, IntraConfig::BM | IntraConfig::BMI)
+    }
+
+    pub fn uses_ieb(self) -> bool {
+        matches!(self, IntraConfig::BI | IntraConfig::BMI)
+    }
+
+    pub fn is_coherent(self) -> bool {
+        self == IntraConfig::Hcc
+    }
+}
+
+/// Inter-block configurations (lower half of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterConfig {
+    /// Hardware cache coherence (hierarchical directory MESI).
+    Hcc,
+    /// Baseline: WB ALL to L3 and INV ALL from L2 at every epoch boundary.
+    Base,
+    /// WB of specific addresses to L3; INV of specific addresses from L2.
+    Addr,
+    /// Level-adaptive WB_CONS and INV_PROD.
+    AddrL,
+}
+
+impl InterConfig {
+    pub const ALL: [InterConfig; 4] =
+        [InterConfig::Hcc, InterConfig::Base, InterConfig::Addr, InterConfig::AddrL];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            InterConfig::Hcc => "HCC",
+            InterConfig::Base => "Base",
+            InterConfig::Addr => "Addr",
+            InterConfig::AddrL => "Addr+L",
+        }
+    }
+
+    pub fn is_coherent(self) -> bool {
+        self == InterConfig::Hcc
+    }
+}
+
+/// A fully-specified run configuration: machine shape + management scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Config {
+    Intra(IntraConfig),
+    Inter(InterConfig),
+}
+
+impl Config {
+    pub fn name(self) -> &'static str {
+        match self {
+            Config::Intra(c) => c.name(),
+            Config::Inter(c) => c.name(),
+        }
+    }
+
+    pub fn is_coherent(self) -> bool {
+        match self {
+            Config::Intra(c) => c.is_coherent(),
+            Config::Inter(c) => c.is_coherent(),
+        }
+    }
+
+    /// The machine this configuration runs on.
+    pub fn machine_config(self) -> MachineConfig {
+        match self {
+            Config::Intra(_) => MachineConfig::intra_block(),
+            Config::Inter(_) => MachineConfig::inter_block(),
+        }
+    }
+
+    /// Number of hardware threads (= cores) available.
+    pub fn num_threads(self) -> usize {
+        self.machine_config().num_cores()
+    }
+
+    pub fn intra(self) -> Option<IntraConfig> {
+        match self {
+            Config::Intra(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn inter(self) -> Option<InterConfig> {
+        match self {
+            Config::Inter(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_names() {
+        let intra: Vec<_> = IntraConfig::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(intra, ["HCC", "Base", "B+M", "B+I", "B+M+I"]);
+        let inter: Vec<_> = InterConfig::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(inter, ["HCC", "Base", "Addr", "Addr+L"]);
+    }
+
+    #[test]
+    fn buffer_usage_per_config() {
+        assert!(!IntraConfig::Base.uses_meb());
+        assert!(IntraConfig::BM.uses_meb());
+        assert!(!IntraConfig::BM.uses_ieb());
+        assert!(IntraConfig::BI.uses_ieb());
+        assert!(IntraConfig::BMI.uses_meb() && IntraConfig::BMI.uses_ieb());
+        assert!(!IntraConfig::Hcc.uses_meb() && !IntraConfig::Hcc.uses_ieb());
+    }
+
+    #[test]
+    fn machine_shapes() {
+        assert_eq!(Config::Intra(IntraConfig::Base).num_threads(), 16);
+        assert_eq!(Config::Inter(InterConfig::Base).num_threads(), 32);
+        assert!(Config::Intra(IntraConfig::Hcc).is_coherent());
+        assert!(!Config::Inter(InterConfig::AddrL).is_coherent());
+    }
+}

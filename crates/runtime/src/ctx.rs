@@ -1,0 +1,468 @@
+//! The thread-side API: every memory access and synchronization of a
+//! simulated application goes through a [`ThreadCtx`].
+//!
+//! The context translates high-level events (barrier, lock, flag,
+//! epoch-boundary plans) into the op sequence mandated by the active
+//! configuration — this is where the paper's annotation methodology
+//! (§IV-A, §V-A) lives:
+//!
+//! * barriers: `WB ALL` before, `INV ALL` after (incoherent configs);
+//! * critical sections: `[WB ALL if OCC]`, `INV ALL` *before* the acquire,
+//!   `WB ALL` before the release, `[INV ALL after release if OCC]`, with
+//!   the MEB / IEB replacing the critical-section `ALL` operations under
+//!   `B+M` / `B+I`;
+//! * flags: `WB ALL` before a set, `INV ALL` after a completed wait;
+//! * data races: per-word WB / INV around the racy accesses (Figure 6);
+//! * model-2 epoch plans: global or level-adaptive WB/INV per Table II.
+
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+
+use hic_core::{CohInstr, Target};
+use hic_machine::Op;
+use hic_mem::{f32_to_word, word_to_f32, Region, Word, WordAddr};
+use hic_sim::ThreadId;
+use hic_sync::SyncId;
+
+use crate::config::{Config, InterConfig, IntraConfig};
+use crate::plan::EpochPlan;
+
+/// Handle to a barrier declared on the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierId(pub(crate) SyncId);
+
+/// Handle to a lock declared on the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockId(pub(crate) usize);
+
+/// Handle to a condition flag declared on the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagId(pub(crate) SyncId);
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LockInfo {
+    pub id: SyncId,
+    /// Does this lock guard a pattern with Outside-Critical-section
+    /// Communication (§IV-A1, Figure 4d)? Unless the programmer states
+    /// otherwise, the model must assume it does.
+    pub occ: bool,
+}
+
+/// Immutable state shared by all thread contexts of one run.
+pub(crate) struct RtShared {
+    pub config: Config,
+    pub locks: Vec<LockInfo>,
+    pub nthreads: usize,
+}
+
+/// The per-thread handle applications program against.
+pub struct ThreadCtx {
+    pub(crate) tid: usize,
+    pub(crate) req: Sender<Op>,
+    pub(crate) reply: Receiver<Option<Word>>,
+    pub(crate) shared: Arc<RtShared>,
+    /// Compute cycles accumulated by [`ThreadCtx::tick`], flushed as one
+    /// `Op::Compute` before the next real operation.
+    pub(crate) pending_compute: std::cell::Cell<u64>,
+}
+
+impl ThreadCtx {
+    /// This thread's id (= its core id; one-to-one mapping, no migration).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Total number of threads in the run.
+    pub fn nthreads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> Config {
+        self.shared.config
+    }
+
+    fn coherent(&self) -> bool {
+        self.shared.config.is_coherent()
+    }
+
+    /// Issue one op and wait for its completion.
+    fn issue(&self, op: Op) -> Option<Word> {
+        let pending = self.pending_compute.replace(0);
+        if pending > 0 {
+            self.req.send(Op::Compute(pending)).expect("simulator hung up");
+            self.reply.recv().expect("simulator hung up");
+        }
+        self.req.send(op).expect("simulator hung up");
+        self.reply.recv().expect("simulator hung up")
+    }
+
+    /// Accumulate `cycles` of modeled computation cheaply; merged into a
+    /// single `Compute` op immediately before the next real operation.
+    /// Use this for per-element arithmetic costs in inner loops.
+    pub fn tick(&self, cycles: u64) {
+        self.pending_compute.set(self.pending_compute.get() + cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Data accesses
+    // ------------------------------------------------------------------
+
+    /// Load a word.
+    pub fn load(&self, w: WordAddr) -> Word {
+        self.issue(Op::Load(w)).expect("load returns a value")
+    }
+
+    /// Store a word.
+    pub fn store(&self, w: WordAddr, v: Word) {
+        self.issue(Op::Store(w, v));
+    }
+
+    /// Load element `i` of a region.
+    pub fn read(&self, r: Region, i: u64) -> Word {
+        self.load(r.at(i))
+    }
+
+    /// Store element `i` of a region.
+    pub fn write(&self, r: Region, i: u64, v: Word) {
+        self.store(r.at(i), v)
+    }
+
+    /// Load element `i` of a region as `f32`.
+    pub fn read_f32(&self, r: Region, i: u64) -> f32 {
+        word_to_f32(self.read(r, i))
+    }
+
+    /// Store element `i` of a region as `f32`.
+    pub fn write_f32(&self, r: Region, i: u64, v: f32) {
+        self.write(r, i, f32_to_word(v))
+    }
+
+    /// Uncacheable load: served by the shared cache level, never
+    /// allocated in the L1 (used by the MPI library, §IV).
+    pub fn load_unc(&self, w: WordAddr) -> Word {
+        self.issue(Op::LoadUnc(w)).expect("load returns a value")
+    }
+
+    /// Uncacheable store (see [`ThreadCtx::load_unc`]).
+    pub fn store_unc(&self, w: WordAddr, v: Word) {
+        self.issue(Op::StoreUnc(w, v));
+    }
+
+    /// Model `cycles` of pure computation.
+    pub fn compute(&self, cycles: u64) {
+        if cycles > 0 {
+            self.issue(Op::Compute(cycles));
+        }
+    }
+
+    /// Issue a raw coherence-management instruction (escape hatch for
+    /// programmer-refined annotations; no-op under HCC).
+    pub fn coh(&self, instr: CohInstr) {
+        if !self.coherent() {
+            self.issue(Op::Coh(instr));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Racy accesses (Figure 6)
+    // ------------------------------------------------------------------
+
+    /// Store that must become globally visible despite racing (the write
+    /// side of Figure 6b): store + per-word WB.
+    pub fn racy_store(&self, w: WordAddr, v: Word) {
+        self.store(w, v);
+        if !self.coherent() {
+            self.issue(Op::Coh(CohInstr::wb(Target::word(w))));
+        }
+    }
+
+    /// Load that must observe remote updates despite racing (the read side
+    /// of Figure 6b): per-word INV + load.
+    pub fn racy_load(&self, w: WordAddr) -> Word {
+        if !self.coherent() {
+            self.issue(Op::Coh(CohInstr::inv(Target::word(w))));
+        }
+        self.load(w)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization with automatic annotation (programming model 1)
+    // ------------------------------------------------------------------
+
+    /// Global barrier with the default annotations: `WB ALL` immediately
+    /// before, `INV ALL` immediately after (§IV-A1). For inter-block
+    /// configurations both operate globally (to/from L3 / L2).
+    pub fn barrier(&self, b: BarrierId) {
+        match self.shared.config {
+            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
+                self.issue(Op::BarrierArrive(b.0));
+            }
+            Config::Intra(_) => {
+                self.issue(Op::Coh(CohInstr::wb_all()));
+                self.issue(Op::BarrierArrive(b.0));
+                self.issue(Op::Coh(CohInstr::inv_all()));
+            }
+            Config::Inter(_) => {
+                // All incoherent inter configs communicate cross-block at
+                // barriers conservatively; Addr/Addr+L refine *epoch* data
+                // movement via plans, not the barrier-global semantics.
+                self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
+                self.issue(Op::BarrierArrive(b.0));
+                self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
+            }
+        }
+    }
+
+    /// Barrier with programmer-provided hints: only the given regions are
+    /// written back / invalidated ("the programmer can often provide
+    /// information to reduce WB and INV operations", §IV-A1). `None`
+    /// means "nothing to move on this side".
+    pub fn barrier_hinted(
+        &self,
+        b: BarrierId,
+        wb: Option<&[Region]>,
+        inv: Option<&[Region]>,
+    ) {
+        if self.coherent() {
+            self.issue(Op::BarrierArrive(b.0));
+            return;
+        }
+        let inter = matches!(self.shared.config, Config::Inter(_));
+        if let Some(regions) = wb {
+            for &r in regions {
+                let t = Target::range(r);
+                self.issue(Op::Coh(if inter { CohInstr::wb_l3(t) } else { CohInstr::wb(t) }));
+            }
+        }
+        self.issue(Op::BarrierArrive(b.0));
+        if let Some(regions) = inv {
+            for &r in regions {
+                let t = Target::range(r);
+                self.issue(Op::Coh(if inter { CohInstr::inv_l2(t) } else { CohInstr::inv(t) }));
+            }
+        }
+    }
+
+    /// Plain barrier arrival with no data movement (for phase changes over
+    /// thread-private data).
+    pub fn barrier_private(&self, b: BarrierId) {
+        self.issue(Op::BarrierArrive(b.0));
+    }
+
+    /// Acquire a lock, inserting the critical-section annotations of the
+    /// active configuration.
+    pub fn lock(&self, l: LockId) {
+        let info = self.shared.locks[l.0];
+        match self.shared.config {
+            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
+                self.issue(Op::LockAcquire(info.id));
+            }
+            Config::Intra(cfg) => {
+                if info.occ {
+                    // Post everything written since the last full WB so
+                    // consumers of outside-critical-section data see it.
+                    self.issue(Op::Coh(CohInstr::wb_all()));
+                }
+                if cfg.uses_ieb() {
+                    // Lazy invalidation: first reads inside the critical
+                    // section refresh on demand.
+                    self.issue(Op::IebBegin);
+                } else {
+                    // INV placed immediately *before* the acquire to keep
+                    // the critical section short (§IV-A1).
+                    self.issue(Op::Coh(CohInstr::inv_all()));
+                }
+                self.issue(Op::LockAcquire(info.id));
+                if cfg.uses_meb() {
+                    self.issue(Op::MebBegin);
+                }
+            }
+            Config::Inter(_) => {
+                if info.occ {
+                    self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
+                }
+                self.issue(Op::LockAcquire(info.id));
+                // Unlike the intra-block case, the INV must come *after*
+                // the acquire: INV_L2 drops lines from the *shared* L2,
+                // and same-block peers can legitimately re-fill it with
+                // then-fresh (later stale) lines while this core waits in
+                // the lock queue. The paper's "INV immediately before the
+                // acquire" optimization (§IV-A1) relies on the invalidated
+                // cache being private, which only holds for the L1.
+                self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
+            }
+        }
+    }
+
+    /// Release a lock, inserting the exit annotations.
+    pub fn unlock(&self, l: LockId) {
+        let info = self.shared.locks[l.0];
+        match self.shared.config {
+            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
+                self.issue(Op::LockRelease(info.id));
+            }
+            Config::Intra(cfg) => {
+                if cfg.uses_ieb() {
+                    self.issue(Op::IebEnd);
+                }
+                // Post the critical section's writes (served by the MEB
+                // under B+M, since recording started at the acquire).
+                self.issue(Op::Coh(CohInstr::wb_all()));
+                self.issue(Op::LockRelease(info.id));
+                if info.occ {
+                    // Prepare to consume data produced outside earlier
+                    // holders' critical sections.
+                    self.issue(Op::Coh(CohInstr::inv_all()));
+                }
+            }
+            Config::Inter(_) => {
+                self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
+                self.issue(Op::LockRelease(info.id));
+                if info.occ {
+                    self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
+                }
+            }
+        }
+    }
+
+    /// Set a condition flag: `WB ALL` first so the waiter sees everything
+    /// written before the set (§IV-A1, Figure 4c).
+    pub fn flag_set(&self, f: FlagId) {
+        if !self.coherent() {
+            let instr = match self.shared.config {
+                Config::Inter(_) => CohInstr::wb_l3(Target::All),
+                _ => CohInstr::wb_all(),
+            };
+            self.issue(Op::Coh(instr));
+        }
+        self.issue(Op::FlagSet(f.0));
+    }
+
+    /// Wait for a condition flag, then `INV ALL` so subsequent reads see
+    /// the producer's data.
+    pub fn flag_wait(&self, f: FlagId) {
+        self.issue(Op::FlagWait(f.0));
+        if !self.coherent() {
+            let instr = match self.shared.config {
+                Config::Inter(_) => CohInstr::inv_l2(Target::All),
+                _ => CohInstr::inv_all(),
+            };
+            self.issue(Op::Coh(instr));
+        }
+    }
+
+    /// Clear a condition flag (no data movement implied).
+    pub fn flag_clear(&self, f: FlagId) {
+        self.issue(Op::FlagClear(f.0));
+    }
+
+    /// Set a flag with NO data movement — the raw synchronization
+    /// primitive, without the §IV-A1 annotations. Exists so examples and
+    /// tests can demonstrate what goes wrong without them.
+    pub fn flag_set_raw(&self, f: FlagId) {
+        self.issue(Op::FlagSet(f.0));
+    }
+
+    /// Wait on a flag with NO data movement (see [`ThreadCtx::flag_set_raw`]).
+    pub fn flag_wait_raw(&self, f: FlagId) {
+        self.issue(Op::FlagWait(f.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch plans (programming model 2)
+    // ------------------------------------------------------------------
+
+    /// Execute the write-back half of an epoch plan (call at the *end* of
+    /// a producing epoch, before the synchronization).
+    pub fn plan_wb(&self, plan: &EpochPlan) {
+        match self.shared.config {
+            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
+            Config::Inter(InterConfig::Base) => {
+                self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
+            }
+            Config::Inter(InterConfig::Addr) => {
+                for op in &plan.wb {
+                    self.issue(Op::Coh(CohInstr::wb_l3(Target::range(op.region))));
+                }
+            }
+            Config::Inter(InterConfig::AddrL) => {
+                for op in &plan.wb {
+                    let t = Target::range(op.region);
+                    let instr = match op.peer {
+                        Some(peer) => CohInstr::wb_cons(t, peer),
+                        None => CohInstr::wb_l3(t),
+                    };
+                    self.issue(Op::Coh(instr));
+                }
+            }
+            Config::Intra(_) => {
+                // Model-2 programs can also run on the single-block
+                // machine; everything is local there.
+                for op in &plan.wb {
+                    self.issue(Op::Coh(CohInstr::wb(Target::range(op.region))));
+                }
+            }
+        }
+    }
+
+    /// Execute the invalidation half of an epoch plan (call at the *start*
+    /// of a consuming epoch, after the synchronization).
+    pub fn plan_inv(&self, plan: &EpochPlan) {
+        match self.shared.config {
+            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
+            Config::Inter(InterConfig::Base) => {
+                self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
+            }
+            Config::Inter(InterConfig::Addr) => {
+                for op in &plan.inv {
+                    self.issue(Op::Coh(CohInstr::inv_l2(Target::range(op.region))));
+                }
+            }
+            Config::Inter(InterConfig::AddrL) => {
+                for op in &plan.inv {
+                    let t = Target::range(op.region);
+                    let instr = match op.peer {
+                        Some(peer) => CohInstr::inv_prod(t, peer),
+                        None => CohInstr::inv_l2(t),
+                    };
+                    self.issue(Op::Coh(instr));
+                }
+            }
+            Config::Intra(_) => {
+                for op in &plan.inv {
+                    self.issue(Op::Coh(CohInstr::inv(Target::range(op.region))));
+                }
+            }
+        }
+    }
+
+    /// An inter-block barrier *without* implicit global data movement:
+    /// model-2 programs move data via plans, the barrier only orders.
+    pub fn plan_barrier(&self, b: BarrierId) {
+        self.issue(Op::BarrierArrive(b.0));
+    }
+
+    /// Convenience: full model-2 epoch boundary — the producing side of
+    /// `plan`, the barrier, then the consuming side.
+    pub fn epoch_boundary(&self, b: BarrierId, plan: &EpochPlan) {
+        self.plan_wb(plan);
+        self.plan_barrier(b);
+        self.plan_inv(plan);
+    }
+
+    /// Peer thread id helper.
+    pub fn thread(&self, t: usize) -> ThreadId {
+        ThreadId(t)
+    }
+
+    pub(crate) fn finish(&self) {
+        let pending = self.pending_compute.replace(0);
+        if pending > 0 {
+            self.req.send(Op::Compute(pending)).expect("simulator hung up");
+            self.reply.recv().expect("simulator hung up");
+        }
+        self.req.send(Op::Finish).expect("simulator hung up");
+        // No reply for Finish.
+    }
+}

@@ -1,0 +1,29 @@
+//! Programming-model runtimes for the hardware-incoherent machine.
+//!
+//! This crate provides what the paper's §IV and §V call the "programming
+//! approaches": applications are ordinary Rust closures running on real OS
+//! threads, but every memory access and synchronization goes through a
+//! [`ThreadCtx`] into the simulated machine. The runtime inserts the WB /
+//! INV instructions around synchronization operations according to the
+//! configuration under evaluation (Table II):
+//!
+//! * intra-block: `Base`, `B+M`, `B+I`, `B+M+I`, `HCC`;
+//! * inter-block: `Base`, `Addr`, `Addr+L`, `HCC`.
+//!
+//! Execution is deterministic: the scheduler (in [`sched`]) processes the
+//! pending operation of the runnable core with the smallest local time, so
+//! all machine transitions happen in global simulated-time order
+//! (conservative execution-driven simulation; DESIGN.md §2).
+
+pub mod builder;
+pub mod config;
+pub mod ctx;
+pub mod mpi;
+pub mod plan;
+pub mod sched;
+
+pub use builder::{ProgramBuilder, RunOutcome};
+pub use config::{Config, InterConfig, IntraConfig};
+pub use ctx::{BarrierId, FlagId, LockId, ThreadCtx};
+pub use mpi::MpiWorld;
+pub use plan::{CommOp, EpochPlan};

@@ -1,0 +1,86 @@
+//! Communication plans for programming model 2 (inter-block).
+//!
+//! The compiler analysis (`hic-analysis`) — or an inspector at runtime —
+//! produces, for each thread and each epoch boundary, the list of regions
+//! it must write back (with the consuming thread, when known) and the
+//! regions it must self-invalidate (with the producing thread, when
+//! known). The `ThreadCtx` translates the plan into the right WB/INV
+//! flavor for the active configuration:
+//!
+//! * `Base` ignores the plan and uses global `WB ALL` / `INV ALL`;
+//! * `Addr` uses the regions but always goes global (`WB_L3`, `INV_L2`);
+//! * `Addr+L` uses `WB_CONS` / `INV_PROD` so the ThreadMap picks the level.
+
+use hic_mem::Region;
+use hic_sim::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// One planned communication operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommOp {
+    /// The data to move.
+    pub region: Region,
+    /// The peer thread (consumer for WBs, producer for INVs), when the
+    /// analysis could identify it. `None` = unknown: the operation must be
+    /// global regardless of configuration.
+    pub peer: Option<ThreadId>,
+}
+
+impl CommOp {
+    pub fn known(region: Region, peer: ThreadId) -> CommOp {
+        CommOp { region, peer: Some(peer) }
+    }
+
+    pub fn unknown(region: Region) -> CommOp {
+        CommOp { region, peer: None }
+    }
+}
+
+/// The per-thread plan for one epoch boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochPlan {
+    /// Data this thread produced that others will consume.
+    pub wb: Vec<CommOp>,
+    /// Data this thread will consume that others produced.
+    pub inv: Vec<CommOp>,
+}
+
+impl EpochPlan {
+    pub fn new() -> EpochPlan {
+        EpochPlan::default()
+    }
+
+    pub fn with_wb(mut self, op: CommOp) -> EpochPlan {
+        self.wb.push(op);
+        self
+    }
+
+    pub fn with_inv(mut self, op: CommOp) -> EpochPlan {
+        self.inv.push(op);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.wb.is_empty() && self.inv.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_mem::WordAddr;
+
+    #[test]
+    fn builder_pattern() {
+        let r = Region::new(WordAddr(0), 16);
+        let p = EpochPlan::new()
+            .with_wb(CommOp::known(r, ThreadId(1)))
+            .with_inv(CommOp::unknown(r));
+        assert_eq!(p.wb.len(), 1);
+        assert_eq!(p.inv.len(), 1);
+        assert_eq!(p.wb[0].peer, Some(ThreadId(1)));
+        assert_eq!(p.inv[0].peer, None);
+        assert!(!p.is_empty());
+        assert!(EpochPlan::new().is_empty());
+    }
+}

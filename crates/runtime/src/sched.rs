@@ -1,0 +1,218 @@
+//! The conservative execution-driven scheduler.
+//!
+//! Each simulated thread runs on an OS thread and blocks after issuing
+//! each op. The scheduler:
+//!
+//! 1. collects the pending op of every runnable core (blocking on the
+//!    per-core channel — the thread is guaranteed to send one);
+//! 2. executes the op of the core with the smallest local time (core id
+//!    breaking ties), so machine transitions happen in global
+//!    simulated-time order;
+//! 3. delivers wakeups produced by synchronization grants immediately, so
+//!    no core can act "in the past" of an already-executed transition.
+//!
+//! If every unfinished core is parked on synchronization, the program has
+//! deadlocked; the scheduler panics with a diagnostic rather than hanging.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+use hic_machine::{Exec, Machine, Op, RunStats};
+use hic_mem::Word;
+use hic_sim::{CoreId, Cycle};
+
+use crate::ctx::{RtShared, ThreadCtx};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    /// Must pull the next op from the thread.
+    NeedsOp,
+    /// Has a pending op, not yet executed.
+    HasOp,
+    /// Blocked inside the machine on a synchronization grant.
+    Parked,
+    /// Thread finished.
+    Done,
+}
+
+/// Run `body` on `nthreads` simulated threads over `machine`.
+/// Returns the machine (for result inspection) and the run statistics.
+pub(crate) fn run_threads<F>(
+    mut machine: Machine,
+    shared: Arc<RtShared>,
+    nthreads: usize,
+    body: F,
+) -> (Machine, RunStats)
+where
+    F: Fn(&ThreadCtx) + Send + Sync,
+{
+    assert!(nthreads >= 1);
+    assert!(
+        nthreads <= machine.config().num_cores(),
+        "more threads ({nthreads}) than cores ({})",
+        machine.config().num_cores()
+    );
+
+    let mut req_txs = Vec::with_capacity(nthreads);
+    let mut req_rxs: Vec<Receiver<Op>> = Vec::with_capacity(nthreads);
+    let mut reply_txs: Vec<Sender<Option<Word>>> = Vec::with_capacity(nthreads);
+    let mut reply_rxs = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let (tx, rx) = unbounded::<Op>();
+        req_txs.push(tx);
+        req_rxs.push(rx);
+        let (tx, rx) = bounded::<Option<Word>>(1);
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
+    }
+
+    let body = &body;
+    std::thread::scope(move |scope| {
+        // `req_txs`/`reply_txs` are moved INTO the scope closure so that a
+        // scheduler panic (deadlock detection, app misuse) drops them
+        // during unwinding; blocked app threads then observe channel
+        // disconnection and exit, letting the scope join instead of
+        // hanging.
+        let mut req_txs = req_txs;
+        let mut reply_rxs = reply_rxs;
+        let reply_txs = reply_txs;
+        let req_rxs = req_rxs;
+        // Spawn the application threads.
+        for (tid, (req, reply)) in req_txs.drain(..).zip(reply_rxs.drain(..)).enumerate() {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                let ctx = ThreadCtx {
+                    tid,
+                    req,
+                    reply,
+                    shared,
+                    pending_compute: std::cell::Cell::new(0),
+                };
+                body(&ctx);
+                ctx.finish();
+            });
+        }
+
+        // The scheduler runs on this thread.
+        let mut state = vec![CoreState::NeedsOp; nthreads];
+        let mut time: Vec<Cycle> = vec![0; nthreads];
+        let mut pending: Vec<Option<Op>> = vec![None; nthreads];
+        let mut done = 0usize;
+
+        while done < nthreads {
+            // 1. Every runnable core must present its op.
+            for c in 0..nthreads {
+                if state[c] == CoreState::NeedsOp {
+                    let op = req_rxs[c].recv().expect("app thread died mid-run");
+                    pending[c] = Some(op);
+                    state[c] = CoreState::HasOp;
+                }
+            }
+            // 2. Execute the earliest pending op.
+            let next = (0..nthreads)
+                .filter(|&c| state[c] == CoreState::HasOp)
+                .min_by_key(|&c| (time[c], c));
+            let c = match next {
+                Some(c) => c,
+                None => {
+                    let parked: Vec<usize> = (0..nthreads)
+                        .filter(|&c| state[c] == CoreState::Parked)
+                        .collect();
+                    panic!(
+                        "deadlock: no runnable core; parked cores: {parked:?} \
+                         (a barrier is missing an arrival, or a lock is never released)"
+                    );
+                }
+            };
+            let op = pending[c].take().expect("HasOp implies a pending op");
+            match machine.execute(CoreId(c), &op, time[c]) {
+                Exec::Done { value, end } => {
+                    time[c] = end;
+                    if matches!(op, Op::Finish) {
+                        state[c] = CoreState::Done;
+                        done += 1;
+                    } else {
+                        reply_txs[c].send(value).expect("app thread died");
+                        state[c] = CoreState::NeedsOp;
+                    }
+                }
+                Exec::Parked => {
+                    state[c] = CoreState::Parked;
+                }
+            }
+            // 3. Deliver wakeups immediately.
+            for wk in machine.take_wakeups() {
+                let i = wk.core.0;
+                debug_assert_eq!(state[i], CoreState::Parked);
+                time[i] = wk.at;
+                reply_txs[i].send(None).expect("app thread died");
+                state[i] = CoreState::NeedsOp;
+            }
+        }
+        let stats = machine.finish();
+        (machine, stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, IntraConfig};
+    use hic_mem::{Region, WordAddr};
+    use hic_sim::MachineConfig;
+
+    fn harness(nthreads: usize, cfg: Config) -> (Machine, Arc<RtShared>) {
+        let machine = if cfg.is_coherent() {
+            Machine::coherent(MachineConfig::intra_block())
+        } else {
+            Machine::incoherent(MachineConfig::intra_block())
+        };
+        let shared = Arc::new(RtShared { config: cfg, locks: Vec::new(), nthreads });
+        (machine, shared)
+    }
+
+    #[test]
+    fn single_thread_store_load() {
+        let (machine, shared) = harness(1, Config::Intra(IntraConfig::Base));
+        let (machine, stats) = run_threads(machine, shared, 1, |ctx| {
+            let r = Region::new(WordAddr(16), 4);
+            ctx.write(r, 0, 7);
+            assert_eq!(ctx.read(r, 0), 7);
+            ctx.compute(100);
+            // Post the value so a fresh reader (peek) sees it.
+            ctx.coh(hic_core::CohInstr::wb_all());
+        });
+        assert!(stats.total_cycles >= 100);
+        assert_eq!(machine.peek_word(WordAddr(16)), 7);
+    }
+
+    #[test]
+    fn threads_run_deterministically() {
+        let run = || {
+            let (machine, shared) = harness(4, Config::Intra(IntraConfig::Base));
+            let mut m2 = machine;
+            let b = m2.alloc_barrier(4);
+            let shared2 = shared;
+            let (_, stats) = run_threads(m2, shared2, 4, move |ctx| {
+                let r = Region::new(WordAddr(16 * (1 + ctx.tid() as u64)), 4);
+                for i in 0..4 {
+                    ctx.write(r, i, (ctx.tid() as u32 + 1) * 10 + i as u32);
+                }
+                ctx.compute(ctx.tid() as u64 * 13);
+                ctx.barrier(crate::ctx::BarrierId(b));
+            });
+            stats.total_cycles
+        };
+        assert_eq!(run(), run(), "same program, same cycle count");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_arrival_is_detected() {
+        let (mut machine, shared) = harness(2, Config::Intra(IntraConfig::Hcc));
+        let b = machine.alloc_barrier(3); // 3 participants, only 2 threads!
+        run_threads(machine, shared, 2, move |ctx| {
+            ctx.barrier_private(crate::ctx::BarrierId(b));
+        });
+    }
+}

@@ -1,0 +1,248 @@
+//! Architecture configuration: the modeled machine of paper Table III.
+//!
+//! Two canonical machines are provided:
+//!
+//! * [`MachineConfig::intra_block`] — 16 cores in one block: private L1s and
+//!   a banked shared L2 (one bank per core), used for the intra-block
+//!   experiments (paper §VI upper half of Table III).
+//! * [`MachineConfig::inter_block`] — 4 blocks of 8 cores: per-block L2
+//!   plus a shared 4-bank L3, used for the inter-block experiments.
+//!
+//! All latencies are round trips ("RT" in the paper) in core cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache (or one bank of a banked cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes (per bank for banked caches).
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Number of lines this cache can hold.
+    #[inline]
+    pub fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.ways
+    }
+
+    /// Words per line given the machine word size.
+    #[inline]
+    pub fn words_per_line(&self, word_bytes: usize) -> usize {
+        self.line_bytes / word_bytes
+    }
+
+    /// Bits needed to name a line by its index within this cache
+    /// (the MEB stores line IDs of this width, paper §IV-B1).
+    pub fn line_id_bits(&self) -> u32 {
+        usize::BITS - (self.num_lines() - 1).leading_zeros()
+    }
+}
+
+/// Parameters specific to the single-block (intra-block) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntraBlockConfig {
+    /// Number of cores sharing the L2 (16 in the paper).
+    pub cores: usize,
+}
+
+/// Parameters specific to the multi-block (inter-block) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterBlockConfig {
+    /// Number of blocks (4 in the paper).
+    pub blocks: usize,
+    /// Cores per block (8 in the paper).
+    pub cores_per_block: usize,
+    /// L3 bank geometry (4 banks of 4 MB in the paper).
+    pub l3: CacheGeometry,
+    /// Round-trip latency of a local L3 bank access, cycles.
+    pub l3_rt: u64,
+    /// Number of L3 banks.
+    pub l3_banks: usize,
+}
+
+/// Full description of the modeled machine (paper Table III).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Machine word in bytes: the finest sharing grain. 4 bytes gives the
+    /// paper's 16 dirty bits per 64-byte line (§VII-A).
+    pub word_bytes: usize,
+    /// Private L1 geometry (32 KB, 4-way, 64 B lines).
+    pub l1: CacheGeometry,
+    /// Round-trip latency of an L1 hit, cycles (2 in the paper).
+    pub l1_rt: u64,
+    /// Shared L2 bank geometry (128 KB, 8-way per bank).
+    pub l2: CacheGeometry,
+    /// Round-trip latency of a local L2 bank access, cycles (11).
+    pub l2_rt: u64,
+    /// Number of L2 banks per block (one per core in the paper).
+    pub l2_banks_per_block: usize,
+    /// Mesh hop latency, cycles (4).
+    pub hop_cycles: u64,
+    /// Link width in bits (128): one flit is `link_bits/8` bytes.
+    pub link_bits: usize,
+    /// Off-chip memory round trip, cycles (150).
+    pub mem_rt: u64,
+    /// MEB capacity in entries (16).
+    pub meb_entries: usize,
+    /// IEB capacity in entries (4).
+    pub ieb_entries: usize,
+    /// Tags scanned per cycle during a full-cache WB ALL / INV ALL
+    /// traversal (our timing model; see DESIGN.md §2).
+    pub tags_per_cycle: u64,
+    /// Pipelined writeback initiation interval, cycles per line.
+    pub wb_pipeline_ii: u64,
+    /// Single-block machine parameters, if this is the intra-block machine.
+    pub intra: Option<IntraBlockConfig>,
+    /// Multi-block machine parameters, if this is the inter-block machine.
+    pub inter: Option<InterBlockConfig>,
+}
+
+impl MachineConfig {
+    /// The 16-core single-block machine of the intra-block experiments.
+    pub fn intra_block() -> Self {
+        Self {
+            word_bytes: 4,
+            l1: CacheGeometry { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
+            l1_rt: 2,
+            l2: CacheGeometry { size_bytes: 128 * 1024, ways: 8, line_bytes: 64 },
+            l2_rt: 11,
+            l2_banks_per_block: 16,
+            hop_cycles: 4,
+            link_bits: 128,
+            mem_rt: 150,
+            meb_entries: 16,
+            ieb_entries: 4,
+            tags_per_cycle: 4,
+            wb_pipeline_ii: 4,
+            intra: Some(IntraBlockConfig { cores: 16 }),
+            inter: None,
+        }
+    }
+
+    /// The 4-block × 8-core machine of the inter-block experiments.
+    pub fn inter_block() -> Self {
+        Self {
+            word_bytes: 4,
+            l1: CacheGeometry { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
+            l1_rt: 2,
+            l2: CacheGeometry { size_bytes: 128 * 1024, ways: 8, line_bytes: 64 },
+            l2_rt: 11,
+            l2_banks_per_block: 8,
+            hop_cycles: 4,
+            link_bits: 128,
+            mem_rt: 150,
+            meb_entries: 16,
+            ieb_entries: 4,
+            tags_per_cycle: 4,
+            wb_pipeline_ii: 4,
+            intra: None,
+            inter: Some(InterBlockConfig {
+                blocks: 4,
+                cores_per_block: 8,
+                l3: CacheGeometry { size_bytes: 4 * 1024 * 1024, ways: 8, line_bytes: 64 },
+                l3_rt: 20,
+                l3_banks: 4,
+            }),
+        }
+    }
+
+    /// Total number of cores in the machine.
+    pub fn num_cores(&self) -> usize {
+        match (&self.intra, &self.inter) {
+            (Some(i), _) => i.cores,
+            (_, Some(e)) => e.blocks * e.cores_per_block,
+            _ => panic!("MachineConfig must be intra- or inter-block"),
+        }
+    }
+
+    /// Number of blocks (1 for the intra-block machine).
+    pub fn num_blocks(&self) -> usize {
+        self.inter.as_ref().map_or(1, |e| e.blocks)
+    }
+
+    /// Cores per block.
+    pub fn cores_per_block(&self) -> usize {
+        match (&self.intra, &self.inter) {
+            (Some(i), _) => i.cores,
+            (_, Some(e)) => e.cores_per_block,
+            _ => panic!("MachineConfig must be intra- or inter-block"),
+        }
+    }
+
+    /// Words per cache line.
+    pub fn words_per_line(&self) -> usize {
+        self.l1.line_bytes / self.word_bytes
+    }
+
+    /// Flit payload in bytes (128-bit link → 16 bytes).
+    pub fn flit_bytes(&self) -> usize {
+        self.link_bits / 8
+    }
+
+    /// Flits needed to carry `bytes` of payload plus one header flit.
+    pub fn flits_for(&self, bytes: usize) -> u64 {
+        1 + (bytes.div_ceil(self.flit_bytes())) as u64
+    }
+
+    /// Flits for a full cache-line transfer.
+    pub fn line_flits(&self) -> u64 {
+        self.flits_for(self.l1.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_geometry_matches_table3() {
+        let c = MachineConfig::intra_block();
+        assert_eq!(c.num_cores(), 16);
+        assert_eq!(c.num_blocks(), 1);
+        assert_eq!(c.l1.num_lines(), 512);
+        assert_eq!(c.l1.num_sets(), 128);
+        assert_eq!(c.words_per_line(), 16); // 16 per-word dirty bits/line
+        assert_eq!(c.l1.line_id_bits(), 9); // the paper's 9-bit MEB entry
+    }
+
+    #[test]
+    fn inter_geometry_matches_table3() {
+        let c = MachineConfig::inter_block();
+        assert_eq!(c.num_cores(), 32);
+        assert_eq!(c.num_blocks(), 4);
+        assert_eq!(c.cores_per_block(), 8);
+        let l3 = c.inter.unwrap().l3;
+        assert_eq!(l3.num_lines(), 65536);
+        assert_eq!(l3.num_sets(), 8192);
+    }
+
+    #[test]
+    fn flit_math() {
+        let c = MachineConfig::intra_block();
+        assert_eq!(c.flit_bytes(), 16);
+        // 64-byte line = 4 payload flits + 1 header.
+        assert_eq!(c.line_flits(), 5);
+        // One dirty word = 1 payload flit + 1 header.
+        assert_eq!(c.flits_for(4), 2);
+        // Zero-byte control message is just a header.
+        assert_eq!(c.flits_for(0), 1);
+    }
+
+    #[test]
+    fn line_id_bits_rounding() {
+        let g = CacheGeometry { size_bytes: 64 * 1024, ways: 4, line_bytes: 64 };
+        assert_eq!(g.num_lines(), 1024);
+        assert_eq!(g.line_id_bits(), 10);
+    }
+}

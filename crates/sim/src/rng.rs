@@ -1,0 +1,124 @@
+//! Small deterministic pseudo-random generator.
+//!
+//! Workload generators must be reproducible across runs and platforms so the
+//! figure harness produces stable numbers; this is a self-contained
+//! SplitMix64 that every crate can use without pulling `rand` into its
+//! dependency tree. (Benchmarks still use `rand` where distributions are
+//! needed.)
+
+/// SplitMix64: tiny, fast, full-period-per-seed deterministic generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire-style rejection-free reduction is fine here: the slight
+        // modulo bias is irrelevant for workload shaping.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[0, 1)` as f32 (the simulated machine word is
+    /// 32 bits, so applications store f32 values).
+    #[inline]
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.unit_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And it actually moved something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(1).below(0);
+    }
+}

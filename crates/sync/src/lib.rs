@@ -1,0 +1,18 @@
+//! Synchronization support in the shared-cache controller (paper §III-D).
+//!
+//! Conventional spin-based synchronization relies on the coherence
+//! protocol, which a hardware-incoherent hierarchy does not have. Following
+//! Tera / IBM RP3 / Cedar, synchronization is instead implemented in the
+//! controller of a shared cache: requests are uncacheable, the controller
+//! queues them, and it responds only when the requester owns the lock, the
+//! barrier is complete, or the flag condition is set.
+//!
+//! [`SyncController`] is the logical-time state machine: it receives
+//! requests stamped with their arrival cycle and decides, deterministically,
+//! when each core is granted. The timing simulator adds network latency on
+//! both sides and charges the waiting time to the lock/barrier stall
+//! categories.
+
+pub mod table;
+
+pub use table::{Grant, SyncController, SyncError, SyncId, SyncVar};

@@ -1,0 +1,76 @@
+//! Demonstrates what "hardware-incoherent" actually means: without WB/INV
+//! instructions, a consumer simply never sees the producer's update — and
+//! with them, the paper's Figure 2 protocol delivers the fresh value.
+//!
+//! ```text
+//! cargo run --example staleness
+//! ```
+
+use hic_core::{CohInstr, Target};
+use hic_runtime::{Config, IntraConfig, ProgramBuilder};
+
+fn main() {
+    // --- Part 1: missing annotations leave the consumer stale. --------
+    let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
+    let x = p.alloc(1);
+    p.init(x, 0, 1);
+    let observed = p.alloc(2);
+    let f = p.flag();
+    let out = p.run(2, move |ctx| {
+        match ctx.tid() {
+            0 => {
+                // Producer: update x, but signal WITHOUT writing back:
+                // the fresh value never leaves this core's L1.
+                ctx.store(x.at(0), 2);
+                ctx.flag_set_raw(f);
+            }
+            _ => {
+                let _ = ctx.load(x.at(0)); // warm a (soon stale) copy
+                ctx.flag_wait_raw(f);
+                // No INV: this read sees the stale cached copy.
+                let stale = ctx.load(x.at(0));
+                // Even after a proper self-invalidation the value is
+                // still old: the producer never performed its WB half.
+                ctx.coh(CohInstr::inv(Target::range(x)));
+                let after_inv = ctx.load(x.at(0));
+                ctx.store(observed.at(0), stale);
+                ctx.store(observed.at(1), after_inv);
+                ctx.coh(CohInstr::wb(Target::range(observed)));
+            }
+        }
+    });
+    let stale = out.peek(observed, 0);
+    let after_inv = out.peek(observed, 1);
+    println!("producer skipped its WB:");
+    println!("  consumer read (no INV):   {stale}   <- stale, as expected");
+    println!("  consumer read (with INV): {after_inv}   <- still stale: nothing was written back");
+    assert_eq!(stale, 1);
+    assert_eq!(after_inv, 1);
+
+    // --- Part 2: the correct Figure 2 protocol. -----------------------
+    let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
+    let x = p.alloc(1);
+    p.init(x, 0, 1);
+    let observed = p.alloc(1);
+    let f = p.flag();
+    let out = p.run(2, move |ctx| {
+        match ctx.tid() {
+            0 => {
+                ctx.store(x.at(0), 2);
+                // flag_set performs the WB ALL before the set (§IV-A1).
+                ctx.flag_set(f);
+            }
+            _ => {
+                let _ = ctx.load(x.at(0)); // warm a stale copy
+                // flag_wait performs the INV ALL after the wait.
+                ctx.flag_wait(f);
+                let fresh = ctx.load(x.at(0));
+                ctx.store(observed.at(0), fresh);
+                ctx.coh(CohInstr::wb(Target::range(observed)));
+            }
+        }
+    });
+    println!("with the WB -> sync -> INV protocol of Figure 2:");
+    println!("  consumer read: {}   <- fresh", out.peek(observed, 0));
+    assert_eq!(out.peek(observed, 0), 2);
+}

@@ -1,0 +1,79 @@
+//! End-to-end: every application x every configuration must compute the
+//! same (host-verified) result. A stale read anywhere — a missing WB/INV,
+//! a broken MESI transition, a lost dirty word — fails these tests.
+
+use hic_apps::{inter_apps, intra_apps, App, Scale};
+use hic_runtime::{Config, InterConfig, IntraConfig};
+
+fn check_intra(app: &dyn App) {
+    for cfg in IntraConfig::ALL {
+        let r = app.run(Config::Intra(cfg));
+        assert!(
+            r.correct,
+            "{} under {} computed a wrong result: {}",
+            app.name(),
+            cfg.name(),
+            r.detail
+        );
+        assert!(r.stats.total_cycles > 0);
+    }
+}
+
+fn check_inter(app: &dyn App) {
+    for cfg in InterConfig::ALL {
+        let r = app.run(Config::Inter(cfg));
+        assert!(
+            r.correct,
+            "{} under {} computed a wrong result: {}",
+            app.name(),
+            cfg.name(),
+            r.detail
+        );
+        assert!(r.stats.total_cycles > 0);
+    }
+}
+
+macro_rules! intra_test {
+    ($fn_name:ident, $app_name:expr) => {
+        #[test]
+        fn $fn_name() {
+            let apps = intra_apps(Scale::Test);
+            let app = apps
+                .iter()
+                .find(|a| a.name() == $app_name)
+                .expect("app registered");
+            check_intra(app.as_ref());
+        }
+    };
+}
+
+macro_rules! inter_test {
+    ($fn_name:ident, $app_name:expr) => {
+        #[test]
+        fn $fn_name() {
+            let apps = inter_apps(Scale::Test);
+            let app = apps
+                .iter()
+                .find(|a| a.name() == $app_name)
+                .expect("app registered");
+            check_inter(app.as_ref());
+        }
+    };
+}
+
+intra_test!(fft_all_configs, "FFT");
+intra_test!(lu_cont_all_configs, "LU cont");
+intra_test!(lu_noncont_all_configs, "LU non-cont");
+intra_test!(cholesky_all_configs, "Cholesky");
+intra_test!(barnes_all_configs, "Barnes");
+intra_test!(raytrace_all_configs, "Raytrace");
+intra_test!(volrend_all_configs, "Volrend");
+intra_test!(ocean_cont_all_configs, "Ocean cont");
+intra_test!(ocean_noncont_all_configs, "Ocean non-cont");
+intra_test!(water_nsq_all_configs, "Water Nsq");
+intra_test!(water_spatial_all_configs, "Water Spatial");
+
+inter_test!(ep_all_configs, "EP");
+inter_test!(is_all_configs, "IS");
+inter_test!(cg_all_configs, "CG");
+inter_test!(jacobi_all_configs, "Jacobi");
