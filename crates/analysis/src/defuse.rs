@@ -163,16 +163,15 @@ impl<'p> Analyzer<'p> {
                 continue;
             }
             // Elements this consumer reads.
-            let (elo, ehi) = if Self::serial_covers_all(cnode)
-                || matches!(racc.pattern, Pattern::Whole)
-            {
-                (0, len)
-            } else {
-                match racc.pattern.touched(a, b, len) {
-                    Some(r) => r,
-                    None => continue,
-                }
-            };
+            let (elo, ehi) =
+                if Self::serial_covers_all(cnode) || matches!(racc.pattern, Pattern::Whole) {
+                    (0, len)
+                } else {
+                    match racc.pattern.touched(a, b, len) {
+                        Some(r) => r,
+                        None => continue,
+                    }
+                };
 
             if !invertible {
                 // Unknown producers: peer-less ops. The producer side
@@ -207,25 +206,21 @@ impl<'p> Analyzer<'p> {
             // maximal runs by producing thread.
             let mut run_start = elo;
             let mut run_owner: Option<usize> = None;
-            let flush =
-                |plans: &mut NodePlans, lo: u64, hi: u64, owner: Option<usize>| {
-                    let tp = match owner {
-                        Some(tp) => tp,
-                        None => return,
-                    };
-                    if tp == tc || lo >= hi {
-                        return;
-                    }
-                    let region = base.slice(lo, hi);
-                    Self::push_inv(
-                        &mut plans.start[ci][tc],
-                        CommOp::known(region, ThreadId(tp)),
-                    );
-                    Self::push_wb(
-                        &mut plans.end[pi][tp],
-                        CommOp::known(region, ThreadId(tc)),
-                    );
+            let flush = |plans: &mut NodePlans, lo: u64, hi: u64, owner: Option<usize>| {
+                let tp = match owner {
+                    Some(tp) => tp,
+                    None => return,
                 };
+                if tp == tc || lo >= hi {
+                    return;
+                }
+                let region = base.slice(lo, hi);
+                Self::push_inv(
+                    &mut plans.start[ci][tc],
+                    CommOp::known(region, ThreadId(tp)),
+                );
+                Self::push_wb(&mut plans.end[pi][tp], CommOp::known(region, ThreadId(tc)));
+            };
             let chunks = Chunks::new(p_iters, self.threads);
             for e in elo..ehi {
                 let owner = wacc
@@ -271,16 +266,33 @@ mod tests {
         let a = ArrayId(0);
         let b = ArrayId(1);
         Program {
-            arrays: vec![Region::new(WordAddr(1024), n), Region::new(WordAddr(4096), n)],
+            arrays: vec![
+                Region::new(WordAddr(1024), n),
+                Region::new(WordAddr(4096), n),
+            ],
             nodes: vec![
                 Node::ParFor {
                     iters: n,
-                    reads: vec![Access::new(a, Pattern::Range { scale: 1, lo: -1, hi: 2 })],
+                    reads: vec![Access::new(
+                        a,
+                        Pattern::Range {
+                            scale: 1,
+                            lo: -1,
+                            hi: 2,
+                        },
+                    )],
                     writes: vec![Access::new(b, Pattern::ident())],
                 },
                 Node::ParFor {
                     iters: n,
-                    reads: vec![Access::new(b, Pattern::Range { scale: 1, lo: -1, hi: 2 })],
+                    reads: vec![Access::new(
+                        b,
+                        Pattern::Range {
+                            scale: 1,
+                            lo: -1,
+                            hi: 2,
+                        },
+                    )],
                     writes: vec![Access::new(a, Pattern::ident())],
                 },
             ],
@@ -304,7 +316,8 @@ mod tests {
         // chunk-edge element to thread 1.
         let wb = &plans.end[1][0].wb;
         assert!(
-            wb.iter().any(|o| o.peer == Some(ThreadId(1)) && o.region.words == 1),
+            wb.iter()
+                .any(|o| o.peer == Some(ThreadId(1)) && o.region.words == 1),
             "thread 0 writes back its edge element: {wb:?}"
         );
         // Interior threads never appear as peers of thread 0 in node 0.
@@ -318,8 +331,14 @@ mod tests {
         let plans = Analyzer::new(&prog, 4).analyze();
         for n in 0..2 {
             for t in 0..4 {
-                assert!(plans.start[n][t].inv.iter().all(|o| o.peer != Some(ThreadId(t))));
-                assert!(plans.end[n][t].wb.iter().all(|o| o.peer != Some(ThreadId(t))));
+                assert!(plans.start[n][t]
+                    .inv
+                    .iter()
+                    .all(|o| o.peer != Some(ThreadId(t))));
+                assert!(plans.end[n][t]
+                    .wb
+                    .iter()
+                    .all(|o| o.peer != Some(ThreadId(t))));
             }
         }
     }
@@ -331,7 +350,10 @@ mod tests {
         let prog = Program {
             arrays: vec![region(64)],
             nodes: vec![
-                Node::Serial { reads: vec![], writes: vec![Access::whole(x)] },
+                Node::Serial {
+                    reads: vec![],
+                    writes: vec![Access::whole(x)],
+                },
                 Node::ParFor {
                     iters: 64,
                     reads: vec![Access::new(x, Pattern::ident())],
@@ -343,7 +365,10 @@ mod tests {
         let plans = Analyzer::new(&prog, 4).analyze();
         // Thread 0 (serial executor) writes back the whole array.
         assert_eq!(plans.end[0][0].wb.len(), 1);
-        assert_eq!(plans.end[0][0].wb[0].peer, None, "consumers unknown -> global WB");
+        assert_eq!(
+            plans.end[0][0].wb[0].peer, None,
+            "consumers unknown -> global WB"
+        );
         assert_eq!(plans.end[0][0].wb[0].region.words, 64);
         // Every consumer thread invalidates its read range.
         for t in 0..4 {
@@ -370,7 +395,10 @@ mod tests {
                     reads: vec![],
                     writes: vec![Access::new(y, Pattern::ident())],
                 },
-                Node::Serial { reads: vec![Access::whole(y)], writes: vec![] },
+                Node::Serial {
+                    reads: vec![Access::whole(y)],
+                    writes: vec![],
+                },
             ],
             repeat: false,
         };
@@ -384,7 +412,10 @@ mod tests {
         // Producers 1..3 write back to consumer 0; producer 0 (= consumer)
         // does not.
         for t in 1..4 {
-            assert!(plans.end[0][t].wb.iter().any(|o| o.peer == Some(ThreadId(0))));
+            assert!(plans.end[0][t]
+                .wb
+                .iter()
+                .any(|o| o.peer == Some(ThreadId(0))));
         }
         assert!(plans.end[0][0].wb.is_empty());
     }
@@ -411,7 +442,11 @@ mod tests {
         };
         let plans = Analyzer::new(&prog, 2).analyze();
         let (wk, wu, ik, iu) = plans.counts();
-        assert_eq!((wk, wu, ik, iu), (0, 0, 0, 0), "no reachable producer-consumer pair");
+        assert_eq!(
+            (wk, wu, ik, iu),
+            (0, 0, 0, 0),
+            "no reachable producer-consumer pair"
+        );
     }
 
     #[test]

@@ -40,27 +40,34 @@ pub fn inspect_indirect(
         elems.dedup();
         let mut run: Option<(u64, u64, usize)> = None; // [lo, hi), producer
         for &e in &elems {
-            assert!(e < base.words, "indirect index {e} out of array of {}", base.words);
+            assert!(
+                e < base.words,
+                "indirect index {e} out of array of {}",
+                base.words
+            );
             let tp = producer_chunks.owner(e);
             if tp == tc {
                 // Produced locally (the `conflict[i] == tid` fast path of
                 // Figure 8): no INV needed. Close any open run.
                 if let Some((lo, hi, p)) = run.take() {
-                    plan.inv.push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
+                    plan.inv
+                        .push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
                 }
                 continue;
             }
             match run {
                 Some((lo, hi, p)) if p == tp && e == hi => run = Some((lo, e + 1, p)),
                 Some((lo, hi, p)) => {
-                    plan.inv.push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
+                    plan.inv
+                        .push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
                     run = Some((e, e + 1, tp));
                 }
                 None => run = Some((e, e + 1, tp)),
             }
         }
         if let Some((lo, hi, p)) = run {
-            plan.inv.push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
+            plan.inv
+                .push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
         }
         plans.push(plan);
     }
@@ -79,7 +86,11 @@ mod tests {
     #[test]
     fn local_reads_need_no_invalidation() {
         // 2 threads over 32 elements: thread 0 owns [0,16).
-        let plans = inspect_indirect(&[vec![0, 5, 15], vec![16, 31]], Chunks::new(32, 2), base(32));
+        let plans = inspect_indirect(
+            &[vec![0, 5, 15], vec![16, 31]],
+            Chunks::new(32, 2),
+            base(32),
+        );
         assert!(plans[0].inv.is_empty());
         assert!(plans[1].inv.is_empty());
     }
@@ -87,8 +98,11 @@ mod tests {
     #[test]
     fn remote_reads_coalesce_into_runs() {
         // Thread 0 reads 16,17,18 (owned by thread 1) and 20 (thread 1).
-        let plans =
-            inspect_indirect(&[vec![18, 16, 17, 20, 3], vec![]], Chunks::new(32, 2), base(32));
+        let plans = inspect_indirect(
+            &[vec![18, 16, 17, 20, 3], vec![]],
+            Chunks::new(32, 2),
+            base(32),
+        );
         let inv = &plans[0].inv;
         assert_eq!(inv.len(), 2, "{inv:?}");
         assert_eq!(inv[0].region.words, 3); // 16..19

@@ -31,17 +31,29 @@ pub enum Pattern {
 impl Pattern {
     /// `A[i]`.
     pub fn ident() -> Pattern {
-        Pattern::Range { scale: 1, lo: 0, hi: 1 }
+        Pattern::Range {
+            scale: 1,
+            lo: 0,
+            hi: 1,
+        }
     }
 
     /// Row access: iteration `i` touches row `i` of width `m`.
     pub fn row(m: i64) -> Pattern {
-        Pattern::Range { scale: m, lo: 0, hi: m }
+        Pattern::Range {
+            scale: m,
+            lo: 0,
+            hi: m,
+        }
     }
 
     /// Row stencil: iteration `i` reads rows `i-1 ..= i+1` of width `m`.
     pub fn row_stencil(m: i64) -> Pattern {
-        Pattern::Range { scale: m, lo: -m, hi: 2 * m }
+        Pattern::Range {
+            scale: m,
+            lo: -m,
+            hi: 2 * m,
+        }
     }
 
     /// Element interval `[lo, hi)` touched by iterations `[a, b)`,
@@ -98,7 +110,10 @@ impl Access {
     }
 
     pub fn whole(array: ArrayId) -> Access {
-        Access { array, pattern: Pattern::Whole }
+        Access {
+            array,
+            pattern: Pattern::Whole,
+        }
     }
 }
 
@@ -107,9 +122,16 @@ impl Access {
 pub enum Node {
     /// A serial section, executed by thread 0 only (§V-A1: "our approach
     /// executes the serial section in only one thread").
-    Serial { reads: Vec<Access>, writes: Vec<Access> },
+    Serial {
+        reads: Vec<Access>,
+        writes: Vec<Access>,
+    },
     /// A statically-scheduled parallel `for` loop.
-    ParFor { iters: u64, reads: Vec<Access>, writes: Vec<Access> },
+    ParFor {
+        iters: u64,
+        reads: Vec<Access>,
+        writes: Vec<Access>,
+    },
 }
 
 impl Node {
@@ -195,14 +217,24 @@ mod tests {
         let prog = Program {
             arrays: vec![Region::new(WordAddr(0), 10)],
             nodes: vec![
-                Node::Serial { reads: vec![], writes: vec![] },
-                Node::ParFor { iters: 10, reads: vec![], writes: vec![] },
+                Node::Serial {
+                    reads: vec![],
+                    writes: vec![],
+                },
+                Node::ParFor {
+                    iters: 10,
+                    reads: vec![],
+                    writes: vec![],
+                },
             ],
             repeat: false,
         };
         assert!(prog.reachable(0, 1));
         assert!(!prog.reachable(1, 0));
-        let looped = Program { repeat: true, ..prog };
+        let looped = Program {
+            repeat: true,
+            ..prog
+        };
         assert!(looped.reachable(1, 0));
         assert!(looped.reachable(1, 1));
     }

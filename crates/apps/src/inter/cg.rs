@@ -41,7 +41,11 @@ impl Cg {
             Scale::Small => (1024, 8, 3),
             Scale::Paper => (14000, 13, 15), // NAS CG class-S-ish shape
         };
-        Cg { n, nnz_per_row: nnz, iters }
+        Cg {
+            n,
+            nnz_per_row: nnz,
+            iters,
+        }
     }
 
     /// Deterministic sparse SPD-ish matrix: random off-diagonals plus a
@@ -331,8 +335,12 @@ mod tests {
     /// CG is a solver: the residual ||b - A x|| after the host run must be
     /// far below the initial ||b|| (b = ones, x0 = 0).
     #[test]
-    fn host_cg_reduces_the_residual()  {
-        let cg = Cg { n: 128, nnz_per_row: 6, iters: 8 };
+    fn host_cg_reduces_the_residual() {
+        let cg = Cg {
+            n: 128,
+            nnz_per_row: 6,
+            iters: 8,
+        };
         let m = cg.matrix();
         let x = cg.host_cg(&m, 8);
         let n = 128;
@@ -356,11 +364,18 @@ mod tests {
     /// per row, a diagonal in every row, strict diagonal dominance.
     #[test]
     fn matrix_is_diagonally_dominant_csr() {
-        let cg = Cg { n: 64, nnz_per_row: 5, iters: 1 };
+        let cg = Cg {
+            n: 64,
+            nnz_per_row: 5,
+            iters: 1,
+        };
         let m = cg.matrix();
         for i in 0..64usize {
             let row = &m.col[m.rowptr[i] as usize..m.rowptr[i + 1] as usize];
-            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} not sorted/unique");
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {i} not sorted/unique"
+            );
             assert!(row.contains(&(i as u32)), "row {i} missing diagonal");
             let (mut diag, mut off) = (0.0f32, 0.0f32);
             for j in m.rowptr[i] as usize..m.rowptr[i + 1] as usize {

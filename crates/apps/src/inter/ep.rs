@@ -209,8 +209,10 @@ impl App for EpHier {
             ctx.plan_barrier(block_bars[block]);
             // Level 2: leaders combine their block, publish globally.
             if t == leader {
-                let all = partials.slice((block * cpb * BINS) as u64,
-                                         ((block + 1) * cpb * BINS) as u64);
+                let all = partials.slice(
+                    (block * cpb * BINS) as u64,
+                    ((block + 1) * cpb * BINS) as u64,
+                );
                 ctx.plan_inv(&EpochPlan::new().with_inv(CommOp::unknown(all)));
                 let mut sums = [0u32; BINS];
                 for local in 0..cpb {

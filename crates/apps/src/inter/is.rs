@@ -36,7 +36,9 @@ impl Is {
 
     fn keys(&self) -> Vec<u32> {
         let mut rng = SplitMix64::new(0x15 + self.n as u64);
-        (0..self.n).map(|_| rng.below(self.buckets as u64) as u32).collect()
+        (0..self.n)
+            .map(|_| rng.below(self.buckets as u64) as u32)
+            .collect()
     }
 }
 

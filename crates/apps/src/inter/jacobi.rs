@@ -98,22 +98,38 @@ impl App for Jacobi {
                     iters: interior,
                     reads: vec![Access::new(
                         ArrayId(0),
-                        Pattern::Range { scale: cw, lo: 0, hi: 3 * cw },
+                        Pattern::Range {
+                            scale: cw,
+                            lo: 0,
+                            hi: 3 * cw,
+                        },
                     )],
                     writes: vec![Access::new(
                         ArrayId(1),
-                        Pattern::Range { scale: cw, lo: cw, hi: 2 * cw },
+                        Pattern::Range {
+                            scale: cw,
+                            lo: cw,
+                            hi: 2 * cw,
+                        },
                     )],
                 },
                 Node::ParFor {
                     iters: interior,
                     reads: vec![Access::new(
                         ArrayId(1),
-                        Pattern::Range { scale: cw, lo: 0, hi: 3 * cw },
+                        Pattern::Range {
+                            scale: cw,
+                            lo: 0,
+                            hi: 3 * cw,
+                        },
                     )],
                     writes: vec![Access::new(
                         ArrayId(0),
-                        Pattern::Range { scale: cw, lo: cw, hi: 2 * cw },
+                        Pattern::Range {
+                            scale: cw,
+                            lo: cw,
+                            hi: 2 * cw,
+                        },
                     )],
                 },
             ],
@@ -154,9 +170,10 @@ impl App for Jacobi {
             if ihi > ilo {
                 let lo_w = ((ilo as usize + 1) * c) as u64;
                 let hi_w = ((ihi as usize + 1) * c) as u64;
-                ctx.plan_wb(&hic_runtime::EpochPlan::new().with_wb(
-                    hic_runtime::CommOp::unknown(ga.slice(lo_w, hi_w)),
-                ));
+                ctx.plan_wb(
+                    &hic_runtime::EpochPlan::new()
+                        .with_wb(hic_runtime::CommOp::unknown(ga.slice(lo_w, hi_w))),
+                );
             }
             ctx.plan_barrier(bar);
         });

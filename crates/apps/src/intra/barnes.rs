@@ -80,7 +80,9 @@ impl Barnes {
             tree.insert(i, p.x, p.y, ps);
         }
         tree.finalize(ps);
-        ps.iter().map(|p| tree.force(p.x, p.y, self.theta)).collect()
+        ps.iter()
+            .map(|p| tree.force(p.x, p.y, self.theta))
+            .collect()
     }
 }
 
@@ -125,8 +127,11 @@ impl HostTree {
                     // Split: push the resident particle down, retry.
                     let old = self.nodes[node][1] as usize;
                     self.nodes[node][0] = K_INTERNAL as f32;
-                    let (cx, cy, h) =
-                        (self.nodes[node][9], self.nodes[node][10], self.nodes[node][11]);
+                    let (cx, cy, h) = (
+                        self.nodes[node][9],
+                        self.nodes[node][10],
+                        self.nodes[node][11],
+                    );
                     let q = Self::quadrant(cx, cy, ps[old].x, ps[old].y);
                     let (ncx, ncy) = (
                         cx + if q & 1 != 0 { h / 2.0 } else { -h / 2.0 },
@@ -138,8 +143,11 @@ impl HostTree {
                     self.nodes[child][1] = old as f32;
                 }
                 _ => {
-                    let (cx, cy, h) =
-                        (self.nodes[node][9], self.nodes[node][10], self.nodes[node][11]);
+                    let (cx, cy, h) = (
+                        self.nodes[node][9],
+                        self.nodes[node][10],
+                        self.nodes[node][11],
+                    );
                     let q = Self::quadrant(cx, cy, x, y);
                     let child = self.nodes[node][2 + q] as usize;
                     if child == 0 {
@@ -465,7 +473,9 @@ impl App for Barnes {
         for i in 0..n {
             let gx = out.peek_f32(ax, i as u64);
             let gy = out.peek_f32(ay, i as u64);
-            max_err = max_err.max((gx - want[i].0).abs()).max((gy - want[i].1).abs());
+            max_err = max_err
+                .max((gx - want[i].0).abs())
+                .max((gy - want[i].1).abs());
         }
         AppRun {
             name: self.name().to_string(),

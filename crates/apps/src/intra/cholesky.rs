@@ -80,7 +80,11 @@ impl App for Cholesky {
     fn patterns(&self) -> PatternInfo {
         PatternInfo::new(
             &[SyncPattern::OutsideCritical],
-            &[SyncPattern::Barrier, SyncPattern::Critical, SyncPattern::Flag],
+            &[
+                SyncPattern::Barrier,
+                SyncPattern::Critical,
+                SyncPattern::Flag,
+            ],
         )
     }
 
@@ -108,9 +112,9 @@ impl App for Cholesky {
         let out = p.run(nthreads, move |ctx| {
             ctx.barrier(bar);
             let idx = |i: usize, j: usize| (j * n + i) as u64; // column-major
-            // Thread-local memo of flags already waited for: once waited,
-            // the column is known final and fresh in this cache epoch
-            // discipline.
+                                                               // Thread-local memo of flags already waited for: once waited,
+                                                               // the column is known final and fresh in this cache epoch
+                                                               // discipline.
             let mut seen = vec![false; n];
             loop {
                 // Claim the next column (critical section, Figure 4b).

@@ -193,8 +193,16 @@ mod tests {
         let (re_in, im_in) = fft.input();
         let (mut re, mut im) = (re_in.clone(), im_in.clone());
         Fft::host_fft(&mut re, &mut im);
-        let time: f64 = re_in.iter().zip(&im_in).map(|(&a, &b)| (a * a + b * b) as f64).sum();
-        let freq: f64 = re.iter().zip(&im).map(|(&a, &b)| (a * a + b * b) as f64).sum();
+        let time: f64 = re_in
+            .iter()
+            .zip(&im_in)
+            .map(|(&a, &b)| (a * a + b * b) as f64)
+            .sum();
+        let freq: f64 = re
+            .iter()
+            .zip(&im)
+            .map(|(&a, &b)| (a * a + b * b) as f64)
+            .sum();
         let ratio = freq / (time * 256.0);
         assert!((ratio - 1.0).abs() < 1e-4, "Parseval ratio {ratio}");
     }

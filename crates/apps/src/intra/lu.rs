@@ -162,7 +162,11 @@ impl App for Lu {
     fn run(&self, config: Config) -> AppRun {
         let (n, b) = (self.n, self.b);
         let nb = n / b;
-        let layout = Layout { n, b, contiguous: self.contiguous };
+        let layout = Layout {
+            n,
+            b,
+            contiguous: self.contiguous,
+        };
         let input = self.input();
 
         let mut p = ProgramBuilder::new(config);
@@ -205,8 +209,8 @@ impl App for Lu {
                             for r in c + 1..(k + 1) * b {
                                 let l = get(ctx, m, layout, r, c);
                                 for cc in j * b..(j + 1) * b {
-                                    let v = get(ctx, m, layout, r, cc)
-                                        - l * get(ctx, m, layout, c, cc);
+                                    let v =
+                                        get(ctx, m, layout, r, cc) - l * get(ctx, m, layout, c, cc);
                                     put(ctx, m, layout, r, cc, v);
                                     ctx.tick(2);
                                 }
@@ -226,8 +230,8 @@ impl App for Lu {
                             for r in i * b..(i + 1) * b {
                                 let l = get(ctx, m, layout, r, c);
                                 for cc in c + 1..(k + 1) * b {
-                                    let v = get(ctx, m, layout, r, cc)
-                                        - l * get(ctx, m, layout, c, cc);
+                                    let v =
+                                        get(ctx, m, layout, r, cc) - l * get(ctx, m, layout, c, cc);
                                     put(ctx, m, layout, r, cc, v);
                                     ctx.tick(2);
                                 }
@@ -286,7 +290,11 @@ mod tests {
     /// validating the reference the simulated runs are compared against.
     #[test]
     fn host_lu_reconstructs_the_input() {
-        let lu = Lu { n: 32, b: 8, contiguous: true };
+        let lu = Lu {
+            n: 32,
+            b: 8,
+            contiguous: true,
+        };
         let a0 = lu.input();
         let mut f = a0.clone();
         lu.host_lu(&mut f);
@@ -313,7 +321,11 @@ mod tests {
     #[test]
     fn layouts_are_bijective() {
         for contiguous in [true, false] {
-            let l = Layout { n: 16, b: 4, contiguous };
+            let l = Layout {
+                n: 16,
+                b: 4,
+                contiguous,
+            };
             let mut seen = std::collections::HashSet::new();
             for i in 0..16 {
                 for j in 0..16 {

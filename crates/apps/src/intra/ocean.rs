@@ -29,7 +29,12 @@ impl Ocean {
             Scale::Small => (34, 18, 4),
             Scale::Paper => (258, 258, 20), // the paper's 258x258
         };
-        Ocean { rows, cols, iters, contiguous }
+        Ocean {
+            rows,
+            cols,
+            iters,
+            contiguous,
+        }
     }
 
     /// Row pitch in words: padded to a full line for the contiguous

@@ -31,7 +31,12 @@ impl Raytrace {
             Scale::Small => (64, 8),
             Scale::Paper => (512, 32), // stands in for the teapot scene
         };
-        Raytrace { width: w, height: w, tile: 4, nspheres: ns }
+        Raytrace {
+            width: w,
+            height: w,
+            tile: 4,
+            nspheres: ns,
+        }
     }
 
     fn scene(&self) -> Vec<[f32; 5]> {
@@ -94,7 +99,10 @@ impl App for Raytrace {
     }
 
     fn patterns(&self) -> PatternInfo {
-        PatternInfo::new(&[SyncPattern::Critical], &[SyncPattern::Barrier, SyncPattern::DataRace])
+        PatternInfo::new(
+            &[SyncPattern::Critical],
+            &[SyncPattern::Barrier, SyncPattern::DataRace],
+        )
     }
 
     fn run(&self, config: Config) -> AppRun {

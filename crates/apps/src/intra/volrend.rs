@@ -42,7 +42,14 @@ impl Volrend {
 
     /// Integrate one ray through the volume at image pixel (ix, iy) for a
     /// given frame's opacity scale.
-    fn cast(vol: &dyn Fn(usize, usize, usize) -> f32, n: usize, w: usize, ix: usize, iy: usize, opacity: f32) -> f32 {
+    fn cast(
+        vol: &dyn Fn(usize, usize, usize) -> f32,
+        n: usize,
+        w: usize,
+        ix: usize,
+        iy: usize,
+        opacity: f32,
+    ) -> f32 {
         // Nearest-sample orthographic ray along z.
         let vx = ((ix * n) / w).min(n - 1);
         let vy = ((iy * n) / w).min(n - 1);
@@ -131,11 +138,7 @@ impl App for Volrend {
                             ctx.read_f32(volume, ((x * n + y) * n + z) as u64)
                         };
                         let v = Volrend::cast(&vol, n, w, ix, line, opacity);
-                        ctx.write_f32(
-                            image,
-                            (frame * w * w + line * w + ix) as u64,
-                            v,
-                        );
+                        ctx.write_f32(image, (frame * w * w + line * w + ix) as u64, v);
                         ctx.tick(6 + 2 * n as u64);
                     }
                 }

@@ -33,19 +33,18 @@ impl Water {
     fn positions(&self) -> Vec<(f32, f32, f32)> {
         let mut rng = SplitMix64::new(0x3A7E6 + self.n as u64);
         (0..self.n)
-            .map(|_| (rng.unit_f32() * 4.0, rng.unit_f32() * 4.0, rng.unit_f32() * 4.0))
+            .map(|_| {
+                (
+                    rng.unit_f32() * 4.0,
+                    rng.unit_f32() * 4.0,
+                    rng.unit_f32() * 4.0,
+                )
+            })
             .collect()
     }
 
     /// Pair force with a smooth cutoff. Returns (fx, fy, fz, potential).
-    fn pair_force(
-        xi: f32,
-        yi: f32,
-        zi: f32,
-        xj: f32,
-        yj: f32,
-        zj: f32,
-    ) -> (f32, f32, f32, f32) {
+    fn pair_force(xi: f32, yi: f32, zi: f32, xj: f32, yj: f32, zj: f32) -> (f32, f32, f32, f32) {
         let dx = xj - xi;
         let dy = yj - yi;
         let dz = zj - zi;
@@ -124,8 +123,7 @@ impl Water {
             let mut force = vec![(0.0f32, 0.0f32, 0.0f32); n];
             for i in 0..n {
                 let ci = Self::cell_of(cells, pos[i].0, pos[i].1, pos[i].2);
-                let (cx, cy, cz) =
-                    (ci / (cells * cells), (ci / cells) % cells, ci % cells);
+                let (cx, cy, cz) = (ci / (cells * cells), (ci / cells) % cells, ci % cells);
                 for dx in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dz in -1i64..=1 {
@@ -144,8 +142,7 @@ impl Water {
                                     continue;
                                 }
                                 let (fx, fy, fz, _) = Self::pair_force(
-                                    pos[i].0, pos[i].1, pos[i].2, pos[j].0, pos[j].1,
-                                    pos[j].2,
+                                    pos[i].0, pos[i].1, pos[i].2, pos[j].0, pos[j].1, pos[j].2,
                                 );
                                 force[i].0 += fx;
                                 force[i].1 += fy;
@@ -338,8 +335,7 @@ impl Water {
                 for i in lo..hi {
                     let (xi, yi, zi) = pos[i];
                     let ci = Water::cell_of(cells, xi, yi, zi);
-                    let (cx, cy, cz) =
-                        (ci / (cells * cells), (ci / cells) % cells, ci % cells);
+                    let (cx, cy, cz) = (ci / (cells * cells), (ci / cells) % cells, ci % cells);
                     let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
                     for dx in -1i64..=1 {
                         for dy in -1i64..=1 {
@@ -358,9 +354,8 @@ impl Water {
                                     if j == i {
                                         continue;
                                     }
-                                    let (dfx, dfy, dfz, _) = Water::pair_force(
-                                        xi, yi, zi, pos[j].0, pos[j].1, pos[j].2,
-                                    );
+                                    let (dfx, dfy, dfz, _) =
+                                        Water::pair_force(xi, yi, zi, pos[j].0, pos[j].1, pos[j].2);
                                     ax += dfx;
                                     ay += dfy;
                                     az += dfz;

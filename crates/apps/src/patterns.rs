@@ -41,16 +41,27 @@ pub struct PatternInfo {
 
 impl PatternInfo {
     pub fn new(main: &[SyncPattern], other: &[SyncPattern]) -> PatternInfo {
-        PatternInfo { main: main.to_vec(), other: other.to_vec() }
+        PatternInfo {
+            main: main.to_vec(),
+            other: other.to_vec(),
+        }
     }
 
     /// Render like the paper's Table I cells.
     pub fn main_label(&self) -> String {
-        self.main.iter().map(|p| p.label()).collect::<Vec<_>>().join(", ")
+        self.main
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     pub fn other_label(&self) -> String {
-        self.other.iter().map(|p| p.label()).collect::<Vec<_>>().join(", ")
+        self.other
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 

@@ -1,58 +1,35 @@
-//! Criterion bench regenerating the measurement runs behind paper
-//! Figures 10 (traffic: HCC vs B+M+I) and 11 (global WB/INV counts:
-//! Addr vs Addr+L). Each iteration performs the full instrumented run;
-//! the counters themselves are printed by
+//! Bench regenerating the measurement runs behind paper Figures 10
+//! (traffic: HCC vs B+M+I) and 11 (global WB/INV counts: Addr vs
+//! Addr+L). Each iteration performs the full instrumented run; the
+//! counters themselves are printed by
 //! `cargo run -p hic-bench --bin figures fig10|fig11`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_bench::bench;
 use hic_runtime::{Config, InterConfig, IntraConfig};
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_traffic");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn main() {
     for app in intra_apps(Scale::Test) {
         for cfg in [IntraConfig::Hcc, IntraConfig::BMI] {
-            group.bench_with_input(
-                BenchmarkId::new(app.name().replace(' ', "_"), cfg.name()),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let r = app.run(Config::Intra(*cfg));
-                        assert!(r.correct);
-                        // The figure's quantity: flits in the four plotted
-                        // categories.
-                        r.stats.traffic.fig10_total()
-                    })
-                },
-            );
-        }
-    }
-    group.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_global_ops");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(1500));
-    for app in inter_apps(Scale::Test) {
-        for cfg in [InterConfig::Addr, InterConfig::AddrL] {
-            group.bench_with_input(BenchmarkId::new(app.name(), cfg.name()), &cfg, |b, cfg| {
-                b.iter(|| {
-                    let r = app.run(Config::Inter(*cfg));
-                    assert!(r.correct);
-                    // The figure's quantities: global WB/INV counts.
-                    (r.stats.counters.global_wbs, r.stats.counters.global_invs)
-                })
+            let name = format!("fig10/{}/{}", app.name().replace(' ', "_"), cfg.name());
+            bench(&name, || {
+                let r = app.run(Config::Intra(cfg));
+                assert!(r.correct);
+                // The figure's quantity: flits in the four plotted
+                // categories.
+                r.stats.traffic.fig10_total()
             });
         }
     }
-    group.finish();
+    for app in inter_apps(Scale::Test) {
+        for cfg in [InterConfig::Addr, InterConfig::AddrL] {
+            let name = format!("fig11/{}/{}", app.name(), cfg.name());
+            bench(&name, || {
+                let r = app.run(Config::Inter(cfg));
+                assert!(r.correct);
+                // The figure's quantities: global WB/INV counts.
+                (r.stats.counters.global_wbs, r.stats.counters.global_invs)
+            });
+        }
+    }
 }
-
-criterion_group!(benches, bench_fig10, bench_fig11);
-criterion_main!(benches);

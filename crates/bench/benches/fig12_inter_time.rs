@@ -1,36 +1,22 @@
-//! Criterion bench regenerating paper Figure 12: the inter-block
-//! applications (EP, IS, CG, Jacobi) under HCC, Base, Addr, and Addr+L.
+//! Bench regenerating paper Figure 12: the inter-block applications
+//! (EP, IS, CG, Jacobi) under HCC, Base, Addr, and Addr+L.
 //!
 //! The figure itself (normalized simulated cycles) is printed by
 //! `cargo run -p hic-bench --bin figures fig12`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use hic_apps::{inter_apps, Scale};
+use hic_bench::bench;
 use hic_runtime::{Config, InterConfig};
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_inter_time");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn main() {
     for app in inter_apps(Scale::Test) {
         for cfg in InterConfig::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(app.name(), cfg.name()),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let r = app.run(Config::Inter(*cfg));
-                        assert!(r.correct, "{}: {}", app.name(), r.detail);
-                        r.stats.total_cycles
-                    })
-                },
-            );
+            let name = format!("fig12/{}/{}", app.name(), cfg.name());
+            bench(&name, || {
+                let r = app.run(Config::Inter(cfg));
+                assert!(r.correct, "{}: {}", app.name(), r.detail);
+                r.stats.total_cycles
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

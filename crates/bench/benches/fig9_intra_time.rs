@@ -1,38 +1,24 @@
-//! Criterion bench regenerating paper Figure 9: every intra-block
-//! application under every configuration (HCC, Base, B+M, B+I, B+M+I).
+//! Bench regenerating paper Figure 9: every intra-block application under
+//! every configuration (HCC, Base, B+M, B+I, B+M+I).
 //!
 //! The benchmarked quantity is the wall time of the full simulation; the
 //! *figure itself* (normalized simulated cycles with stall breakdown) is
 //! printed by `cargo run -p hic-bench --bin figures fig9`. Each bench
 //! iteration also asserts the run computed the correct result.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use hic_apps::{intra_apps, Scale};
+use hic_bench::bench;
 use hic_runtime::{Config, IntraConfig};
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_intra_time");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn main() {
     for app in intra_apps(Scale::Test) {
         for cfg in IntraConfig::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(app.name().replace(' ', "_"), cfg.name()),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let r = app.run(Config::Intra(*cfg));
-                        assert!(r.correct, "{}: {}", app.name(), r.detail);
-                        r.stats.total_cycles
-                    })
-                },
-            );
+            let name = format!("fig9/{}/{}", app.name().replace(' ', "_"), cfg.name());
+            bench(&name, || {
+                let r = app.run(Config::Intra(cfg));
+                assert!(r.correct, "{}: {}", app.name(), r.detail);
+                r.stats.total_cycles
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,145 +1,192 @@
 //! Microbenchmarks of the simulator substrate itself: cache operations,
 //! mesh latency math, MESI transitions, incoherent WB/INV execution
-//! (full traversal vs MEB-served), and the synchronization table. These
-//! bound the simulator's own throughput and double as ablation probes for
-//! the MEB's costly-traversal-avoidance claim (§IV-B1).
+//! (full traversal vs MEB-served), the synchronization table, and the
+//! execution engine's transport (synchronous vs batched). These bound the
+//! simulator's own throughput and double as ablation probes for the
+//! MEB's costly-traversal-avoidance claim (§IV-B1).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use hic_bench::{bench, bench_with_setup};
 use hic_coherence::MesiSystem;
 use hic_core::{CohInstr, Target};
 use hic_machine::IncoherentSystem;
 use hic_mem::{Addr, Cache, LineAddr, WordAddr};
 use hic_noc::Mesh;
+use hic_runtime::{Config, IntraConfig, ProgramBuilder, Transport};
 use hic_sim::{CoreId, MachineConfig};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro_cache");
-    group.bench_function("fill_write_read", |b| {
-        let geom = MachineConfig::intra_block().l1;
-        b.iter_batched(
-            || Cache::new(geom),
-            |mut cache| {
-                for i in 0..512u64 {
-                    cache.fill(LineAddr(i), [i as u32; 16], 0);
-                    cache.write_word(LineAddr(i), (i % 16) as usize, i as u32);
-                    cache.read_word(LineAddr(i), 0);
-                }
-                cache.resident_lines()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
-}
-
-fn bench_mesh(c: &mut Criterion) {
-    let mesh = Mesh::new(16, 4);
-    c.bench_function("micro_mesh_rt_latency", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..16 {
-                for j in 0..16 {
-                    acc += mesh.rt_latency(i, j);
-                }
+fn bench_cache() {
+    let geom = MachineConfig::intra_block().l1;
+    bench_with_setup(
+        "micro_cache/fill_write_read",
+        || Cache::new(geom),
+        |mut cache| {
+            for i in 0..512u64 {
+                cache.fill(LineAddr(i), [i as u32; 16], 0);
+                cache.write_word(LineAddr(i), (i % 16) as usize, i as u32);
+                cache.read_word(LineAddr(i), 0);
             }
-            acc
-        })
+            cache.resident_lines()
+        },
+    );
+}
+
+fn bench_mesh() {
+    let mesh = Mesh::new(16, 4);
+    bench("micro_mesh/rt_latency", || {
+        let mut acc = 0u64;
+        for i in 0..16 {
+            for j in 0..16 {
+                acc += mesh.rt_latency(i, j);
+            }
+        }
+        acc
     });
 }
 
-fn bench_mesi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro_mesi");
-    group.bench_function("producer_consumer_roundtrip", |b| {
-        b.iter_batched(
-            || MesiSystem::new(MachineConfig::intra_block()),
-            |mut m| {
-                for i in 0..64u64 {
-                    m.write(CoreId(0), Addr(i * 64).word(), i as u32);
-                    m.read(CoreId(1), Addr(i * 64).word());
-                }
-                m.traffic.total()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+fn bench_mesi() {
+    bench_with_setup(
+        "micro_mesi/producer_consumer_roundtrip",
+        || MesiSystem::new(MachineConfig::intra_block()),
+        |mut m| {
+            for i in 0..64u64 {
+                m.write(CoreId(0), Addr(i * 64).word(), i as u32);
+                m.read(CoreId(1), Addr(i * 64).word());
+            }
+            m.traffic.total()
+        },
+    );
 }
 
-fn bench_incoherent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro_incoherent");
+fn bench_incoherent() {
     // The MEB claim of §IV-B1: WB ALL served from the MEB vs a full tag
     // traversal, for a small critical-section-sized write set.
-    group.bench_function("wb_all_full_traversal", |b| {
-        b.iter_batched(
-            || {
-                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
-                for i in 0..8u64 {
-                    m.write(CoreId(0), Addr(i * 64).word(), 1);
-                }
-                m
-            },
-            |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("wb_all_meb_served", |b| {
-        b.iter_batched(
-            || {
-                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
-                m.meb_begin(CoreId(0));
-                for i in 0..8u64 {
-                    m.write(CoreId(0), Addr(i * 64).word(), 1);
-                }
-                m
-            },
-            |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("inv_range_64_lines", |b| {
-        b.iter_batched(
-            || {
-                let mut m = IncoherentSystem::new(MachineConfig::intra_block());
-                for i in 0..64u64 {
-                    m.write(CoreId(0), WordAddr(i * 16), 1);
-                }
-                m
-            },
-            |mut m| {
-                m.exec_coh(
-                    CoreId(0),
-                    CohInstr::inv(Target::range(hic_mem::Region::new(WordAddr(0), 1024))),
-                )
-                .0
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    bench_with_setup(
+        "micro_incoherent/wb_all_full_traversal",
+        || {
+            let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+            for i in 0..8u64 {
+                m.write(CoreId(0), Addr(i * 64).word(), 1);
+            }
+            m
+        },
+        |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
+    );
+    bench_with_setup(
+        "micro_incoherent/wb_all_meb_served",
+        || {
+            let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+            m.meb_begin(CoreId(0));
+            for i in 0..8u64 {
+                m.write(CoreId(0), Addr(i * 64).word(), 1);
+            }
+            m
+        },
+        |mut m| m.exec_coh(CoreId(0), CohInstr::wb_all()).0,
+    );
+    bench_with_setup(
+        "micro_incoherent/inv_range_64_lines",
+        || {
+            let mut m = IncoherentSystem::new(MachineConfig::intra_block());
+            for i in 0..64u64 {
+                m.write(CoreId(0), WordAddr(i * 16), 1);
+            }
+            m
+        },
+        |mut m| {
+            m.exec_coh(
+                CoreId(0),
+                CohInstr::inv(Target::range(hic_mem::Region::new(WordAddr(0), 1024))),
+            )
+            .0
+        },
+    );
 }
 
-fn bench_sync(c: &mut Criterion) {
-    c.bench_function("micro_sync_lock_queue", |b| {
-        b.iter(|| {
-            let mut s = hic_sync::SyncController::new();
-            let l = s.alloc_lock();
-            s.lock_acquire(l, CoreId(0), 0).unwrap();
-            for i in 1..16 {
-                s.lock_acquire(l, CoreId(i), i as u64).unwrap();
+fn bench_sync() {
+    bench("micro_sync/lock_queue", || {
+        let mut s = hic_sync::SyncController::new();
+        let l = s.alloc_lock();
+        s.lock_acquire(l, CoreId(0), 0).unwrap();
+        for i in 1..16 {
+            s.lock_acquire(l, CoreId(i), i as u64).unwrap();
+        }
+        let mut t = 100;
+        let mut owner = CoreId(0);
+        for _ in 0..16 {
+            if let Some(g) = s.lock_release(l, owner, t).unwrap() {
+                owner = g.core;
+                t = g.at + 10;
             }
-            let mut t = 100;
-            let mut owner = CoreId(0);
-            for _ in 0..16 {
-                if let Some(g) = s.lock_release(l, owner, t).unwrap() {
-                    owner = g.core;
-                    t = g.at + 10;
-                }
-            }
-            t
-        })
+        }
+        t
     });
 }
 
-criterion_group!(benches, bench_cache, bench_mesh, bench_mesi, bench_incoherent, bench_sync);
-criterion_main!(benches);
+/// A store-heavy multithreaded workload: the best case for the batched
+/// transport (long runs of fire-and-forget ops between barriers).
+fn run_store_heavy(transport: Transport) -> hic_machine::RunStats {
+    const THREADS: usize = 8;
+    const STORES_PER_THREAD: u64 = 4096;
+    let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
+    p.transport(transport);
+    let data = p.alloc(THREADS as u64 * STORES_PER_THREAD);
+    let bar = p.barrier_of(THREADS);
+    let out = p.run(THREADS, move |ctx| {
+        let base = ctx.tid() as u64 * STORES_PER_THREAD;
+        for i in 0..STORES_PER_THREAD {
+            ctx.write(data, base + i, (base + i) as u32);
+            ctx.tick(2);
+        }
+        ctx.barrier(bar);
+    });
+    out.stats
+}
+
+/// Engine transport comparison: wall-clock throughput of the synchronous
+/// one-message-per-op transport vs the batched transport on a store-heavy
+/// workload, with the engine ledgers showing where the savings come from.
+/// Simulated results must be bit-identical.
+fn bench_engine_transport() {
+    let sync = bench("micro_engine/store_heavy_sync_transport", || {
+        run_store_heavy(Transport::Sync)
+    });
+    let batched = bench("micro_engine/store_heavy_batched_transport", || {
+        run_store_heavy(Transport::default())
+    });
+
+    let s = run_store_heavy(Transport::Sync);
+    let b = run_store_heavy(Transport::default());
+    assert_eq!(
+        s.total_cycles, b.total_cycles,
+        "transports must not change simulated time"
+    );
+    assert_eq!(
+        s.ledgers, b.ledgers,
+        "transports must not change stall ledgers"
+    );
+    assert_eq!(s.traffic, b.traffic, "transports must not change traffic");
+
+    println!(
+        "engine  sync:    {} ops, {} messages, {} round-trips",
+        s.engine.ops_executed, s.engine.messages, s.engine.round_trips
+    );
+    println!(
+        "engine  batched: {} ops, {} messages ({} batches), {} round-trips ({:.1}% saved)",
+        b.engine.ops_executed,
+        b.engine.messages,
+        b.engine.batches,
+        b.engine.round_trips,
+        100.0 * b.engine.round_trip_savings()
+    );
+    let speedup = batched.throughput() / sync.throughput();
+    println!("engine  batched/sync wall-clock speedup: {speedup:.2}x");
+}
+
+fn main() {
+    bench_cache();
+    bench_mesh();
+    bench_mesi();
+    bench_incoherent();
+    bench_sync();
+    bench_engine_transport();
+}

@@ -32,7 +32,12 @@ fn table1() {
     println!("{:-<14}-+-{:-<28}-+-{:-<28}", "", "", "");
     for app in intra_apps(Scale::Test) {
         let p = app.patterns();
-        println!("{:-14} | {:-28} | {}", app.name(), p.main_label(), p.other_label());
+        println!(
+            "{:-14} | {:-28} | {}",
+            app.name(),
+            p.main_label(),
+            p.other_label()
+        );
     }
 }
 
@@ -114,14 +119,30 @@ fn storage() {
     let cfg = MachineConfig::inter_block();
     println!("Section VII-A: control and storage overhead (32-core, 4x8)");
     for (name, rep) in [
-        ("coherent (hierarchical full-map MESI)", coherent_storage_bits(&cfg)),
-        ("incoherent (valid + per-word dirty, MEB/IEB/ThreadMap)", incoherent_storage_bits(&cfg)),
+        (
+            "coherent (hierarchical full-map MESI)",
+            coherent_storage_bits(&cfg),
+        ),
+        (
+            "incoherent (valid + per-word dirty, MEB/IEB/ThreadMap)",
+            incoherent_storage_bits(&cfg),
+        ),
     ] {
         println!("-- {name} --");
         for (item, bits) in &rep.items {
-            println!("  {:-44} {:>10} bits ({:>7.2} KB)", item, bits, *bits as f64 / 8192.0);
+            println!(
+                "  {:-44} {:>10} bits ({:>7.2} KB)",
+                item,
+                bits,
+                *bits as f64 / 8192.0
+            );
         }
-        println!("  {:-44} {:>10} bits ({:>7.2} KB)", "TOTAL", rep.total_bits(), rep.total_kb());
+        println!(
+            "  {:-44} {:>10} bits ({:>7.2} KB)",
+            "TOTAL",
+            rep.total_bits(),
+            rep.total_kb()
+        );
     }
     println!(
         "incoherent saves {:.1} KB (paper: \"about 102KB\")",
@@ -133,8 +154,7 @@ fn fig9(scale: Scale) {
     println!("Figure 9: normalized execution time, intra-block (HCC = 1.00)");
     println!(
         "{:-14} {:-6} {:>12} {:>6}  {:>6} {:>6} {:>6} {:>7} {:>6}  ok",
-        "app", "config", "cycles", "norm",
-        "inv", "wb", "lock", "barrier", "rest"
+        "app", "config", "cycles", "norm", "inv", "wb", "lock", "barrier", "rest"
     );
     for r in fig9_rows(scale) {
         println!(
@@ -190,7 +210,10 @@ fn fig11(scale: Scale) {
 
 fn fig12(scale: Scale) {
     println!("Figure 12: normalized execution time, inter-block (HCC = 1.00)");
-    println!("{:-10} {:-6} {:>12} {:>6}  ok", "app", "config", "cycles", "norm");
+    println!(
+        "{:-10} {:-6} {:>12} {:>6}  ok",
+        "app", "config", "cycles", "norm"
+    );
     for r in fig12_rows(scale) {
         println!(
             "{:-10} {:-6} {:>12} {:>6.2}  {}",
@@ -205,7 +228,10 @@ fn fig12(scale: Scale) {
 
 fn ablation() {
     println!("Ablation: MEB capacity (B+M, 64 jobs, 8 lines written per CS)");
-    println!("{:>8} {:>10} {:>8} {:>10}", "entries", "cycles", "drains", "overflows");
+    println!(
+        "{:>8} {:>10} {:>8} {:>10}",
+        "entries", "cycles", "drains", "overflows"
+    );
     for p in meb_capacity_sweep(8) {
         println!(
             "{:>8} {:>10} {:>8} {:>10}",
@@ -215,12 +241,24 @@ fn ablation() {
     println!("\nAblation: IEB capacity (B+I, 64 jobs, 8 lines per CS)");
     println!("{:>8} {:>10} {:>10}", "entries", "cycles", "refreshes");
     for p in ieb_capacity_sweep(8) {
-        println!("{:>8} {:>10} {:>10}", p.parameter, p.cycles, p.ieb_refreshes);
+        println!(
+            "{:>8} {:>10} {:>10}",
+            p.parameter, p.cycles, p.ieb_refreshes
+        );
     }
     println!("\nAblation: mesh hop latency (Base vs HCC, task-queue kernel)");
-    println!("{:>8} {:>10} {:>10} {:>8}", "cyc/hop", "Base", "HCC", "ratio");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "cyc/hop", "Base", "HCC", "ratio"
+    );
     for (hop, base, hcc) in hop_latency_sweep() {
-        println!("{:>8} {:>10} {:>10} {:>8.2}", hop, base, hcc, base as f64 / hcc as f64);
+        println!(
+            "{:>8} {:>10} {:>10} {:>8.2}",
+            hop,
+            base,
+            hcc,
+            base as f64 / hcc as f64
+        );
     }
 }
 

@@ -75,7 +75,14 @@ fn main() {
             for cfg in IntraConfig::ALL {
                 let t0 = std::time::Instant::now();
                 let r = app.run(Config::Intra(cfg));
-                report(app.name(), cfg.name(), r.correct, r.stats.total_cycles, t0.elapsed(), &r.detail);
+                report(
+                    app.name(),
+                    cfg.name(),
+                    r.correct,
+                    r.stats.total_cycles,
+                    t0.elapsed(),
+                    &r.detail,
+                );
             }
         }
     }
@@ -87,7 +94,14 @@ fn main() {
             for cfg in InterConfig::ALL {
                 let t0 = std::time::Instant::now();
                 let r = app.run(Config::Inter(cfg));
-                report(app.name(), cfg.name(), r.correct, r.stats.total_cycles, t0.elapsed(), &r.detail);
+                report(
+                    app.name(),
+                    cfg.name(),
+                    r.correct,
+                    r.stats.total_cycles,
+                    t0.elapsed(),
+                    &r.detail,
+                );
             }
         }
     }

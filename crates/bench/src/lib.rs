@@ -1,14 +1,17 @@
 //! Benchmark and figure-regeneration harness.
 //!
 //! The `figures` binary regenerates every table and figure of the paper's
-//! evaluation (see DESIGN.md §4 for the experiment index); the Criterion
-//! benches under `benches/` measure the same workloads under the
-//! standard `cargo bench` flow.
+//! evaluation (see DESIGN.md §4 for the experiment index); the benches
+//! under `benches/` measure the same workloads under the standard
+//! `cargo bench` flow, using the in-repo wall-clock harness in
+//! [`harness`].
 
 pub mod ablation;
+pub mod harness;
 pub mod report;
 
 pub use ablation::{hop_latency_sweep, ieb_capacity_sweep, meb_capacity_sweep, AblationPoint};
+pub use harness::{bench, bench_with_setup, Timing};
 pub use report::{
     fig10_rows, fig11_rows, fig12_rows, fig9_rows, Fig10Row, Fig11Row, Fig12Row, Fig9Row,
 };

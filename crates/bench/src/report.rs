@@ -106,9 +106,7 @@ pub fn fig10_rows(scale: Scale) -> Vec<Fig10Row> {
         let hcc = app.run(Config::Intra(IntraConfig::Hcc));
         let bmi = app.run(Config::Intra(IntraConfig::BMI));
         let hcc_total = hcc.stats.traffic.fig10_total().max(1);
-        for (i, (name, r)) in
-            [("HCC", &hcc), ("B+M+I", &bmi)].into_iter().enumerate()
-        {
+        for (i, (name, r)) in [("HCC", &hcc), ("B+M+I", &bmi)].into_iter().enumerate() {
             let t = &r.stats.traffic;
             let norm = t.fig10_total() as f64 / hcc_total as f64;
             avg[i] += norm;
@@ -183,8 +181,10 @@ pub struct Fig12Row {
 pub fn fig12_rows(scale: Scale) -> Vec<Fig12Row> {
     let mut rows = Vec::new();
     let apps = inter_apps(scale);
-    let mut sums: Vec<(String, f64)> =
-        InterConfig::ALL.iter().map(|c| (c.name().to_string(), 0.0)).collect();
+    let mut sums: Vec<(String, f64)> = InterConfig::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), 0.0))
+        .collect();
     for app in &apps {
         let hcc = app.run(Config::Inter(InterConfig::Hcc));
         let hcc_total = hcc.stats.total_cycles.max(1);

@@ -52,7 +52,9 @@ impl DirEntry {
         self.sharers & (1 << i) != 0
     }
     fn others(&self, i: usize) -> Vec<usize> {
-        (0..64).filter(|&j| j != i && self.sharers & (1 << j) != 0).collect()
+        (0..64)
+            .filter(|&j| j != i && self.sharers & (1 << j) != 0)
+            .collect()
     }
     fn is_empty(&self) -> bool {
         self.sharers == 0
@@ -186,7 +188,8 @@ impl MesiSystem {
             let merged = self.l2[hb].merge_words(line, &victim.data, victim.dirty);
             debug_assert!(merged, "L2 must be inclusive of its L1s");
             let bytes = victim.dirty_words() as usize * 4;
-            self.traffic.add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
+            self.traffic
+                .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
         } else {
             // Replacement hint keeps the full-map directory exact.
             self.traffic.add(TrafficCategory::Writeback, 1);
@@ -226,14 +229,16 @@ impl MesiSystem {
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
-                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                self.traffic
+                    .add(TrafficCategory::Memory, self.cfg.line_flits());
                 if let Some(v) = self.l3[l3b].fill(line, data, 0) {
                     self.l3_evict(v);
                 }
             }
             // Transfer L3 -> L2 and record the block as a sharer.
             let data = *self.l3[l3b].view(line).expect("just ensured").data;
-            self.traffic.add(TrafficCategory::L2L3, self.cfg.line_flits());
+            self.traffic
+                .add(TrafficCategory::L2L3, self.cfg.line_flits());
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.l2_evict(blk, v);
             }
@@ -244,7 +249,8 @@ impl MesiSystem {
             let corner = self.mesh.nearest_corner(hb_tile);
             let lat = self.mesh.rt_latency_to_corner(hb_tile, corner) + self.cfg.mem_rt;
             let data = self.mem.read_line(line);
-            self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+            self.traffic
+                .add(TrafficCategory::Memory, self.cfg.line_flits());
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.l2_evict(blk, v);
             }
@@ -272,7 +278,8 @@ impl MesiSystem {
         };
         if dirty != 0 {
             let bytes = dirty.count_ones() as usize * 4;
-            self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+            self.traffic
+                .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
             let merged = self.l3[l3b].merge_words(line, &data, dirty);
             debug_assert!(merged, "L3 must be inclusive of L2s");
             self.l2[hb].clean_line(line);
@@ -325,7 +332,8 @@ impl MesiSystem {
         self.traffic.add(TrafficCategory::Invalidation, 2);
         if dirty != 0 {
             let bytes = dirty.count_ones() as usize * 4;
-            self.traffic.add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
+            self.traffic
+                .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
             let merged = self.l2[hb].merge_words(line, &data, dirty);
             debug_assert!(merged, "L2 must be inclusive of its L1s");
         }
@@ -376,7 +384,8 @@ impl MesiSystem {
             let l3b = self.l3_bank(line);
             if victim.dirty != 0 {
                 let bytes = victim.dirty.count_ones() as usize * 4;
-                self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                self.traffic
+                    .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
                 let merged = self.l3[l3b].merge_words(line, &victim.data, victim.dirty);
                 debug_assert!(merged, "L3 inclusive of L2");
             }
@@ -388,7 +397,8 @@ impl MesiSystem {
             }
         } else if victim.dirty != 0 {
             let bytes = victim.dirty.count_ones() as usize * 4;
-            self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+            self.traffic
+                .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
             self.mem.merge_words(line, &victim.data, victim.dirty);
         }
     }
@@ -417,7 +427,8 @@ impl MesiSystem {
                         }
                         victim.dirty |= inv.dirty;
                         let bytes = inv.dirty_words() as usize * 4;
-                        self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                        self.traffic
+                            .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
                     }
                 }
                 self.traffic.add(TrafficCategory::Invalidation, 2);
@@ -425,7 +436,8 @@ impl MesiSystem {
         }
         if victim.dirty != 0 {
             let bytes = victim.dirty.count_ones() as usize * 4;
-            self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+            self.traffic
+                .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
             self.mem.merge_words(line, &victim.data, victim.dirty);
         }
     }
@@ -454,8 +466,10 @@ impl MesiSystem {
                 self.l1[c2.0].invalidate(line);
                 self.l1_state[c2.0].remove(&line.0);
                 self.traffic.add(TrafficCategory::Invalidation, 2);
-                max_leg =
-                    max_leg.max(self.mesh.rt_latency(hb_tile, self.core_tile_of_local(blk, *t)));
+                max_leg = max_leg.max(
+                    self.mesh
+                        .rt_latency(hb_tile, self.core_tile_of_local(blk, *t)),
+                );
             }
             if !targets.is_empty() {
                 lat = lat.max(max_leg);
@@ -495,7 +509,8 @@ impl MesiSystem {
                         if inv.dirty != 0 {
                             let l3bank = self.l3_bank(line);
                             let bytes = inv.dirty.count_ones() as usize * 4;
-                            self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                            self.traffic
+                                .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
                             self.l3[l3bank].merge_words(line, &inv.data, inv.dirty);
                         }
                     }
@@ -526,27 +541,35 @@ impl MesiSystem {
     pub fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
         let line = w.line();
         if self.l1_state_of(c, line).is_some() {
-            let v = self.l1[c.0].read_word(line, w.index_in_line()).expect("state/cache sync");
+            let v = self.l1[c.0]
+                .read_word(line, w.index_in_line())
+                .expect("state/cache sync");
             return (v, self.cfg.l1_rt);
         }
         let blk = self.block_of(c);
         let hb = self.home_bank(blk, line);
         let hb_tile = self.bank_tile(hb);
-        let mut lat =
-            self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
+        let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
         lat += self.ensure_block_readable(blk, line);
         // Forward from a local owner if one exists (three-hop).
         lat += self.pull_local_owner(blk, line, hb, false, Some(c));
         let data = *self.l2[hb].view(line).expect("block readable").data;
         // E if no one else holds it anywhere; else S.
-        let local_sharers = self.l2_dir[blk].get(&line.0).map(|e| e.sharers).unwrap_or(0);
+        let local_sharers = self.l2_dir[blk]
+            .get(&line.0)
+            .map(|e| e.sharers)
+            .unwrap_or(0);
         let exclusive_ok = if self.is_hier() {
             let e = self.l3_dir.get(&line.0).expect("block recorded at L3");
             e.sharers == 1 << blk
         } else {
             true
         };
-        let st = if local_sharers == 0 && exclusive_ok { Mesi::E } else { Mesi::S };
+        let st = if local_sharers == 0 && exclusive_ok {
+            Mesi::E
+        } else {
+            Mesi::S
+        };
         let local = self.local_idx(c);
         let entry = self.l2_dir[blk].entry(line.0).or_default();
         entry.add(local);
@@ -555,10 +578,14 @@ impl MesiSystem {
             // Record block-level exclusivity so a later remote request
             // recalls this block (an E copy may silently become M).
             if self.is_hier() {
-                self.l3_dir.get_mut(&line.0).expect("block recorded at L3").owner = Some(blk);
+                self.l3_dir
+                    .get_mut(&line.0)
+                    .expect("block recorded at L3")
+                    .owner = Some(blk);
             }
         }
-        self.traffic.add(TrafficCategory::Linefill, self.cfg.line_flits());
+        self.traffic
+            .add(TrafficCategory::Linefill, self.cfg.line_flits());
         self.l1_fill(c, line, data, st);
         (data[w.index_in_line()], lat)
     }
@@ -582,8 +609,7 @@ impl MesiSystem {
                 let blk = self.block_of(c);
                 let hb = self.home_bank(blk, line);
                 let hb_tile = self.bank_tile(hb);
-                let mut lat =
-                    self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
+                let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
                 lat += self.invalidate_others(c, line);
                 let local = self.local_idx(c);
                 self.l2_dir[blk].get_mut(&line.0).unwrap().owner = Some(local);
@@ -596,8 +622,7 @@ impl MesiSystem {
                 let blk = self.block_of(c);
                 let hb = self.home_bank(blk, line);
                 let hb_tile = self.bank_tile(hb);
-                let mut lat =
-                    self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
+                let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
                 lat += self.ensure_block_readable(blk, line);
                 // Pull and drop any local owner; drop all other sharers.
                 lat += self.pull_local_owner(blk, line, hb, true, Some(c));
@@ -612,7 +637,8 @@ impl MesiSystem {
                     e.add(blk);
                     e.owner = Some(blk);
                 }
-                self.traffic.add(TrafficCategory::Linefill, self.cfg.line_flits());
+                self.traffic
+                    .add(TrafficCategory::Linefill, self.cfg.line_flits());
                 self.l1_fill(c, line, data, Mesi::M);
                 self.l1[c.0].write_word(line, w.index_in_line(), v);
                 lat
@@ -749,7 +775,10 @@ mod tests {
         m.poke_word(w(0x1000), 77);
         let (v, lat) = m.read(CoreId(0), w(0x1000));
         assert_eq!(v, 77);
-        assert!(lat > m.config().l1_rt, "cold miss must cost more than a hit");
+        assert!(
+            lat > m.config().l1_rt,
+            "cold miss must cost more than a hit"
+        );
         assert!(m.traffic.memory > 0);
         assert!(m.traffic.linefill > 0);
         // Second read hits.
@@ -779,7 +808,10 @@ mod tests {
         }
         let inv_before = m.traffic.invalidation;
         m.write(CoreId(0), w(0x3000), 2);
-        assert!(m.traffic.invalidation > inv_before, "upgrade sends invalidations");
+        assert!(
+            m.traffic.invalidation > inv_before,
+            "upgrade sends invalidations"
+        );
         // The other cores re-read and see the new value.
         for c in [1, 2] {
             let (v, _) = m.read(CoreId(c), w(0x3000));
@@ -815,7 +847,10 @@ mod tests {
             m.write(CoreId(0), a, i);
             m.write(CoreId(1), b, i);
         }
-        assert!(m.traffic.invalidation > inv_once, "ping-pong keeps invalidating");
+        assert!(
+            m.traffic.invalidation > inv_once,
+            "ping-pong keeps invalidating"
+        );
         assert_eq!(m.peek_word(a), 9);
         assert_eq!(m.peek_word(b), 9);
         m.check_invariants().unwrap();

@@ -3,12 +3,12 @@
 //! operations — every read returns exactly what the last write to that
 //! word (in execution order) stored — and the directory invariants hold
 //! after every step.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the deterministic in-repo `SplitMix64` (fixed seeds).
 
 use hic_coherence::MesiSystem;
 use hic_mem::WordAddr;
-use hic_sim::{CoreId, MachineConfig};
+use hic_sim::{CoreId, MachineConfig, SplitMix64};
 
 #[derive(Debug, Clone)]
 enum MesiOp {
@@ -16,15 +16,21 @@ enum MesiOp {
     Write { core: usize, word: u64, value: u32 },
 }
 
-fn arb_op(cores: usize, words: u64) -> impl Strategy<Value = MesiOp> {
-    prop_oneof![
-        (0..cores, 0..words).prop_map(|(core, word)| MesiOp::Read { core, word }),
-        (0..cores, 0..words, any::<u32>())
-            .prop_map(|(core, word, value)| MesiOp::Write { core, word, value }),
-    ]
+fn gen_op(rng: &mut SplitMix64, cores: usize, words: u64) -> MesiOp {
+    let core = rng.below(cores as u64) as usize;
+    let word = rng.below(words);
+    if rng.below(2) == 0 {
+        MesiOp::Read { core, word }
+    } else {
+        MesiOp::Write {
+            core,
+            word,
+            value: rng.next_u32(),
+        }
+    }
 }
 
-fn run_sequence(cfg: MachineConfig, ops: Vec<MesiOp>) -> Result<(), TestCaseError> {
+fn run_sequence(case: u64, cfg: MachineConfig, ops: Vec<MesiOp>) {
     let cores = cfg.num_cores();
     let mut m = MesiSystem::new(cfg);
     // Reference model: last written value per word.
@@ -32,15 +38,14 @@ fn run_sequence(cfg: MachineConfig, ops: Vec<MesiOp>) -> Result<(), TestCaseErro
     for (step, op) in ops.iter().enumerate() {
         match *op {
             MesiOp::Read { core, word } => {
-                prop_assert!(core < cores);
+                assert!(core < cores);
                 let (v, lat) = m.read(CoreId(core), WordAddr(word));
                 let want = model.get(&word).copied().unwrap_or(0);
-                prop_assert_eq!(
+                assert_eq!(
                     v, want,
-                    "step {}: core {} read word {} -> {} want {}",
-                    step, core, word, v, want
+                    "case {case} step {step}: core {core} read word {word} -> {v} want {want}"
                 );
-                prop_assert!(lat >= 2, "no access is faster than an L1 hit");
+                assert!(lat >= 2, "no access is faster than an L1 hit");
             }
             MesiOp::Write { core, word, value } => {
                 m.write(CoreId(core), WordAddr(word), value);
@@ -48,48 +53,59 @@ fn run_sequence(cfg: MachineConfig, ops: Vec<MesiOp>) -> Result<(), TestCaseErro
             }
         }
         if let Err(e) = m.check_invariants() {
-            return Err(TestCaseError::fail(format!("step {step}: {e}")));
+            panic!("case {case} step {step}: {e}");
         }
         // peek agrees with the model at every step, for every word.
         for (&w, &want) in &model {
-            prop_assert_eq!(m.peek_word(WordAddr(w)), want, "peek of word {} at step {}", w, step);
+            assert_eq!(
+                m.peek_word(WordAddr(w)),
+                want,
+                "case {case}: peek of word {w} at step {step}"
+            );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    /// Flat (single-block) machine. Word space spans a few cache sets and
-    /// forces line sharing (16 words per line over 8 lines).
-    #[test]
-    fn flat_mesi_is_sequentially_consistent(
-        ops in proptest::collection::vec(arb_op(16, 128), 1..120)
-    ) {
-        run_sequence(MachineConfig::intra_block(), ops)?;
+/// Flat (single-block) machine. Word space spans a few cache sets and
+/// forces line sharing (16 words per line over 8 lines).
+#[test]
+fn flat_mesi_is_sequentially_consistent() {
+    let mut rng = SplitMix64::new(0x3E51);
+    for case in 0..48 {
+        let len = 1 + rng.below(119);
+        let ops = (0..len).map(|_| gen_op(&mut rng, 16, 128)).collect();
+        run_sequence(case, MachineConfig::intra_block(), ops);
     }
+}
 
-    /// Hierarchical (4x8) machine: cross-block recalls, L3 directory.
-    #[test]
-    fn hierarchical_mesi_is_sequentially_consistent(
-        ops in proptest::collection::vec(arb_op(32, 128), 1..100)
-    ) {
-        run_sequence(MachineConfig::inter_block(), ops)?;
+/// Hierarchical (4x8) machine: cross-block recalls, L3 directory.
+#[test]
+fn hierarchical_mesi_is_sequentially_consistent() {
+    let mut rng = SplitMix64::new(0x3E52);
+    for case in 0..48 {
+        let len = 1 + rng.below(99);
+        let ops = (0..len).map(|_| gen_op(&mut rng, 32, 128)).collect();
+        run_sequence(case, MachineConfig::inter_block(), ops);
     }
+}
 
-    /// Capacity stress: words spread over many lines mapping to few sets,
-    /// forcing L1 evictions, writebacks, and directory cleanup.
-    #[test]
-    fn mesi_survives_capacity_evictions(
-        ops in proptest::collection::vec(
-            // 8 distinct lines all in L1 set 0 (stride = sets * 16 words).
-            (0..4usize, 0..8u64, any::<u32>()).prop_map(|(core, line, value)| {
-                MesiOp::Write { core, word: line * 128 * 16, value }
-            }),
-            1..80
-        )
-    ) {
-        run_sequence(MachineConfig::intra_block(), ops)?;
+/// Capacity stress: words spread over many lines mapping to few sets,
+/// forcing L1 evictions, writebacks, and directory cleanup.
+#[test]
+fn mesi_survives_capacity_evictions() {
+    let mut rng = SplitMix64::new(0x3E53);
+    for case in 0..48 {
+        let len = 1 + rng.below(79);
+        let ops = (0..len)
+            .map(|_| {
+                // 8 distinct lines all in L1 set 0 (stride = sets * 16 words).
+                MesiOp::Write {
+                    core: rng.below(4) as usize,
+                    word: rng.below(8) * 128 * 16,
+                    value: rng.next_u32(),
+                }
+            })
+            .collect();
+        run_sequence(case, MachineConfig::intra_block(), ops);
     }
 }

@@ -49,7 +49,12 @@ impl Ieb {
     /// An IEB with the given capacity (4 in the paper).
     pub fn new(capacity: usize) -> Ieb {
         assert!(capacity > 0);
-        Ieb { capacity, entries: VecDeque::with_capacity(capacity), active: false, evictions: 0 }
+        Ieb {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            active: false,
+            evictions: 0,
+        }
     }
 
     /// Begin a lazily-invalidated epoch: clear and activate.
@@ -111,7 +116,10 @@ mod tests {
     fn first_read_refreshes_second_is_normal() {
         let mut ieb = Ieb::new(4);
         ieb.begin_epoch();
-        assert_eq!(ieb.on_read(LineAddr(10), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(10), false),
+            IebAction::RefreshFromShared
+        );
         assert_eq!(ieb.on_read(LineAddr(10), false), IebAction::Normal);
     }
 
@@ -123,20 +131,35 @@ mod tests {
         assert_eq!(ieb.on_read(LineAddr(5), true), IebAction::Normal);
         // And the line was not recorded: a later clean-word read of the
         // same line still refreshes.
-        assert_eq!(ieb.on_read(LineAddr(5), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(5), false),
+            IebAction::RefreshFromShared
+        );
     }
 
     #[test]
     fn fifo_eviction_causes_one_extra_refresh() {
         let mut ieb = Ieb::new(2);
         ieb.begin_epoch();
-        assert_eq!(ieb.on_read(LineAddr(1), false), IebAction::RefreshFromShared);
-        assert_eq!(ieb.on_read(LineAddr(2), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(1), false),
+            IebAction::RefreshFromShared
+        );
+        assert_eq!(
+            ieb.on_read(LineAddr(2), false),
+            IebAction::RefreshFromShared
+        );
         // Line 3 evicts line 1.
-        assert_eq!(ieb.on_read(LineAddr(3), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(3), false),
+            IebAction::RefreshFromShared
+        );
         assert_eq!(ieb.evictions(), 1);
         // Line 1 was evicted: unnecessary (but harmless) refresh.
-        assert_eq!(ieb.on_read(LineAddr(1), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(1), false),
+            IebAction::RefreshFromShared
+        );
         // Line 3 is still held.
         assert_eq!(ieb.on_read(LineAddr(3), false), IebAction::Normal);
     }
@@ -150,7 +173,10 @@ mod tests {
         assert!(!ieb.active());
         ieb.begin_epoch();
         // Fresh epoch: line 9 must refresh again.
-        assert_eq!(ieb.on_read(LineAddr(9), false), IebAction::RefreshFromShared);
+        assert_eq!(
+            ieb.on_read(LineAddr(9), false),
+            IebAction::RefreshFromShared
+        );
     }
 
     #[test]

@@ -144,49 +144,79 @@ pub enum CohInstr {
 impl CohInstr {
     /// `WB target` (to L2).
     pub fn wb(target: Target) -> CohInstr {
-        CohInstr::Wb { target, scope: WbScope::ToL2 }
+        CohInstr::Wb {
+            target,
+            scope: WbScope::ToL2,
+        }
     }
 
     /// `WB ALL`.
     pub fn wb_all() -> CohInstr {
-        CohInstr::Wb { target: Target::All, scope: WbScope::ToL2 }
+        CohInstr::Wb {
+            target: Target::All,
+            scope: WbScope::ToL2,
+        }
     }
 
     /// `WB_L3 target`.
     pub fn wb_l3(target: Target) -> CohInstr {
-        CohInstr::Wb { target, scope: WbScope::ToL3 }
+        CohInstr::Wb {
+            target,
+            scope: WbScope::ToL3,
+        }
     }
 
     /// `WB_CONS(target, consumer)`.
     pub fn wb_cons(target: Target, consumer: ThreadId) -> CohInstr {
-        CohInstr::Wb { target, scope: WbScope::Cons(consumer) }
+        CohInstr::Wb {
+            target,
+            scope: WbScope::Cons(consumer),
+        }
     }
 
     /// `INV target` (from L1).
     pub fn inv(target: Target) -> CohInstr {
-        CohInstr::Inv { target, scope: InvScope::FromL1 }
+        CohInstr::Inv {
+            target,
+            scope: InvScope::FromL1,
+        }
     }
 
     /// `INV ALL`.
     pub fn inv_all() -> CohInstr {
-        CohInstr::Inv { target: Target::All, scope: InvScope::FromL1 }
+        CohInstr::Inv {
+            target: Target::All,
+            scope: InvScope::FromL1,
+        }
     }
 
     /// `INV_L2 target`.
     pub fn inv_l2(target: Target) -> CohInstr {
-        CohInstr::Inv { target, scope: InvScope::FromL2 }
+        CohInstr::Inv {
+            target,
+            scope: InvScope::FromL2,
+        }
     }
 
     /// `INV_PROD(target, producer)`.
     pub fn inv_prod(target: Target, producer: ThreadId) -> CohInstr {
-        CohInstr::Inv { target, scope: InvScope::Prod(producer) }
+        CohInstr::Inv {
+            target,
+            scope: InvScope::Prod(producer),
+        }
     }
 
     /// Is this a whole-cache (ALL) flavor?
     pub fn is_all(&self) -> bool {
         matches!(
             self,
-            CohInstr::Wb { target: Target::All, .. } | CohInstr::Inv { target: Target::All, .. }
+            CohInstr::Wb {
+                target: Target::All,
+                ..
+            } | CohInstr::Inv {
+                target: Target::All,
+                ..
+            }
         )
     }
 
@@ -310,7 +340,10 @@ mod tests {
             CohInstr::inv_prod(Target::word(WordAddr(0)), ThreadId(1)).mnemonic(),
             "INV_PROD[t1]"
         );
-        assert_eq!(CohInstr::inv_l2(Target::word(WordAddr(0))).mnemonic(), "INV_L2");
+        assert_eq!(
+            CohInstr::inv_l2(Target::word(WordAddr(0))).mnemonic(),
+            "INV_L2"
+        );
     }
 
     #[test]

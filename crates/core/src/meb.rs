@@ -38,7 +38,12 @@ impl Meb {
     /// An MEB with the given entry capacity (16 in the paper).
     pub fn new(capacity: usize) -> Meb {
         assert!(capacity > 0);
-        Meb { capacity, ids: Vec::with_capacity(capacity), overflowed: false, recording: false }
+        Meb {
+            capacity,
+            ids: Vec::with_capacity(capacity),
+            overflowed: false,
+            recording: false,
+        }
     }
 
     /// Begin a tracked epoch (e.g. on lock acquire): clear and record.

@@ -112,7 +112,11 @@ impl WriteBuffer {
     /// A buffer with the given capacity (entries).
     pub fn new(capacity: usize) -> WriteBuffer {
         assert!(capacity > 0);
-        WriteBuffer { entries: Default::default(), next_seq: 0, capacity }
+        WriteBuffer {
+            entries: Default::default(),
+            next_seq: 0,
+            capacity,
+        }
     }
 
     /// Is the buffer full (the next store/WB/INV would stall at retire)?
@@ -243,7 +247,10 @@ mod tests {
     fn load_forwards_from_buffered_store() {
         let mut wb = WriteBuffer::new(8);
         let seq = wb.push(Store, WordAddr(10));
-        assert_eq!(wb.load_path(WordAddr(10)), LoadPath::ForwardFromStore { seq });
+        assert_eq!(
+            wb.load_path(WordAddr(10)),
+            LoadPath::ForwardFromStore { seq }
+        );
     }
 
     #[test]
@@ -253,12 +260,18 @@ mod tests {
         let inv_seq = wb.push(Inv, WordAddr(10));
         // INV is younger than the store: the load must observe the
         // refreshed view, not forward stale data.
-        assert_eq!(wb.load_path(WordAddr(10)), LoadPath::StallForInv { seq: inv_seq });
+        assert_eq!(
+            wb.load_path(WordAddr(10)),
+            LoadPath::StallForInv { seq: inv_seq }
+        );
         // A WB younger still does not lift the store-forwarding of an even
         // younger store.
         let st_seq = wb.push(Store, WordAddr(10));
         wb.push(Wb, WordAddr(10));
-        assert_eq!(wb.load_path(WordAddr(10)), LoadPath::ForwardFromStore { seq: st_seq });
+        assert_eq!(
+            wb.load_path(WordAddr(10)),
+            LoadPath::ForwardFromStore { seq: st_seq }
+        );
     }
 
     #[test]

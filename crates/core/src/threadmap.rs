@@ -22,7 +22,9 @@ pub struct ThreadMap {
 impl ThreadMap {
     /// An empty map for `blocks` blocks.
     pub fn new(blocks: usize) -> ThreadMap {
-        ThreadMap { threads: vec![Vec::new(); blocks] }
+        ThreadMap {
+            threads: vec![Vec::new(); blocks],
+        }
     }
 
     /// The canonical mapping the runtime uses: thread `i` on core `i`,

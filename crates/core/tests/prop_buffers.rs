@@ -1,62 +1,66 @@
 //! Property tests for the paper's hardware structures: the write buffer's
 //! ordering rules, and the MEB/IEB state machines.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the deterministic in-repo `SplitMix64` (fixed seeds).
 
 use hic_core::ieb::IebAction;
-use hic_core::ordering::{AccessKind, WriteBuffer};
+use hic_core::ordering::{AccessKind, LoadPath, WriteBuffer};
 use hic_core::{Ieb, Meb, MebDrain};
 use hic_mem::{LineAddr, WordAddr};
+use hic_sim::SplitMix64;
 
-fn arb_buffered_kind() -> impl Strategy<Value = AccessKind> {
-    prop_oneof![
-        Just(AccessKind::Store),
-        Just(AccessKind::Wb),
-        Just(AccessKind::Inv),
-    ]
+fn gen_buffered_kind(rng: &mut SplitMix64) -> AccessKind {
+    match rng.below(3) {
+        0 => AccessKind::Store,
+        1 => AccessKind::Wb,
+        _ => AccessKind::Inv,
+    }
 }
 
-proptest! {
-    /// Whatever is pushed and popped, per-address FIFO order always holds,
-    /// and a load's path decision is consistent with the youngest
-    /// same-address entry.
-    #[test]
-    fn write_buffer_fifo_and_load_paths(
-        ops in proptest::collection::vec((arb_buffered_kind(), 0u64..8), 1..64)
-    ) {
+/// Whatever is pushed and popped, per-address FIFO order always holds,
+/// and a load's path decision is consistent with the youngest
+/// same-address entry.
+#[test]
+fn write_buffer_fifo_and_load_paths() {
+    let mut rng = SplitMix64::new(0xB0FF);
+    for case in 0..64 {
+        let len = 1 + rng.below(63);
         let mut wb = WriteBuffer::new(16);
         let mut pushed = 0usize;
-        for (kind, addr) in ops {
+        for _ in 0..len {
+            let kind = gen_buffered_kind(&mut rng);
+            let addr = rng.below(8);
             if wb.is_full() {
                 wb.pop();
             }
             wb.push(kind, WordAddr(addr));
             pushed += 1;
-            prop_assert!(wb.per_address_fifo_holds());
+            assert!(wb.per_address_fifo_holds(), "case {case}");
             // A load to an address with a buffered INV must stall; with a
             // buffered store (and no younger INV) must forward.
-            use hic_core::ordering::LoadPath;
             match wb.load_path(WordAddr(addr)) {
                 LoadPath::StallForInv { .. } => {}
                 LoadPath::ForwardFromStore { .. } => {}
                 LoadPath::Proceed => {
                     // Only possible if the youngest same-address entry is
                     // a WB.
-                    prop_assert_eq!(kind, AccessKind::Wb);
+                    assert_eq!(kind, AccessKind::Wb, "case {case}");
                 }
             }
         }
-        prop_assert!(pushed > 0);
+        assert!(pushed > 0);
     }
+}
 
-    /// The MEB never reports an ID it was not told about, never reports
-    /// duplicates, and overflows exactly when more than `cap` distinct
-    /// IDs arrive.
-    #[test]
-    fn meb_reports_exactly_what_was_written(
-        ids in proptest::collection::vec(0usize..32, 0..40),
-        cap in 1usize..20
-    ) {
+/// The MEB never reports an ID it was not told about, never reports
+/// duplicates, and overflows exactly when more than `cap` distinct
+/// IDs arrive.
+#[test]
+fn meb_reports_exactly_what_was_written() {
+    let mut rng = SplitMix64::new(0x4EB1);
+    for case in 0..64 {
+        let ids: Vec<usize> = (0..rng.below(40)).map(|_| rng.below(32) as usize).collect();
+        let cap = 1 + rng.below(19) as usize;
         let mut meb = Meb::new(cap);
         meb.begin_epoch();
         for &id in &ids {
@@ -67,32 +71,41 @@ proptest! {
         distinct.dedup();
         match meb.drain() {
             MebDrain::Overflowed => {
-                prop_assert!(distinct.len() > cap,
-                    "overflowed with only {} distinct ids (cap {})", distinct.len(), cap);
+                assert!(
+                    distinct.len() > cap,
+                    "case {case}: overflowed with only {} distinct ids (cap {cap})",
+                    distinct.len()
+                );
             }
             MebDrain::Ids(got) => {
-                prop_assert!(distinct.len() <= cap);
+                assert!(distinct.len() <= cap, "case {case}");
                 let mut sorted = got.clone();
                 sorted.sort_unstable();
                 sorted.dedup();
-                prop_assert_eq!(sorted.len(), got.len(), "duplicate IDs reported");
+                assert_eq!(
+                    sorted.len(),
+                    got.len(),
+                    "case {case}: duplicate IDs reported"
+                );
                 let mut want = distinct.clone();
                 want.sort_unstable();
                 let mut g2 = got.clone();
                 g2.sort_unstable();
-                prop_assert_eq!(g2, want, "wrong ID set");
+                assert_eq!(g2, want, "case {case}: wrong ID set");
             }
         }
     }
+}
 
-    /// IEB: within one epoch, each line refreshes at most once as long as
-    /// capacity is not exceeded; with evictions, re-refreshes can happen
-    /// but never for a line currently held.
-    #[test]
-    fn ieb_refreshes_once_within_capacity(
-        lines in proptest::collection::vec(0u64..6, 1..40),
-        cap in 1usize..8
-    ) {
+/// IEB: within one epoch, each line refreshes at most once as long as
+/// capacity is not exceeded; with evictions, re-refreshes can happen
+/// but never for a line currently held.
+#[test]
+fn ieb_refreshes_once_within_capacity() {
+    let mut rng = SplitMix64::new(0x1EB1);
+    for case in 0..64 {
+        let lines: Vec<u64> = (0..1 + rng.below(39)).map(|_| rng.below(6)).collect();
+        let cap = 1 + rng.below(7) as usize;
         let mut ieb = Ieb::new(cap);
         ieb.begin_epoch();
         let mut refreshed = std::collections::HashSet::new();
@@ -102,19 +115,19 @@ proptest! {
             match ieb.on_read(LineAddr(l), false) {
                 IebAction::RefreshFromShared => {
                     if within_capacity {
-                        prop_assert!(
+                        assert!(
                             refreshed.insert(l),
-                            "line {l} refreshed twice though the IEB never overflowed"
+                            "case {case}: line {l} refreshed twice though the IEB never overflowed"
                         );
                     }
                 }
                 IebAction::Normal => {
-                    prop_assert!(refreshed.contains(&l) || !within_capacity);
+                    assert!(refreshed.contains(&l) || !within_capacity, "case {case}");
                 }
             }
         }
         if within_capacity {
-            prop_assert_eq!(ieb.evictions(), 0);
+            assert_eq!(ieb.evictions(), 0, "case {case}");
         }
     }
 }

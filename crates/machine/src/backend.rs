@@ -1,0 +1,329 @@
+//! The pluggable memory side of a [`crate::Machine`].
+//!
+//! A [`MemBackend`] is everything the machine needs from a memory system:
+//! timed reads/writes (cached and uncacheable), execution of WB/INV
+//! coherence-management instructions, epoch-buffer hooks, traffic and
+//! event counters, and the untimed peek/poke backdoors used by tests and
+//! program initialization.
+//!
+//! Three implementations exist:
+//!
+//! * [`IncoherentSystem`] — the paper's hardware-incoherent hierarchy;
+//! * [`MesiSystem`] — the directory-MESI hardware-coherent baseline;
+//! * [`RefBackend`] — a flat, always-fresh store with uniform latency.
+//!   It has no caches at all, so no read can ever be stale: it is the
+//!   correctness oracle that cache-backed runs are checked against (see
+//!   `tests/prop_epochs.rs`), and the fastest backend for functional-only
+//!   experiments.
+
+use hic_coherence::MesiSystem;
+use hic_core::CohInstr;
+use hic_mem::{Memory, Word, WordAddr};
+use hic_noc::TrafficLedger;
+use hic_sim::{CoreId, MachineConfig};
+
+use crate::incoherent::{IncCounters, IncoherentSystem};
+
+/// Which family of memory system a backend implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Software-managed (WB/INV) incoherent hierarchy.
+    Incoherent,
+    /// Hardware-coherent directory MESI.
+    Coherent,
+    /// Flat always-fresh reference store (correctness oracle).
+    Reference,
+}
+
+/// A memory system the [`crate::Machine`] can drive.
+///
+/// All timed operations return latencies in cycles; the machine charges
+/// them to the issuing core's stall ledger and advances its local clock.
+/// Implementations must be deterministic: the same operation sequence
+/// must produce the same latencies, traffic, and values on every run.
+pub trait MemBackend: Send {
+    /// The backend family (drives config-dependent runtime behavior).
+    fn kind(&self) -> BackendKind;
+
+    /// Timed load: `(value, latency)`.
+    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64);
+
+    /// Timed store: latency.
+    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64;
+
+    /// Uncacheable load, served by the shared level without allocating in
+    /// the L1. Backends whose hardware keeps all copies fresh may treat
+    /// this as a plain load.
+    fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64);
+
+    /// Uncacheable store (see [`MemBackend::read_uncached`]).
+    fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64;
+
+    /// Execute a WB/INV instruction; returns `(latency, is_wb)` so the
+    /// machine can charge the right stall category. Backends that need no
+    /// software coherence management complete them in zero cycles.
+    fn exec_coh(&mut self, c: CoreId, instr: CohInstr) -> (u64, bool);
+
+    /// Start MEB recording for core `c` (no-op without a MEB).
+    fn meb_begin(&mut self, _c: CoreId) {}
+
+    /// Start an IEB-governed epoch for core `c` (no-op without an IEB).
+    fn ieb_begin(&mut self, _c: CoreId) {}
+
+    /// End core `c`'s IEB-governed epoch (no-op without an IEB).
+    fn ieb_end(&mut self, _c: CoreId) {}
+
+    /// Snapshot of the flit-traffic ledger.
+    fn traffic(&self) -> TrafficLedger;
+
+    /// Mutable traffic ledger (the machine adds synchronization flits).
+    fn traffic_mut(&mut self) -> &mut TrafficLedger;
+
+    /// Incoherent-machine event counters (zeros for other backends).
+    fn counters(&self) -> IncCounters {
+        IncCounters::default()
+    }
+
+    /// Untimed value backdoor: what a fresh reader would see.
+    fn peek_word(&self, w: WordAddr) -> Word;
+
+    /// Untimed memory backdoor for pre-run initialization.
+    fn poke_word(&mut self, w: WordAddr, v: Word);
+
+    /// Downcast for incoherent-specific setup (ThreadMap, L1 probes).
+    fn as_incoherent(&self) -> Option<&IncoherentSystem> {
+        None
+    }
+
+    /// Mutable downcast (see [`MemBackend::as_incoherent`]).
+    fn as_incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
+        None
+    }
+}
+
+impl MemBackend for IncoherentSystem {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Incoherent
+    }
+
+    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        IncoherentSystem::read(self, c, w)
+    }
+
+    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        IncoherentSystem::write(self, c, w, v)
+    }
+
+    fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        IncoherentSystem::read_uncached(self, c, w)
+    }
+
+    fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        IncoherentSystem::write_uncached(self, c, w, v)
+    }
+
+    fn exec_coh(&mut self, c: CoreId, instr: CohInstr) -> (u64, bool) {
+        IncoherentSystem::exec_coh(self, c, instr)
+    }
+
+    fn meb_begin(&mut self, c: CoreId) {
+        IncoherentSystem::meb_begin(self, c);
+    }
+
+    fn ieb_begin(&mut self, c: CoreId) {
+        IncoherentSystem::ieb_begin(self, c);
+    }
+
+    fn ieb_end(&mut self, c: CoreId) {
+        IncoherentSystem::ieb_end(self, c);
+    }
+
+    fn traffic(&self) -> TrafficLedger {
+        self.traffic
+    }
+
+    fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    fn counters(&self) -> IncCounters {
+        self.counters
+    }
+
+    fn peek_word(&self, w: WordAddr) -> Word {
+        IncoherentSystem::peek_word(self, w)
+    }
+
+    fn poke_word(&mut self, w: WordAddr, v: Word) {
+        IncoherentSystem::poke_word(self, w, v);
+    }
+
+    fn as_incoherent(&self) -> Option<&IncoherentSystem> {
+        Some(self)
+    }
+
+    fn as_incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
+        Some(self)
+    }
+}
+
+impl MemBackend for MesiSystem {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Coherent
+    }
+
+    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        MesiSystem::read(self, c, w)
+    }
+
+    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        MesiSystem::write(self, c, w, v)
+    }
+
+    /// Uncacheable semantics degenerate to plain coherent accesses under
+    /// MESI (hardware keeps every copy fresh).
+    fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        MesiSystem::read(self, c, w)
+    }
+
+    fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        MesiSystem::write(self, c, w, v)
+    }
+
+    /// The coherent machine ignores WB/INV: hardware already moves the
+    /// data, so the instructions retire in zero cycles.
+    fn exec_coh(&mut self, _c: CoreId, instr: CohInstr) -> (u64, bool) {
+        (0, matches!(instr, CohInstr::Wb { .. }))
+    }
+
+    fn traffic(&self) -> TrafficLedger {
+        self.traffic
+    }
+
+    fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    fn peek_word(&self, w: WordAddr) -> Word {
+        MesiSystem::peek_word(self, w)
+    }
+
+    fn poke_word(&mut self, w: WordAddr, v: Word) {
+        MesiSystem::poke_word(self, w, v);
+    }
+}
+
+/// A flat, always-fresh memory with uniform access latency.
+///
+/// Every load and store goes straight to one shared word-addressed store:
+/// there are no caches, so no copy can ever be stale and WB/INV
+/// instructions have nothing to do. Cycle counts from this backend are
+/// *not* comparable to the cache-backed machines — its purpose is
+/// functional: any program whose final memory state differs between a
+/// cache-backed run and a `RefBackend` run has a coherence-management
+/// bug (in the program's annotations or in the memory system itself).
+#[derive(Debug, Default)]
+pub struct RefBackend {
+    mem: Memory,
+    traffic: TrafficLedger,
+    /// Uniform latency per access, taken from the config's L1 round trip
+    /// so compute/memory interleavings keep a realistic shape.
+    access_rt: u64,
+}
+
+impl RefBackend {
+    pub fn new(cfg: &MachineConfig) -> RefBackend {
+        RefBackend {
+            mem: Memory::new(),
+            traffic: TrafficLedger::new(),
+            access_rt: cfg.l1_rt,
+        }
+    }
+}
+
+impl MemBackend for RefBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Reference
+    }
+
+    fn read(&mut self, _c: CoreId, w: WordAddr) -> (Word, u64) {
+        (self.mem.read_word(w), self.access_rt)
+    }
+
+    fn write(&mut self, _c: CoreId, w: WordAddr, v: Word) -> u64 {
+        self.mem.write_word(w, v);
+        self.access_rt
+    }
+
+    fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        self.read(c, w)
+    }
+
+    fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        self.write(c, w, v)
+    }
+
+    fn exec_coh(&mut self, _c: CoreId, instr: CohInstr) -> (u64, bool) {
+        (0, matches!(instr, CohInstr::Wb { .. }))
+    }
+
+    fn traffic(&self) -> TrafficLedger {
+        self.traffic
+    }
+
+    fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    fn peek_word(&self, w: WordAddr) -> Word {
+        self.mem.read_word(w)
+    }
+
+    fn poke_word(&mut self, w: WordAddr, v: Word) {
+        self.mem.write_word(w, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_core::Target;
+    use hic_mem::Addr;
+
+    #[test]
+    fn ref_backend_is_never_stale() {
+        let cfg = MachineConfig::intra_block();
+        let mut b = RefBackend::new(&cfg);
+        let w = Addr(0x100).word();
+        b.write(CoreId(0), w, 7);
+        // Another core sees the value immediately, with no WB/INV.
+        assert_eq!(b.read(CoreId(5), w).0, 7);
+        // Coherence instructions are free and preserve state.
+        let (lat, is_wb) = b.exec_coh(CoreId(0), CohInstr::wb(Target::word(w)));
+        assert_eq!(lat, 0);
+        assert!(is_wb);
+        assert_eq!(b.peek_word(w), 7);
+    }
+
+    #[test]
+    fn backends_report_their_kind() {
+        let cfg = MachineConfig::intra_block();
+        assert_eq!(
+            IncoherentSystem::new(cfg.clone()).kind(),
+            BackendKind::Incoherent
+        );
+        assert_eq!(MesiSystem::new(cfg.clone()).kind(), BackendKind::Coherent);
+        assert_eq!(RefBackend::new(&cfg).kind(), BackendKind::Reference);
+    }
+
+    #[test]
+    fn incoherent_downcast_roundtrips() {
+        let cfg = MachineConfig::intra_block();
+        let mut b: Box<dyn MemBackend> = Box::new(IncoherentSystem::new(cfg.clone()));
+        assert!(b.as_incoherent().is_some());
+        assert!(b.as_incoherent_mut().is_some());
+        let mut m: Box<dyn MemBackend> = Box::new(MesiSystem::new(cfg));
+        assert!(m.as_incoherent().is_none());
+        assert!(m.as_incoherent_mut().is_none());
+    }
+}

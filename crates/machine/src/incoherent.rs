@@ -18,8 +18,8 @@
 //! (tiny) occupancy, and the IEB replaces the up-front `INV ALL` with
 //! per-first-read refreshes.
 
-use hic_core::{CohInstr, Ieb, InvScope, Meb, MebDrain, Target, ThreadMap, WbScope};
 use hic_core::ieb::IebAction;
+use hic_core::{CohInstr, Ieb, InvScope, Meb, MebDrain, Target, ThreadMap, WbScope};
 use hic_mem::addr::WORDS_PER_LINE;
 use hic_mem::cache::{DirtyMask, EvictedLine};
 use hic_mem::{Cache, LineAddr, Memory, Word, WordAddr};
@@ -83,7 +83,9 @@ impl IncoherentSystem {
             bpb,
             l1: (0..ncores).map(|_| Cache::new(cfg.l1)).collect(),
             l2: (0..nblocks * bpb).map(|_| Cache::new(cfg.l2)).collect(),
-            l3: (0..l3_banks).map(|_| Cache::new(cfg.inter.as_ref().unwrap().l3)).collect(),
+            l3: (0..l3_banks)
+                .map(|_| Cache::new(cfg.inter.as_ref().unwrap().l3))
+                .collect(),
             mem: Memory::new(),
             meb: (0..ncores).map(|_| Meb::new(cfg.meb_entries)).collect(),
             ieb: (0..ncores).map(|_| Ieb::new(cfg.ieb_entries)).collect(),
@@ -140,10 +142,17 @@ impl IncoherentSystem {
 
     /// Push dirty words below L1: into the block's L2 if it holds the
     /// line, else below L2. Counted as L1 writeback traffic.
-    fn push_below_l1(&mut self, blk: usize, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
+    fn push_below_l1(
+        &mut self,
+        blk: usize,
+        line: LineAddr,
+        data: &[Word; WORDS_PER_LINE],
+        mask: DirtyMask,
+    ) {
         debug_assert!(mask != 0);
         let bytes = mask.count_ones() as usize * 4;
-        self.traffic.add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
+        self.traffic
+            .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
         let hb = self.home_bank(blk, line);
         if self.l2[hb].merge_words(line, data, mask) {
             return;
@@ -158,11 +167,13 @@ impl IncoherentSystem {
         if self.is_hier() {
             let l3b = self.l3_bank(line);
             if self.l3[l3b].merge_words(line, data, mask) {
-                self.traffic.add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                self.traffic
+                    .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
                 return;
             }
         }
-        self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        self.traffic
+            .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
         self.mem.merge_words(line, data, mask);
     }
 
@@ -170,7 +181,8 @@ impl IncoherentSystem {
     fn push_below_l3(&mut self, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
         debug_assert!(mask != 0);
         let bytes = mask.count_ones() as usize * 4;
-        self.traffic.add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        self.traffic
+            .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
         self.mem.merge_words(line, data, mask);
     }
 
@@ -206,18 +218,20 @@ impl IncoherentSystem {
         let hb_tile = self.bank_tile(hb);
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat =
-                self.mesh.rt_latency_to_corner(hb_tile, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat = self.mesh.rt_latency_to_corner(hb_tile, l3b)
+                + self.cfg.inter.as_ref().unwrap().l3_rt;
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
-                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                self.traffic
+                    .add(TrafficCategory::Memory, self.cfg.line_flits());
                 if let Some(v) = self.l3[l3b].fill(line, data, 0) {
                     self.handle_l3_eviction(v);
                 }
             }
             let data = *self.l3[l3b].view(line).expect("just filled").data;
-            self.traffic.add(TrafficCategory::L2L3, self.cfg.line_flits());
+            self.traffic
+                .add(TrafficCategory::L2L3, self.cfg.line_flits());
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.handle_l2_eviction(v);
             }
@@ -226,7 +240,8 @@ impl IncoherentSystem {
             let corner = self.mesh.nearest_corner(hb_tile);
             let lat = self.mesh.rt_latency_to_corner(hb_tile, corner) + self.cfg.mem_rt;
             let data = self.mem.read_line(line);
-            self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+            self.traffic
+                .add(TrafficCategory::Memory, self.cfg.line_flits());
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.handle_l2_eviction(v);
             }
@@ -242,7 +257,8 @@ impl IncoherentSystem {
         let mut lat = self.mesh.rt_latency(c.0, self.bank_tile(hb)) + self.cfg.l2_rt;
         lat += self.fetch_into_l2(blk, line);
         let data = *self.l2[hb].view(line).expect("in L2 now").data;
-        self.traffic.add(TrafficCategory::Linefill, self.cfg.line_flits());
+        self.traffic
+            .add(TrafficCategory::Linefill, self.cfg.line_flits());
         if let Some(v) = self.l1[c.0].fill(line, data, 0) {
             self.handle_l1_eviction(blk, v);
         }
@@ -320,12 +336,13 @@ impl IncoherentSystem {
         self.traffic.add(TrafficCategory::Sync, 2);
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b)
-                + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat =
+                self.mesh.rt_latency_to_corner(c.0, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
-                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                self.traffic
+                    .add(TrafficCategory::Memory, self.cfg.line_flits());
                 if let Some(v) = self.l3[l3b].fill(line, data, 0) {
                     self.handle_l3_eviction(v);
                 }
@@ -350,12 +367,13 @@ impl IncoherentSystem {
         let mask: DirtyMask = 1 << idx;
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b)
-                + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat =
+                self.mesh.rt_latency_to_corner(c.0, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
-                self.traffic.add(TrafficCategory::Memory, self.cfg.line_flits());
+                self.traffic
+                    .add(TrafficCategory::Memory, self.cfg.line_flits());
                 if let Some(vi) = self.l3[l3b].fill(line, data, 0) {
                     self.handle_l3_eviction(vi);
                 }
@@ -821,7 +839,10 @@ mod tests {
             m.write(CoreId(0), w(0x1000 + i * 64), i as Word);
         }
         let (lat_full, _) = m.exec_coh(CoreId(0), CohInstr::wb_all());
-        assert!(lat_full >= 128, "full traversal costs >= lines/tags_per_cycle");
+        assert!(
+            lat_full >= 128,
+            "full traversal costs >= lines/tags_per_cycle"
+        );
 
         let mut m2 = intra();
         m2.meb_begin(CoreId(0));
@@ -851,7 +872,11 @@ mod tests {
         m.exec_coh(CoreId(0), CohInstr::wb_all());
         assert_eq!(m.counters.meb_overflows, 1);
         for i in 0..20u64 {
-            assert_eq!(m.peek_word(w(0x2000 + i * 64)), 1, "overflow path wrote everything");
+            assert_eq!(
+                m.peek_word(w(0x2000 + i * 64)),
+                1,
+                "overflow path wrote everything"
+            );
         }
     }
 
@@ -930,7 +955,11 @@ mod tests {
         // Consumer invalidates only its L1: still stale, because its L2
         // kept the old line and the new data never left block 0.
         m.exec_coh(CoreId(8), CohInstr::inv(Target::word(a)));
-        assert_eq!(m.read(CoreId(8), a).0, 1, "local-only WB/INV is insufficient");
+        assert_eq!(
+            m.read(CoreId(8), a).0,
+            1,
+            "local-only WB/INV is insufficient"
+        );
         // Now do it right: global WB + global INV.
         m.exec_coh(CoreId(0), CohInstr::wb_l3(Target::word(a)));
         m.exec_coh(CoreId(8), CohInstr::inv_l2(Target::word(a)));
@@ -961,7 +990,10 @@ mod tests {
         let tb = m.traffic.writeback;
         m.exec_coh(CoreId(0), CohInstr::wb(Target::word(w(0xA00))));
         assert_eq!(m.counters.lines_written_back, before);
-        assert_eq!(m.traffic.writeback, tb, "WB has no effect without dirty data");
+        assert_eq!(
+            m.traffic.writeback, tb,
+            "WB has no effect without dirty data"
+        );
     }
 
     #[test]

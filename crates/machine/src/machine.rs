@@ -1,9 +1,12 @@
-//! The [`Machine`]: one memory system + the synchronization controller +
+//! The [`Machine`]: one memory backend + the synchronization controller +
 //! per-core stall accounting, driven synchronously in simulated-time order.
 //!
 //! The runtime (in `hic-runtime`) guarantees that `execute` is called in
 //! global simulated-time order across cores (conservative event ordering),
 //! so every memory-system transition happens at a well-defined time.
+//!
+//! The memory side is any [`MemBackend`] (incoherent, MESI-coherent, or
+//! the flat reference oracle); the machine itself is backend-agnostic.
 //!
 //! Blocking synchronization ops park the core inside the machine; when a
 //! later op completes the barrier / releases the lock / sets the flag, the
@@ -15,50 +18,13 @@ use std::collections::HashMap;
 use hic_coherence::MesiSystem;
 use hic_mem::{Word, WordAddr};
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
-use hic_sim::{CoreId, Cycle, MachineConfig, StallCategory, StallLedger};
+use hic_sim::{CoreId, Cycle, EngineStats, MachineConfig, StallCategory, StallLedger};
 use hic_sync::{Grant, SyncController, SyncId};
 
+use crate::backend::{BackendKind, MemBackend, RefBackend};
 use crate::incoherent::{IncCounters, IncoherentSystem};
 use crate::ops::Op;
 use crate::trace::{TraceEvent, TraceRing};
-
-/// The memory side of the machine: incoherent or MESI-coherent.
-#[derive(Debug)]
-pub enum MemSys {
-    Incoherent(Box<IncoherentSystem>),
-    Coherent(Box<MesiSystem>),
-}
-
-impl MemSys {
-    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
-        match self {
-            MemSys::Incoherent(m) => m.read(c, w),
-            MemSys::Coherent(m) => m.read(c, w),
-        }
-    }
-
-    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
-        match self {
-            MemSys::Incoherent(m) => m.write(c, w, v),
-            MemSys::Coherent(m) => m.write(c, w, v),
-        }
-    }
-
-    /// Traffic ledger of whichever system is active.
-    pub fn traffic(&self) -> TrafficLedger {
-        match self {
-            MemSys::Incoherent(m) => m.traffic,
-            MemSys::Coherent(m) => m.traffic,
-        }
-    }
-
-    fn traffic_mut(&mut self) -> &mut TrafficLedger {
-        match self {
-            MemSys::Incoherent(m) => &mut m.traffic,
-            MemSys::Coherent(m) => &mut m.traffic,
-        }
-    }
-}
 
 /// Result of executing one op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,18 +53,23 @@ pub struct RunStats {
     pub traffic: TrafficLedger,
     /// Incoherent-machine counters (zeros for HCC).
     pub counters: IncCounters,
+    /// Host-side engine bookkeeping (zeros when the machine is driven
+    /// directly rather than through the runtime engine).
+    pub engine: EngineStats,
 }
 
 impl RunStats {
     /// All core ledgers merged.
     pub fn merged_ledger(&self) -> StallLedger {
-        self.ledgers.iter().fold(StallLedger::new(), |a, b| a.merged(b))
+        self.ledgers
+            .iter()
+            .fold(StallLedger::new(), |a, b| a.merged(b))
     }
 }
 
 /// One simulated machine instance.
 pub struct Machine {
-    pub msys: MemSys,
+    backend: Box<dyn MemBackend>,
     sync: SyncController,
     mesh: Mesh,
     cfg: MachineConfig,
@@ -106,41 +77,47 @@ pub struct Machine {
     /// Parked cores: issue time + the category their wait is charged to.
     parked: HashMap<usize, (Cycle, StallCategory)>,
     wakeups: Vec<Wakeup>,
+    /// Cores that executed at least one op.
+    active: Vec<bool>,
     finished_at: Vec<Option<Cycle>>,
     trace: TraceRing,
 }
 
 impl Machine {
-    /// Build an incoherent machine.
-    pub fn incoherent(cfg: MachineConfig) -> Machine {
+    /// Assemble a machine around any memory backend.
+    pub fn from_backend(cfg: MachineConfig, backend: Box<dyn MemBackend>) -> Machine {
         let n = cfg.num_cores();
         Machine {
-            msys: MemSys::Incoherent(Box::new(IncoherentSystem::new(cfg.clone()))),
+            backend,
             sync: SyncController::new(),
             mesh: Mesh::new(n, cfg.hop_cycles),
             ledgers: vec![StallLedger::new(); n],
             parked: HashMap::new(),
             wakeups: Vec::new(),
+            active: vec![false; n],
             finished_at: vec![None; n],
             trace: TraceRing::default(),
             cfg,
         }
     }
 
+    /// Build an incoherent machine.
+    pub fn incoherent(cfg: MachineConfig) -> Machine {
+        let backend = Box::new(IncoherentSystem::new(cfg.clone()));
+        Machine::from_backend(cfg, backend)
+    }
+
     /// Build a hardware-coherent (MESI directory) machine.
     pub fn coherent(cfg: MachineConfig) -> Machine {
-        let n = cfg.num_cores();
-        Machine {
-            msys: MemSys::Coherent(Box::new(MesiSystem::new(cfg.clone()))),
-            sync: SyncController::new(),
-            mesh: Mesh::new(n, cfg.hop_cycles),
-            ledgers: vec![StallLedger::new(); n],
-            parked: HashMap::new(),
-            wakeups: Vec::new(),
-            finished_at: vec![None; n],
-            trace: TraceRing::default(),
-            cfg,
-        }
+        let backend = Box::new(MesiSystem::new(cfg.clone()));
+        Machine::from_backend(cfg, backend)
+    }
+
+    /// Build a machine over the flat always-fresh reference backend (the
+    /// correctness oracle; see [`RefBackend`]).
+    pub fn reference(cfg: MachineConfig) -> Machine {
+        let backend = Box::new(RefBackend::new(&cfg));
+        Machine::from_backend(cfg, backend)
     }
 
     /// Keep a ring of the most recent `capacity` operations for
@@ -158,16 +135,26 @@ impl Machine {
         &self.cfg
     }
 
+    /// The memory backend driving this machine.
+    pub fn backend(&self) -> &dyn MemBackend {
+        &*self.backend
+    }
+
+    pub fn backend_mut(&mut self) -> &mut dyn MemBackend {
+        &mut *self.backend
+    }
+
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
     pub fn is_coherent(&self) -> bool {
-        matches!(self.msys, MemSys::Coherent(_))
+        self.backend.kind() == BackendKind::Coherent
     }
 
     /// Access to the incoherent system (ThreadMap setup, counters).
     pub fn incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
-        match &mut self.msys {
-            MemSys::Incoherent(m) => Some(m),
-            MemSys::Coherent(_) => None,
-        }
+        self.backend.as_incoherent_mut()
     }
 
     pub fn sync_mut(&mut self) -> &mut SyncController {
@@ -217,11 +204,18 @@ impl Machine {
 
     /// Process grants from the controller: the issuing core's own grant (if
     /// any) completes its op; other cores become wakeups.
-    fn apply_grants(&mut self, grants: Vec<Grant>, id: SyncId, me: CoreId, my_issue: Cycle, cat: StallCategory) -> Option<Cycle> {
+    fn apply_grants(
+        &mut self,
+        grants: Vec<Grant>,
+        id: SyncId,
+        me: CoreId,
+        my_issue: Cycle,
+        cat: StallCategory,
+    ) -> Option<Cycle> {
         let mut my_end = None;
         for g in grants {
             let resume = g.at + self.sync_oneway(g.core, id);
-            self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+            self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
             if g.core == me {
                 self.ledgers[me.0].charge(cat, resume.saturating_sub(my_issue));
                 my_end = Some(resume);
@@ -231,7 +225,10 @@ impl Machine {
                     .remove(&g.core.0)
                     .expect("granted core must be parked");
                 self.ledgers[g.core.0].charge(pcat, resume.saturating_sub(issue));
-                self.wakeups.push(Wakeup { core: g.core, at: resume });
+                self.wakeups.push(Wakeup {
+                    core: g.core,
+                    at: resume,
+                });
             }
         }
         my_end
@@ -243,14 +240,41 @@ impl Machine {
     }
 
     /// Execute `op` for core `c` whose local clock reads `now`.
+    ///
+    /// An [`Op::Batch`] is executed member by member, each starting when
+    /// the previous one completed — exactly the timing of sending the
+    /// members individually. (The runtime engine normally unpacks batches
+    /// itself to preserve cross-core ordering; this path serves direct
+    /// machine users.)
     pub fn execute(&mut self, c: CoreId, op: &Op, now: Cycle) -> Exec {
+        if let Op::Batch(ops) = op {
+            let mut t = now;
+            for sub in ops {
+                debug_assert!(sub.is_batchable(), "non-batchable op in batch: {sub:?}");
+                match self.execute(c, sub, t) {
+                    Exec::Done { end, .. } => t = end,
+                    Exec::Parked => unreachable!("batchable ops never park"),
+                }
+            }
+            return Exec::Done {
+                value: None,
+                end: t,
+            };
+        }
+        self.active[c.0] = true;
         let result = self.execute_inner(c, op, now);
         if self.trace.enabled() {
             let (end, blocked) = match result {
                 Exec::Done { end, .. } => (end, false),
                 Exec::Parked => (now, true),
             };
-            self.trace.push(TraceEvent { core: c, start: now, end, op: *op, blocked });
+            self.trace.push(TraceEvent {
+                core: c,
+                start: now,
+                end,
+                op: op.clone(),
+                blocked,
+            });
         }
         result
     }
@@ -259,70 +283,87 @@ impl Machine {
         debug_assert!(self.finished_at[c.0].is_none(), "op after Finish");
         match *op {
             Op::Load(w) => {
-                let (v, lat) = self.msys.read(c, w);
+                let (v, lat) = self.backend.read(c, w);
                 self.ledgers[c.0].charge(StallCategory::Rest, lat);
-                Exec::Done { value: Some(v), end: now + lat }
+                Exec::Done {
+                    value: Some(v),
+                    end: now + lat,
+                }
             }
             Op::Store(w, v) => {
-                let lat = self.msys.write(c, w, v);
+                let lat = self.backend.write(c, w, v);
                 self.ledgers[c.0].charge(StallCategory::Rest, lat);
-                Exec::Done { value: None, end: now + lat }
+                Exec::Done {
+                    value: None,
+                    end: now + lat,
+                }
             }
             Op::LoadUnc(w) => {
-                let (v, lat) = match &mut self.msys {
-                    MemSys::Incoherent(m) => m.read_uncached(c, w),
-                    // Uncacheable semantics degenerate to plain coherent
-                    // accesses under MESI (hardware keeps them fresh).
-                    MemSys::Coherent(m) => m.read(c, w),
-                };
+                let (v, lat) = self.backend.read_uncached(c, w);
                 self.ledgers[c.0].charge(StallCategory::Rest, lat);
-                Exec::Done { value: Some(v), end: now + lat }
+                Exec::Done {
+                    value: Some(v),
+                    end: now + lat,
+                }
             }
             Op::StoreUnc(w, v) => {
-                let lat = match &mut self.msys {
-                    MemSys::Incoherent(m) => m.write_uncached(c, w, v),
-                    MemSys::Coherent(m) => m.write(c, w, v),
-                };
+                let lat = self.backend.write_uncached(c, w, v);
                 self.ledgers[c.0].charge(StallCategory::Rest, lat);
-                Exec::Done { value: None, end: now + lat }
+                Exec::Done {
+                    value: None,
+                    end: now + lat,
+                }
             }
             Op::Compute(n) => {
                 self.ledgers[c.0].charge(StallCategory::Rest, n);
-                Exec::Done { value: None, end: now + n }
+                Exec::Done {
+                    value: None,
+                    end: now + n,
+                }
             }
-            Op::Coh(instr) => match &mut self.msys {
-                MemSys::Incoherent(m) => {
-                    let (lat, is_wb) = m.exec_coh(c, instr);
-                    let cat = if is_wb { StallCategory::Wb } else { StallCategory::Inv };
-                    self.ledgers[c.0].charge(cat, lat);
-                    Exec::Done { value: None, end: now + lat }
+            Op::Coh(instr) => {
+                let (lat, is_wb) = self.backend.exec_coh(c, instr);
+                let cat = if is_wb {
+                    StallCategory::Wb
+                } else {
+                    StallCategory::Inv
+                };
+                // charge(_, 0) is a no-op, so zero-latency backends (MESI,
+                // reference) leave the WB/INV categories untouched.
+                self.ledgers[c.0].charge(cat, lat);
+                Exec::Done {
+                    value: None,
+                    end: now + lat,
                 }
-                // The coherent machine ignores WB/INV: hardware coherence
-                // already moves the data.
-                MemSys::Coherent(_) => Exec::Done { value: None, end: now },
-            },
+            }
             Op::MebBegin => {
-                if let MemSys::Incoherent(m) = &mut self.msys {
-                    m.meb_begin(c);
+                self.backend.meb_begin(c);
+                Exec::Done {
+                    value: None,
+                    end: now,
                 }
-                Exec::Done { value: None, end: now }
             }
             Op::IebBegin => {
-                if let MemSys::Incoherent(m) = &mut self.msys {
-                    m.ieb_begin(c);
+                self.backend.ieb_begin(c);
+                Exec::Done {
+                    value: None,
+                    end: now,
                 }
-                Exec::Done { value: None, end: now }
             }
             Op::IebEnd => {
-                if let MemSys::Incoherent(m) = &mut self.msys {
-                    m.ieb_end(c);
+                self.backend.ieb_end(c);
+                Exec::Done {
+                    value: None,
+                    end: now,
                 }
-                Exec::Done { value: None, end: now }
             }
             Op::BarrierArrive(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
-                let grants = self.sync.barrier_arrive(id, c, arrive).expect("barrier misuse");
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
+                let grants = self
+                    .sync
+                    .barrier_arrive(id, c, arrive)
+                    .expect("barrier misuse");
                 if grants.is_empty() {
                     self.park(c, now, StallCategory::Barrier)
                 } else {
@@ -334,7 +375,7 @@ impl Machine {
             }
             Op::LockAcquire(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 match self.sync.lock_acquire(id, c, arrive).expect("lock misuse") {
                     Some(g) => {
                         let end = self
@@ -347,8 +388,12 @@ impl Machine {
             }
             Op::LockRelease(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
-                if let Some(g) = self.sync.lock_release(id, c, arrive).expect("release misuse") {
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
+                if let Some(g) = self
+                    .sync
+                    .lock_release(id, c, arrive)
+                    .expect("release misuse")
+                {
                     self.apply_grants(vec![g], id, c, now, StallCategory::Lock);
                 }
                 // The releaser posts the release and continues.
@@ -358,7 +403,7 @@ impl Machine {
             }
             Op::FlagSet(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 let grants = self.sync.flag_set(id, arrive).expect("flag misuse");
                 self.apply_grants(grants, id, c, now, StallCategory::Lock);
                 let end = arrive;
@@ -367,14 +412,17 @@ impl Machine {
             }
             Op::FlagClear(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 self.sync.flag_clear(id).expect("flag misuse");
                 self.ledgers[c.0].charge(StallCategory::Rest, arrive - now);
-                Exec::Done { value: None, end: arrive }
+                Exec::Done {
+                    value: None,
+                    end: arrive,
+                }
             }
             Op::FlagWait(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
-                self.msys.traffic_mut().add(TrafficCategory::Sync, 1);
+                self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 // Flag waits are charged as lock stall: both are blocking
                 // waits on a peer's progress (Figure 9 has no separate
                 // flag category).
@@ -390,8 +438,12 @@ impl Machine {
             }
             Op::Finish => {
                 self.finished_at[c.0] = Some(now);
-                Exec::Done { value: None, end: now }
+                Exec::Done {
+                    value: None,
+                    end: now,
+                }
             }
+            Op::Batch(_) => unreachable!("Batch is unpacked by Machine::execute"),
         }
     }
 
@@ -405,47 +457,58 @@ impl Machine {
         self.parked.len()
     }
 
+    /// What a parked core is waiting on (None if not parked). Used by the
+    /// runtime's deadlock diagnostics.
+    pub fn parked_category(&self, c: CoreId) -> Option<StallCategory> {
+        self.parked.get(&c.0).map(|&(_, cat)| cat)
+    }
+
     /// Finish bookkeeping: aggregate stats once every core is done.
+    ///
+    /// The total is the max completion time over cores that issued
+    /// [`Op::Finish`]; cores that never ran don't dilute it. A core that
+    /// executed ops but never finished indicates a runtime bug (caught in
+    /// debug builds).
     pub fn finish(&self) -> RunStats {
+        if cfg!(debug_assertions) {
+            for (c, (&active, finished)) in self.active.iter().zip(&self.finished_at).enumerate() {
+                debug_assert!(
+                    !active || finished.is_some(),
+                    "core {c} executed ops but never issued Op::Finish"
+                );
+            }
+        }
         let total = self
             .finished_at
             .iter()
-            .map(|t| t.unwrap_or(0))
+            .flatten()
+            .copied()
             .max()
             .unwrap_or(0);
-        let counters = match &self.msys {
-            MemSys::Incoherent(m) => m.counters,
-            MemSys::Coherent(_) => IncCounters::default(),
-        };
         RunStats {
             total_cycles: total,
             ledgers: self.ledgers.clone(),
-            traffic: self.msys.traffic(),
-            counters,
+            traffic: self.backend.traffic(),
+            counters: self.backend.counters(),
+            engine: EngineStats::default(),
         }
     }
 
     /// Value backdoor (for result checks).
     pub fn peek_word(&self, w: WordAddr) -> Word {
-        match &self.msys {
-            MemSys::Incoherent(m) => m.peek_word(w),
-            MemSys::Coherent(m) => m.peek_word(w),
-        }
+        self.backend.peek_word(w)
     }
 
     /// Memory backdoor (for initialization before the run).
     pub fn poke_word(&mut self, w: WordAddr, v: Word) {
-        match &mut self.msys {
-            MemSys::Incoherent(m) => m.poke_word(w, v),
-            MemSys::Coherent(m) => m.poke_word(w, v),
-        }
+        self.backend.poke_word(w, v);
     }
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
-            .field("coherent", &self.is_coherent())
+            .field("backend", &self.backend.kind())
             .field("cores", &self.cfg.num_cores())
             .field("parked", &self.parked.len())
             .finish()
@@ -466,6 +529,16 @@ mod tests {
         Machine::incoherent(MachineConfig::intra_block())
     }
 
+    /// Mark every core that ran as finished at `now` so `finish()` can be
+    /// called mid-scenario from unit tests.
+    fn finish_active(m: &mut Machine, now: Cycle) {
+        for c in 0..m.config().num_cores() {
+            if m.active[c] && m.finished_at[c].is_none() && !m.is_parked(CoreId(c)) {
+                m.execute(CoreId(c), &Op::Finish, now);
+            }
+        }
+    }
+
     #[test]
     fn load_store_roundtrip_with_latency() {
         let mut m = intra_inc();
@@ -476,7 +549,10 @@ mod tests {
         };
         assert!(t1 > 0);
         match m.execute(CoreId(0), &Op::Load(w(0x100)), t1) {
-            Exec::Done { value: Some(v), end } => {
+            Exec::Done {
+                value: Some(v),
+                end,
+            } => {
                 assert_eq!(v, 42);
                 assert_eq!(end, t1 + m.config().l1_rt);
             }
@@ -488,9 +564,17 @@ mod tests {
     fn barrier_parks_then_wakes_everyone() {
         let mut m = intra_inc();
         let b = m.alloc_barrier(3);
-        assert_eq!(m.execute(CoreId(0), &Op::BarrierArrive(b), 100), Exec::Parked);
-        assert_eq!(m.execute(CoreId(1), &Op::BarrierArrive(b), 200), Exec::Parked);
+        assert_eq!(
+            m.execute(CoreId(0), &Op::BarrierArrive(b), 100),
+            Exec::Parked
+        );
+        assert_eq!(
+            m.execute(CoreId(1), &Op::BarrierArrive(b), 200),
+            Exec::Parked
+        );
         assert_eq!(m.parked_count(), 2);
+        assert_eq!(m.parked_category(CoreId(0)), Some(StallCategory::Barrier));
+        assert_eq!(m.parked_category(CoreId(2)), None);
         let e = m.execute(CoreId(2), &Op::BarrierArrive(b), 300);
         let my_end = match e {
             Exec::Done { end, .. } => end,
@@ -504,8 +588,12 @@ mod tests {
         }
         assert_eq!(m.parked_count(), 0);
         // Waiting time was charged to barrier stall.
+        finish_active(&mut m, 1000);
         let stats = m.finish();
-        assert!(stats.ledgers[0].barrier >= 200, "core 0 waited ~200+ cycles");
+        assert!(
+            stats.ledgers[0].barrier >= 200,
+            "core 0 waited ~200+ cycles"
+        );
     }
 
     #[test]
@@ -517,12 +605,14 @@ mod tests {
         assert!(matches!(e, Exec::Done { .. }));
         // Core 1 parks.
         assert_eq!(m.execute(CoreId(1), &Op::LockAcquire(l), 10), Exec::Parked);
+        assert_eq!(m.parked_category(CoreId(1)), Some(StallCategory::Lock));
         // Core 0 releases at t=500; core 1 wakes after that.
         m.execute(CoreId(0), &Op::LockRelease(l), 500);
         let wk = m.take_wakeups();
         assert_eq!(wk.len(), 1);
         assert_eq!(wk[0].core, CoreId(1));
         assert!(wk[0].at > 500);
+        finish_active(&mut m, 2000);
         let stats = m.finish();
         assert!(stats.ledgers[1].lock >= 490, "waited from 10 to past 500");
     }
@@ -546,9 +636,45 @@ mod tests {
     fn coherent_machine_ignores_wb_inv() {
         let mut m = Machine::coherent(MachineConfig::intra_block());
         let e = m.execute(CoreId(0), &Op::Coh(CohInstr::wb_all()), 10);
-        assert_eq!(e, Exec::Done { value: None, end: 10 });
+        assert_eq!(
+            e,
+            Exec::Done {
+                value: None,
+                end: 10
+            }
+        );
         let e = m.execute(CoreId(0), &Op::Coh(CohInstr::inv_all()), 10);
-        assert_eq!(e, Exec::Done { value: None, end: 10 });
+        assert_eq!(
+            e,
+            Exec::Done {
+                value: None,
+                end: 10
+            }
+        );
+        finish_active(&mut m, 10);
+        let stats = m.finish();
+        assert_eq!(stats.merged_ledger().wb, 0);
+        assert_eq!(stats.merged_ledger().inv, 0);
+    }
+
+    #[test]
+    fn reference_machine_ignores_wb_inv_and_is_fresh() {
+        let mut m = Machine::reference(MachineConfig::intra_block());
+        m.execute(CoreId(0), &Op::Store(w(0x300), 9), 0);
+        let e = m.execute(CoreId(0), &Op::Coh(CohInstr::wb_all()), 10);
+        assert_eq!(
+            e,
+            Exec::Done {
+                value: None,
+                end: 10
+            }
+        );
+        // A different core reads the stored value with no WB in between.
+        match m.execute(CoreId(7), &Op::Load(w(0x300)), 20) {
+            Exec::Done { value: Some(v), .. } => assert_eq!(v, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+        finish_active(&mut m, 100);
         let stats = m.finish();
         assert_eq!(stats.merged_ledger().wb, 0);
         assert_eq!(stats.merged_ledger().inv, 0);
@@ -558,8 +684,17 @@ mod tests {
     fn incoherent_wb_inv_charge_their_categories() {
         let mut m = intra_inc();
         m.execute(CoreId(0), &Op::Store(w(0x200), 1), 0);
-        m.execute(CoreId(0), &Op::Coh(CohInstr::wb(Target::word(w(0x200)))), 10);
-        m.execute(CoreId(0), &Op::Coh(CohInstr::inv(Target::word(w(0x200)))), 20);
+        m.execute(
+            CoreId(0),
+            &Op::Coh(CohInstr::wb(Target::word(w(0x200)))),
+            10,
+        );
+        m.execute(
+            CoreId(0),
+            &Op::Coh(CohInstr::inv(Target::word(w(0x200)))),
+            20,
+        );
+        finish_active(&mut m, 100);
         let stats = m.finish();
         assert!(stats.ledgers[0].wb > 0);
         assert!(stats.ledgers[0].inv > 0);
@@ -575,10 +710,60 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never issued Op::Finish")]
+    fn finish_catches_cores_that_ran_but_never_finished() {
+        let mut m = intra_inc();
+        m.execute(CoreId(0), &Op::Compute(10), 0);
+        m.finish();
+    }
+
+    #[test]
+    fn batch_executes_members_back_to_back() {
+        // A batch must produce exactly the timing and state of sending
+        // its members one at a time.
+        let ops = vec![
+            Op::Store(w(0x400), 1),
+            Op::Compute(13),
+            Op::Store(w(0x408), 2),
+            Op::Coh(CohInstr::wb(Target::word(w(0x400)))),
+        ];
+        let mut a = intra_inc();
+        let mut t = 5;
+        for op in &ops {
+            match a.execute(CoreId(0), op, t) {
+                Exec::Done { end, .. } => t = end,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mut b = intra_inc();
+        let e = b.execute(CoreId(0), &Op::Batch(ops), 5);
+        assert_eq!(
+            e,
+            Exec::Done {
+                value: None,
+                end: t
+            }
+        );
+        assert_eq!(a.peek_word(w(0x400)), b.peek_word(w(0x400)));
+        assert_eq!(a.peek_word(w(0x408)), b.peek_word(w(0x408)));
+        finish_active(&mut a, t);
+        finish_active(&mut b, t);
+        assert_eq!(a.finish().ledgers, b.finish().ledgers);
+    }
+
+    #[test]
     fn compute_advances_clock_and_rest() {
         let mut m = intra_inc();
         let e = m.execute(CoreId(2), &Op::Compute(77), 100);
-        assert_eq!(e, Exec::Done { value: None, end: 177 });
+        assert_eq!(
+            e,
+            Exec::Done {
+                value: None,
+                end: 177
+            }
+        );
+        finish_active(&mut m, 177);
         let stats = m.finish();
         assert_eq!(stats.ledgers[2].rest, 77);
     }
@@ -590,16 +775,18 @@ mod tests {
         // without ever allocating in any L1.
         m.execute(CoreId(0), &Op::StoreUnc(w(0x900), 77), 0);
         match m.execute(CoreId(1), &Op::LoadUnc(w(0x900)), 10) {
-            Exec::Done { value: Some(v), end } => {
+            Exec::Done {
+                value: Some(v),
+                end,
+            } => {
                 assert_eq!(v, 77, "uncached accesses are always fresh");
                 assert!(end > 10, "uncached access costs a shared-cache round trip");
             }
             other => panic!("unexpected {other:?}"),
         }
-        if let MemSys::Incoherent(sys) = &m.msys {
-            assert!(!sys.l1_holds(CoreId(0), w(0x900)));
-            assert!(!sys.l1_holds(CoreId(1), w(0x900)));
-        }
+        let sys = m.backend().as_incoherent().expect("incoherent machine");
+        assert!(!sys.l1_holds(CoreId(0), w(0x900)));
+        assert!(!sys.l1_holds(CoreId(1), w(0x900)));
     }
 
     #[test]
@@ -619,6 +806,7 @@ mod tests {
         m.execute(CoreId(0), &Op::BarrierArrive(b), 0);
         m.execute(CoreId(1), &Op::BarrierArrive(b), 0);
         m.take_wakeups();
+        finish_active(&mut m, 1000);
         assert!(m.finish().traffic.sync >= 4, "2 requests + 2 responses");
     }
 }

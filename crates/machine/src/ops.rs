@@ -3,13 +3,20 @@
 //! Applications never touch the memory system directly: they produce a
 //! stream of [`Op`]s through the `ThreadCtx` API in `hic-runtime`, and the
 //! machine executes each op at the core's current simulated time.
+//!
+//! Ops that return no value and never block ([`Op::is_batchable`]) may be
+//! coalesced into one [`Op::Batch`] message by the runtime's batched
+//! transport. Batching is purely a transport optimization: the engine
+//! unpacks a batch and still executes its members one at a time in global
+//! simulated-time order, so cycle counts are identical to sending each op
+//! individually — only the channel round-trips disappear.
 
 use hic_core::CohInstr;
 use hic_mem::{Word, WordAddr};
 use hic_sync::SyncId;
 
 /// One operation issued by a simulated thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// Load a word; the reply carries the value.
     Load(WordAddr),
@@ -48,12 +55,35 @@ pub enum Op {
     IebEnd,
     /// The thread has finished.
     Finish,
+    /// A run of coalesced non-value-returning, non-blocking ops sent as
+    /// one transport message. Every member satisfies
+    /// [`Op::is_batchable`]; nesting is not allowed.
+    Batch(Vec<Op>),
 }
 
 impl Op {
     /// Does this op block the core until another core's action?
     pub fn is_blocking(&self) -> bool {
-        matches!(self, Op::BarrierArrive(_) | Op::LockAcquire(_) | Op::FlagWait(_))
+        matches!(
+            self,
+            Op::BarrierArrive(_) | Op::LockAcquire(_) | Op::FlagWait(_)
+        )
+    }
+
+    /// May this op ride inside an [`Op::Batch`]? True exactly for ops
+    /// that return no value, never park the core, and don't end the
+    /// thread — the issuing thread has nothing to wait for.
+    pub fn is_batchable(&self) -> bool {
+        matches!(
+            self,
+            Op::Store(..)
+                | Op::StoreUnc(..)
+                | Op::Compute(_)
+                | Op::Coh(_)
+                | Op::MebBegin
+                | Op::IebBegin
+                | Op::IebEnd
+        )
     }
 }
 
@@ -70,5 +100,43 @@ mod tests {
         assert!(!Op::Load(WordAddr(0)).is_blocking());
         assert!(!Op::Compute(5).is_blocking());
         assert!(!Op::Finish.is_blocking());
+    }
+
+    #[test]
+    fn batchable_classification() {
+        // Batchable: fire-and-forget ops.
+        assert!(Op::Store(WordAddr(0), 1).is_batchable());
+        assert!(Op::StoreUnc(WordAddr(0), 1).is_batchable());
+        assert!(Op::Compute(5).is_batchable());
+        assert!(Op::MebBegin.is_batchable());
+        assert!(Op::IebBegin.is_batchable());
+        assert!(Op::IebEnd.is_batchable());
+        // Not batchable: value-returning, blocking, sync-visible, or
+        // lifecycle ops.
+        assert!(!Op::Load(WordAddr(0)).is_batchable());
+        assert!(!Op::LoadUnc(WordAddr(0)).is_batchable());
+        assert!(!Op::BarrierArrive(SyncId(0)).is_batchable());
+        assert!(!Op::LockAcquire(SyncId(0)).is_batchable());
+        assert!(!Op::LockRelease(SyncId(0)).is_batchable());
+        assert!(!Op::FlagSet(SyncId(0)).is_batchable());
+        assert!(!Op::FlagClear(SyncId(0)).is_batchable());
+        assert!(!Op::FlagWait(SyncId(0)).is_batchable());
+        assert!(!Op::Finish.is_batchable());
+        assert!(!Op::Batch(vec![]).is_batchable());
+    }
+
+    #[test]
+    fn no_batchable_op_blocks() {
+        let samples = [
+            Op::Store(WordAddr(0), 1),
+            Op::StoreUnc(WordAddr(0), 1),
+            Op::Compute(5),
+            Op::MebBegin,
+            Op::IebBegin,
+            Op::IebEnd,
+        ];
+        for op in samples {
+            assert!(op.is_batchable() && !op.is_blocking(), "{op:?}");
+        }
     }
 }

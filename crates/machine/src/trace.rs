@@ -10,15 +10,14 @@ use hic_sim::{CoreId, Cycle};
 use crate::ops::Op;
 
 /// One traced operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     pub core: CoreId,
     /// The core's local time when the op was issued.
     pub start: Cycle,
-    /// Completion time (equals `start` while parked; the wakeup is traced
-    /// separately as a [`TraceEvent::op`] of `None`... no — parked ops are
-    /// recorded with `blocked = true` and their grant is visible as the
-    /// next event of that core).
+    /// Completion time. For an op that parked the core this equals
+    /// `start` (and `blocked` is set); the wait itself is not an event —
+    /// the core's resume time appears as the `start` of its next event.
     pub end: Cycle,
     pub op: Op,
     /// True if the op parked the core (barrier/lock/flag wait).
@@ -36,7 +35,12 @@ pub struct TraceRing {
 
 impl TraceRing {
     pub fn new(capacity: usize) -> TraceRing {
-        TraceRing { events: Vec::with_capacity(capacity), capacity, next: 0, total: 0 }
+        TraceRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
     }
 
     /// Is tracing active (capacity > 0)?
@@ -131,7 +135,10 @@ mod tests {
     fn render_is_one_line_per_event() {
         let mut r = TraceRing::new(4);
         r.push(ev(1, 10));
-        r.push(TraceEvent { blocked: true, ..ev(2, 20) });
+        r.push(TraceEvent {
+            blocked: true,
+            ..ev(2, 20)
+        });
         let text = r.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("core1"));

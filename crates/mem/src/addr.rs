@@ -108,7 +108,10 @@ pub struct Region {
 impl Region {
     /// An empty region at address zero.
     pub fn empty() -> Region {
-        Region { start: WordAddr(0), words: 0 }
+        Region {
+            start: WordAddr(0),
+            words: 0,
+        }
     }
 
     /// Region covering `words` words starting at `start`.
@@ -138,8 +141,15 @@ impl Region {
 
     /// Sub-region `[lo, hi)` in element indices.
     pub fn slice(self, lo: u64, hi: u64) -> Region {
-        assert!(lo <= hi && hi <= self.words, "slice [{lo},{hi}) out of {}", self.words);
-        Region { start: WordAddr(self.start.0 + lo), words: hi - lo }
+        assert!(
+            lo <= hi && hi <= self.words,
+            "slice [{lo},{hi}) out of {}",
+            self.words
+        );
+        Region {
+            start: WordAddr(self.start.0 + lo),
+            words: hi - lo,
+        }
     }
 
     /// All lines that overlap this region, in ascending order. WB and INV

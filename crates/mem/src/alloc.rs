@@ -24,7 +24,9 @@ impl BumpAllocator {
     /// Allocation starts at line 1 (line 0 is reserved so that address 0
     /// never aliases application data).
     pub fn new() -> BumpAllocator {
-        BumpAllocator { next_word: WORDS_PER_LINE as u64 }
+        BumpAllocator {
+            next_word: WORDS_PER_LINE as u64,
+        }
     }
 
     /// Allocate `words` words aligned to a line boundary.
@@ -35,7 +37,10 @@ impl BumpAllocator {
     /// Allocate `words` words with the given word alignment (must be a
     /// power of two).
     pub fn alloc_aligned(&mut self, words: u64, align_words: u64) -> Region {
-        assert!(align_words.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            align_words.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         let base = (self.next_word + align_words - 1) & !(align_words - 1);
         self.next_word = base + words;
         Region::new(WordAddr(base), words)

@@ -31,7 +31,13 @@ struct Slot {
 
 impl Slot {
     fn empty() -> Slot {
-        Slot { addr: LineAddr(0), valid: false, dirty: 0, lru: 0, data: [0; WORDS_PER_LINE] }
+        Slot {
+            addr: LineAddr(0),
+            valid: false,
+            dirty: 0,
+            lru: 0,
+            data: [0; WORDS_PER_LINE],
+        }
     }
 }
 
@@ -143,7 +149,8 @@ impl Cache {
 
     fn find(&self, addr: LineAddr) -> Option<usize> {
         let set = self.set_of(addr);
-        self.set_slots(set).find(|&i| self.slots[i].valid && self.slots[i].addr == addr)
+        self.set_slots(set)
+            .find(|&i| self.slots[i].valid && self.slots[i].addr == addr)
     }
 
     /// The line ID the MEB stores: position of the line within the cache
@@ -158,7 +165,11 @@ impl Cache {
     pub fn line_at_id(&self, id: usize) -> Option<LineView<'_>> {
         let s = self.slots.get(id)?;
         if s.valid {
-            Some(LineView { addr: s.addr, dirty: s.dirty, data: &s.data })
+            Some(LineView {
+                addr: s.addr,
+                dirty: s.dirty,
+                data: &s.data,
+            })
         } else {
             None
         }
@@ -167,7 +178,9 @@ impl Cache {
     /// Probe without disturbing LRU state.
     pub fn probe(&self, addr: LineAddr) -> LookupResult {
         match self.find(addr) {
-            Some(i) => LookupResult::Hit { dirty: self.slots[i].dirty },
+            Some(i) => LookupResult::Hit {
+                dirty: self.slots[i].dirty,
+            },
             None => LookupResult::Miss,
         }
     }
@@ -255,7 +268,11 @@ impl Cache {
                 self.dirty_line_count -= 1;
             }
             let v = &self.slots[victim_idx];
-            Some(EvictedLine { addr: v.addr, dirty: v.dirty, data: v.data })
+            Some(EvictedLine {
+                addr: v.addr,
+                dirty: v.dirty,
+                data: v.data,
+            })
         } else {
             None
         };
@@ -263,8 +280,13 @@ impl Cache {
         if dirty != 0 {
             self.dirty_line_count += 1;
         }
-        self.slots[victim_idx] =
-            Slot { addr, valid: true, dirty, lru: self.tick, data };
+        self.slots[victim_idx] = Slot {
+            addr,
+            valid: true,
+            dirty,
+            lru: self.tick,
+            data,
+        };
         self.line_count_resident += 1;
         evicted
     }
@@ -336,7 +358,11 @@ impl Cache {
             self.dirty_line_count -= 1;
         }
         let s = &self.slots[i];
-        Some(EvictedLine { addr: s.addr, dirty: s.dirty, data: s.data })
+        Some(EvictedLine {
+            addr: s.addr,
+            dirty: s.dirty,
+            data: s.data,
+        })
     }
 
     /// Iterate over all valid lines (for WB ALL / INV ALL traversals).
@@ -350,12 +376,20 @@ impl Cache {
 
     /// Addresses of all valid lines with at least one dirty word.
     pub fn dirty_line_addrs(&self) -> Vec<LineAddr> {
-        self.slots.iter().filter(|s| s.valid && s.dirty != 0).map(|s| s.addr).collect()
+        self.slots
+            .iter()
+            .filter(|s| s.valid && s.dirty != 0)
+            .map(|s| s.addr)
+            .collect()
     }
 
     /// Addresses of all valid lines.
     pub fn valid_line_addrs(&self) -> Vec<LineAddr> {
-        self.slots.iter().filter(|s| s.valid).map(|s| s.addr).collect()
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| s.addr)
+            .collect()
     }
 
     /// Drop every line (power-on reset; used between experiment runs).
@@ -375,7 +409,11 @@ mod tests {
 
     fn small_cache() -> Cache {
         // 4 sets x 2 ways x 64B = 512B.
-        Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheGeometry {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     fn line_data(seed: Word) -> [Word; WORDS_PER_LINE] {
@@ -540,6 +578,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
-        Cache::new(CacheGeometry { size_bytes: 3 * 64 * 2, ways: 2, line_bytes: 64 });
+        Cache::new(CacheGeometry {
+            size_bytes: 3 * 64 * 2,
+            ways: 2,
+            line_bytes: 64,
+        });
     }
 }

@@ -22,7 +22,10 @@ impl Memory {
 
     /// Read a whole line (zeros if never written).
     pub fn read_line(&self, addr: LineAddr) -> [Word; WORDS_PER_LINE] {
-        self.lines.get(&addr.0).copied().unwrap_or([0; WORDS_PER_LINE])
+        self.lines
+            .get(&addr.0)
+            .copied()
+            .unwrap_or([0; WORDS_PER_LINE])
     }
 
     /// Write a whole line.
@@ -32,12 +35,7 @@ impl Memory {
 
     /// Merge only the masked words of `data` into the line (a dirty-word
     /// writeback landing in memory).
-    pub fn merge_words(
-        &mut self,
-        addr: LineAddr,
-        data: &[Word; WORDS_PER_LINE],
-        mask: DirtyMask,
-    ) {
+    pub fn merge_words(&mut self, addr: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
         let line = self.lines.entry(addr.0).or_insert([0; WORDS_PER_LINE]);
         for w in 0..WORDS_PER_LINE {
             if mask & (1 << w) != 0 {

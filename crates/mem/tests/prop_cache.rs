@@ -2,12 +2,13 @@
 //! writes, merges, invalidations, and (spilled) evictions happens, no
 //! written word is ever lost — the cache plus the backing store always
 //! holds the newest value of every word.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the deterministic in-repo `SplitMix64` (fixed seeds).
 
 use hic_mem::addr::WORDS_PER_LINE;
 use hic_mem::{Cache, LineAddr, Memory, WordAddr};
 use hic_sim::config::CacheGeometry;
+use hic_sim::SplitMix64;
 
 #[derive(Debug, Clone)]
 enum OpKind {
@@ -21,16 +22,36 @@ enum OpKind {
     Clean { line: u64 },
 }
 
-fn arb_op() -> impl Strategy<Value = OpKind> {
-    let line = 0u64..24; // more lines than capacity: forces evictions
-    let word = 0usize..WORDS_PER_LINE;
-    prop_oneof![
-        (line.clone(), word.clone(), any::<u32>())
-            .prop_map(|(line, word, value)| OpKind::Write { line, word, value }),
-        (line.clone(), word).prop_map(|(line, word)| OpKind::Read { line, word }),
-        line.clone().prop_map(|line| OpKind::Invalidate { line }),
-        line.prop_map(|line| OpKind::Clean { line }),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> OpKind {
+    // More lines (24) than capacity: forces evictions.
+    let line = rng.below(24);
+    match rng.below(4) {
+        0 => OpKind::Write {
+            line,
+            word: rng.below(WORDS_PER_LINE as u64) as usize,
+            value: rng.next_u32(),
+        },
+        1 => OpKind::Read {
+            line,
+            word: rng.below(WORDS_PER_LINE as u64) as usize,
+        },
+        2 => OpKind::Invalidate { line },
+        _ => OpKind::Clean { line },
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, max_len: u64) -> Vec<OpKind> {
+    let len = 1 + rng.below(max_len - 1);
+    (0..len).map(|_| gen_op(rng)).collect()
+}
+
+/// Tiny cache (4 sets x 2 ways) so evictions are frequent.
+fn tiny_cache() -> Cache {
+    Cache::new(CacheGeometry {
+        size_bytes: 512,
+        ways: 2,
+        line_bytes: 64,
+    })
 }
 
 fn spill(mem: &mut Memory, ev: hic_mem::cache::EvictedLine) {
@@ -39,13 +60,12 @@ fn spill(mem: &mut Memory, ev: hic_mem::cache::EvictedLine) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    #[test]
-    fn no_written_word_is_ever_lost(ops in proptest::collection::vec(arb_op(), 1..200)) {
-        // Tiny cache (4 sets x 2 ways) so evictions are frequent.
-        let mut cache = Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 });
+#[test]
+fn no_written_word_is_ever_lost() {
+    let mut rng = SplitMix64::new(0xCAC4E);
+    for case in 0..64 {
+        let ops = gen_ops(&mut rng, 200);
+        let mut cache = tiny_cache();
         let mut mem = Memory::new();
         // Reference: the true current value of every word.
         let mut model = std::collections::HashMap::<(u64, usize), u32>::new();
@@ -76,7 +96,10 @@ proptest! {
                         }
                     };
                     let want = model.get(&(line, word)).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "read {}:{} saw {} want {}", line, word, got, want);
+                    assert_eq!(
+                        got, want,
+                        "case {case}: read {line}:{word} saw {got} want {want}"
+                    );
                 }
                 OpKind::Invalidate { line } => {
                     if let Some(ev) = cache.invalidate(LineAddr(line)) {
@@ -95,8 +118,8 @@ proptest! {
                 }
             }
             // Counter invariants hold at every step.
-            prop_assert!(cache.dirty_lines_resident() <= cache.resident_lines());
-            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+            assert!(cache.dirty_lines_resident() <= cache.resident_lines());
+            assert!(cache.resident_lines() <= cache.capacity_lines());
         }
 
         // Drain the cache: memory must now hold the model exactly.
@@ -107,15 +130,19 @@ proptest! {
         }
         for ((line, word), want) in model {
             let got = mem.read_word(WordAddr(line * WORDS_PER_LINE as u64 + word as u64));
-            prop_assert_eq!(got, want, "after drain, {}:{}", line, word);
+            assert_eq!(got, want, "case {case}: after drain, {line}:{word}");
         }
     }
+}
 
-    /// The dirty-line counter always equals the number of lines with a
-    /// nonzero dirty mask.
-    #[test]
-    fn dirty_counter_is_exact(ops in proptest::collection::vec(arb_op(), 1..100)) {
-        let mut cache = Cache::new(CacheGeometry { size_bytes: 512, ways: 2, line_bytes: 64 });
+/// The dirty-line counter always equals the number of lines with a
+/// nonzero dirty mask.
+#[test]
+fn dirty_counter_is_exact() {
+    let mut rng = SplitMix64::new(0xD1271);
+    for case in 0..64 {
+        let ops = gen_ops(&mut rng, 100);
+        let mut cache = tiny_cache();
         let mut mem = Memory::new();
         for op in ops {
             match op {
@@ -148,7 +175,7 @@ proptest! {
                 }
             }
             let truth = cache.valid_lines().filter(|v| v.dirty != 0).count();
-            prop_assert_eq!(cache.dirty_lines_resident(), truth);
+            assert_eq!(cache.dirty_lines_resident(), truth, "case {case}");
         }
     }
 }

@@ -39,7 +39,12 @@ impl Mesh {
         assert!(n > 0);
         let cols = (n as f64).sqrt().ceil() as usize;
         let rows = n.div_ceil(cols);
-        Mesh { cols, rows, n_tiles: n, hop_cycles }
+        Mesh {
+            cols,
+            rows,
+            n_tiles: n,
+            hop_cycles,
+        }
     }
 
     /// Grid dimensions (columns, rows).
@@ -50,7 +55,10 @@ impl Mesh {
     /// Tile of core / bank `i` (row-major placement).
     pub fn tile(&self, i: usize) -> Tile {
         assert!(i < self.n_tiles, "tile index {i} out of {}", self.n_tiles);
-        Tile { x: i % self.cols, y: i / self.cols }
+        Tile {
+            x: i % self.cols,
+            y: i / self.cols,
+        }
     }
 
     /// Tile of one of the four corners, indexed 0..4
@@ -58,9 +66,18 @@ impl Mesh {
     pub fn corner(&self, i: usize) -> Tile {
         match i % 4 {
             0 => Tile { x: 0, y: 0 },
-            1 => Tile { x: self.cols - 1, y: 0 },
-            2 => Tile { x: 0, y: self.rows - 1 },
-            _ => Tile { x: self.cols - 1, y: self.rows - 1 },
+            1 => Tile {
+                x: self.cols - 1,
+                y: 0,
+            },
+            2 => Tile {
+                x: 0,
+                y: self.rows - 1,
+            },
+            _ => Tile {
+                x: self.cols - 1,
+                y: self.rows - 1,
+            },
         }
     }
 
@@ -100,12 +117,11 @@ impl Mesh {
     /// Latency helper used by coherence: the farthest of a set of tiles
     /// from `from` (an invalidation round completes when the slowest ack
     /// returns).
-    pub fn max_rt_latency<'a>(
-        &self,
-        from: usize,
-        to: impl IntoIterator<Item = &'a usize>,
-    ) -> u64 {
-        to.into_iter().map(|&t| self.rt_latency(from, t)).max().unwrap_or(0)
+    pub fn max_rt_latency<'a>(&self, from: usize, to: impl IntoIterator<Item = &'a usize>) -> u64 {
+        to.into_iter()
+            .map(|&t| self.rt_latency(from, t))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Convenience: round trip from a core to an L2 bank where cores and

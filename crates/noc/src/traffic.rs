@@ -151,6 +151,9 @@ mod tests {
     #[test]
     fn fig10_categories_are_the_papers_four() {
         let labels: Vec<_> = TrafficCategory::FIG10.iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["memory", "linefill", "writeback", "invalidation"]);
+        assert_eq!(
+            labels,
+            vec!["memory", "linefill", "writeback", "invalidation"]
+        );
     }
 }

@@ -1,76 +1,101 @@
 //! Property tests for the mesh: metric sanity (symmetry, identity,
 //! triangle inequality) for any machine size, and ledger arithmetic.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the in-repo deterministic `SplitMix64` (fixed seeds,
+//! reproducible failures — re-run with the printed seed to debug).
 
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
+use hic_sim::SplitMix64;
 
-proptest! {
-    #[test]
-    fn mesh_latency_is_a_metric(n in 1usize..64, hop in 1u64..16) {
+#[test]
+fn mesh_latency_is_a_metric() {
+    let mut rng = SplitMix64::new(0xA110);
+    for case in 0..24 {
+        let n = 1 + rng.below(63) as usize;
+        let hop = 1 + rng.below(15);
         let m = Mesh::new(n, hop);
         for a in 0..n {
-            prop_assert_eq!(m.latency(a, a), 0, "identity");
+            assert_eq!(m.latency(a, a), 0, "identity (case {case}, n={n})");
             for b in 0..n {
-                prop_assert_eq!(m.latency(a, b), m.latency(b, a), "symmetry");
-                prop_assert_eq!(m.rt_latency(a, b), 2 * m.latency(a, b));
+                assert_eq!(
+                    m.latency(a, b),
+                    m.latency(b, a),
+                    "symmetry (case {case}, n={n})"
+                );
+                assert_eq!(m.rt_latency(a, b), 2 * m.latency(a, b));
                 for c in 0..n {
-                    prop_assert!(
+                    assert!(
                         m.latency(a, c) <= m.latency(a, b) + m.latency(b, c),
-                        "triangle inequality"
+                        "triangle inequality (case {case}, n={n}, {a}->{b}->{c})"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hops_scale_linearly_with_hop_cycles(n in 2usize..32, hop in 1u64..12) {
+#[test]
+fn hops_scale_linearly_with_hop_cycles() {
+    let mut rng = SplitMix64::new(0xA111);
+    for case in 0..24 {
+        let n = 2 + rng.below(30) as usize;
+        let hop = 1 + rng.below(11);
         let m1 = Mesh::new(n, 1);
         let mh = Mesh::new(n, hop);
         for a in 0..n {
             for b in 0..n {
-                prop_assert_eq!(mh.latency(a, b), m1.latency(a, b) * hop);
-            }
-        }
-    }
-
-    #[test]
-    fn nearest_corner_is_really_nearest(n in 1usize..64) {
-        let m = Mesh::new(n, 4);
-        for a in 0..n {
-            let best = m.nearest_corner(a);
-            for c in 0..4 {
-                prop_assert!(
-                    m.latency_to_corner(a, best) <= m.latency_to_corner(a, c),
-                    "tile {a}: corner {best} must not be beaten by corner {c}"
+                assert_eq!(
+                    mh.latency(a, b),
+                    m1.latency(a, b) * hop,
+                    "case {case}: n={n}, hop={hop}, {a}->{b}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn traffic_ledger_merge_is_commutative_and_total_additive(
-        adds in proptest::collection::vec((0usize..6, 0u64..1000), 0..40)
-    ) {
-        let cats = [
-            TrafficCategory::Linefill,
-            TrafficCategory::Writeback,
-            TrafficCategory::Invalidation,
-            TrafficCategory::Memory,
-            TrafficCategory::L2L3,
-            TrafficCategory::Sync,
-        ];
-        let mut a = TrafficLedger::new();
-        let mut b = TrafficLedger::new();
-        for (i, (cat, flits)) in adds.iter().enumerate() {
-            if i % 2 == 0 {
-                a.add(cats[*cat], *flits);
-            } else {
-                b.add(cats[*cat], *flits);
+#[test]
+fn nearest_corner_is_really_nearest() {
+    let mut rng = SplitMix64::new(0xA112);
+    for case in 0..32 {
+        let n = 1 + rng.below(63) as usize;
+        let m = Mesh::new(n, 4);
+        for a in 0..n {
+            let best = m.nearest_corner(a);
+            for c in 0..4 {
+                assert!(
+                    m.latency_to_corner(a, best) <= m.latency_to_corner(a, c),
+                    "case {case}: tile {a}: corner {best} must not be beaten by corner {c}"
+                );
             }
         }
-        prop_assert_eq!(a.merged(&b), b.merged(&a));
-        prop_assert_eq!(a.merged(&b).total(), a.total() + b.total());
+    }
+}
+
+#[test]
+fn traffic_ledger_merge_is_commutative_and_total_additive() {
+    let cats = [
+        TrafficCategory::Linefill,
+        TrafficCategory::Writeback,
+        TrafficCategory::Invalidation,
+        TrafficCategory::Memory,
+        TrafficCategory::L2L3,
+        TrafficCategory::Sync,
+    ];
+    let mut rng = SplitMix64::new(0xA113);
+    for _case in 0..64 {
+        let mut a = TrafficLedger::new();
+        let mut b = TrafficLedger::new();
+        for i in 0..rng.below(40) {
+            let cat = cats[rng.below(cats.len() as u64) as usize];
+            let flits = rng.below(1000);
+            if i % 2 == 0 {
+                a.add(cat, flits);
+            } else {
+                b.add(cat, flits);
+            }
+        }
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&b).total(), a.total() + b.total());
     }
 }

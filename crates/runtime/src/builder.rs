@@ -22,7 +22,7 @@ use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
 
 use crate::config::Config;
 use crate::ctx::{BarrierId, FlagId, LockId, LockInfo, RtShared, ThreadCtx};
-use crate::sched::run_threads;
+use crate::engine::{run_threads, Transport};
 
 /// Builder for one simulated program run.
 pub struct ProgramBuilder {
@@ -30,6 +30,7 @@ pub struct ProgramBuilder {
     machine: Machine,
     alloc: BumpAllocator,
     locks: Vec<LockInfo>,
+    transport: Transport,
 }
 
 impl ProgramBuilder {
@@ -49,13 +50,48 @@ impl ProgramBuilder {
             matches!(config, Config::Inter(_)),
             "machine shape must match the configuration family"
         );
-        let machine =
-            if config.is_coherent() { Machine::coherent(mc) } else { Machine::incoherent(mc) };
-        ProgramBuilder { config, machine, alloc: BumpAllocator::new(), locks: Vec::new() }
+        let machine = if config.is_coherent() {
+            Machine::coherent(mc)
+        } else {
+            Machine::incoherent(mc)
+        };
+        ProgramBuilder {
+            config,
+            machine,
+            alloc: BumpAllocator::new(),
+            locks: Vec::new(),
+            transport: Transport::default(),
+        }
+    }
+
+    /// Create a builder whose machine is the flat always-fresh reference
+    /// backend (`hic_machine::RefBackend`) in the shape `config`
+    /// prescribes. The runtime still inserts `config`'s WB/INV
+    /// annotations; the reference backend completes them in zero cycles
+    /// and can never serve a stale value. Property tests use this as the
+    /// correctness oracle for cache-backed runs.
+    pub fn with_reference_backend(config: Config) -> ProgramBuilder {
+        let machine = Machine::reference(config.machine_config());
+        ProgramBuilder {
+            config,
+            machine,
+            alloc: BumpAllocator::new(),
+            locks: Vec::new(),
+            transport: Transport::default(),
+        }
     }
 
     pub fn config(&self) -> Config {
         self.config
+    }
+
+    /// Select how threads ship ops to the engine (default:
+    /// [`Transport::Batched`] with a 64-op cap). Simulated results are
+    /// identical across transports; only host-side round-trip counts in
+    /// `stats.engine` differ.
+    pub fn transport(&mut self, t: Transport) -> &mut Self {
+        self.transport = t;
+        self
     }
 
     /// Number of hardware threads available.
@@ -133,8 +169,12 @@ impl ProgramBuilder {
     where
         F: Fn(&ThreadCtx) + Send + Sync,
     {
-        let shared =
-            Arc::new(RtShared { config: self.config, locks: self.locks, nthreads });
+        let shared = Arc::new(RtShared {
+            config: self.config,
+            locks: self.locks,
+            nthreads,
+            transport: self.transport,
+        });
         let (machine, stats) = run_threads(self.machine, shared, nthreads, body);
         RunOutcome { machine, stats }
     }
@@ -326,10 +366,10 @@ mod tests {
                 let producer_plan = EpochPlan::new()
                     .with_wb(CommOp::known(x.slice(0, 16), ctx.thread(1)))
                     .with_wb(CommOp::known(x.slice(16, 32), ctx.thread(8)));
-                let consumer1 = EpochPlan::new()
-                    .with_inv(CommOp::known(x.slice(0, 16), ctx.thread(0)));
-                let consumer8 = EpochPlan::new()
-                    .with_inv(CommOp::known(x.slice(16, 32), ctx.thread(0)));
+                let consumer1 =
+                    EpochPlan::new().with_inv(CommOp::known(x.slice(0, 16), ctx.thread(0)));
+                let consumer8 =
+                    EpochPlan::new().with_inv(CommOp::known(x.slice(16, 32), ctx.thread(0)));
                 // Warm stale copies everywhere.
                 if ctx.tid() == 1 {
                     ctx.read(x, 0);
@@ -348,13 +388,23 @@ mod tests {
                 if ctx.tid() == 1 {
                     ctx.plan_inv(&consumer1);
                     for i in 0..16u64 {
-                        assert_eq!(ctx.read(x, i), 1000 + i as Word, "same-block, {}", cfg.name());
+                        assert_eq!(
+                            ctx.read(x, i),
+                            1000 + i as Word,
+                            "same-block, {}",
+                            cfg.name()
+                        );
                     }
                 }
                 if ctx.tid() == 8 {
                     ctx.plan_inv(&consumer8);
                     for i in 16..32u64 {
-                        assert_eq!(ctx.read(x, i), 1000 + i as Word, "cross-block, {}", cfg.name());
+                        assert_eq!(
+                            ctx.read(x, i),
+                            1000 + i as Word,
+                            "cross-block, {}",
+                            cfg.name()
+                        );
                     }
                 }
             });
@@ -377,8 +427,12 @@ mod tests {
         let evs = trace.events();
         // Stores, WB ALL / INV ALL around the barrier, barrier arrivals,
         // and Finish ops must all appear.
-        assert!(evs.iter().any(|e| matches!(e.op, hic_machine::Op::Store(_, _))));
-        assert!(evs.iter().any(|e| matches!(e.op, hic_machine::Op::BarrierArrive(_))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.op, hic_machine::Op::Store(_, _))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.op, hic_machine::Op::BarrierArrive(_))));
         assert!(evs.iter().any(|e| e.blocked), "the first arriver parks");
         assert!(!trace.render().is_empty());
     }

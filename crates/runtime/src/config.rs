@@ -19,8 +19,13 @@ pub enum IntraConfig {
 }
 
 impl IntraConfig {
-    pub const ALL: [IntraConfig; 5] =
-        [IntraConfig::Hcc, IntraConfig::Base, IntraConfig::BM, IntraConfig::BI, IntraConfig::BMI];
+    pub const ALL: [IntraConfig; 5] = [
+        IntraConfig::Hcc,
+        IntraConfig::Base,
+        IntraConfig::BM,
+        IntraConfig::BI,
+        IntraConfig::BMI,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -59,8 +64,12 @@ pub enum InterConfig {
 }
 
 impl InterConfig {
-    pub const ALL: [InterConfig; 4] =
-        [InterConfig::Hcc, InterConfig::Base, InterConfig::Addr, InterConfig::AddrL];
+    pub const ALL: [InterConfig; 4] = [
+        InterConfig::Hcc,
+        InterConfig::Base,
+        InterConfig::Addr,
+        InterConfig::AddrL,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

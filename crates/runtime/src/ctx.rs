@@ -15,7 +15,8 @@
 //! * data races: per-word WB / INV around the racy accesses (Figure 6);
 //! * model-2 epoch plans: global or level-adaptive WB/INV per Table II.
 
-use crossbeam::channel::{Receiver, Sender};
+use std::cell::{Cell, RefCell};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use hic_core::{CohInstr, Target};
@@ -25,6 +26,7 @@ use hic_sim::ThreadId;
 use hic_sync::SyncId;
 
 use crate::config::{Config, InterConfig, IntraConfig};
+use crate::engine::Transport;
 use crate::plan::EpochPlan;
 
 /// Handle to a barrier declared on the builder.
@@ -53,20 +55,40 @@ pub(crate) struct RtShared {
     pub config: Config,
     pub locks: Vec<LockInfo>,
     pub nthreads: usize,
+    pub transport: Transport,
 }
 
 /// The per-thread handle applications program against.
 pub struct ThreadCtx {
-    pub(crate) tid: usize,
-    pub(crate) req: Sender<Op>,
-    pub(crate) reply: Receiver<Option<Word>>,
-    pub(crate) shared: Arc<RtShared>,
+    tid: usize,
+    req: Sender<Op>,
+    reply: Receiver<Option<Word>>,
+    shared: Arc<RtShared>,
     /// Compute cycles accumulated by [`ThreadCtx::tick`], flushed as one
     /// `Op::Compute` before the next real operation.
-    pub(crate) pending_compute: std::cell::Cell<u64>,
+    pending_compute: Cell<u64>,
+    /// Batchable ops coalesced since the last flush (empty under
+    /// [`Transport::Sync`]); shipped as one `Op::Batch` message.
+    batch: RefCell<Vec<Op>>,
 }
 
 impl ThreadCtx {
+    pub(crate) fn new(
+        tid: usize,
+        req: Sender<Op>,
+        reply: Receiver<Option<Word>>,
+        shared: Arc<RtShared>,
+    ) -> ThreadCtx {
+        ThreadCtx {
+            tid,
+            req,
+            reply,
+            shared,
+            pending_compute: Cell::new(0),
+            batch: RefCell::new(Vec::new()),
+        }
+    }
+
     /// This thread's id (= its core id; one-to-one mapping, no migration).
     pub fn tid(&self) -> usize {
         self.tid
@@ -86,22 +108,60 @@ impl ThreadCtx {
         self.shared.config.is_coherent()
     }
 
-    /// Issue one op and wait for its completion.
-    fn issue(&self, op: Op) -> Option<Word> {
+    /// Batch capacity of the active transport (0 = send everything
+    /// synchronously).
+    fn batch_cap(&self) -> usize {
+        self.shared.transport.batch_cap()
+    }
+
+    /// Turn accumulated [`ThreadCtx::tick`] cycles into a `Compute` op.
+    fn flush_compute(&self) {
         let pending = self.pending_compute.replace(0);
         if pending > 0 {
-            self.req.send(Op::Compute(pending)).expect("simulator hung up");
-            self.reply.recv().expect("simulator hung up");
+            self.dispatch(Op::Compute(pending));
         }
-        self.req.send(op).expect("simulator hung up");
-        self.reply.recv().expect("simulator hung up")
+    }
+
+    /// Ship the coalesced batch (if any) as one message. Batch members
+    /// return no values, so the thread does not wait for a reply.
+    fn flush_batch(&self) {
+        let ops = std::mem::take(&mut *self.batch.borrow_mut());
+        if !ops.is_empty() {
+            self.req.send(Op::Batch(ops)).expect("simulator hung up");
+        }
+    }
+
+    /// Route one op through the active transport: coalesce it if it is
+    /// batchable, otherwise send it on its own and wait for the reply.
+    fn dispatch(&self, op: Op) -> Option<Word> {
+        let cap = self.batch_cap();
+        if cap > 0 && op.is_batchable() {
+            let mut batch = self.batch.borrow_mut();
+            batch.push(op);
+            if batch.len() >= cap {
+                drop(batch);
+                self.flush_batch();
+            }
+            None
+        } else {
+            self.flush_batch();
+            self.req.send(op).expect("simulator hung up");
+            self.reply.recv().expect("simulator hung up")
+        }
+    }
+
+    /// Issue one op in program order (preceded by any deferred compute).
+    fn issue(&self, op: Op) -> Option<Word> {
+        self.flush_compute();
+        self.dispatch(op)
     }
 
     /// Accumulate `cycles` of modeled computation cheaply; merged into a
     /// single `Compute` op immediately before the next real operation.
     /// Use this for per-element arithmetic costs in inner loops.
     pub fn tick(&self, cycles: u64) {
-        self.pending_compute.set(self.pending_compute.get() + cycles);
+        self.pending_compute
+            .set(self.pending_compute.get() + cycles);
     }
 
     // ------------------------------------------------------------------
@@ -218,12 +278,7 @@ impl ThreadCtx {
     /// written back / invalidated ("the programmer can often provide
     /// information to reduce WB and INV operations", §IV-A1). `None`
     /// means "nothing to move on this side".
-    pub fn barrier_hinted(
-        &self,
-        b: BarrierId,
-        wb: Option<&[Region]>,
-        inv: Option<&[Region]>,
-    ) {
+    pub fn barrier_hinted(&self, b: BarrierId, wb: Option<&[Region]>, inv: Option<&[Region]>) {
         if self.coherent() {
             self.issue(Op::BarrierArrive(b.0));
             return;
@@ -232,14 +287,22 @@ impl ThreadCtx {
         if let Some(regions) = wb {
             for &r in regions {
                 let t = Target::range(r);
-                self.issue(Op::Coh(if inter { CohInstr::wb_l3(t) } else { CohInstr::wb(t) }));
+                self.issue(Op::Coh(if inter {
+                    CohInstr::wb_l3(t)
+                } else {
+                    CohInstr::wb(t)
+                }));
             }
         }
         self.issue(Op::BarrierArrive(b.0));
         if let Some(regions) = inv {
             for &r in regions {
                 let t = Target::range(r);
-                self.issue(Op::Coh(if inter { CohInstr::inv_l2(t) } else { CohInstr::inv(t) }));
+                self.issue(Op::Coh(if inter {
+                    CohInstr::inv_l2(t)
+                } else {
+                    CohInstr::inv(t)
+                }));
             }
         }
     }
@@ -457,11 +520,8 @@ impl ThreadCtx {
     }
 
     pub(crate) fn finish(&self) {
-        let pending = self.pending_compute.replace(0);
-        if pending > 0 {
-            self.req.send(Op::Compute(pending)).expect("simulator hung up");
-            self.reply.recv().expect("simulator hung up");
-        }
+        self.flush_compute();
+        self.flush_batch();
         self.req.send(Op::Finish).expect("simulator hung up");
         // No reply for Finish.
     }

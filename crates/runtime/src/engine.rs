@@ -1,0 +1,411 @@
+//! The execution engine: conservative execution-driven scheduling of
+//! simulated threads over one [`Machine`].
+//!
+//! Each simulated thread runs on an OS thread and talks to the engine
+//! over a channel. The engine:
+//!
+//! 1. makes sure every runnable core has at least one pending op —
+//!    receiving from the thread's channel when its queue is empty (the
+//!    thread is guaranteed to send one);
+//! 2. executes the op of the core with the smallest local time (core id
+//!    breaking ties), so machine transitions happen in global
+//!    simulated-time order;
+//! 3. delivers wakeups produced by synchronization grants immediately, so
+//!    no core can act "in the past" of an already-executed transition.
+//!
+//! # Batched transport
+//!
+//! Under [`Transport::Batched`] a thread coalesces runs of fire-and-forget
+//! ops (stores, computes, posted WB/INV — see `Op::is_batchable`) into one
+//! `Op::Batch` message and does not wait for replies to them. The engine
+//! **unpacks** each batch into the core's op queue and still executes one
+//! op at a time by global minimum-time selection: simulated timing,
+//! interleaving, stall ledgers, and traffic are bit-identical to
+//! [`Transport::Sync`] — only the host-side channel round-trips disappear.
+//! [`EngineStats`] (surfaced through `RunStats::engine`) records how many.
+//!
+//! If every unfinished core is parked on synchronization, the program has
+//! deadlocked; the engine panics with a diagnostic (including each parked
+//! core's stall category and, when tracing is enabled, the recent
+//! operation history) rather than hanging.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use hic_machine::{Exec, Machine, Op, RunStats};
+use hic_mem::Word;
+use hic_sim::{CoreId, Cycle, EngineStats};
+
+use crate::ctx::{RtShared, ThreadCtx};
+
+/// How simulated threads ship ops to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Every op is sent as its own message and the thread waits for the
+    /// reply — one host round-trip per op. Simple, and the reference
+    /// behavior the batched transport must match cycle-for-cycle.
+    Sync,
+    /// Runs of non-value-returning ops are coalesced into one
+    /// `Op::Batch` message of at most `cap` ops; the thread only waits
+    /// at value-returning or blocking ops. Same simulated results,
+    /// fewer host round-trips.
+    Batched { cap: usize },
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Transport::Batched { cap: 64 }
+    }
+}
+
+impl Transport {
+    /// Batch capacity (0 = unbatched).
+    pub fn batch_cap(self) -> usize {
+        match self {
+            Transport::Sync => 0,
+            Transport::Batched { cap } => cap.max(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    /// Queue empty: must pull the next message from the thread.
+    NeedsOp,
+    /// Has at least one queued op, not yet executed.
+    HasOp,
+    /// Blocked inside the machine on a synchronization grant.
+    Parked,
+    /// Thread finished.
+    Done,
+}
+
+/// The scheduler state for one run: per-core op queues, local clocks,
+/// and the [`EngineStats`] ledger.
+pub(crate) struct Engine {
+    machine: Machine,
+    state: Vec<CoreState>,
+    /// Per-core local simulated time.
+    time: Vec<Cycle>,
+    /// Per-core decoded op queue: `(op, needs_reply)`. Batch members are
+    /// queued with `needs_reply = false`; individually sent ops (except
+    /// `Finish`) with `true`.
+    queue: Vec<VecDeque<(Op, bool)>>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    pub(crate) fn new(machine: Machine, nthreads: usize) -> Engine {
+        Engine {
+            machine,
+            state: vec![CoreState::NeedsOp; nthreads],
+            time: vec![0; nthreads],
+            queue: (0..nthreads).map(|_| VecDeque::new()).collect(),
+            stats: EngineStats::new(),
+        }
+    }
+
+    /// Receive one transport message for core `c` and queue its ops.
+    fn refill(&mut self, c: usize, req_rxs: &[Receiver<Op>]) {
+        let msg = req_rxs[c].recv().expect("app thread died mid-run");
+        self.stats.messages += 1;
+        match msg {
+            Op::Batch(ops) => {
+                debug_assert!(!ops.is_empty(), "empty batch message");
+                self.stats.batches += 1;
+                for op in ops {
+                    debug_assert!(op.is_batchable(), "non-batchable op in batch: {op:?}");
+                    self.queue[c].push_back((op, false));
+                }
+            }
+            op => {
+                let needs_reply = !matches!(op, Op::Finish);
+                self.queue[c].push_back((op, needs_reply));
+            }
+        }
+        self.state[c] = CoreState::HasOp;
+    }
+
+    fn deadlock_panic(&self) -> ! {
+        let parked: Vec<String> = (0..self.state.len())
+            .filter(|&c| self.state[c] == CoreState::Parked)
+            .map(|c| {
+                let cat = self
+                    .machine
+                    .parked_category(CoreId(c))
+                    .map(|cat| cat.label())
+                    .unwrap_or("?");
+                format!("core{c} ({cat})")
+            })
+            .collect();
+        let mut msg = format!(
+            "deadlock: no runnable core; parked cores: [{}] \
+             (a barrier is missing an arrival, or a lock is never released)",
+            parked.join(", ")
+        );
+        if self.machine.trace().enabled() {
+            msg.push_str("\nmost recent operations (oldest first):\n");
+            msg.push_str(&self.machine.trace().render());
+        }
+        panic!("{msg}");
+    }
+
+    /// Drive the run to completion; returns the machine and its stats
+    /// with the engine ledger filled in.
+    pub(crate) fn run(
+        mut self,
+        req_rxs: &[Receiver<Op>],
+        reply_txs: &[SyncSender<Option<Word>>],
+    ) -> (Machine, RunStats) {
+        let nthreads = self.state.len();
+        let mut done = 0usize;
+        let mut parked_now = 0u64;
+
+        while done < nthreads {
+            // 1. Every runnable core must present its next op.
+            for c in 0..nthreads {
+                if self.state[c] == CoreState::NeedsOp {
+                    self.refill(c, req_rxs);
+                }
+            }
+            // 2. Execute the earliest pending op.
+            let next = (0..nthreads)
+                .filter(|&c| self.state[c] == CoreState::HasOp)
+                .min_by_key(|&c| (self.time[c], c));
+            let c = match next {
+                Some(c) => c,
+                None => self.deadlock_panic(),
+            };
+            let (op, needs_reply) = self.queue[c].pop_front().expect("HasOp implies queued op");
+            match self.machine.execute(CoreId(c), &op, self.time[c]) {
+                Exec::Done { value, end } => {
+                    self.stats.ops_executed += 1;
+                    self.time[c] = end;
+                    if matches!(op, Op::Finish) {
+                        debug_assert!(self.queue[c].is_empty(), "ops queued after Finish");
+                        self.state[c] = CoreState::Done;
+                        done += 1;
+                    } else {
+                        if needs_reply {
+                            self.stats.round_trips += 1;
+                            reply_txs[c].send(value).expect("app thread died");
+                        }
+                        self.state[c] = if self.queue[c].is_empty() {
+                            CoreState::NeedsOp
+                        } else {
+                            CoreState::HasOp
+                        };
+                    }
+                }
+                Exec::Parked => {
+                    // Blocking ops are never batched and always flush the
+                    // batch first, so a parking core has nothing queued.
+                    debug_assert!(
+                        self.queue[c].is_empty(),
+                        "batch queued behind a blocking op"
+                    );
+                    debug_assert!(needs_reply, "blocking ops are sent individually");
+                    self.stats.ops_executed += 1;
+                    self.state[c] = CoreState::Parked;
+                    parked_now += 1;
+                    self.stats.peak_parked = self.stats.peak_parked.max(parked_now);
+                }
+            }
+            // 3. Deliver wakeups immediately.
+            for wk in self.machine.take_wakeups() {
+                let i = wk.core.0;
+                debug_assert_eq!(self.state[i], CoreState::Parked);
+                self.stats.wakeups += 1;
+                parked_now -= 1;
+                self.time[i] = wk.at;
+                reply_txs[i].send(None).expect("app thread died");
+                self.state[i] = CoreState::NeedsOp;
+            }
+        }
+        let mut stats = self.machine.finish();
+        stats.engine = self.stats;
+        (self.machine, stats)
+    }
+}
+
+/// Run `body` on `nthreads` simulated threads over `machine`.
+/// Returns the machine (for result inspection) and the run statistics.
+pub(crate) fn run_threads<F>(
+    machine: Machine,
+    shared: Arc<RtShared>,
+    nthreads: usize,
+    body: F,
+) -> (Machine, RunStats)
+where
+    F: Fn(&ThreadCtx) + Send + Sync,
+{
+    assert!(nthreads >= 1);
+    assert!(
+        nthreads <= machine.config().num_cores(),
+        "more threads ({nthreads}) than cores ({})",
+        machine.config().num_cores()
+    );
+
+    let mut req_txs = Vec::with_capacity(nthreads);
+    let mut req_rxs: Vec<Receiver<Op>> = Vec::with_capacity(nthreads);
+    let mut reply_txs: Vec<SyncSender<Option<Word>>> = Vec::with_capacity(nthreads);
+    let mut reply_rxs = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let (tx, rx) = channel::<Op>();
+        req_txs.push(tx);
+        req_rxs.push(rx);
+        let (tx, rx) = sync_channel::<Option<Word>>(1);
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
+    }
+
+    let body = &body;
+    std::thread::scope(move |scope| {
+        // `req_txs`/`reply_txs` are moved INTO the scope closure so that an
+        // engine panic (deadlock detection, app misuse) drops them during
+        // unwinding; blocked app threads then observe channel
+        // disconnection and exit, letting the scope join instead of
+        // hanging.
+        let mut req_txs = req_txs;
+        let mut reply_rxs = reply_rxs;
+        let reply_txs = reply_txs;
+        let req_rxs = req_rxs;
+        // Spawn the application threads.
+        for (tid, (req, reply)) in req_txs.drain(..).zip(reply_rxs.drain(..)).enumerate() {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                let ctx = ThreadCtx::new(tid, req, reply, shared);
+                body(&ctx);
+                ctx.finish();
+            });
+        }
+
+        // The engine runs on this thread.
+        Engine::new(machine, nthreads).run(&req_rxs, &reply_txs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, IntraConfig};
+    use hic_mem::{Region, WordAddr};
+    use hic_sim::MachineConfig;
+
+    fn harness(nthreads: usize, cfg: Config, transport: Transport) -> (Machine, Arc<RtShared>) {
+        let machine = if cfg.is_coherent() {
+            Machine::coherent(MachineConfig::intra_block())
+        } else {
+            Machine::incoherent(MachineConfig::intra_block())
+        };
+        let shared = Arc::new(RtShared {
+            config: cfg,
+            locks: Vec::new(),
+            nthreads,
+            transport,
+        });
+        (machine, shared)
+    }
+
+    #[test]
+    fn single_thread_store_load() {
+        let (machine, shared) = harness(1, Config::Intra(IntraConfig::Base), Transport::default());
+        let (machine, stats) = run_threads(machine, shared, 1, |ctx| {
+            let r = Region::new(WordAddr(16), 4);
+            ctx.write(r, 0, 7);
+            assert_eq!(ctx.read(r, 0), 7);
+            ctx.compute(100);
+            // Post the value so a fresh reader (peek) sees it.
+            ctx.coh(hic_core::CohInstr::wb_all());
+        });
+        assert!(stats.total_cycles >= 100);
+        assert_eq!(machine.peek_word(WordAddr(16)), 7);
+    }
+
+    #[test]
+    fn threads_run_deterministically() {
+        let run = |transport: Transport| {
+            let (machine, shared) = harness(4, Config::Intra(IntraConfig::Base), transport);
+            let mut m2 = machine;
+            let b = m2.alloc_barrier(4);
+            let shared2 = shared;
+            let (_, stats) = run_threads(m2, shared2, 4, move |ctx| {
+                let r = Region::new(WordAddr(16 * (1 + ctx.tid() as u64)), 4);
+                for i in 0..4 {
+                    ctx.write(r, i, (ctx.tid() as u32 + 1) * 10 + i as u32);
+                }
+                ctx.compute(ctx.tid() as u64 * 13);
+                ctx.barrier(crate::ctx::BarrierId(b));
+            });
+            stats
+        };
+        let a = run(Transport::default());
+        let b = run(Transport::default());
+        assert_eq!(
+            a.total_cycles, b.total_cycles,
+            "same program, same cycle count"
+        );
+        // And the batched transport must not change simulated results at
+        // all relative to the synchronous one...
+        let s = run(Transport::Sync);
+        assert_eq!(a.total_cycles, s.total_cycles);
+        assert_eq!(a.ledgers, s.ledgers);
+        assert_eq!(a.traffic, s.traffic);
+        // ...while actually saving host round-trips.
+        assert!(a.engine.batches > 0, "batched run coalesced messages");
+        assert!(a.engine.round_trips < s.engine.round_trips);
+        assert_eq!(a.engine.ops_executed, s.engine.ops_executed);
+        assert_eq!(s.engine.batches, 0);
+    }
+
+    #[test]
+    fn engine_counts_wakeups_and_peak_parked() {
+        let (machine, shared) = harness(4, Config::Intra(IntraConfig::Hcc), Transport::default());
+        let mut m2 = machine;
+        let b = m2.alloc_barrier(4);
+        let (_, stats) = run_threads(m2, shared, 4, move |ctx| {
+            ctx.compute(10 * (1 + ctx.tid() as u64));
+            ctx.barrier_private(crate::ctx::BarrierId(b));
+        });
+        // Three cores park at the barrier; the fourth arrival wakes them.
+        assert_eq!(stats.engine.wakeups, 3);
+        assert_eq!(stats.engine.peak_parked, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_arrival_is_detected() {
+        let (mut machine, shared) =
+            harness(2, Config::Intra(IntraConfig::Hcc), Transport::default());
+        let b = machine.alloc_barrier(3); // 3 participants, only 2 threads!
+        run_threads(machine, shared, 2, move |ctx| {
+            ctx.barrier_private(crate::ctx::BarrierId(b));
+        });
+    }
+
+    #[test]
+    fn deadlock_panic_names_stall_categories_and_trace() {
+        let (mut machine, shared) =
+            harness(2, Config::Intra(IntraConfig::Hcc), Transport::default());
+        machine.enable_trace(32);
+        let b = machine.alloc_barrier(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_threads(machine, shared, 2, move |ctx| {
+                ctx.compute(5);
+                ctx.barrier_private(crate::ctx::BarrierId(b));
+            });
+        }))
+        .expect_err("must deadlock");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(
+            msg.contains("barrier stall"),
+            "stall category missing: {msg}"
+        );
+        assert!(msg.contains("BarrierArrive"), "trace tail missing: {msg}");
+    }
+}

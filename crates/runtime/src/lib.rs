@@ -10,20 +10,24 @@
 //! * intra-block: `Base`, `B+M`, `B+I`, `B+M+I`, `HCC`;
 //! * inter-block: `Base`, `Addr`, `Addr+L`, `HCC`.
 //!
-//! Execution is deterministic: the scheduler (in [`sched`]) processes the
+//! Execution is deterministic: the engine (in [`engine`]) processes the
 //! pending operation of the runnable core with the smallest local time, so
 //! all machine transitions happen in global simulated-time order
-//! (conservative execution-driven simulation; DESIGN.md §2).
+//! (conservative execution-driven simulation; DESIGN.md §2). Threads ship
+//! ops to the engine over a configurable [`Transport`]: batched by
+//! default, with a synchronous one-message-per-op mode as the reference —
+//! both produce bit-identical simulated results.
 
 pub mod builder;
 pub mod config;
 pub mod ctx;
+pub mod engine;
 pub mod mpi;
 pub mod plan;
-pub mod sched;
 
 pub use builder::{ProgramBuilder, RunOutcome};
 pub use config::{Config, InterConfig, IntraConfig};
 pub use ctx::{BarrierId, FlagId, LockId, ThreadCtx};
+pub use engine::Transport;
 pub use mpi::MpiWorld;
 pub use plan::{CommOp, EpochPlan};

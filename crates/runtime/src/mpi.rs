@@ -67,7 +67,13 @@ impl MpiWorld {
             bcast.push(Mailbox { status, payload });
         }
         let bar = p.barrier_of(ranks);
-        MpiWorld { ranks, capacity, boxes, bcast, bar }
+        MpiWorld {
+            ranks,
+            capacity,
+            boxes,
+            bcast,
+            bar,
+        }
     }
 
     pub fn ranks(&self) -> usize {
@@ -132,7 +138,10 @@ impl MpiWorld {
     /// same uncacheable location (§IV: "there is no need to make multiple
     /// copies"). Message must fit the mailbox capacity.
     pub fn bcast(&self, ctx: &ThreadCtx, root: usize, data: &mut Vec<Word>) {
-        assert!(data.len() as u64 <= self.capacity, "bcast exceeds mailbox capacity");
+        assert!(
+            data.len() as u64 <= self.capacity,
+            "bcast exceeds mailbox capacity"
+        );
         let mb = self.bcast[root];
         if ctx.tid() == root {
             for (i, w) in data.iter().enumerate() {
@@ -230,13 +239,26 @@ mod tests {
 
     #[test]
     fn broadcast_single_copy() {
-        for cfg in [Config::Inter(InterConfig::Base), Config::Inter(InterConfig::Hcc)] {
+        for cfg in [
+            Config::Inter(InterConfig::Base),
+            Config::Inter(InterConfig::Hcc),
+        ] {
             let mut p = ProgramBuilder::new(cfg);
             let world = MpiWorld::new(&mut p, 8, 16);
             let out = p.run(8, move |ctx| {
-                let mut data = if ctx.tid() == 3 { vec![7, 8, 9] } else { Vec::new() };
+                let mut data = if ctx.tid() == 3 {
+                    vec![7, 8, 9]
+                } else {
+                    Vec::new()
+                };
                 world.bcast(ctx, 3, &mut data);
-                assert_eq!(data, vec![7, 8, 9], "rank {} under {}", ctx.tid(), cfg.name());
+                assert_eq!(
+                    data,
+                    vec![7, 8, 9],
+                    "rank {} under {}",
+                    ctx.tid(),
+                    cfg.name()
+                );
             });
             assert!(out.stats.total_cycles > 0);
         }

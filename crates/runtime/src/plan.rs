@@ -28,7 +28,10 @@ pub struct CommOp {
 
 impl CommOp {
     pub fn known(region: Region, peer: ThreadId) -> CommOp {
-        CommOp { region, peer: Some(peer) }
+        CommOp {
+            region,
+            peer: Some(peer),
+        }
     }
 
     pub fn unknown(region: Region) -> CommOp {

@@ -113,9 +113,17 @@ impl MachineConfig {
     pub fn intra_block() -> Self {
         Self {
             word_bytes: 4,
-            l1: CacheGeometry { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
+            l1: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
             l1_rt: 2,
-            l2: CacheGeometry { size_bytes: 128 * 1024, ways: 8, line_bytes: 64 },
+            l2: CacheGeometry {
+                size_bytes: 128 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
             l2_rt: 11,
             l2_banks_per_block: 16,
             hop_cycles: 4,
@@ -134,9 +142,17 @@ impl MachineConfig {
     pub fn inter_block() -> Self {
         Self {
             word_bytes: 4,
-            l1: CacheGeometry { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
+            l1: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
             l1_rt: 2,
-            l2: CacheGeometry { size_bytes: 128 * 1024, ways: 8, line_bytes: 64 },
+            l2: CacheGeometry {
+                size_bytes: 128 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
             l2_rt: 11,
             l2_banks_per_block: 8,
             hop_cycles: 4,
@@ -150,7 +166,11 @@ impl MachineConfig {
             inter: Some(InterBlockConfig {
                 blocks: 4,
                 cores_per_block: 8,
-                l3: CacheGeometry { size_bytes: 4 * 1024 * 1024, ways: 8, line_bytes: 64 },
+                l3: CacheGeometry {
+                    size_bytes: 4 * 1024 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
                 l3_rt: 20,
                 l3_banks: 4,
             }),
@@ -241,7 +261,11 @@ mod tests {
 
     #[test]
     fn line_id_bits_rounding() {
-        let g = CacheGeometry { size_bytes: 64 * 1024, ways: 4, line_bytes: 64 };
+        let g = CacheGeometry {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        };
         assert_eq!(g.num_lines(), 1024);
         assert_eq!(g.line_id_bits(), 10);
     }

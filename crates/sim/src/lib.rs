@@ -14,7 +14,8 @@ pub mod rng;
 pub mod stats;
 
 pub use config::{CacheGeometry, InterBlockConfig, IntraBlockConfig, MachineConfig};
-pub use stats::{StallCategory, StallLedger};
+pub use rng::SplitMix64;
+pub use stats::{EngineStats, StallCategory, StallLedger};
 
 /// Simulated time, measured in core clock cycles.
 pub type Cycle = u64;

@@ -121,6 +121,46 @@ impl std::ops::AddAssign for StallLedger {
     }
 }
 
+/// Host-side bookkeeping of the execution engine that drove a run.
+///
+/// These are **simulator** metrics, not simulated-machine metrics: they
+/// describe how the scheduler moved ops between the simulated threads and
+/// the machine (channel round-trips, batch coalescing, wakeups), so they
+/// change with the transport configuration while `StallLedger` cycle
+/// counts must not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Machine operations executed, counting each batch member once.
+    pub ops_executed: u64,
+    /// Transport messages received from the threads (a batch counts as
+    /// one message).
+    pub messages: u64,
+    /// `Op::Batch` messages among [`EngineStats::messages`].
+    pub batches: u64,
+    /// Reply round-trips: ops whose issuing thread blocked on a reply.
+    pub round_trips: u64,
+    /// Wakeups delivered to parked cores.
+    pub wakeups: u64,
+    /// Maximum number of simultaneously parked cores observed.
+    pub peak_parked: u64,
+}
+
+impl EngineStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of executed ops that needed no reply round-trip; the
+    /// direct measure of what batching saved (0.0 under the synchronous
+    /// transport).
+    pub fn round_trip_savings(&self) -> f64 {
+        if self.ops_executed == 0 {
+            return 0.0;
+        }
+        1.0 - self.round_trips as f64 / self.ops_executed as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +207,17 @@ mod tests {
         let l = StallLedger::new();
         let f = l.normalized(0);
         assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn round_trip_savings_bounds() {
+        let mut e = EngineStats::new();
+        assert_eq!(e.round_trip_savings(), 0.0, "empty engine saves nothing");
+        e.ops_executed = 100;
+        e.round_trips = 100;
+        assert_eq!(e.round_trip_savings(), 0.0, "synchronous transport");
+        e.round_trips = 25;
+        assert!((e.round_trip_savings() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -88,19 +88,31 @@ impl SyncController {
     /// Declare a barrier over `participants` cores.
     pub fn alloc_barrier(&mut self, participants: usize) -> SyncId {
         assert!(participants > 0);
-        self.vars.push(SyncVar::Barrier { participants, arrived: Vec::new(), episodes: 0 });
+        self.vars.push(SyncVar::Barrier {
+            participants,
+            arrived: Vec::new(),
+            episodes: 0,
+        });
         SyncId(self.vars.len() - 1)
     }
 
     /// Declare a lock.
     pub fn alloc_lock(&mut self) -> SyncId {
-        self.vars.push(SyncVar::Lock { owner: None, queue: Vec::new(), acquisitions: 0 });
+        self.vars.push(SyncVar::Lock {
+            owner: None,
+            queue: Vec::new(),
+            acquisitions: 0,
+        });
         SyncId(self.vars.len() - 1)
     }
 
     /// Declare a condition flag (initially clear).
     pub fn alloc_flag(&mut self) -> SyncId {
-        self.vars.push(SyncVar::Flag { set: false, waiters: Vec::new(), sets: 0 });
+        self.vars.push(SyncVar::Flag {
+            set: false,
+            waiters: Vec::new(),
+            sets: 0,
+        });
         SyncId(self.vars.len() - 1)
     }
 
@@ -127,7 +139,11 @@ impl SyncController {
         now: Cycle,
     ) -> Result<Vec<Grant>, SyncError> {
         match self.var(id)? {
-            SyncVar::Barrier { participants, arrived, episodes } => {
+            SyncVar::Barrier {
+                participants,
+                arrived,
+                episodes,
+            } => {
                 if arrived.iter().any(|&(c, _)| c == core) {
                     return Err(SyncError::AlreadyWaiting(id, core));
                 }
@@ -136,7 +152,10 @@ impl SyncController {
                     let release = arrived.iter().map(|&(_, t)| t).max().unwrap_or(now);
                     let mut grants: Vec<Grant> = arrived
                         .drain(..)
-                        .map(|(c, _)| Grant { core: c, at: release })
+                        .map(|(c, _)| Grant {
+                            core: c,
+                            at: release,
+                        })
                         .collect();
                     grants.sort_by_key(|g| g.core);
                     *episodes += 1;
@@ -159,7 +178,11 @@ impl SyncController {
         now: Cycle,
     ) -> Result<Option<Grant>, SyncError> {
         match self.var(id)? {
-            SyncVar::Lock { owner, queue, acquisitions } => {
+            SyncVar::Lock {
+                owner,
+                queue,
+                acquisitions,
+            } => {
                 if owner.is_none() && queue.is_empty() {
                     *owner = Some(core);
                     *acquisitions += 1;
@@ -187,7 +210,11 @@ impl SyncController {
         now: Cycle,
     ) -> Result<Option<Grant>, SyncError> {
         match self.var(id)? {
-            SyncVar::Lock { owner, queue, acquisitions } => {
+            SyncVar::Lock {
+                owner,
+                queue,
+                acquisitions,
+            } => {
                 if *owner != Some(core) {
                     return Err(SyncError::NotOwner(id, core, *owner));
                 }
@@ -198,7 +225,10 @@ impl SyncController {
                     let (next, req_t) = queue.remove(0);
                     *owner = Some(next);
                     *acquisitions += 1;
-                    Ok(Some(Grant { core: next, at: now.max(req_t) }))
+                    Ok(Some(Grant {
+                        core: next,
+                        at: now.max(req_t),
+                    }))
                 }
             }
             _ => Err(SyncError::WrongKind(id, "lock")),
@@ -213,7 +243,10 @@ impl SyncController {
                 *sets += 1;
                 let mut grants: Vec<Grant> = waiters
                     .drain(..)
-                    .map(|(c, t)| Grant { core: c, at: now.max(t) })
+                    .map(|(c, t)| Grant {
+                        core: c,
+                        at: now.max(t),
+                    })
                     .collect();
                 grants.sort_by_key(|g| g.core);
                 Ok(grants)
@@ -290,7 +323,10 @@ mod tests {
         assert!(c.barrier_arrive(b, CoreId(1), 30).unwrap().is_empty());
         let grants = c.barrier_arrive(b, CoreId(2), 20).unwrap();
         assert_eq!(grants.len(), 3);
-        assert!(grants.iter().all(|g| g.at == 30), "release at latest arrival");
+        assert!(
+            grants.iter().all(|g| g.at == 30),
+            "release at latest arrival"
+        );
         assert_eq!(c.stats(b), 1);
     }
 
@@ -323,7 +359,13 @@ mod tests {
         let mut c = SyncController::new();
         let l = c.alloc_lock();
         let g = c.lock_acquire(l, CoreId(3), 100).unwrap().unwrap();
-        assert_eq!(g, Grant { core: CoreId(3), at: 100 });
+        assert_eq!(
+            g,
+            Grant {
+                core: CoreId(3),
+                at: 100
+            }
+        );
     }
 
     #[test]
@@ -407,8 +449,14 @@ mod tests {
         let mut c = SyncController::new();
         let b = c.alloc_barrier(2);
         let l = c.alloc_lock();
-        assert!(matches!(c.lock_acquire(b, CoreId(0), 0), Err(SyncError::WrongKind(_, "lock"))));
-        assert!(matches!(c.flag_set(l, 0), Err(SyncError::WrongKind(_, "flag"))));
+        assert!(matches!(
+            c.lock_acquire(b, CoreId(0), 0),
+            Err(SyncError::WrongKind(_, "lock"))
+        ));
+        assert!(matches!(
+            c.flag_set(l, 0),
+            Err(SyncError::WrongKind(_, "flag"))
+        ));
         assert!(matches!(
             c.barrier_arrive(l, CoreId(0), 0),
             Err(SyncError::WrongKind(_, "barrier"))
@@ -418,7 +466,10 @@ mod tests {
     #[test]
     fn unknown_id_is_an_error() {
         let mut c = SyncController::new();
-        assert!(matches!(c.flag_set(SyncId(7), 0), Err(SyncError::Unknown(_))));
+        assert!(matches!(
+            c.flag_set(SyncId(7), 0),
+            Err(SyncError::Unknown(_))
+        ));
     }
 
     #[test]

@@ -47,7 +47,9 @@ fn run_once(cfg: InterConfig) -> (u64, u32) {
     // ranks are dense 0..4 and map to those leaders).
     let world = MpiWorld::new(&mut p, nthreads, 8);
     // Per-block shared-memory barrier.
-    let block_bars: Vec<_> = (0..BLOCKS).map(|_| p.barrier_of(THREADS_PER_BLOCK)).collect();
+    let block_bars: Vec<_> = (0..BLOCKS)
+        .map(|_| p.barrier_of(THREADS_PER_BLOCK))
+        .collect();
     let checksum_out = p.alloc(1);
 
     let out = p.run(nthreads, move |ctx| {
@@ -114,7 +116,9 @@ fn run_once(cfg: InterConfig) -> (u64, u32) {
                     total = total.wrapping_add(world.recv(ctx, peer, 1)[0]);
                 }
                 ctx.store(checksum_out.at(0), total);
-                ctx.coh(hic_core::CohInstr::wb_l3(hic_core::Target::range(checksum_out)));
+                ctx.coh(hic_core::CohInstr::wb_l3(hic_core::Target::range(
+                    checksum_out,
+                )));
             } else {
                 world.send(ctx, 0, &[sum]);
             }

@@ -29,13 +29,30 @@ fn run_once(cfg: InterConfig) -> (u64, u64, u64, bool) {
     let bar = p.barrier();
 
     // What the compiler sees: two sweeps, repeating.
-    let stencil = |arr: ArrayId| Access::new(arr, Pattern::Range { scale: 1, lo: -1, hi: 2 });
+    let stencil = |arr: ArrayId| {
+        Access::new(
+            arr,
+            Pattern::Range {
+                scale: 1,
+                lo: -1,
+                hi: 2,
+            },
+        )
+    };
     let ident = |arr: ArrayId| Access::new(arr, Pattern::ident());
     let program = Program {
         arrays: vec![a, b],
         nodes: vec![
-            Node::ParFor { iters: N, reads: vec![stencil(ArrayId(0))], writes: vec![ident(ArrayId(1))] },
-            Node::ParFor { iters: N, reads: vec![stencil(ArrayId(1))], writes: vec![ident(ArrayId(0))] },
+            Node::ParFor {
+                iters: N,
+                reads: vec![stencil(ArrayId(0))],
+                writes: vec![ident(ArrayId(1))],
+            },
+            Node::ParFor {
+                iters: N,
+                reads: vec![stencil(ArrayId(1))],
+                writes: vec![ident(ArrayId(0))],
+            },
         ],
         repeat: true,
     };

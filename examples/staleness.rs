@@ -62,7 +62,7 @@ fn main() {
             }
             _ => {
                 let _ = ctx.load(x.at(0)); // warm a stale copy
-                // flag_wait performs the INV ALL after the wait.
+                                           // flag_wait performs the INV ALL after the wait.
                 ctx.flag_wait(f);
                 let fresh = ctx.load(x.at(0));
                 ctx.store(observed.at(0), fresh);

@@ -72,8 +72,9 @@ fn run_once(cfg: IntraConfig) -> (u64, u64, u32) {
         ctx.barrier(bar);
     });
 
-    let total: u32 =
-        (0..15).map(|i| out.peek(done, i)).fold(0u32, |a, b| a.wrapping_add(b));
+    let total: u32 = (0..15)
+        .map(|i| out.peek(done, i))
+        .fold(0u32, |a, b| a.wrapping_add(b));
     let ledger = out.stats.merged_ledger();
     (out.stats.total_cycles, ledger.lock, total)
 }
@@ -82,7 +83,10 @@ fn main() {
     let expected: u32 = (0..TASKS)
         .flat_map(|t| (0..PAYLOAD).map(move |i| (t * 1000 + i) as u32))
         .fold(0u32, |a, b| a.wrapping_add(b));
-    println!("{:-8} {:>12} {:>14} checksum", "config", "cycles", "lock cycles");
+    println!(
+        "{:-8} {:>12} {:>14} checksum",
+        "config", "cycles", "lock cycles"
+    );
     for cfg in IntraConfig::ALL {
         let (cycles, lock, sum) = run_once(cfg);
         assert_eq!(sum, expected, "lost task payload under {}", cfg.name());

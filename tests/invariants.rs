@@ -30,7 +30,8 @@ fn incoherent_machines_send_zero_invalidation_traffic() {
     for cfg in [IntraConfig::Base, IntraConfig::BMI] {
         let r = raytrace.run(Config::Intra(cfg));
         assert_eq!(
-            r.stats.traffic.invalidation, 0,
+            r.stats.traffic.invalidation,
+            0,
             "incoherent config {} produced invalidation traffic",
             cfg.name()
         );
@@ -76,19 +77,39 @@ fn level_adaptive_ratios_match_paper_shape() {
         let addr = app.run(Config::Inter(InterConfig::Addr));
         let addrl = app.run(Config::Inter(InterConfig::AddrL));
         assert!(addr.correct && addrl.correct);
-        let (aw, ai) = (addr.stats.counters.global_wbs, addr.stats.counters.global_invs);
-        let (lw, li) = (addrl.stats.counters.global_wbs, addrl.stats.counters.global_invs);
+        let (aw, ai) = (
+            addr.stats.counters.global_wbs,
+            addr.stats.counters.global_invs,
+        );
+        let (lw, li) = (
+            addrl.stats.counters.global_wbs,
+            addrl.stats.counters.global_invs,
+        );
         match app.name() {
             "EP" | "IS" => {
-                assert_eq!((aw, ai), (lw, li), "{}: reductions cannot be localized", app.name());
+                assert_eq!(
+                    (aw, ai),
+                    (lw, li),
+                    "{}: reductions cannot be localized",
+                    app.name()
+                );
             }
             "Jacobi" => {
-                assert!(lw * 2 < aw, "Jacobi global WBs should drop sharply: {lw} vs {aw}");
-                assert!(li * 2 < ai, "Jacobi global INVs should drop sharply: {li} vs {ai}");
+                assert!(
+                    lw * 2 < aw,
+                    "Jacobi global WBs should drop sharply: {lw} vs {aw}"
+                );
+                assert!(
+                    li * 2 < ai,
+                    "Jacobi global INVs should drop sharply: {li} vs {ai}"
+                );
             }
             "CG" => {
                 assert_eq!(lw, aw, "CG writes everything to L3 in both configs");
-                assert!(li < ai, "CG's inspector must localize some INVs: {li} vs {ai}");
+                assert!(
+                    li < ai,
+                    "CG's inspector must localize some INVs: {li} vs {ai}"
+                );
             }
             other => panic!("unexpected app {other}"),
         }

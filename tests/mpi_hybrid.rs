@@ -18,7 +18,9 @@ fn run_hybrid(cfg: InterConfig) -> u32 {
         }
     }
     let world = MpiWorld::new(&mut p, nthreads, 4);
-    let block_bars: Vec<_> = (0..BLOCKS).map(|_| p.barrier_of(THREADS_PER_BLOCK)).collect();
+    let block_bars: Vec<_> = (0..BLOCKS)
+        .map(|_| p.barrier_of(THREADS_PER_BLOCK))
+        .collect();
     let result = p.alloc(1);
 
     let out = p.run(nthreads, move |ctx| {

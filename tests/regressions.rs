@@ -99,8 +99,16 @@ fn hierarchical_ep_localizes_reductions() {
         assert!(r.correct, "EP-hier wrong under {}", cfg.name());
         counts.push((cfg, r.stats.counters.global_wbs));
     }
-    let addr = counts.iter().find(|(c, _)| *c == InterConfig::Addr).unwrap().1;
-    let addrl = counts.iter().find(|(c, _)| *c == InterConfig::AddrL).unwrap().1;
+    let addr = counts
+        .iter()
+        .find(|(c, _)| *c == InterConfig::Addr)
+        .unwrap()
+        .1;
+    let addrl = counts
+        .iter()
+        .find(|(c, _)| *c == InterConfig::AddrL)
+        .unwrap()
+        .1;
     assert!(
         addrl < addr,
         "hierarchical reduction must let Addr+L localize partial gathers \
