@@ -1,0 +1,140 @@
+//! Host-performance regression benchmark.
+//!
+//! Runs the full application suite on the host clock and writes
+//! `BENCH_host.json` with suite wall-clock, sim-ops/sec, and the engine
+//! transport ledger, so simulator performance is tracked PR over PR.
+//!
+//! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
+//!                    [--out <path>] [--micro]`
+//!
+//! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
+//! computes the speedup against it. `--micro` additionally runs the
+//! micro-benchmarks from the in-repo harness and embeds their timings.
+
+use std::process::ExitCode;
+
+use hic_apps::Scale;
+use hic_bench::host::{run_suite, to_json};
+use hic_bench::{bench_with_setup, Timing};
+use hic_runtime::{Config, IntraConfig, ProgramBuilder};
+
+fn micro_timings() -> Vec<Timing> {
+    // A small, representative micro set: one communication-heavy kernel
+    // under the baseline config, measured end to end.
+    let cfg = IntraConfig::ALL[0];
+    vec![bench_with_setup(
+        "micro/flag_ping_pong_64",
+        || (),
+        move |()| {
+            let mut p = ProgramBuilder::new(Config::Intra(cfg));
+            let flag = p.flag();
+            let bar = p.barrier_of(2);
+            let data = p.alloc(16);
+            p.run(2, move |ctx| {
+                for round in 0..64u32 {
+                    if ctx.tid() == 0 {
+                        ctx.write(data, 0, round);
+                        ctx.flag_set(flag);
+                    } else {
+                        ctx.flag_wait(flag);
+                        ctx.read(data, 0);
+                        ctx.flag_clear(flag);
+                    }
+                    ctx.barrier(bar);
+                }
+            })
+        },
+    )]
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut baseline: Option<f64> = None;
+    let mut out_path = "BENCH_host.json".to_string();
+    let mut micro = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?} (expected test|small|paper)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--baseline" => {
+                baseline = match args.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(v)) => Some(v),
+                    _ => {
+                        eprintln!("--baseline needs a number of seconds");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--micro" => micro = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
+                     [--out <path>] [--micro]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut report = run_suite(scale);
+    if micro {
+        report.timings = micro_timings();
+    }
+
+    let wall = report.wall.as_secs_f64();
+    println!(
+        "suite --scale {}: {} runs, wall {:.3}s, {:.0} sim-ops/s, {} round-trips",
+        report.scale,
+        report.runs.len(),
+        wall,
+        report.sim_ops_per_sec(),
+        report.total_round_trips(),
+    );
+    for r in &report.runs {
+        println!(
+            "  {:<16} {:<8} {:>9.3}s  {:>12} ops  {:>10} rt  {}",
+            r.app,
+            r.config,
+            r.wall.as_secs_f64(),
+            r.engine.ops_executed,
+            r.engine.round_trips,
+            if r.correct { "ok" } else { "FAIL" },
+        );
+    }
+    if let Some(b) = baseline {
+        println!("baseline {:.3}s -> speedup {:.2}x", b, b / wall.max(1e-9));
+    }
+
+    let json = to_json(&report, baseline);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if report.all_correct() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some runs produced incorrect results");
+        ExitCode::FAILURE
+    }
+}

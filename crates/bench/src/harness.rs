@@ -11,8 +11,16 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Default time budget per benchmark (after warm-up).
+/// Default time budget per benchmark (after warm-up). Override with
+/// `HIC_BENCH_BUDGET_MS` (CI smoke jobs set a small value).
 const BUDGET: Duration = Duration::from_millis(1000);
+
+fn budget() -> Duration {
+    match std::env::var("HIC_BENCH_BUDGET_MS") {
+        Ok(v) => v.parse().map(Duration::from_millis).unwrap_or(BUDGET),
+        Err(_) => BUDGET,
+    }
+}
 /// Iteration caps: at least MIN (for stable means), at most MAX (so a
 /// nanosecond-scale routine doesn't spin the budget away on clock reads).
 const MIN_ITERS: u64 = 5;
@@ -29,9 +37,12 @@ pub struct Timing {
 }
 
 impl Timing {
-    /// Mean wall time per iteration.
+    /// Mean wall time per iteration, computed in nanoseconds so large
+    /// iteration counts don't truncate to zero (`Duration / u32` rounds
+    /// the whole quotient down to its nanosecond grid in one step).
     pub fn mean(&self) -> Duration {
-        self.total / self.iters.max(1) as u32
+        let nanos = self.total.as_nanos() / u128::from(self.iters.max(1));
+        Duration::from_nanos(nanos as u64)
     }
 
     /// Mean iterations per second.
@@ -71,9 +82,10 @@ pub fn bench_with_setup<S, T>(
     for _ in 0..WARMUP {
         black_box(routine(setup()));
     }
+    let budget = budget();
     let mut iters = 0u64;
     let mut total = Duration::ZERO;
-    while (total < BUDGET || iters < MIN_ITERS) && iters < MAX_ITERS {
+    while (total < budget || iters < MIN_ITERS) && iters < MAX_ITERS {
         let input = setup();
         let start = Instant::now();
         black_box(routine(input));

@@ -1,0 +1,296 @@
+//! Host-performance benchmark: wall-clock and engine-throughput tracking.
+//!
+//! The `bench_host` binary runs the full application suite (every app under
+//! every configuration, like `suite`), times each run on the host clock,
+//! and writes a machine-readable `BENCH_host.json` so the wall-clock
+//! trajectory of the simulator itself is tracked PR over PR. The JSON
+//! records, per run and in aggregate: host wall time, simulated-machine
+//! ops executed, sim-ops per host second, and the engine's transport
+//! ledger (messages, batches, reply round-trips, wakeups).
+//!
+//! The serde shim is inert (see `crates/shims/README.md`), so the JSON is
+//! emitted by the tiny hand-rolled writer in this module.
+
+use std::time::{Duration, Instant};
+
+use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_runtime::{Config, InterConfig, IntraConfig};
+use hic_sim::EngineStats;
+
+use crate::harness::Timing;
+
+/// One timed (app, configuration) execution.
+#[derive(Debug, Clone)]
+pub struct HostRun {
+    pub app: String,
+    pub config: String,
+    /// `"intra"` or `"inter"`.
+    pub family: &'static str,
+    pub correct: bool,
+    pub cycles: u64,
+    pub wall: Duration,
+    pub engine: EngineStats,
+}
+
+impl HostRun {
+    /// Simulated machine ops retired per host-side second.
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.engine.ops_executed as f64 / s
+    }
+}
+
+/// Aggregate of a whole suite sweep.
+#[derive(Debug, Clone, Default)]
+pub struct HostReport {
+    pub scale: &'static str,
+    pub runs: Vec<HostRun>,
+    /// Micro-benchmark timings riding along in the same JSON.
+    pub timings: Vec<Timing>,
+    /// Host wall-clock of the whole sweep (sum of per-run walls plus
+    /// setup; measured around the sweep, not summed).
+    pub wall: Duration,
+}
+
+impl HostReport {
+    pub fn total_ops(&self) -> u64 {
+        self.runs.iter().map(|r| r.engine.ops_executed).sum()
+    }
+
+    pub fn total_round_trips(&self) -> u64 {
+        self.runs.iter().map(|r| r.engine.round_trips).sum()
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.runs.iter().map(|r| r.engine.messages).sum()
+    }
+
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.total_ops() as f64 / s
+    }
+
+    pub fn all_correct(&self) -> bool {
+        self.runs.iter().all(|r| r.correct)
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Run the full suite (all apps, all configs) at `scale`, timing each run.
+pub fn run_suite(scale: Scale) -> HostReport {
+    let t0 = Instant::now();
+    let mut runs = Vec::new();
+    for app in intra_apps(scale) {
+        for cfg in IntraConfig::ALL {
+            let start = Instant::now();
+            let r = app.run(Config::Intra(cfg));
+            runs.push(HostRun {
+                app: app.name().to_string(),
+                config: cfg.name().to_string(),
+                family: "intra",
+                correct: r.correct,
+                cycles: r.stats.total_cycles,
+                wall: start.elapsed(),
+                engine: r.stats.engine,
+            });
+        }
+    }
+    for app in inter_apps(scale) {
+        for cfg in InterConfig::ALL {
+            let start = Instant::now();
+            let r = app.run(Config::Inter(cfg));
+            runs.push(HostRun {
+                app: app.name().to_string(),
+                config: cfg.name().to_string(),
+                family: "inter",
+                correct: r.correct,
+                cycles: r.stats.total_cycles,
+                wall: start.elapsed(),
+                engine: r.stats.engine,
+            });
+        }
+    }
+    HostReport {
+        scale: scale_name(scale),
+        runs,
+        timings: Vec::new(),
+        wall: t0.elapsed(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hand-rolled JSON writer
+// ----------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn engine_json(e: &EngineStats) -> String {
+    format!(
+        "{{\"ops_executed\":{},\"messages\":{},\"batches\":{},\
+         \"round_trips\":{},\"wakeups\":{},\"peak_parked\":{}}}",
+        e.ops_executed, e.messages, e.batches, e.round_trips, e.wakeups, e.peak_parked
+    )
+}
+
+/// Render the report (plus the baseline-comparison header) as JSON.
+pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
+    let wall_s = report.wall.as_secs_f64();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale));
+    out.push_str(&format!("  \"wall_s\": {},\n", f(wall_s)));
+    match baseline_wall_s {
+        Some(b) => {
+            out.push_str(&format!("  \"baseline_wall_s\": {},\n", f(b)));
+            let speedup = if wall_s > 0.0 { b / wall_s } else { 0.0 };
+            out.push_str(&format!("  \"speedup_vs_baseline\": {},\n", f(speedup)));
+        }
+        None => {
+            out.push_str("  \"baseline_wall_s\": null,\n");
+            out.push_str("  \"speedup_vs_baseline\": null,\n");
+        }
+    }
+    out.push_str(&format!("  \"all_correct\": {},\n", report.all_correct()));
+    out.push_str(&format!("  \"sim_ops\": {},\n", report.total_ops()));
+    out.push_str(&format!(
+        "  \"sim_ops_per_sec\": {},\n",
+        f(report.sim_ops_per_sec())
+    ));
+    out.push_str(&format!(
+        "  \"engine\": {{\"messages\":{},\"round_trips\":{}}},\n",
+        report.total_messages(),
+        report.total_round_trips()
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in report.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\":\"{}\",\"config\":\"{}\",\"family\":\"{}\",\
+             \"correct\":{},\"cycles\":{},\"wall_s\":{},\
+             \"sim_ops_per_sec\":{},\"engine\":{}}}{}\n",
+            esc(&r.app),
+            esc(&r.config),
+            r.family,
+            r.correct,
+            r.cycles,
+            f(r.wall.as_secs_f64()),
+            f(r.sim_ops_per_sec()),
+            engine_json(&r.engine),
+            if i + 1 < report.runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"bench\": [\n");
+    for (i, t) in report.timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\":\"{}\",\"iters\":{},\"total_ns\":{},\"mean_ns\":{}}}{}\n",
+            esc(&t.name),
+            t.iters,
+            t.total.as_nanos(),
+            t.mean().as_nanos(),
+            if i + 1 < report.timings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> HostReport {
+        HostReport {
+            scale: "test",
+            runs: vec![HostRun {
+                app: "FFT".into(),
+                config: "B+M+I".into(),
+                family: "intra",
+                correct: true,
+                cycles: 1234,
+                wall: Duration::from_millis(10),
+                engine: EngineStats {
+                    ops_executed: 1000,
+                    messages: 100,
+                    batches: 10,
+                    round_trips: 50,
+                    wakeups: 3,
+                    peak_parked: 2,
+                },
+            }],
+            timings: vec![Timing {
+                name: "micro".into(),
+                iters: 7,
+                total: Duration::from_nanos(700),
+            }],
+            wall: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn json_contains_baseline_and_speedup() {
+        let j = to_json(&sample_report(), Some(0.02));
+        assert!(j.contains("\"baseline_wall_s\": 0.020"));
+        assert!(j.contains("\"speedup_vs_baseline\": 2.000"));
+        assert!(j.contains("\"sim_ops\": 1000"));
+        assert!(j.contains("\"iters\":7"));
+        assert!(j.contains("\"total_ns\":700"));
+        assert!(j.contains("\"round_trips\":50"));
+    }
+
+    #[test]
+    fn json_without_baseline_is_null() {
+        let j = to_json(&sample_report(), None);
+        assert!(j.contains("\"baseline_wall_s\": null"));
+    }
+
+    #[test]
+    fn ops_per_sec_math() {
+        let r = sample_report();
+        assert!((r.sim_ops_per_sec() - 100_000.0).abs() < 1.0);
+        assert!((r.runs[0].sim_ops_per_sec() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

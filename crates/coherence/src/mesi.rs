@@ -11,7 +11,7 @@
 //! always finds the newest value, which the test suite uses to check
 //! results.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use hic_mem::addr::WORDS_PER_LINE;
 use hic_mem::cache::EvictedLine;
@@ -71,15 +71,15 @@ pub struct MesiSystem {
     /// Per-core private L1.
     l1: Vec<Cache>,
     /// Per-core MESI state per resident line.
-    l1_state: Vec<HashMap<u64, Mesi>>,
+    l1_state: Vec<FxHashMap<u64, Mesi>>,
     /// L2 banks, global index `block * bpb + bank`.
     l2: Vec<Cache>,
     /// Per-block directory over that block's cores.
-    l2_dir: Vec<HashMap<u64, DirEntry>>,
+    l2_dir: Vec<FxHashMap<u64, DirEntry>>,
     /// L3 banks (hierarchical machine only).
     l3: Vec<Cache>,
     /// Directory over blocks (hierarchical machine only).
-    l3_dir: HashMap<u64, DirEntry>,
+    l3_dir: FxHashMap<u64, DirEntry>,
     mem: Memory,
     /// Flit ledger.
     pub traffic: TrafficLedger,
@@ -98,13 +98,13 @@ impl MesiSystem {
             cpb,
             bpb,
             l1: (0..ncores).map(|_| Cache::new(cfg.l1)).collect(),
-            l1_state: vec![HashMap::new(); ncores],
+            l1_state: vec![FxHashMap::default(); ncores],
             l2: (0..nblocks * bpb).map(|_| Cache::new(cfg.l2)).collect(),
-            l2_dir: vec![HashMap::new(); nblocks],
+            l2_dir: vec![FxHashMap::default(); nblocks],
             l3: (0..l3_banks)
                 .map(|_| Cache::new(cfg.inter.as_ref().unwrap().l3))
                 .collect(),
-            l3_dir: HashMap::new(),
+            l3_dir: FxHashMap::default(),
             mem: Memory::new(),
             traffic: TrafficLedger::new(),
             cfg,

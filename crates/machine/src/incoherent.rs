@@ -68,6 +68,13 @@ pub struct IncoherentSystem {
     tmap: ThreadMap,
     pub traffic: TrafficLedger,
     pub counters: IncCounters,
+    /// Reusable scratch for WB/INV traversals: `(line, dirty-words)`
+    /// work lists and an address list. Taken with `mem::take` for the
+    /// duration of one instruction and put back, so ALL-flavor
+    /// instructions allocate nothing in steady state.
+    wb_scratch: Vec<(LineAddr, DirtyMask)>,
+    wb_l2_scratch: Vec<(LineAddr, DirtyMask)>,
+    inv_scratch: Vec<LineAddr>,
 }
 
 impl IncoherentSystem {
@@ -92,6 +99,9 @@ impl IncoherentSystem {
             tmap: ThreadMap::identity(nblocks, cpb),
             traffic: TrafficLedger::new(),
             counters: IncCounters::default(),
+            wb_scratch: Vec::new(),
+            wb_l2_scratch: Vec::new(),
+            inv_scratch: Vec::new(),
             cfg,
         }
     }
@@ -434,8 +444,10 @@ impl IncoherentSystem {
         }
         let blk = self.block_of(c);
         let mut lat;
-        // Collect (line, words-to-push) pairs from the L1.
-        let mut work: Vec<(LineAddr, DirtyMask)> = Vec::new();
+        // Collect (line, words-to-push) pairs from the L1 into the
+        // reusable scratch list (returned to `self` before exiting).
+        let mut work = std::mem::take(&mut self.wb_scratch);
+        work.clear();
         match target {
             Target::All => {
                 // Try the MEB first: if it tracked the epoch, walk its IDs
@@ -454,17 +466,15 @@ impl IncoherentSystem {
                     }
                     None => {
                         // A dirty-line counter lets a clean cache skip the
-                        // tag traversal entirely.
+                        // tag traversal entirely. (The simulated cost still
+                        // models the tag sweep; the host walks only the
+                        // dirty-slot bitmap.)
                         lat = if self.l1[c.0].dirty_lines_resident() == 0 {
                             FLASH_CYCLES
                         } else {
                             self.cfg.l1.num_lines() as u64 / self.cfg.tags_per_cycle
                         };
-                        for v in self.l1[c.0].valid_lines() {
-                            if v.dirty != 0 {
-                                work.push((v.addr, v.dirty));
-                            }
-                        }
+                        self.l1[c.0].for_each_dirty_line(|v| work.push((v.addr, v.dirty)));
                     }
                 }
             }
@@ -507,7 +517,8 @@ impl IncoherentSystem {
         }
         // Global scope: additionally push the L2's dirty copies down to L3.
         if global {
-            let mut l2_work: Vec<(LineAddr, DirtyMask)> = Vec::new();
+            let mut l2_work = std::mem::take(&mut self.wb_l2_scratch);
+            l2_work.clear();
             match target {
                 Target::All => {
                     // WB_CONS ALL across blocks writes back the whole local
@@ -520,11 +531,8 @@ impl IncoherentSystem {
                         if self.l2[gb].dirty_lines_resident() > 0 {
                             trav = self.cfg.l2.num_lines() as u64 / self.cfg.tags_per_cycle;
                         }
-                        for v in self.l2[gb].valid_lines() {
-                            if v.dirty != 0 {
-                                l2_work.push((v.addr, v.dirty));
-                            }
-                        }
+                        let l2 = &self.l2[gb];
+                        l2.for_each_dirty_line(|v| l2_work.push((v.addr, v.dirty)));
                     }
                     lat += trav;
                 }
@@ -542,22 +550,36 @@ impl IncoherentSystem {
             }
             if !l2_work.is_empty() {
                 // L2 -> L3 pushes are posted as well; an ALL flavor pays
-                // one drain ack to the L3 bank.
+                // one drain ack covering every involved L3 bank.
                 lat += self.cfg.l2_rt + l2_work.len() as u64 * self.cfg.wb_pipeline_ii;
                 if matches!(target, Target::All) {
+                    // The epoch cannot close until the slowest posted push
+                    // is acknowledged, so the ack round trip is to the
+                    // *farthest* involved L3 bank, not whichever bank the
+                    // first work item happened to map to.
                     let hb_tile = self.bank_tile(blk * self.bpb);
-                    let l3b = self.l3_bank(l2_work[0].0);
-                    lat += self.mesh.rt_latency_to_corner(hb_tile, l3b)
-                        + self.cfg.inter.as_ref().map(|e| e.l3_rt).unwrap_or(0);
+                    let l3_rt = self.cfg.inter.as_ref().map(|e| e.l3_rt).unwrap_or(0);
+                    let ack = l2_work
+                        .iter()
+                        .map(|&(line, _)| {
+                            self.mesh.rt_latency_to_corner(hb_tile, self.l3_bank(line))
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    lat += ack + l3_rt;
                 }
-                for (line, mask) in l2_work {
+                for &(line, mask) in &l2_work {
                     let hb = self.home_bank(blk, line);
                     let data = *self.l2[hb].view(line).expect("resident").data;
                     self.push_below_l2(line, &data, mask);
                     self.l2[hb].clean_words(line, mask);
                 }
             }
+            l2_work.clear();
+            self.wb_l2_scratch = l2_work;
         }
+        work.clear();
+        self.wb_scratch = work;
         lat
     }
 
@@ -580,7 +602,10 @@ impl IncoherentSystem {
                 } else {
                     self.cfg.l1.num_lines() as u64 / self.cfg.tags_per_cycle
                 };
-                for line in self.l1[c.0].valid_line_addrs() {
+                let mut lines = std::mem::take(&mut self.inv_scratch);
+                lines.clear();
+                self.l1[c.0].valid_line_addrs_into(&mut lines);
+                for &line in &lines {
                     if let Some(inv) = self.l1[c.0].invalidate(line) {
                         self.counters.lines_invalidated += 1;
                         if inv.dirty != 0 {
@@ -589,6 +614,8 @@ impl IncoherentSystem {
                         }
                     }
                 }
+                lines.clear();
+                self.inv_scratch = lines;
             }
             _ => {
                 let lines = target.lines().expect("non-ALL");
@@ -622,12 +649,15 @@ impl IncoherentSystem {
                 Target::All => {
                     // Banks gang-clear / traverse concurrently.
                     let mut trav = FLASH_CYCLES;
+                    let mut lines = std::mem::take(&mut self.inv_scratch);
                     for bank in 0..self.bpb {
                         let gb = blk * self.bpb + bank;
                         if self.l2[gb].dirty_lines_resident() > 0 {
                             trav = self.cfg.l2.num_lines() as u64 / self.cfg.tags_per_cycle;
                         }
-                        for line in self.l2[gb].valid_line_addrs() {
+                        lines.clear();
+                        self.l2[gb].valid_line_addrs_into(&mut lines);
+                        for &line in &lines {
                             if let Some(inv) = self.l2[gb].invalidate(line) {
                                 if inv.dirty != 0 {
                                     self.push_below_l2(line, &inv.data, inv.dirty);
@@ -636,6 +666,8 @@ impl IncoherentSystem {
                             }
                         }
                     }
+                    lines.clear();
+                    self.inv_scratch = lines;
                     lat += trav;
                 }
                 _ => {

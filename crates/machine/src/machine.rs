@@ -13,7 +13,7 @@
 //! machine emits [`Wakeup`]s that tell the runtime when each parked core
 //! resumes, and charges the waiting time to the appropriate stall category.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use hic_coherence::MesiSystem;
 use hic_mem::{Word, WordAddr};
@@ -75,7 +75,7 @@ pub struct Machine {
     cfg: MachineConfig,
     ledgers: Vec<StallLedger>,
     /// Parked cores: issue time + the category their wait is charged to.
-    parked: HashMap<usize, (Cycle, StallCategory)>,
+    parked: FxHashMap<usize, (Cycle, StallCategory)>,
     wakeups: Vec<Wakeup>,
     /// Cores that executed at least one op.
     active: Vec<bool>,
@@ -92,7 +92,7 @@ impl Machine {
             sync: SyncController::new(),
             mesh: Mesh::new(n, cfg.hop_cycles),
             ledgers: vec![StallLedger::new(); n],
-            parked: HashMap::new(),
+            parked: FxHashMap::default(),
             wakeups: Vec::new(),
             active: vec![false; n],
             finished_at: vec![None; n],

@@ -91,6 +91,26 @@ pub struct Cache {
     /// this as a counter register so `WB ALL` / `INV ALL` can skip the
     /// tag traversal entirely when the cache is clean (flash-clear).
     dirty_line_count: usize,
+    /// Bit per slot: the slot holds a valid line. Models the hardware
+    /// valid-bit column read out as a vector, so ALL-flavor traversals
+    /// visit only resident lines instead of sweeping every slot.
+    valid_bits: Vec<u64>,
+    /// Bit per slot: the slot holds a valid line with at least one dirty
+    /// word (the OR-reduction of its per-word dirty bits). `WB ALL`
+    /// walks exactly these.
+    dirty_bits: Vec<u64>,
+}
+
+/// Iterate the indices of set bits in a slot bitmap, ascending.
+fn for_each_set_bit(bits: &[u64], mut f: impl FnMut(usize)) {
+    for (w, &word) in bits.iter().enumerate() {
+        let mut rest = word;
+        while rest != 0 {
+            let b = rest.trailing_zeros() as usize;
+            f(w * 64 + b);
+            rest &= rest - 1;
+        }
+    }
 }
 
 impl Cache {
@@ -105,6 +125,7 @@ impl Cache {
         let sets = geom.num_sets();
         let ways = geom.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let words = (sets * ways).div_ceil(64);
         Cache {
             sets,
             ways,
@@ -112,6 +133,26 @@ impl Cache {
             tick: 0,
             line_count_resident: 0,
             dirty_line_count: 0,
+            valid_bits: vec![0; words],
+            dirty_bits: vec![0; words],
+        }
+    }
+
+    #[inline]
+    fn set_valid_bit(&mut self, i: usize, on: bool) {
+        if on {
+            self.valid_bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.valid_bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    #[inline]
+    fn set_dirty_bit(&mut self, i: usize, on: bool) {
+        if on {
+            self.dirty_bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.dirty_bits[i / 64] &= !(1 << (i % 64));
         }
     }
 
@@ -220,7 +261,9 @@ impl Cache {
         s.lru = self.tick;
         if s.dirty == 0 {
             self.dirty_line_count += 1;
+            self.dirty_bits[i / 64] |= 1 << (i % 64);
         }
+        let s = &mut self.slots[i];
         let was_clean = s.dirty & (1 << word) == 0;
         s.data[word] = value;
         s.dirty |= 1 << word;
@@ -244,7 +287,9 @@ impl Cache {
             s.data = data;
             if s.dirty == 0 && dirty != 0 {
                 self.dirty_line_count += 1;
+                self.dirty_bits[i / 64] |= 1 << (i % 64);
             }
+            let s = &mut self.slots[i];
             s.dirty |= dirty;
             return None;
         }
@@ -288,6 +333,8 @@ impl Cache {
             data,
         };
         self.line_count_resident += 1;
+        self.set_valid_bit(victim_idx, true);
+        self.set_dirty_bit(victim_idx, dirty != 0);
         evicted
     }
 
@@ -312,7 +359,9 @@ impl Cache {
                 }
                 if s.dirty == 0 && mask != 0 {
                     self.dirty_line_count += 1;
+                    self.dirty_bits[i / 64] |= 1 << (i % 64);
                 }
+                let s = &mut self.slots[i];
                 s.dirty |= mask;
                 true
             }
@@ -328,6 +377,7 @@ impl Cache {
                 let was = std::mem::take(&mut self.slots[i].dirty);
                 if was != 0 {
                     self.dirty_line_count -= 1;
+                    self.set_dirty_bit(i, false);
                 }
                 was
             }
@@ -344,6 +394,7 @@ impl Cache {
             self.slots[i].dirty &= !mask;
             if was != 0 && self.slots[i].dirty == 0 {
                 self.dirty_line_count -= 1;
+                self.set_dirty_bit(i, false);
             }
         }
     }
@@ -357,6 +408,8 @@ impl Cache {
         if self.slots[i].dirty != 0 {
             self.dirty_line_count -= 1;
         }
+        self.set_valid_bit(i, false);
+        self.set_dirty_bit(i, false);
         let s = &self.slots[i];
         Some(EvictedLine {
             addr: s.addr,
@@ -366,6 +419,10 @@ impl Cache {
     }
 
     /// Iterate over all valid lines (for WB ALL / INV ALL traversals).
+    ///
+    /// Deliberately a raw slot sweep rather than a bitmap walk: this is
+    /// the naive reference the property tests compare the valid/dirty
+    /// slot bitmaps against.
     pub fn valid_lines(&self) -> impl Iterator<Item = LineView<'_>> {
         self.slots.iter().filter(|s| s.valid).map(|s| LineView {
             addr: s.addr,
@@ -374,22 +431,56 @@ impl Cache {
         })
     }
 
+    /// Visit every valid line with at least one dirty word in ascending
+    /// slot order (same order as [`Cache::valid_lines`]), walking the
+    /// dirty-slot bitmap instead of sweeping all slots.
+    pub fn for_each_dirty_line(&self, mut f: impl FnMut(LineView<'_>)) {
+        for_each_set_bit(&self.dirty_bits, |i| {
+            let s = &self.slots[i];
+            debug_assert!(s.valid && s.dirty != 0, "stale dirty bit for slot {i}");
+            f(LineView {
+                addr: s.addr,
+                dirty: s.dirty,
+                data: &s.data,
+            });
+        });
+    }
+
+    /// Append the addresses of all valid lines with at least one dirty
+    /// word to `out` (ascending slot order, same as [`Cache::valid_lines`]).
+    /// Walks the dirty-slot bitmap, so a mostly-clean cache costs
+    /// O(capacity/64), not O(capacity), and the caller reuses `out`
+    /// across instructions instead of allocating.
+    pub fn dirty_line_addrs_into(&self, out: &mut Vec<LineAddr>) {
+        for_each_set_bit(&self.dirty_bits, |i| {
+            let s = &self.slots[i];
+            debug_assert!(s.valid && s.dirty != 0, "stale dirty bit for slot {i}");
+            out.push(s.addr);
+        });
+    }
+
+    /// Append the addresses of all valid lines to `out` (ascending slot
+    /// order).
+    pub fn valid_line_addrs_into(&self, out: &mut Vec<LineAddr>) {
+        for_each_set_bit(&self.valid_bits, |i| {
+            let s = &self.slots[i];
+            debug_assert!(s.valid, "stale valid bit for slot {i}");
+            out.push(s.addr);
+        });
+    }
+
     /// Addresses of all valid lines with at least one dirty word.
     pub fn dirty_line_addrs(&self) -> Vec<LineAddr> {
-        self.slots
-            .iter()
-            .filter(|s| s.valid && s.dirty != 0)
-            .map(|s| s.addr)
-            .collect()
+        let mut out = Vec::with_capacity(self.dirty_line_count);
+        self.dirty_line_addrs_into(&mut out);
+        out
     }
 
     /// Addresses of all valid lines.
     pub fn valid_line_addrs(&self) -> Vec<LineAddr> {
-        self.slots
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| s.addr)
-            .collect()
+        let mut out = Vec::with_capacity(self.line_count_resident);
+        self.valid_line_addrs_into(&mut out);
+        out
     }
 
     /// Drop every line (power-on reset; used between experiment runs).
@@ -400,6 +491,8 @@ impl Cache {
         self.tick = 0;
         self.line_count_resident = 0;
         self.dirty_line_count = 0;
+        self.valid_bits.fill(0);
+        self.dirty_bits.fill(0);
     }
 }
 

@@ -2,17 +2,45 @@
 //!
 //! Stores real word values so the simulator is value-accurate end to end.
 //! Lines are materialized lazily (untouched memory reads as zero).
-
-use std::collections::HashMap;
+//!
+//! Storage is a two-level page table indexed by line address: the top
+//! level is a `Vec` of optional pages, each page holding `PAGE_LINES`
+//! contiguous lines plus an occupancy bitmap. The simulator's bump
+//! allocator hands out small dense line addresses, so the top-level
+//! vector stays short and every access is two array indexings — no
+//! hashing on the hot load/store path.
 
 use crate::addr::{LineAddr, WordAddr, WORDS_PER_LINE};
 use crate::cache::DirtyMask;
 use crate::Word;
 
+/// log2 of lines per page: 256 lines = 16 KiB of simulated data per page.
+const PAGE_SHIFT: u32 = 8;
+const PAGE_LINES: usize = 1 << PAGE_SHIFT;
+
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[[Word; WORDS_PER_LINE]; PAGE_LINES]>,
+    /// Bit per line: the line has been written at least once. Keeps
+    /// `materialized_lines` exact (a page is allocated whole, but only
+    /// touched lines count).
+    present: [u64; PAGE_LINES / 64],
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            data: Box::new([[0; WORDS_PER_LINE]; PAGE_LINES]),
+            present: [0; PAGE_LINES / 64],
+        }
+    }
+}
+
 /// Sparse, lazily-materialized word-addressable memory.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
-    lines: HashMap<u64, [Word; WORDS_PER_LINE]>,
+    pages: Vec<Option<Page>>,
+    materialized: usize,
 }
 
 impl Memory {
@@ -20,23 +48,56 @@ impl Memory {
         Memory::default()
     }
 
+    #[inline]
+    fn split(addr: LineAddr) -> (usize, usize) {
+        (
+            (addr.0 >> PAGE_SHIFT) as usize,
+            (addr.0 & (PAGE_LINES as u64 - 1)) as usize,
+        )
+    }
+
+    #[inline]
+    fn line(&self, addr: LineAddr) -> Option<&[Word; WORDS_PER_LINE]> {
+        let (p, l) = Self::split(addr);
+        match self.pages.get(p) {
+            Some(Some(page)) => Some(&page.data[l]),
+            _ => None,
+        }
+    }
+
+    /// The line's backing slot, materializing its page (and marking the
+    /// line present) as needed.
+    fn line_mut(&mut self, addr: LineAddr) -> &mut [Word; WORDS_PER_LINE] {
+        let (p, l) = Self::split(addr);
+        if p >= self.pages.len() {
+            self.pages.resize_with(p + 1, || None);
+        }
+        let page = self.pages[p].get_or_insert_with(Page::new);
+        let (w, b) = (l / 64, 1u64 << (l % 64));
+        if page.present[w] & b == 0 {
+            page.present[w] |= b;
+            self.materialized += 1;
+        }
+        &mut page.data[l]
+    }
+
     /// Read a whole line (zeros if never written).
     pub fn read_line(&self, addr: LineAddr) -> [Word; WORDS_PER_LINE] {
-        self.lines
-            .get(&addr.0)
-            .copied()
-            .unwrap_or([0; WORDS_PER_LINE])
+        match self.line(addr) {
+            Some(line) => *line,
+            None => [0; WORDS_PER_LINE],
+        }
     }
 
     /// Write a whole line.
     pub fn write_line(&mut self, addr: LineAddr, data: [Word; WORDS_PER_LINE]) {
-        self.lines.insert(addr.0, data);
+        *self.line_mut(addr) = data;
     }
 
     /// Merge only the masked words of `data` into the line (a dirty-word
     /// writeback landing in memory).
     pub fn merge_words(&mut self, addr: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
-        let line = self.lines.entry(addr.0).or_insert([0; WORDS_PER_LINE]);
+        let line = self.line_mut(addr);
         for w in 0..WORDS_PER_LINE {
             if mask & (1 << w) != 0 {
                 line[w] = data[w];
@@ -46,7 +107,7 @@ impl Memory {
 
     /// Read one word.
     pub fn read_word(&self, w: WordAddr) -> Word {
-        match self.lines.get(&w.line().0) {
+        match self.line(w.line()) {
             Some(line) => line[w.index_in_line()],
             None => 0,
         }
@@ -54,13 +115,12 @@ impl Memory {
 
     /// Write one word.
     pub fn write_word(&mut self, w: WordAddr, value: Word) {
-        let line = self.lines.entry(w.line().0).or_insert([0; WORDS_PER_LINE]);
-        line[w.index_in_line()] = value;
+        self.line_mut(w.line())[w.index_in_line()] = value;
     }
 
     /// Number of materialized lines (for memory-footprint sanity checks).
     pub fn materialized_lines(&self) -> usize {
-        self.lines.len()
+        self.materialized
     }
 }
 
@@ -107,6 +167,31 @@ mod tests {
         let got = m.read_line(LineAddr(9));
         assert_eq!(got[4], 7);
         assert_eq!(got[3], 0);
+        assert_eq!(m.materialized_lines(), 1);
+    }
+
+    #[test]
+    fn page_boundaries_are_transparent() {
+        let mut m = Memory::new();
+        // Last line of page 0, first of page 1, and one far away.
+        for base in [255u64, 256, 256 * 40 + 3] {
+            m.write_word(WordAddr(base * WORDS_PER_LINE as u64), base as Word);
+        }
+        for base in [255u64, 256, 256 * 40 + 3] {
+            assert_eq!(
+                m.read_word(WordAddr(base * WORDS_PER_LINE as u64)),
+                base as Word
+            );
+        }
+        assert_eq!(m.materialized_lines(), 3);
+    }
+
+    #[test]
+    fn rewriting_a_line_counts_once() {
+        let mut m = Memory::new();
+        m.write_line(LineAddr(7), [1; WORDS_PER_LINE]);
+        m.write_line(LineAddr(7), [2; WORDS_PER_LINE]);
+        m.write_word(WordAddr(7 * WORDS_PER_LINE as u64), 3);
         assert_eq!(m.materialized_lines(), 1);
     }
 }

@@ -179,3 +179,80 @@ fn dirty_counter_is_exact() {
         }
     }
 }
+
+/// The incremental valid/dirty slot index (`valid_line_addrs` /
+/// `dirty_line_addrs`, backed by per-slot bitmaps) always equals a naive
+/// recount over the raw slot sweep (`valid_lines`), in the same order,
+/// under arbitrary fill / write / merge / clean / partial-clean /
+/// invalidate sequences.
+#[test]
+fn dirty_index_matches_naive_recount() {
+    let mut rng = SplitMix64::new(0x1D8E);
+    for case in 0..96 {
+        let len = 1 + rng.below(199);
+        let mut cache = tiny_cache();
+        let mut mem = Memory::new();
+        for step in 0..len {
+            let line = rng.below(24);
+            let la = LineAddr(line);
+            match rng.below(7) {
+                0 => {
+                    // Fill with a random (possibly dirty) mask.
+                    let mask = (rng.next_u32() & 0xFFFF) as u16;
+                    let data = mem.read_line(la);
+                    if let Some(ev) = cache.fill(la, data, mask) {
+                        spill(&mut mem, ev);
+                    }
+                }
+                1 => {
+                    let word = rng.below(WORDS_PER_LINE as u64) as usize;
+                    let value = rng.next_u32();
+                    if cache.write_word(la, word, value).is_none() {
+                        let data = mem.read_line(la);
+                        if let Some(ev) = cache.fill(la, data, 0) {
+                            spill(&mut mem, ev);
+                        }
+                        cache.write_word(la, word, value);
+                    }
+                }
+                2 => {
+                    let mask = (rng.next_u32() & 0xFFFF) as u16;
+                    let data = [rng.next_u32(); WORDS_PER_LINE];
+                    cache.merge_words(la, &data, mask);
+                }
+                3 => {
+                    cache.clean_line(la);
+                }
+                4 => {
+                    // Partial clean: may or may not leave dirty words.
+                    let mask = (rng.next_u32() & 0xFFFF) as u16;
+                    cache.clean_words(la, mask);
+                }
+                _ => {
+                    if let Some(ev) = cache.invalidate(la) {
+                        spill(&mut mem, ev);
+                    }
+                }
+            }
+
+            let naive_valid: Vec<LineAddr> = cache.valid_lines().map(|v| v.addr).collect();
+            let naive_dirty: Vec<LineAddr> = cache
+                .valid_lines()
+                .filter(|v| v.dirty != 0)
+                .map(|v| v.addr)
+                .collect();
+            assert_eq!(
+                cache.valid_line_addrs(),
+                naive_valid,
+                "case {case} step {step}: valid index diverged from slot sweep"
+            );
+            assert_eq!(
+                cache.dirty_line_addrs(),
+                naive_dirty,
+                "case {case} step {step}: dirty index diverged from slot sweep"
+            );
+            assert_eq!(cache.dirty_lines_resident(), naive_dirty.len());
+            assert_eq!(cache.resident_lines(), naive_valid.len());
+        }
+    }
+}

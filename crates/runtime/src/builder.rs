@@ -22,7 +22,7 @@ use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
 
 use crate::config::Config;
 use crate::ctx::{BarrierId, FlagId, LockId, LockInfo, RtShared, ThreadCtx};
-use crate::engine::{run_threads, Transport};
+use crate::engine::{run_threads, Scheduler, Transport};
 
 /// Builder for one simulated program run.
 pub struct ProgramBuilder {
@@ -31,6 +31,7 @@ pub struct ProgramBuilder {
     alloc: BumpAllocator,
     locks: Vec<LockInfo>,
     transport: Transport,
+    scheduler: Scheduler,
 }
 
 impl ProgramBuilder {
@@ -61,6 +62,7 @@ impl ProgramBuilder {
             alloc: BumpAllocator::new(),
             locks: Vec::new(),
             transport: Transport::default(),
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -78,6 +80,7 @@ impl ProgramBuilder {
             alloc: BumpAllocator::new(),
             locks: Vec::new(),
             transport: Transport::default(),
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -91,6 +94,15 @@ impl ProgramBuilder {
     /// `stats.engine` differ.
     pub fn transport(&mut self, t: Transport) -> &mut Self {
         self.transport = t;
+        self
+    }
+
+    /// Select how the engine picks the next core (default:
+    /// [`Scheduler::Heap`]). Simulated results are identical across
+    /// schedulers; the heap is O(log ncores) per op instead of
+    /// O(ncores).
+    pub fn scheduler(&mut self, s: Scheduler) -> &mut Self {
+        self.scheduler = s;
         self
     }
 
@@ -174,6 +186,7 @@ impl ProgramBuilder {
             locks: self.locks,
             nthreads,
             transport: self.transport,
+            scheduler: self.scheduler,
         });
         let (machine, stats) = run_threads(self.machine, shared, nthreads, body);
         RunOutcome { machine, stats }

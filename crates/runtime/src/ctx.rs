@@ -16,7 +16,6 @@
 //! * model-2 epoch plans: global or level-adaptive WB/INV per Table II.
 
 use std::cell::{Cell, RefCell};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use hic_core::{CohInstr, Target};
@@ -26,7 +25,7 @@ use hic_sim::ThreadId;
 use hic_sync::SyncId;
 
 use crate::config::{Config, InterConfig, IntraConfig};
-use crate::engine::Transport;
+use crate::engine::{EngineShared, Scheduler, Transport};
 use crate::plan::EpochPlan;
 
 /// Handle to a barrier declared on the builder.
@@ -56,13 +55,13 @@ pub(crate) struct RtShared {
     pub locks: Vec<LockInfo>,
     pub nthreads: usize,
     pub transport: Transport,
+    pub scheduler: Scheduler,
 }
 
 /// The per-thread handle applications program against.
 pub struct ThreadCtx {
     tid: usize,
-    req: Sender<Op>,
-    reply: Receiver<Option<Word>>,
+    engine: Arc<EngineShared>,
     shared: Arc<RtShared>,
     /// Compute cycles accumulated by [`ThreadCtx::tick`], flushed as one
     /// `Op::Compute` before the next real operation.
@@ -70,22 +69,20 @@ pub struct ThreadCtx {
     /// Batchable ops coalesced since the last flush (empty under
     /// [`Transport::Sync`]); shipped as one `Op::Batch` message.
     batch: RefCell<Vec<Op>>,
+    /// Set by [`ThreadCtx::finish`]; a context dropped without it means
+    /// the app thread died (panicked) mid-run.
+    finished: Cell<bool>,
 }
 
 impl ThreadCtx {
-    pub(crate) fn new(
-        tid: usize,
-        req: Sender<Op>,
-        reply: Receiver<Option<Word>>,
-        shared: Arc<RtShared>,
-    ) -> ThreadCtx {
+    pub(crate) fn new(tid: usize, engine: Arc<EngineShared>, shared: Arc<RtShared>) -> ThreadCtx {
         ThreadCtx {
             tid,
-            req,
-            reply,
+            engine,
             shared,
             pending_compute: Cell::new(0),
             batch: RefCell::new(Vec::new()),
+            finished: Cell::new(false),
         }
     }
 
@@ -127,12 +124,13 @@ impl ThreadCtx {
     fn flush_batch(&self) {
         let ops = std::mem::take(&mut *self.batch.borrow_mut());
         if !ops.is_empty() {
-            self.req.send(Op::Batch(ops)).expect("simulator hung up");
+            self.engine.submit(self.tid, Op::Batch(ops));
         }
     }
 
     /// Route one op through the active transport: coalesce it if it is
-    /// batchable, otherwise send it on its own and wait for the reply.
+    /// batchable, otherwise submit it on its own and drive the engine
+    /// until its reply is produced.
     fn dispatch(&self, op: Op) -> Option<Word> {
         let cap = self.batch_cap();
         if cap > 0 && op.is_batchable() {
@@ -145,8 +143,7 @@ impl ThreadCtx {
             None
         } else {
             self.flush_batch();
-            self.req.send(op).expect("simulator hung up");
-            self.reply.recv().expect("simulator hung up")
+            self.engine.submit_await(self.tid, op)
         }
     }
 
@@ -522,7 +519,20 @@ impl ThreadCtx {
     pub(crate) fn finish(&self) {
         self.flush_compute();
         self.flush_batch();
-        self.req.send(Op::Finish).expect("simulator hung up");
-        // No reply for Finish.
+        // No reply for Finish; leftover queued ops are drained by the
+        // spawning thread after the app threads exit.
+        self.engine.submit(self.tid, Op::Finish);
+        self.finished.set(true);
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        if !self.finished.get() {
+            // The app thread is unwinding mid-run (assertion failure in
+            // app code, machine panic, ...). Wake every blocked sibling
+            // so the run tears down instead of hanging.
+            self.engine.mark_dead("app thread died mid-run");
+        }
     }
 }

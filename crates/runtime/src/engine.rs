@@ -1,17 +1,39 @@
 //! The execution engine: conservative execution-driven scheduling of
 //! simulated threads over one [`Machine`].
 //!
-//! Each simulated thread runs on an OS thread and talks to the engine
-//! over a channel. The engine:
+//! Each simulated thread runs on an OS thread. The engine's scheduler
+//! state (per-core op queues, local clocks, the machine) lives behind one
+//! mutex, and the app threads drive it *cooperatively*: whenever a thread
+//! submits ops it executes everything that is safe to execute — its own
+//! ops and other cores' — instead of handing off to a dedicated engine
+//! thread. Machine transitions happen in global simulated-time order:
+//! the pending op with the smallest `(local time, core id)` runs first.
 //!
-//! 1. makes sure every runnable core has at least one pending op —
-//!    receiving from the thread's channel when its queue is empty (the
-//!    thread is guaranteed to send one);
-//! 2. executes the op of the core with the smallest local time (core id
-//!    breaking ties), so machine transitions happen in global
-//!    simulated-time order;
-//! 3. delivers wakeups produced by synchronization grants immediately, so
-//!    no core can act "in the past" of an already-executed transition.
+//! # Conservative lookahead
+//!
+//! A core's local clock never moves backward, so a core that has not yet
+//! presented its next op cannot act before its current clock. The
+//! engine therefore executes the earliest queued op as soon as it
+//! precedes `(time, id)` of **every op-less core** — it does not wait
+//! for those cores to actually submit. This is the standard conservative
+//! parallel-discrete-event rule, and it produces exactly the same
+//! machine-transition sequence as the reference "wait for all cores,
+//! then pick the minimum" loop: delayed submissions always order after
+//! the op executed early. It matters on the host side only — a thread
+//! issuing a load usually finds its own op is already globally minimal
+//! and serves itself without a single context switch.
+//!
+//! Wakeups produced by synchronization grants are delivered immediately
+//! after the op that granted them, and each one wakes only the thread it
+//! targets (per-core condvars — no thundering herd).
+//!
+//! The next core is picked either by an O(ncores) scan
+//! ([`Scheduler::Linear`], the reference) or from binary heaps keyed by
+//! `(local time, core id)` ([`Scheduler::Heap`], the default) — O(log
+//! ncores) per op. The run heap has one entry per core with queued ops,
+//! and such a core's clock only advances when it executes (which pops
+//! the entry), so entries are never stale; the op-less heap is cleaned
+//! lazily.
 //!
 //! # Batched transport
 //!
@@ -21,7 +43,7 @@
 //! **unpacks** each batch into the core's op queue and still executes one
 //! op at a time by global minimum-time selection: simulated timing,
 //! interleaving, stall ledgers, and traffic are bit-identical to
-//! [`Transport::Sync`] — only the host-side channel round-trips disappear.
+//! [`Transport::Sync`] — only the host-side reply waits disappear.
 //! [`EngineStats`] (surfaced through `RunStats::engine`) records how many.
 //!
 //! If every unfinished core is parked on synchronization, the program has
@@ -29,9 +51,9 @@
 //! core's stall category and, when tracing is enabled, the recent
 //! operation history) rather than hanging.
 
-use std::collections::VecDeque;
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use hic_machine::{Exec, Machine, Op, RunStats};
 use hic_mem::Word;
@@ -42,9 +64,9 @@ use crate::ctx::{RtShared, ThreadCtx};
 /// How simulated threads ship ops to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transport {
-    /// Every op is sent as its own message and the thread waits for the
-    /// reply — one host round-trip per op. Simple, and the reference
-    /// behavior the batched transport must match cycle-for-cycle.
+    /// Every op is submitted on its own and the thread waits for the
+    /// reply. Simple, and the reference behavior the batched transport
+    /// must match cycle-for-cycle.
     Sync,
     /// Runs of non-value-returning ops are coalesced into one
     /// `Op::Batch` message of at most `cap` ops; the thread only waits
@@ -69,9 +91,21 @@ impl Transport {
     }
 }
 
+/// How the engine picks the next core to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Scan all cores for the minimum `(time, core)` — O(ncores) per op.
+    /// The reference implementation the heap must match exactly.
+    Linear,
+    /// Binary heaps keyed by `(time, core)` — O(log ncores) per op.
+    #[default]
+    Heap,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CoreState {
-    /// Queue empty: must pull the next message from the thread.
+    /// Queue empty: the thread has not yet presented its next op. Its
+    /// clock bounds how early its future ops can be.
     NeedsOp,
     /// Has at least one queued op, not yet executed.
     HasOp,
@@ -82,9 +116,11 @@ enum CoreState {
 }
 
 /// The scheduler state for one run: per-core op queues, local clocks,
-/// and the [`EngineStats`] ledger.
-pub(crate) struct Engine {
+/// and the [`EngineStats`] ledger. Shared among all app threads behind
+/// [`EngineShared`]'s mutex.
+struct EngineCore {
     machine: Machine,
+    scheduler: Scheduler,
     state: Vec<CoreState>,
     /// Per-core local simulated time.
     time: Vec<Cycle>,
@@ -92,23 +128,69 @@ pub(crate) struct Engine {
     /// queued with `needs_reply = false`; individually sent ops (except
     /// `Finish`) with `true`.
     queue: Vec<VecDeque<(Op, bool)>>,
+    /// Under [`Scheduler::Heap`]: one entry per `HasOp` core, keyed by
+    /// its current local time. Never stale.
+    run_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Under [`Scheduler::Heap`]: entries for `NeedsOp` cores, keyed by
+    /// the clock at which they became op-less. Cleaned lazily: an entry
+    /// is valid while its core is still `NeedsOp` at that exact time.
+    idle_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Unfinished cores whose queue is empty.
+    needs_op: usize,
+    /// Cores with queued ops.
+    has_op: usize,
+    /// Per-core reply slot, filled when the core's pending op completes.
+    reply: Vec<Option<Option<Word>>>,
+    /// Per-core flag: the thread is blocked on its condvar.
+    waiting: Vec<bool>,
+    /// Cores whose reply was filled while their thread was blocked;
+    /// drained into targeted notifications when the driver pauses.
+    wake_list: Vec<usize>,
+    /// The spawning thread is blocked waiting for completion.
+    main_waiting: bool,
+    done: usize,
+    parked_now: u64,
+    /// Set on deadlock or app-thread death; every blocked thread exits.
+    dead: Option<String>,
     stats: EngineStats,
 }
 
-impl Engine {
-    pub(crate) fn new(machine: Machine, nthreads: usize) -> Engine {
-        Engine {
+impl EngineCore {
+    fn new(machine: Machine, nthreads: usize, scheduler: Scheduler) -> EngineCore {
+        let mut idle_heap = BinaryHeap::with_capacity(nthreads + 4);
+        if scheduler == Scheduler::Heap {
+            // Every core starts op-less at time 0.
+            for c in 0..nthreads {
+                idle_heap.push(Reverse((0, c)));
+            }
+        }
+        EngineCore {
             machine,
+            scheduler,
             state: vec![CoreState::NeedsOp; nthreads],
             time: vec![0; nthreads],
             queue: (0..nthreads).map(|_| VecDeque::new()).collect(),
+            run_heap: BinaryHeap::with_capacity(nthreads),
+            idle_heap,
+            needs_op: nthreads,
+            has_op: 0,
+            reply: vec![None; nthreads],
+            waiting: vec![false; nthreads],
+            wake_list: Vec::with_capacity(nthreads),
+            main_waiting: false,
+            done: 0,
+            parked_now: 0,
+            dead: None,
             stats: EngineStats::new(),
         }
     }
 
-    /// Receive one transport message for core `c` and queue its ops.
-    fn refill(&mut self, c: usize, req_rxs: &[Receiver<Op>]) {
-        let msg = req_rxs[c].recv().expect("app thread died mid-run");
+    /// Queue one transport message for core `c`.
+    fn enqueue(&mut self, c: usize, msg: Op) {
+        debug_assert!(
+            matches!(self.state[c], CoreState::NeedsOp | CoreState::HasOp),
+            "parked or finished core submitted an op"
+        );
         self.stats.messages += 1;
         match msg {
             Op::Batch(ops) => {
@@ -124,10 +206,147 @@ impl Engine {
                 self.queue[c].push_back((op, needs_reply));
             }
         }
-        self.state[c] = CoreState::HasOp;
+        if self.state[c] == CoreState::NeedsOp {
+            self.state[c] = CoreState::HasOp;
+            self.needs_op -= 1;
+            self.has_op += 1;
+            if self.scheduler == Scheduler::Heap {
+                // The core's idle_heap entry goes stale and is dropped
+                // lazily by `executable`.
+                self.run_heap.push(Reverse((self.time[c], c)));
+            }
+        }
     }
 
-    fn deadlock_panic(&self) -> ! {
+    /// Mark core `c` op-less at its current clock.
+    fn set_needs_op(&mut self, c: usize) {
+        self.state[c] = CoreState::NeedsOp;
+        self.needs_op += 1;
+        if self.scheduler == Scheduler::Heap {
+            self.idle_heap.push(Reverse((self.time[c], c)));
+        }
+    }
+
+    /// May the earliest queued op execute now? True iff some op is
+    /// queued and it precedes the clock of every op-less core.
+    fn executable(&mut self) -> bool {
+        match self.scheduler {
+            Scheduler::Heap => {
+                let Some(&Reverse(run)) = self.run_heap.peek() else {
+                    return false;
+                };
+                while let Some(&Reverse((t, c))) = self.idle_heap.peek() {
+                    if self.state[c] == CoreState::NeedsOp && self.time[c] == t {
+                        return run < (t, c);
+                    }
+                    self.idle_heap.pop();
+                }
+                true
+            }
+            Scheduler::Linear => {
+                let mut run: Option<(Cycle, usize)> = None;
+                let mut idle: Option<(Cycle, usize)> = None;
+                for c in 0..self.state.len() {
+                    let key = (self.time[c], c);
+                    match self.state[c] {
+                        CoreState::HasOp if run.is_none_or(|m| key < m) => run = Some(key),
+                        CoreState::NeedsOp if idle.is_none_or(|m| key < m) => idle = Some(key),
+                        _ => {}
+                    }
+                }
+                match (run, idle) {
+                    (None, _) => false,
+                    (Some(_), None) => true,
+                    (Some(r), Some(i)) => r < i,
+                }
+            }
+        }
+    }
+
+    /// The `HasOp` core with the smallest `(time, core)`.
+    fn pick(&mut self) -> usize {
+        match self.scheduler {
+            Scheduler::Heap => {
+                let Reverse((t, c)) = self.run_heap.pop().expect("executable implies a run entry");
+                debug_assert_eq!(self.state[c], CoreState::HasOp, "stale run_heap entry");
+                debug_assert_eq!(self.time[c], t, "run_heap entry out of date");
+                c
+            }
+            Scheduler::Linear => (0..self.state.len())
+                .filter(|&c| self.state[c] == CoreState::HasOp)
+                .min_by_key(|&c| (self.time[c], c))
+                .expect("executable implies a HasOp core"),
+        }
+    }
+
+    /// Execute the globally earliest queued op and deliver any resulting
+    /// wakeups into reply slots (queueing targeted notifications for
+    /// blocked threads on `wake_list`).
+    fn execute_one(&mut self) {
+        let c = self.pick();
+        let (op, needs_reply) = self.queue[c].pop_front().expect("HasOp implies queued op");
+        match self.machine.execute(CoreId(c), &op, self.time[c]) {
+            Exec::Done { value, end } => {
+                self.stats.ops_executed += 1;
+                self.time[c] = end;
+                if matches!(op, Op::Finish) {
+                    debug_assert!(self.queue[c].is_empty(), "ops queued after Finish");
+                    self.state[c] = CoreState::Done;
+                    self.has_op -= 1;
+                    self.done += 1;
+                } else {
+                    if needs_reply {
+                        self.stats.round_trips += 1;
+                        debug_assert!(self.reply[c].is_none(), "unclaimed reply");
+                        self.reply[c] = Some(value);
+                        if self.waiting[c] {
+                            self.wake_list.push(c);
+                        }
+                    }
+                    if self.queue[c].is_empty() {
+                        self.has_op -= 1;
+                        self.set_needs_op(c);
+                    } else if self.scheduler == Scheduler::Heap {
+                        self.run_heap.push(Reverse((end, c)));
+                    }
+                }
+            }
+            Exec::Parked => {
+                // Blocking ops are never batched and always flush the
+                // batch first, so a parking core has nothing queued.
+                debug_assert!(
+                    self.queue[c].is_empty(),
+                    "batch queued behind a blocking op"
+                );
+                debug_assert!(needs_reply, "blocking ops are sent individually");
+                self.stats.ops_executed += 1;
+                self.state[c] = CoreState::Parked;
+                self.has_op -= 1;
+                self.parked_now += 1;
+                self.stats.peak_parked = self.stats.peak_parked.max(self.parked_now);
+            }
+        }
+        for wk in self.machine.take_wakeups() {
+            let i = wk.core.0;
+            debug_assert_eq!(self.state[i], CoreState::Parked);
+            self.stats.wakeups += 1;
+            self.parked_now -= 1;
+            self.time[i] = wk.at;
+            self.reply[i] = Some(None);
+            if self.waiting[i] {
+                self.wake_list.push(i);
+            }
+            self.set_needs_op(i);
+        }
+    }
+
+    /// All unfinished cores are parked on synchronization: nothing can
+    /// ever execute again.
+    fn deadlocked(&self) -> bool {
+        self.needs_op == 0 && self.has_op == 0 && self.done < self.state.len()
+    }
+
+    fn deadlock_message(&self) -> String {
         let parked: Vec<String> = (0..self.state.len())
             .filter(|&c| self.state[c] == CoreState::Parked)
             .map(|c| {
@@ -148,84 +367,141 @@ impl Engine {
             msg.push_str("\nmost recent operations (oldest first):\n");
             msg.push_str(&self.machine.trace().render());
         }
+        msg
+    }
+}
+
+/// The engine handle shared by all thread contexts of one run.
+pub(crate) struct EngineShared {
+    core: Mutex<EngineCore>,
+    /// One condvar per core: its thread blocks here awaiting a reply.
+    cvs: Vec<Condvar>,
+    /// The spawning thread blocks here awaiting completion.
+    cv_main: Condvar,
+}
+
+impl EngineShared {
+    fn new(machine: Machine, nthreads: usize, scheduler: Scheduler) -> EngineShared {
+        EngineShared {
+            core: Mutex::new(EngineCore::new(machine, nthreads, scheduler)),
+            cvs: (0..nthreads).map(|_| Condvar::new()).collect(),
+            cv_main: Condvar::new(),
+        }
+    }
+
+    /// Lock the scheduler state, recovering from poisoning: teardown
+    /// after an app-thread panic still needs to set the dead flag and
+    /// wake sleepers so the thread scope can join.
+    fn lock(&self) -> MutexGuard<'_, EngineCore> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deliver the targeted notifications queued by `execute_one`.
+    fn flush_wakes(&self, g: &mut MutexGuard<'_, EngineCore>) {
+        while let Some(i) = g.wake_list.pop() {
+            self.cvs[i].notify_all();
+        }
+        if g.main_waiting && (g.done == g.state.len() || g.dead.is_some()) {
+            self.cv_main.notify_all();
+        }
+    }
+
+    fn wake_everyone(&self, g: &mut MutexGuard<'_, EngineCore>) {
+        g.wake_list.clear();
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+        self.cv_main.notify_all();
+    }
+
+    /// Declare deadlock: record the message, wake every blocked thread,
+    /// release the lock, and panic with the message.
+    fn deadlock_panic(&self, mut g: MutexGuard<'_, EngineCore>) -> ! {
+        let msg = g.deadlock_message();
+        g.dead = Some(msg.clone());
+        self.wake_everyone(&mut g);
+        drop(g);
         panic!("{msg}");
     }
 
-    /// Drive the run to completion; returns the machine and its stats
-    /// with the engine ledger filled in.
-    pub(crate) fn run(
-        mut self,
-        req_rxs: &[Receiver<Op>],
-        reply_txs: &[SyncSender<Option<Word>>],
-    ) -> (Machine, RunStats) {
-        let nthreads = self.state.len();
-        let mut done = 0usize;
-        let mut parked_now = 0u64;
-
-        while done < nthreads {
-            // 1. Every runnable core must present its next op.
-            for c in 0..nthreads {
-                if self.state[c] == CoreState::NeedsOp {
-                    self.refill(c, req_rxs);
-                }
-            }
-            // 2. Execute the earliest pending op.
-            let next = (0..nthreads)
-                .filter(|&c| self.state[c] == CoreState::HasOp)
-                .min_by_key(|&c| (self.time[c], c));
-            let c = match next {
-                Some(c) => c,
-                None => self.deadlock_panic(),
-            };
-            let (op, needs_reply) = self.queue[c].pop_front().expect("HasOp implies queued op");
-            match self.machine.execute(CoreId(c), &op, self.time[c]) {
-                Exec::Done { value, end } => {
-                    self.stats.ops_executed += 1;
-                    self.time[c] = end;
-                    if matches!(op, Op::Finish) {
-                        debug_assert!(self.queue[c].is_empty(), "ops queued after Finish");
-                        self.state[c] = CoreState::Done;
-                        done += 1;
-                    } else {
-                        if needs_reply {
-                            self.stats.round_trips += 1;
-                            reply_txs[c].send(value).expect("app thread died");
-                        }
-                        self.state[c] = if self.queue[c].is_empty() {
-                            CoreState::NeedsOp
-                        } else {
-                            CoreState::HasOp
-                        };
-                    }
-                }
-                Exec::Parked => {
-                    // Blocking ops are never batched and always flush the
-                    // batch first, so a parking core has nothing queued.
-                    debug_assert!(
-                        self.queue[c].is_empty(),
-                        "batch queued behind a blocking op"
-                    );
-                    debug_assert!(needs_reply, "blocking ops are sent individually");
-                    self.stats.ops_executed += 1;
-                    self.state[c] = CoreState::Parked;
-                    parked_now += 1;
-                    self.stats.peak_parked = self.stats.peak_parked.max(parked_now);
-                }
-            }
-            // 3. Deliver wakeups immediately.
-            for wk in self.machine.take_wakeups() {
-                let i = wk.core.0;
-                debug_assert_eq!(self.state[i], CoreState::Parked);
-                self.stats.wakeups += 1;
-                parked_now -= 1;
-                self.time[i] = wk.at;
-                reply_txs[i].send(None).expect("app thread died");
-                self.state[i] = CoreState::NeedsOp;
-            }
+    /// Submit a fire-and-forget message (a batch or `Finish`) for core
+    /// `c`, then execute everything that is safe to execute.
+    pub(crate) fn submit(&self, c: usize, msg: Op) {
+        let mut g = self.lock();
+        if g.dead.is_some() {
+            drop(g);
+            panic!("simulator hung up");
         }
-        let mut stats = self.machine.finish();
-        stats.engine = self.stats;
-        (self.machine, stats)
+        g.enqueue(c, msg);
+        while g.executable() {
+            g.execute_one();
+        }
+        self.flush_wakes(&mut g);
+        if g.deadlocked() {
+            self.deadlock_panic(g);
+        }
+    }
+
+    /// Submit a reply-carrying op for core `c` and drive the scheduler —
+    /// executing pending ops of any core in global time order — until
+    /// this core's reply is produced.
+    pub(crate) fn submit_await(&self, c: usize, op: Op) -> Option<Word> {
+        let mut g = self.lock();
+        if g.dead.is_some() {
+            drop(g);
+            panic!("simulator hung up");
+        }
+        g.enqueue(c, op);
+        loop {
+            if let Some(r) = g.reply[c].take() {
+                self.flush_wakes(&mut g);
+                return r;
+            }
+            if g.dead.is_some() {
+                drop(g);
+                panic!("simulator hung up");
+            }
+            if g.executable() {
+                g.execute_one();
+                continue;
+            }
+            self.flush_wakes(&mut g);
+            if g.deadlocked() {
+                self.deadlock_panic(g);
+            }
+            g.waiting[c] = true;
+            g = self.cvs[c].wait(g).unwrap_or_else(|e| e.into_inner());
+            g.waiting[c] = false;
+        }
+    }
+
+    /// Block the spawning thread until every core has finished. The app
+    /// threads do all the driving — the final `Finish` submission drains
+    /// the remaining queues before its thread exits.
+    fn await_completion(&self) {
+        let mut g = self.lock();
+        loop {
+            if let Some(msg) = g.dead.clone() {
+                drop(g);
+                panic!("{msg}");
+            }
+            if g.done == g.state.len() {
+                return;
+            }
+            g.main_waiting = true;
+            g = self.cv_main.wait(g).unwrap_or_else(|e| e.into_inner());
+            g.main_waiting = false;
+        }
+    }
+
+    /// Record that an app thread died without finishing, and wake every
+    /// blocked thread so the run tears down instead of hanging.
+    pub(crate) fn mark_dead(&self, msg: &str) {
+        let mut g = self.lock();
+        if g.dead.is_none() {
+            g.dead = Some(msg.to_string());
+        }
+        self.wake_everyone(&mut g);
     }
 }
 
@@ -247,43 +523,33 @@ where
         machine.config().num_cores()
     );
 
-    let mut req_txs = Vec::with_capacity(nthreads);
-    let mut req_rxs: Vec<Receiver<Op>> = Vec::with_capacity(nthreads);
-    let mut reply_txs: Vec<SyncSender<Option<Word>>> = Vec::with_capacity(nthreads);
-    let mut reply_rxs = Vec::with_capacity(nthreads);
-    for _ in 0..nthreads {
-        let (tx, rx) = channel::<Op>();
-        req_txs.push(tx);
-        req_rxs.push(rx);
-        let (tx, rx) = sync_channel::<Option<Word>>(1);
-        reply_txs.push(tx);
-        reply_rxs.push(rx);
-    }
-
+    let engine = Arc::new(EngineShared::new(machine, nthreads, shared.scheduler));
     let body = &body;
-    std::thread::scope(move |scope| {
-        // `req_txs`/`reply_txs` are moved INTO the scope closure so that an
-        // engine panic (deadlock detection, app misuse) drops them during
-        // unwinding; blocked app threads then observe channel
-        // disconnection and exit, letting the scope join instead of
-        // hanging.
-        let mut req_txs = req_txs;
-        let mut reply_rxs = reply_rxs;
-        let reply_txs = reply_txs;
-        let req_rxs = req_rxs;
-        // Spawn the application threads.
-        for (tid, (req, reply)) in req_txs.drain(..).zip(reply_rxs.drain(..)).enumerate() {
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
             let shared = Arc::clone(&shared);
+            let engine = Arc::clone(&engine);
             scope.spawn(move || {
-                let ctx = ThreadCtx::new(tid, req, reply, shared);
+                let ctx = ThreadCtx::new(tid, engine, shared);
                 body(&ctx);
                 ctx.finish();
             });
         }
+        // The spawning thread waits for completion (and surfaces
+        // deadlock with the real message, since a panic from a scoped
+        // thread would be replaced by a generic one). If it panics, the
+        // scope unwinds with that payload; the dead flag makes blocked
+        // app threads exit so the join completes.
+        engine.await_completion();
+    });
 
-        // The engine runs on this thread.
-        Engine::new(machine, nthreads).run(&req_rxs, &reply_txs)
-    })
+    let shared = Arc::try_unwrap(engine)
+        .ok()
+        .expect("all thread contexts are dropped after the scope joins");
+    let core = shared.core.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut stats = core.machine.finish();
+    stats.engine = core.stats;
+    (core.machine, stats)
 }
 
 #[cfg(test)]
@@ -304,6 +570,7 @@ mod tests {
             locks: Vec::new(),
             nthreads,
             transport,
+            scheduler: Scheduler::default(),
         });
         (machine, shared)
     }
@@ -357,6 +624,36 @@ mod tests {
         assert!(a.engine.round_trips < s.engine.round_trips);
         assert_eq!(a.engine.ops_executed, s.engine.ops_executed);
         assert_eq!(s.engine.batches, 0);
+    }
+
+    #[test]
+    fn schedulers_are_observationally_identical() {
+        let run = |scheduler: Scheduler| {
+            let shared = Arc::new(RtShared {
+                config: Config::Intra(IntraConfig::Base),
+                locks: Vec::new(),
+                nthreads: 4,
+                transport: Transport::default(),
+                scheduler,
+            });
+            let mut m2 = Machine::incoherent(MachineConfig::intra_block());
+            let b = m2.alloc_barrier(4);
+            let (_, stats) = run_threads(m2, shared, 4, move |ctx| {
+                let r = Region::new(WordAddr(16 * (1 + ctx.tid() as u64)), 4);
+                for i in 0..4 {
+                    ctx.write(r, i, (ctx.tid() as u32 + 1) * 10 + i as u32);
+                }
+                ctx.compute(ctx.tid() as u64 * 13);
+                ctx.barrier(crate::ctx::BarrierId(b));
+            });
+            stats
+        };
+        let heap = run(Scheduler::Heap);
+        let linear = run(Scheduler::Linear);
+        assert_eq!(heap.total_cycles, linear.total_cycles);
+        assert_eq!(heap.ledgers, linear.ledgers);
+        assert_eq!(heap.traffic, linear.traffic);
+        assert_eq!(heap.engine.ops_executed, linear.engine.ops_executed);
     }
 
     #[test]

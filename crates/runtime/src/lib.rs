@@ -28,6 +28,6 @@ pub mod plan;
 pub use builder::{ProgramBuilder, RunOutcome};
 pub use config::{Config, InterConfig, IntraConfig};
 pub use ctx::{BarrierId, FlagId, LockId, ThreadCtx};
-pub use engine::Transport;
+pub use engine::{Scheduler, Transport};
 pub use mpi::MpiWorld;
 pub use plan::{CommOp, EpochPlan};

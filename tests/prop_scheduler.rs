@@ -1,0 +1,142 @@
+//! Property test for the engine's core picker: the O(log n) heap
+//! scheduler is a pure host-side optimization. For any program, the heap
+//! scheduler must produce bit-identical simulated results — total
+//! cycles, stall ledgers, traffic, and op counts — to the reference
+//! O(n) linear scan over `(local time, core id)`.
+//!
+//! The generator emits deadlock-free programs by construction: every
+//! thread runs the same number of rounds, every round ends with a full
+//! barrier, and every lock acquire is bracketed with its release.
+//!
+//! Randomized with the deterministic in-repo `SplitMix64` (fixed seeds).
+
+use hic_machine::RunStats;
+use hic_runtime::{Config, IntraConfig, ProgramBuilder, Scheduler, Transport};
+use hic_sim::SplitMix64;
+
+const THREADS: usize = 4;
+const WORDS: u64 = 64;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Store {
+        idx: u64,
+        val: u32,
+    },
+    Load {
+        idx: u64,
+    },
+    Compute {
+        cycles: u64,
+    },
+    /// Lock-protected read-modify-write of a shared counter.
+    Critical {
+        bumps: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Script {
+    /// `rounds[r][t]` = actions of thread `t` in round `r`.
+    rounds: Vec<Vec<Vec<Action>>>,
+}
+
+fn gen_action(rng: &mut SplitMix64) -> Action {
+    match rng.below(5) {
+        0 | 1 => Action::Store {
+            idx: rng.below(WORDS),
+            val: rng.next_u32(),
+        },
+        2 => Action::Load {
+            idx: rng.below(WORDS),
+        },
+        3 => Action::Compute {
+            cycles: 1 + rng.below(40),
+        },
+        _ => Action::Critical {
+            bumps: 1 + rng.next_u32() % 3,
+        },
+    }
+}
+
+fn gen_script(rng: &mut SplitMix64) -> Script {
+    let rounds = (0..1 + rng.below(3))
+        .map(|_| {
+            (0..THREADS)
+                .map(|_| (0..rng.below(9)).map(|_| gen_action(rng)).collect())
+                .collect()
+        })
+        .collect();
+    Script { rounds }
+}
+
+fn run_with(
+    cfg: IntraConfig,
+    scheduler: Scheduler,
+    transport: Transport,
+    script: &Script,
+) -> RunStats {
+    let mut p = ProgramBuilder::new(Config::Intra(cfg));
+    p.scheduler(scheduler);
+    p.transport(transport);
+    let data = p.alloc(WORDS);
+    let counter = p.alloc(1);
+    let l = p.lock_occ(false);
+    let bar = p.barrier_of(THREADS);
+    let rounds = script.rounds.clone();
+    let out = p.run(THREADS, move |ctx| {
+        for round in &rounds {
+            for action in &round[ctx.tid()] {
+                match *action {
+                    Action::Store { idx, val } => ctx.write(data, idx, val),
+                    Action::Load { idx } => {
+                        ctx.read(data, idx);
+                    }
+                    Action::Compute { cycles } => ctx.compute(cycles),
+                    Action::Critical { bumps } => {
+                        ctx.lock(l);
+                        let v = ctx.read(counter, 0);
+                        ctx.write(counter, 0, v + bumps);
+                        ctx.unlock(l);
+                    }
+                }
+            }
+            ctx.barrier(bar);
+        }
+    });
+    out.stats
+}
+
+/// Heap and linear schedulers agree on every simulated quantity — and on
+/// the full engine ledger, since the op stream itself must be identical —
+/// for every intra config, under both transports.
+#[test]
+fn schedulers_are_observationally_identical() {
+    let mut rng = SplitMix64::new(0x5C4D);
+    for case in 0..6 {
+        let script = gen_script(&mut rng);
+        for cfg in IntraConfig::ALL {
+            for transport in [Transport::Sync, Transport::Batched { cap: 64 }] {
+                let linear = run_with(cfg, Scheduler::Linear, transport, &script);
+                let heap = run_with(cfg, Scheduler::Heap, transport, &script);
+                let tag = format!("case {case}, {} {transport:?}", cfg.name());
+                assert_eq!(
+                    heap.total_cycles, linear.total_cycles,
+                    "{tag}: scheduler changed simulated time"
+                );
+                assert_eq!(
+                    heap.ledgers, linear.ledgers,
+                    "{tag}: scheduler changed stall ledgers"
+                );
+                assert_eq!(
+                    heap.traffic, linear.traffic,
+                    "{tag}: scheduler changed traffic"
+                );
+                assert_eq!(
+                    heap.engine, linear.engine,
+                    "{tag}: scheduler changed the engine ledger"
+                );
+            }
+        }
+    }
+}
