@@ -323,7 +323,8 @@ impl App for Cg {
             config,
             correct: max_err <= 1e-2,
             detail: format!("n={n}, nnz={nnz}, {iters} iters, max rel err {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

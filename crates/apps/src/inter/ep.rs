@@ -140,7 +140,8 @@ impl App for Ep {
                 "{} pairs/thread, counts {:?}, sum err ({ex:.2e}, {ey:.2e})",
                 pairs, wq
             ),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }
@@ -258,7 +259,8 @@ impl App for EpHier {
             config,
             correct: ok,
             detail: format!("{pairs} pairs/thread, hierarchical reduction, counts {wq:?}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

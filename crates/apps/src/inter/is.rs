@@ -160,7 +160,8 @@ impl App for Is {
             config,
             correct: ok,
             detail: format!("n={n}, {nb} buckets"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

@@ -188,7 +188,8 @@ impl App for Jacobi {
             config,
             correct: max_err <= 1e-5,
             detail: format!("{r}x{c}, {iters} iters, max err {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

@@ -482,7 +482,8 @@ impl App for Barnes {
             config,
             correct: max_err <= 1e-3,
             detail: format!("n={n}, max force error {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

@@ -182,7 +182,8 @@ impl App for Cholesky {
             config,
             correct: max_err <= 1e-3,
             detail: format!("n={n}, max rel error {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

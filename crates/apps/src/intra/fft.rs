@@ -152,7 +152,8 @@ impl App for Fft {
             config,
             correct: max_err <= 1e-3 * scale,
             detail: format!("n={n}, max abs error {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

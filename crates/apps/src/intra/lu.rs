@@ -277,7 +277,8 @@ impl App for Lu {
             config,
             correct: max_err <= 1e-3,
             detail: format!("n={n}, b={b}, max rel error {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

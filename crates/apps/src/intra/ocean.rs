@@ -171,7 +171,8 @@ impl App for Ocean {
             detail: format!(
                 "{r}x{c} (pitch {pitch}), {iters} iters, grid err {max_err:.2e}, residual err {res_err:.2e}"
             ),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

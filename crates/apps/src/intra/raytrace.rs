@@ -200,7 +200,8 @@ impl App for Raytrace {
             detail: format!(
                 "{w}x{h}, {njobs} tile jobs, max pixel error {max_err:.2e}, progress {progress_seen}"
             ),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

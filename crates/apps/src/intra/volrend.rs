@@ -159,7 +159,8 @@ impl App for Volrend {
             config,
             correct: max_err <= 1e-4,
             detail: format!("vol {n}^3, image {w}x{w}, 2 frames, max error {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

@@ -290,7 +290,8 @@ impl Water {
             detail: format!(
                 "n={n}, {steps} steps, pos err {max_err:.2e}, potential err {pot_err:.2e}"
             ),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 
@@ -397,7 +398,8 @@ impl Water {
             config,
             correct: max_err <= 1e-4,
             detail: format!("n={n}, {steps} steps, cells {cells}^3, pos err {max_err:.2e}"),
-            stats: out.stats,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
         }
     }
 }

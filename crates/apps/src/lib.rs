@@ -46,6 +46,9 @@ pub struct AppRun {
     pub name: String,
     pub config: Config,
     pub stats: RunStats,
+    /// What the incoherence sanitizer observed (empty/`Off` unless a
+    /// check mode was requested via `HIC_CHECK` — see hic-check).
+    pub diagnostics: hic_runtime::Diagnostics,
     /// Did the simulated result match the host reference?
     pub correct: bool,
     /// Human-readable note (what was checked, residuals, ...).

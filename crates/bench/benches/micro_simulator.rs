@@ -139,7 +139,7 @@ fn run_store_heavy(transport: Transport) -> hic_machine::RunStats {
         }
         ctx.barrier(bar);
     });
-    out.stats
+    out.stats().clone()
 }
 
 /// Engine transport comparison: wall-clock throughput of the synchronous

@@ -68,10 +68,10 @@ fn cs_workload(config: Config, mc: MachineConfig, jobs: u32, lines_per_cs: u64) 
     });
     AblationPoint {
         parameter: 0,
-        cycles: out.stats.total_cycles,
-        meb_drains: out.stats.counters.meb_drains,
-        meb_overflows: out.stats.counters.meb_overflows,
-        ieb_refreshes: out.stats.counters.ieb_refreshes,
+        cycles: out.stats().total_cycles,
+        meb_drains: out.stats().counters.meb_drains,
+        meb_overflows: out.stats().counters.meb_overflows,
+        ieb_refreshes: out.stats().counters.ieb_refreshes,
     }
 }
 

@@ -5,16 +5,19 @@
 //! transport ledger, so simulator performance is tracked PR over PR.
 //!
 //! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
-//!                    [--out <path>] [--micro]`
+//!                    [--out <path>] [--micro] [--check]`
 //!
 //! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
 //! computes the speedup against it. `--micro` additionally runs the
 //! micro-benchmarks from the in-repo harness and embeds their timings.
+//! `--check` times the incoherent half of the suite with the incoherence
+//! sanitizer off and in Report mode and records the overhead (the checked
+//! sweep must stay finding-free).
 
 use std::process::ExitCode;
 
 use hic_apps::Scale;
-use hic_bench::host::{run_suite, to_json};
+use hic_bench::host::{run_check_overhead, run_suite, to_json};
 use hic_bench::{bench_with_setup, Timing};
 use hic_runtime::{Config, IntraConfig, ProgramBuilder};
 
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
     let mut baseline: Option<f64> = None;
     let mut out_path = "BENCH_host.json".to_string();
     let mut micro = false;
+    let mut check = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,11 +88,12 @@ fn main() -> ExitCode {
                 }
             },
             "--micro" => micro = true,
+            "--check" => check = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro]"
+                     [--out <path>] [--micro] [--check]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -98,6 +103,9 @@ fn main() -> ExitCode {
     let mut report = run_suite(scale);
     if micro {
         report.timings = micro_timings();
+    }
+    if check {
+        report.check = Some(run_check_overhead(scale));
     }
 
     let wall = report.wall.as_secs_f64();
@@ -123,6 +131,16 @@ fn main() -> ExitCode {
     if let Some(b) = baseline {
         println!("baseline {:.3}s -> speedup {:.2}x", b, b / wall.max(1e-9));
     }
+    if let Some(c) = &report.check {
+        println!(
+            "sanitizer: {} word checks, {:.3}s off -> {:.3}s report ({:+.1}% host time), {}",
+            c.checks,
+            c.wall_off.as_secs_f64(),
+            c.wall_report.as_secs_f64(),
+            c.overhead_pct(),
+            if c.clean { "clean" } else { "FINDINGS" },
+        );
+    }
 
     let json = to_json(&report, baseline);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -131,10 +149,13 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path}");
 
-    if report.all_correct() {
-        ExitCode::SUCCESS
-    } else {
+    if !report.all_correct() {
         eprintln!("some runs produced incorrect results");
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    if report.check.as_ref().is_some_and(|c| !c.clean) {
+        eprintln!("the sanitizer flagged the unmodified suite");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

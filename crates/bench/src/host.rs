@@ -43,6 +43,31 @@ impl HostRun {
     }
 }
 
+/// Sanitizer-overhead measurement (`--check`): the incoherent half of
+/// the suite timed twice, with `hic-check` off and in Report mode.
+#[derive(Debug, Clone)]
+pub struct CheckOverhead {
+    /// Wall time of the sweep with checking off.
+    pub wall_off: Duration,
+    /// Wall time of the same sweep under `HIC_CHECK=report`.
+    pub wall_report: Duration,
+    /// Total loads/stores the sanitizer inspected across the sweep.
+    pub checks: u64,
+    /// True when the whole suite produced zero findings (it must).
+    pub clean: bool,
+}
+
+impl CheckOverhead {
+    /// Host-time overhead of Report-mode checking, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        let off = self.wall_off.as_secs_f64();
+        if off == 0.0 {
+            return 0.0;
+        }
+        (self.wall_report.as_secs_f64() / off - 1.0) * 100.0
+    }
+}
+
 /// Aggregate of a whole suite sweep.
 #[derive(Debug, Clone, Default)]
 pub struct HostReport {
@@ -50,6 +75,8 @@ pub struct HostReport {
     pub runs: Vec<HostRun>,
     /// Micro-benchmark timings riding along in the same JSON.
     pub timings: Vec<Timing>,
+    /// Sanitizer overhead numbers, when measured (`--check`).
+    pub check: Option<CheckOverhead>,
     /// Host wall-clock of the whole sweep (sum of per-run walls plus
     /// setup; measured around the sweep, not summed).
     pub wall: Duration,
@@ -127,7 +154,53 @@ pub fn run_suite(scale: Scale) -> HostReport {
         scale: scale_name(scale),
         runs,
         timings: Vec::new(),
+        check: None,
         wall: t0.elapsed(),
+    }
+}
+
+/// Time the incoherent half of the suite (the only configurations the
+/// sanitizer can attach to) twice — checking off, then `HIC_CHECK=report`
+/// — and report the host-time overhead. The checked sweep must stay
+/// clean: any finding on the unmodified suite is a sanitizer bug.
+pub fn run_check_overhead(scale: Scale) -> CheckOverhead {
+    fn sweep(scale: Scale) -> (Duration, u64, bool) {
+        let t0 = Instant::now();
+        let mut checks = 0;
+        let mut clean = true;
+        for app in intra_apps(scale) {
+            for cfg in IntraConfig::ALL {
+                if cfg.is_coherent() {
+                    continue;
+                }
+                let r = app.run(Config::Intra(cfg));
+                checks += r.diagnostics.checks;
+                clean &= r.diagnostics.is_clean();
+            }
+        }
+        for app in inter_apps(scale) {
+            for cfg in InterConfig::ALL {
+                if cfg.is_coherent() {
+                    continue;
+                }
+                let r = app.run(Config::Inter(cfg));
+                checks += r.diagnostics.checks;
+                clean &= r.diagnostics.is_clean();
+            }
+        }
+        (t0.elapsed(), checks, clean)
+    }
+
+    std::env::remove_var("HIC_CHECK");
+    let (wall_off, _, _) = sweep(scale);
+    std::env::set_var("HIC_CHECK", "report");
+    let (wall_report, checks, clean) = sweep(scale);
+    std::env::remove_var("HIC_CHECK");
+    CheckOverhead {
+        wall_off,
+        wall_report,
+        checks,
+        clean,
     }
 }
 
@@ -195,6 +268,18 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
         report.total_messages(),
         report.total_round_trips()
     ));
+    match &report.check {
+        Some(c) => out.push_str(&format!(
+            "  \"check\": {{\"wall_s_off\":{},\"wall_s_report\":{},\
+             \"overhead_pct\":{},\"checks\":{},\"clean\":{}}},\n",
+            f(c.wall_off.as_secs_f64()),
+            f(c.wall_report.as_secs_f64()),
+            f(c.overhead_pct()),
+            c.checks,
+            c.clean
+        )),
+        None => out.push_str("  \"check\": null,\n"),
+    }
     out.push_str("  \"runs\": [\n");
     for (i, r) in report.runs.iter().enumerate() {
         out.push_str(&format!(
@@ -261,6 +346,12 @@ mod tests {
                 iters: 7,
                 total: Duration::from_nanos(700),
             }],
+            check: Some(CheckOverhead {
+                wall_off: Duration::from_millis(100),
+                wall_report: Duration::from_millis(110),
+                checks: 4242,
+                clean: true,
+            }),
             wall: Duration::from_millis(10),
         }
     }
@@ -274,6 +365,15 @@ mod tests {
         assert!(j.contains("\"iters\":7"));
         assert!(j.contains("\"total_ns\":700"));
         assert!(j.contains("\"round_trips\":50"));
+        assert!(j.contains("\"checks\":4242"));
+        assert!(j.contains("\"overhead_pct\":10.000"));
+    }
+
+    #[test]
+    fn json_without_check_sweep_is_null() {
+        let mut r = sample_report();
+        r.check = None;
+        assert!(to_json(&r, None).contains("\"check\": null"));
     }
 
     #[test]

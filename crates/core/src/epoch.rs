@@ -1,0 +1,120 @@
+//! Vector-clock epoch bookkeeping for the incoherence sanitizer.
+//!
+//! The paper's programming models make communication legal only when it is
+//! ordered by a synchronization operation *and* accompanied by the right
+//! WB/INV flavors (§IV–§V). The sanitizer separates those two conditions:
+//! vector clocks track the ordering half (which writes a reader is allowed
+//! to expect), while shadow word metadata in `hic-check` tracks the data-
+//! movement half (which writes actually became visible). A stale value on
+//! an *ordered* read is then precisely a missing WB or INV.
+//!
+//! Clocks follow the FastTrack convention: thread `t` starts at
+//! `vc[t][t] = 1` with every other component 0, and bumps its own
+//! component at each release-side sync op. A write stamped with the
+//! writer's component `e` is ordered before a read iff the reader's clock
+//! has `vc[reader][writer] >= e` — which is false for all other threads
+//! until a sync edge propagates the writer's component, so un-synchronized
+//! (racy) accesses are never treated as ordered.
+
+/// A per-thread (or per-sync-object) vector clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    v: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Thread `me`'s initial clock: own component 1, all others 0.
+    pub fn thread(n: usize, me: usize) -> VectorClock {
+        let mut v = vec![0; n];
+        v[me] = 1;
+        VectorClock { v }
+    }
+
+    /// A sync object's initial clock: all components 0 (orders nothing
+    /// until some thread releases through it).
+    pub fn object(n: usize) -> VectorClock {
+        VectorClock { v: vec![0; n] }
+    }
+
+    /// This clock's view of thread `t`'s epoch.
+    #[inline]
+    pub fn get(&self, t: usize) -> u32 {
+        self.v[t]
+    }
+
+    /// Advance `me`'s own component (a release-side sync op: writes after
+    /// this point belong to a new epoch).
+    #[inline]
+    pub fn bump(&mut self, me: usize) {
+        self.v[me] += 1;
+    }
+
+    /// Component-wise maximum: absorb everything `other` has seen.
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.v.len(), other.v.len());
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Is a write stamped `epoch` by thread `t` ordered before a reader
+    /// holding this clock?
+    #[inline]
+    pub fn covers(&self, t: usize, epoch: u32) -> bool {
+        self.v[t] >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_threads_do_not_cover_each_other() {
+        let a = VectorClock::thread(4, 0);
+        // Thread 0's first-epoch writes are stamped 1; thread 1 has not
+        // synchronized, so it must not consider them ordered.
+        let b = VectorClock::thread(4, 1);
+        assert!(a.covers(0, 1));
+        assert!(!b.covers(0, 1));
+    }
+
+    #[test]
+    fn release_acquire_propagates_epochs() {
+        let n = 3;
+        let mut t0 = VectorClock::thread(n, 0);
+        let mut t1 = VectorClock::thread(n, 1);
+        let mut flag = VectorClock::object(n);
+
+        let write_epoch = t0.get(0); // t0 stores, stamped 1
+        flag.join(&t0); // t0: flag_set (release)
+        t0.bump(0);
+        t1.join(&flag); // t1: flag_wait granted (acquire)
+
+        assert!(t1.covers(0, write_epoch));
+        // t0's post-release writes (stamped 2) stay unordered for t1.
+        assert!(!t1.covers(0, t0.get(0)));
+    }
+
+    #[test]
+    fn barrier_all_join_then_bump() {
+        let n = 3;
+        let mut clocks: Vec<_> = (0..n).map(|t| VectorClock::thread(n, t)).collect();
+        let mut joined = clocks[0].clone();
+        for c in &clocks[1..] {
+            joined.join(c);
+        }
+        for (t, c) in clocks.iter_mut().enumerate() {
+            *c = joined.clone();
+            c.bump(t);
+        }
+        // Everyone covers everyone's pre-barrier epoch 1...
+        for c in &clocks {
+            for t in 0..n {
+                assert!(c.covers(t, 1));
+            }
+        }
+        // ...but nobody covers anyone else's post-barrier epoch 2.
+        assert!(!clocks[0].covers(1, clocks[1].get(1)));
+    }
+}

@@ -21,6 +21,7 @@
 //! The timing simulator in `hic-machine` drives these components; they are
 //! all individually unit-testable state machines.
 
+pub mod epoch;
 pub mod ieb;
 pub mod isa;
 pub mod meb;
@@ -28,6 +29,7 @@ pub mod ordering;
 pub mod storage;
 pub mod threadmap;
 
+pub use epoch::VectorClock;
 pub use ieb::Ieb;
 pub use isa::{CohInstr, Granularity, InvScope, Target, WbScope};
 pub use meb::{Meb, MebDrain};

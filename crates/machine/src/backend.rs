@@ -16,6 +16,7 @@
 //!   `tests/prop_epochs.rs`), and the fastest backend for functional-only
 //!   experiments.
 
+use hic_check::Checker;
 use hic_coherence::MesiSystem;
 use hic_core::CohInstr;
 use hic_mem::{Memory, Word, WordAddr};
@@ -99,6 +100,24 @@ pub trait MemBackend: Send {
     fn as_incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
         None
     }
+
+    /// Attach the incoherence sanitizer. Returns `false` on backends that
+    /// cannot exhibit incoherence bugs (MESI, reference) — their hardware
+    /// keeps every copy fresh, so there is nothing to check.
+    fn attach_checker(&mut self, _chk: Box<Checker>) -> bool {
+        false
+    }
+
+    /// The attached sanitizer, if any.
+    fn checker(&self) -> Option<&Checker> {
+        None
+    }
+
+    /// Mutable access to the attached sanitizer (the machine feeds it
+    /// sync events).
+    fn checker_mut(&mut self) -> Option<&mut Checker> {
+        None
+    }
 }
 
 impl MemBackend for IncoherentSystem {
@@ -107,19 +126,35 @@ impl MemBackend for IncoherentSystem {
     }
 
     fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
-        IncoherentSystem::read(self, c, w)
+        let r = IncoherentSystem::read(self, c, w);
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.on_load(c.0, w, r.0);
+        }
+        r
     }
 
     fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
-        IncoherentSystem::write(self, c, w, v)
+        let lat = IncoherentSystem::write(self, c, w, v);
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.on_store(c.0, w, v);
+        }
+        lat
     }
 
     fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
-        IncoherentSystem::read_uncached(self, c, w)
+        let r = IncoherentSystem::read_uncached(self, c, w);
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.on_load_unc(c.0, w, r.0);
+        }
+        r
     }
 
     fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
-        IncoherentSystem::write_uncached(self, c, w, v)
+        let lat = IncoherentSystem::write_uncached(self, c, w, v);
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.on_store_unc(c.0, w, v);
+        }
+        lat
     }
 
     fn exec_coh(&mut self, c: CoreId, instr: CohInstr) -> (u64, bool) {
@@ -164,6 +199,19 @@ impl MemBackend for IncoherentSystem {
 
     fn as_incoherent_mut(&mut self) -> Option<&mut IncoherentSystem> {
         Some(self)
+    }
+
+    fn attach_checker(&mut self, chk: Box<Checker>) -> bool {
+        self.checker = Some(chk);
+        true
+    }
+
+    fn checker(&self) -> Option<&Checker> {
+        self.checker.as_deref()
+    }
+
+    fn checker_mut(&mut self) -> Option<&mut Checker> {
+        self.checker.as_deref_mut()
     }
 }
 

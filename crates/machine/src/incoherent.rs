@@ -18,6 +18,7 @@
 //! (tiny) occupancy, and the IEB replaces the up-front `INV ALL` with
 //! per-first-read refreshes.
 
+use hic_check::Checker;
 use hic_core::ieb::IebAction;
 use hic_core::{CohInstr, Ieb, InvScope, Meb, MebDrain, Target, ThreadMap, WbScope};
 use hic_mem::addr::WORDS_PER_LINE;
@@ -75,6 +76,10 @@ pub struct IncoherentSystem {
     wb_scratch: Vec<(LineAddr, DirtyMask)>,
     wb_l2_scratch: Vec<(LineAddr, DirtyMask)>,
     inv_scratch: Vec<LineAddr>,
+    /// Optional incoherence sanitizer (`hic-check`). Boxed so the `None`
+    /// fast path costs one pointer test; `None` runs are bit-identical to
+    /// a build without the checker.
+    pub(crate) checker: Option<Box<Checker>>,
 }
 
 impl IncoherentSystem {
@@ -102,6 +107,7 @@ impl IncoherentSystem {
             wb_scratch: Vec::new(),
             wb_l2_scratch: Vec::new(),
             inv_scratch: Vec::new(),
+            checker: None,
             cfg,
         }
     }
@@ -165,6 +171,9 @@ impl IncoherentSystem {
             .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
         let hb = self.home_bank(blk, line);
         if self.l2[hb].merge_words(line, data, mask) {
+            if let Some(chk) = self.checker.as_deref_mut() {
+                chk.on_push_to_block(blk, line, data, mask);
+            }
             return;
         }
         self.push_below_l2(line, data, mask);
@@ -173,6 +182,9 @@ impl IncoherentSystem {
     /// Push dirty words below L2: into L3 if present, else memory.
     fn push_below_l2(&mut self, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
         debug_assert!(mask != 0);
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.on_push_global(line, data, mask);
+        }
         let bytes = mask.count_ones() as usize * 4;
         if self.is_hier() {
             let l3b = self.l3_bank(line);

@@ -22,6 +22,7 @@ pub mod ops;
 pub mod trace;
 
 pub use backend::{BackendKind, MemBackend, RefBackend};
+pub use hic_noc::TrafficLedger;
 pub use incoherent::{IncCounters, IncoherentSystem};
 pub use machine::{Exec, Machine, RunStats, Wakeup};
 pub use ops::Op;

@@ -15,8 +15,9 @@
 
 use fxhash::FxHashMap;
 
+use hic_check::{CheckMode, Checker, Diagnostics};
 use hic_coherence::MesiSystem;
-use hic_mem::{Word, WordAddr};
+use hic_mem::{Region, Word, WordAddr};
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
 use hic_sim::{CoreId, Cycle, EngineStats, MachineConfig, StallCategory, StallLedger};
 use hic_sync::{Grant, SyncController, SyncId};
@@ -81,6 +82,9 @@ pub struct Machine {
     active: Vec<bool>,
     finished_at: Vec<Option<Cycle>>,
     trace: TraceRing,
+    /// Mirror of "the backend has a sanitizer attached", so the hot path
+    /// pays a plain bool test (not a virtual call) when checking is off.
+    has_checker: bool,
 }
 
 impl Machine {
@@ -97,8 +101,53 @@ impl Machine {
             active: vec![false; n],
             finished_at: vec![None; n],
             trace: TraceRing::default(),
+            has_checker: false,
             cfg,
         }
+    }
+
+    /// Attach the incoherence sanitizer (`hic-check`) to the backend.
+    /// Returns whether a checker is now active: backends whose hardware
+    /// keeps every copy fresh (MESI, reference) have nothing to check and
+    /// report `false`. `regions` names allocations in findings.
+    pub fn enable_check(&mut self, mode: CheckMode, regions: Vec<(Region, String)>) -> bool {
+        if mode == CheckMode::Off {
+            return false;
+        }
+        let mut chk = Checker::new(mode, self.cfg.num_cores(), self.cfg.cores_per_block());
+        chk.set_regions(regions);
+        self.has_checker = self.backend.attach_checker(Box::new(chk));
+        self.has_checker
+    }
+
+    /// Is an incoherence checker attached and active?
+    pub fn checking(&self) -> bool {
+        self.has_checker
+    }
+
+    /// Structured sanitizer output (default/empty when checking is off).
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.backend
+            .checker()
+            .map(|c| c.diagnostics())
+            .unwrap_or_default()
+    }
+
+    /// In `CheckMode::Strict`: the rendered diagnostic that should abort
+    /// the run, delivered at most once. The runtime engine polls this
+    /// after every executed operation so the run stops at the faulty
+    /// access, with the trace tail attached when tracing is on.
+    pub fn take_fatal(&mut self) -> Option<String> {
+        if !self.has_checker {
+            return None;
+        }
+        let f = self.backend.checker_mut()?.take_fatal()?;
+        let mut msg = format!("incoherence detected: {}", f.render());
+        if self.trace.enabled() {
+            msg.push_str("\nmost recent operations (oldest first):\n");
+            msg.push_str(&self.trace.render());
+        }
+        Some(msg)
     }
 
     /// Build an incoherent machine.
@@ -281,6 +330,11 @@ impl Machine {
 
     fn execute_inner(&mut self, c: CoreId, op: &Op, now: Cycle) -> Exec {
         debug_assert!(self.finished_at[c.0].is_none(), "op after Finish");
+        if self.has_checker {
+            if let Some(chk) = self.backend.checker_mut() {
+                chk.set_now(now);
+            }
+        }
         match *op {
             Op::Load(w) => {
                 let (v, lat) = self.backend.read(c, w);
@@ -357,6 +411,17 @@ impl Machine {
                     end: now,
                 }
             }
+            Op::MarkRacy(w) => {
+                if self.has_checker {
+                    if let Some(chk) = self.backend.checker_mut() {
+                        chk.mark_racy(w);
+                    }
+                }
+                Exec::Done {
+                    value: None,
+                    end: now,
+                }
+            }
             Op::BarrierArrive(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
                 self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
@@ -367,6 +432,12 @@ impl Machine {
                 if grants.is_empty() {
                     self.park(c, now, StallCategory::Barrier)
                 } else {
+                    if self.has_checker {
+                        let parts: Vec<usize> = grants.iter().map(|g| g.core.0).collect();
+                        if let Some(chk) = self.backend.checker_mut() {
+                            chk.on_barrier(id.0, &parts);
+                        }
+                    }
                     let end = self
                         .apply_grants(grants, id, c, now, StallCategory::Barrier)
                         .expect("last arriver is granted");
@@ -378,6 +449,11 @@ impl Machine {
                 self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 match self.sync.lock_acquire(id, c, arrive).expect("lock misuse") {
                     Some(g) => {
+                        if self.has_checker {
+                            if let Some(chk) = self.backend.checker_mut() {
+                                chk.on_acquire(c.0, hic_check::SyncOp::LockAcquire, id.0);
+                            }
+                        }
                         let end = self
                             .apply_grants(vec![g], id, c, now, StallCategory::Lock)
                             .expect("own grant");
@@ -389,11 +465,22 @@ impl Machine {
             Op::LockRelease(id) => {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
                 self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
+                if self.has_checker {
+                    if let Some(chk) = self.backend.checker_mut() {
+                        chk.on_release(c.0, hic_check::SyncOp::LockRelease, id.0);
+                    }
+                }
                 if let Some(g) = self
                     .sync
                     .lock_release(id, c, arrive)
                     .expect("release misuse")
                 {
+                    if self.has_checker {
+                        let next = g.core.0;
+                        if let Some(chk) = self.backend.checker_mut() {
+                            chk.on_acquire(next, hic_check::SyncOp::LockAcquire, id.0);
+                        }
+                    }
                     self.apply_grants(vec![g], id, c, now, StallCategory::Lock);
                 }
                 // The releaser posts the release and continues.
@@ -405,6 +492,15 @@ impl Machine {
                 let arrive = now + self.sync_oneway(c, id) + self.sync_service();
                 self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
                 let grants = self.sync.flag_set(id, arrive).expect("flag misuse");
+                if self.has_checker {
+                    let waiters: Vec<usize> = grants.iter().map(|g| g.core.0).collect();
+                    if let Some(chk) = self.backend.checker_mut() {
+                        chk.on_release(c.0, hic_check::SyncOp::FlagSet, id.0);
+                        for t in waiters {
+                            chk.on_acquire(t, hic_check::SyncOp::FlagWait, id.0);
+                        }
+                    }
+                }
                 self.apply_grants(grants, id, c, now, StallCategory::Lock);
                 let end = arrive;
                 self.ledgers[c.0].charge(StallCategory::Rest, end - now);
@@ -428,6 +524,11 @@ impl Machine {
                 // flag category).
                 match self.sync.flag_wait(id, c, arrive).expect("flag misuse") {
                     Some(g) => {
+                        if self.has_checker {
+                            if let Some(chk) = self.backend.checker_mut() {
+                                chk.on_acquire(c.0, hic_check::SyncOp::FlagWait, id.0);
+                            }
+                        }
                         let end = self
                             .apply_grants(vec![g], id, c, now, StallCategory::Lock)
                             .expect("own grant");

@@ -53,6 +53,11 @@ pub enum Op {
     IebBegin,
     /// End the IEB-governed epoch.
     IebEnd,
+    /// Declare the next accesses to a word intentionally racy (the
+    /// runtime emits this ahead of `racy_store`/`racy_load` when the
+    /// incoherence sanitizer is on). Zero cycles, no machine effect:
+    /// it only exempts the word from sanitizer race/staleness reports.
+    MarkRacy(WordAddr),
     /// The thread has finished.
     Finish,
     /// A run of coalesced non-value-returning, non-blocking ops sent as
@@ -83,6 +88,7 @@ impl Op {
                 | Op::MebBegin
                 | Op::IebBegin
                 | Op::IebEnd
+                | Op::MarkRacy(_)
         )
     }
 }

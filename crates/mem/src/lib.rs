@@ -11,11 +11,13 @@ pub mod addr;
 pub mod alloc;
 pub mod cache;
 pub mod memory;
+pub mod shadow;
 
 pub use addr::{Addr, LineAddr, Region, WordAddr};
 pub use alloc::BumpAllocator;
 pub use cache::{Cache, EvictedLine, LineView, LookupResult};
 pub use memory::Memory;
+pub use shadow::ShadowMap;
 
 /// Machine word as stored in caches and memory. The simulated machine is
 /// 32-bit-word based (4-byte sharing grain, 16 dirty bits per 64 B line).

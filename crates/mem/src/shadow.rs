@@ -1,0 +1,137 @@
+//! Sparse per-word shadow metadata storage.
+//!
+//! The incoherence sanitizer (`hic-check`) keeps a record for every word
+//! the simulated program has stored to. This mirrors `Memory`'s two-level
+//! page-table layout — the bump allocator hands out small dense addresses,
+//! so the top-level vector stays short and a lookup is two array
+//! indexings, cheap enough to sit on the simulator's load/store path when
+//! checking is enabled.
+//!
+//! Unlike `Memory`, the payload type is generic: the sanitizer stores its
+//! own `WordMeta`, and `T::default()` doubles as the "no metadata yet"
+//! sentinel (pages materialize whole, so a fresh slot must be
+//! distinguishable from a written one by its contents).
+
+use crate::addr::WordAddr;
+
+/// log2 of words per page: 4096 words = 16 KiB of simulated data per page,
+/// matching `Memory`'s page granularity (256 lines x 16 words).
+const PAGE_SHIFT: u32 = 12;
+const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, lazily-materialized map from `WordAddr` to `T`.
+#[derive(Debug, Clone)]
+pub struct ShadowMap<T> {
+    pages: Vec<Option<Box<[T]>>>,
+    pages_materialized: usize,
+}
+
+impl<T> Default for ShadowMap<T> {
+    fn default() -> Self {
+        ShadowMap {
+            pages: Vec::new(),
+            pages_materialized: 0,
+        }
+    }
+}
+
+impl<T: Clone + Default> ShadowMap<T> {
+    pub fn new() -> ShadowMap<T> {
+        ShadowMap::default()
+    }
+
+    #[inline]
+    fn split(w: WordAddr) -> (usize, usize) {
+        (
+            (w.0 >> PAGE_SHIFT) as usize,
+            (w.0 & (PAGE_WORDS as u64 - 1)) as usize,
+        )
+    }
+
+    /// Read-only lookup; `None` if the word's page was never materialized.
+    /// A materialized page returns `T::default()` for untouched slots.
+    #[inline]
+    pub fn get(&self, w: WordAddr) -> Option<&T> {
+        let (p, i) = Self::split(w);
+        match self.pages.get(p) {
+            Some(Some(page)) => Some(&page[i]),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup that does *not* materialize missing pages — used for
+    /// bulk upgrade sweeps that only touch already-tracked words.
+    #[inline]
+    pub fn get_mut(&mut self, w: WordAddr) -> Option<&mut T> {
+        let (p, i) = Self::split(w);
+        match self.pages.get_mut(p) {
+            Some(Some(page)) => Some(&mut page[i]),
+            _ => None,
+        }
+    }
+
+    /// The word's slot, materializing its page as needed.
+    pub fn entry(&mut self, w: WordAddr) -> &mut T {
+        let (p, i) = Self::split(w);
+        if p >= self.pages.len() {
+            self.pages.resize_with(p + 1, || None);
+        }
+        if self.pages[p].is_none() {
+            self.pages[p] = Some(vec![T::default(); PAGE_WORDS].into_boxed_slice());
+            self.pages_materialized += 1;
+        }
+        &mut self.pages[p].as_deref_mut().unwrap()[i]
+    }
+
+    /// Number of materialized pages (each `PAGE_WORDS` words).
+    pub fn pages_materialized(&self) -> usize {
+        self.pages_materialized
+    }
+
+    /// Approximate host-side bytes held by materialized pages.
+    pub fn shadow_bytes(&self) -> usize {
+        self.pages_materialized() * PAGE_WORDS * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_before_entry_is_none() {
+        let m: ShadowMap<u32> = ShadowMap::new();
+        assert!(m.get(WordAddr(17)).is_none());
+        assert_eq!(m.pages_materialized(), 0);
+    }
+
+    #[test]
+    fn entry_materializes_and_persists() {
+        let mut m: ShadowMap<u32> = ShadowMap::new();
+        *m.entry(WordAddr(17)) = 42;
+        assert_eq!(m.get(WordAddr(17)), Some(&42));
+        // Same page, untouched slot: default value, not None.
+        assert_eq!(m.get(WordAddr(18)), Some(&0));
+        assert_eq!(m.pages_materialized(), 1);
+    }
+
+    #[test]
+    fn get_mut_does_not_materialize() {
+        let mut m: ShadowMap<u32> = ShadowMap::new();
+        assert!(m.get_mut(WordAddr(99_999)).is_none());
+        assert_eq!(m.pages_materialized(), 0);
+        *m.entry(WordAddr(99_999)) = 7;
+        *m.get_mut(WordAddr(99_999)).unwrap() += 1;
+        assert_eq!(m.get(WordAddr(99_999)), Some(&8));
+    }
+
+    #[test]
+    fn distant_pages_are_independent() {
+        let mut m: ShadowMap<u8> = ShadowMap::new();
+        *m.entry(WordAddr(0)) = 1;
+        *m.entry(WordAddr((PAGE_WORDS * 5) as u64)) = 2;
+        assert_eq!(m.pages_materialized(), 2);
+        assert!(m.get(WordAddr((PAGE_WORDS * 3) as u64)).is_none());
+        assert_eq!(m.shadow_bytes(), 2 * PAGE_WORDS);
+    }
+}

@@ -17,7 +17,8 @@
 
 use std::sync::Arc;
 
-use hic_machine::{Machine, RunStats};
+use hic_check::{CheckMode, Diagnostics};
+use hic_machine::{Machine, RunStats, TrafficLedger};
 use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
 
 use crate::config::Config;
@@ -32,6 +33,12 @@ pub struct ProgramBuilder {
     locks: Vec<LockInfo>,
     transport: Transport,
     scheduler: Scheduler,
+    /// Explicit sanitizer mode; `None` defers to the `HIC_CHECK`
+    /// environment variable (how CI forces checking on without code
+    /// changes), which in turn defaults to `Off`.
+    check: Option<CheckMode>,
+    /// Allocation names for sanitizer reports.
+    regions: Vec<(Region, String)>,
 }
 
 impl ProgramBuilder {
@@ -63,6 +70,8 @@ impl ProgramBuilder {
             locks: Vec::new(),
             transport: Transport::default(),
             scheduler: Scheduler::default(),
+            check: None,
+            regions: Vec::new(),
         }
     }
 
@@ -81,6 +90,8 @@ impl ProgramBuilder {
             locks: Vec::new(),
             transport: Transport::default(),
             scheduler: Scheduler::default(),
+            check: None,
+            regions: Vec::new(),
         }
     }
 
@@ -113,13 +124,34 @@ impl ProgramBuilder {
 
     /// Allocate a line-aligned region of `words` words.
     pub fn alloc(&mut self, words: u64) -> Region {
-        self.alloc.alloc(words)
+        let r = self.alloc.alloc(words);
+        self.regions.push((r, format!("r{}", self.regions.len())));
+        r
+    }
+
+    /// Allocate a line-aligned region with a name that sanitizer
+    /// diagnostics use when reporting addresses inside it.
+    pub fn alloc_named(&mut self, name: &str, words: u64) -> Region {
+        let r = self.alloc.alloc(words);
+        self.regions.push((r, name.to_string()));
+        r
     }
 
     /// Allocate without line alignment (arrays may share lines; used by
     /// false-sharing studies).
     pub fn alloc_packed(&mut self, words: u64) -> Region {
-        self.alloc.alloc_packed(words)
+        let r = self.alloc.alloc_packed(words);
+        self.regions.push((r, format!("r{}", self.regions.len())));
+        r
+    }
+
+    /// Enable or disable the incoherence sanitizer for this run,
+    /// overriding the `HIC_CHECK` environment variable. The sanitizer
+    /// only has effect on incoherent backends; coherent and reference
+    /// machines never produce stale values to detect.
+    pub fn check_mode(&mut self, mode: CheckMode) -> &mut Self {
+        self.check = Some(mode);
+        self
     }
 
     /// Initialize a region element (memory backdoor, before the run).
@@ -177,30 +209,62 @@ impl ProgramBuilder {
     }
 
     /// Run `body` on `nthreads` threads. Thread `i` is pinned to core `i`.
-    pub fn run<F>(self, nthreads: usize, body: F) -> RunOutcome
+    pub fn run<F>(mut self, nthreads: usize, body: F) -> RunOutcome
     where
         F: Fn(&ThreadCtx) + Send + Sync,
     {
+        let mode = self.check.unwrap_or_else(|| {
+            std::env::var("HIC_CHECK")
+                .ok()
+                .and_then(|s| CheckMode::parse(&s))
+                .unwrap_or(CheckMode::Off)
+        });
+        if mode != CheckMode::Off {
+            self.machine
+                .enable_check(mode, std::mem::take(&mut self.regions));
+        }
         let shared = Arc::new(RtShared {
             config: self.config,
             locks: self.locks,
             nthreads,
             transport: self.transport,
             scheduler: self.scheduler,
+            checking: self.machine.checking(),
         });
         let (machine, stats) = run_threads(self.machine, shared, nthreads, body);
-        RunOutcome { machine, stats }
+        let diagnostics = machine.diagnostics();
+        RunOutcome {
+            machine,
+            stats,
+            diagnostics,
+        }
     }
 }
 
 /// The results of a finished run.
 pub struct RunOutcome {
     machine: Machine,
-    /// Cycle, stall, traffic, and instruction-count statistics.
-    pub stats: RunStats,
+    stats: RunStats,
+    diagnostics: Diagnostics,
 }
 
 impl RunOutcome {
+    /// Cycle, stall, traffic, and instruction-count statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// What the incoherence sanitizer observed (empty and `Off` when
+    /// checking was disabled). See [`crate::CheckMode`].
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// NoC traffic breakdown (shorthand for `stats().traffic`).
+    pub fn traffic(&self) -> &TrafficLedger {
+        &self.stats.traffic
+    }
+
     /// Read element `i` of a region as a fresh reader would (after final
     /// writebacks).
     pub fn peek(&self, r: Region, i: u64) -> Word {
@@ -247,7 +311,7 @@ mod tests {
         for i in 0..64 {
             assert_eq!(out.peek(data, i), (i * i) as Word);
         }
-        assert!(out.stats.total_cycles > 0);
+        assert!(out.stats().total_cycles > 0);
     }
 
     /// The producer/consumer epoch pattern of Figure 2, on every intra

@@ -28,6 +28,89 @@ use crate::config::{Config, InterConfig, IntraConfig};
 use crate::engine::{EngineShared, Scheduler, Transport};
 use crate::plan::EpochPlan;
 
+/// What data a synchronization operation moves on one side (the WB half
+/// before the sync, or the INV half after it).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum SyncData<'a> {
+    /// Conservative default: everything (`WB ALL` / `INV ALL` flavors,
+    /// §IV-A1).
+    #[default]
+    All,
+    /// Nothing to move on this side (thread-private phase change, or the
+    /// data travels through another mechanism such as epoch plans).
+    None,
+    /// Only these regions ("the programmer can often provide information
+    /// to reduce WB and INV operations", §IV-A1).
+    Regions(&'a [Region]),
+}
+
+/// Data-movement options for [`ThreadCtx::barrier_with`] — the single
+/// choke point through which every barrier flavor passes, so tooling (the
+/// `hic-check` sanitizer in particular) sees one sync primitive with
+/// explicit carried WB/INV hints rather than three ad-hoc entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarrierOpts<'a> {
+    /// Writeback carried *before* the arrival (producer side).
+    pub wb: SyncData<'a>,
+    /// Invalidation carried *after* the release (consumer side).
+    pub inv: SyncData<'a>,
+}
+
+impl BarrierOpts<'static> {
+    /// The model-1 default: `WB ALL` before, `INV ALL` after.
+    pub fn all() -> Self {
+        BarrierOpts {
+            wb: SyncData::All,
+            inv: SyncData::All,
+        }
+    }
+
+    /// Pure ordering, no data movement on either side.
+    pub fn none() -> Self {
+        BarrierOpts {
+            wb: SyncData::None,
+            inv: SyncData::None,
+        }
+    }
+}
+
+impl<'a> BarrierOpts<'a> {
+    /// Region-hinted movement; `None` on a side means "nothing to move".
+    pub fn hinted(wb: Option<&'a [Region]>, inv: Option<&'a [Region]>) -> BarrierOpts<'a> {
+        let side = |o: Option<&'a [Region]>| match o {
+            Some(rs) => SyncData::Regions(rs),
+            None => SyncData::None,
+        };
+        BarrierOpts {
+            wb: side(wb),
+            inv: side(inv),
+        }
+    }
+}
+
+/// Data-movement options for [`ThreadCtx::flag_set_opts`] /
+/// [`ThreadCtx::flag_wait_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlagOpts {
+    /// `true` skips the carried `WB ALL` / `INV ALL` annotations: the raw
+    /// synchronization primitive. The sync still *orders* the threads —
+    /// which is exactly the bug pattern `examples/staleness.rs`
+    /// demonstrates and the sanitizer detects.
+    pub raw: bool,
+}
+
+impl FlagOpts {
+    /// The model-1 default: annotations carried.
+    pub fn annotated() -> FlagOpts {
+        FlagOpts { raw: false }
+    }
+
+    /// No data movement, ordering only.
+    pub fn raw() -> FlagOpts {
+        FlagOpts { raw: true }
+    }
+}
+
 /// Handle to a barrier declared on the builder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierId(pub(crate) SyncId);
@@ -56,6 +139,10 @@ pub(crate) struct RtShared {
     pub nthreads: usize,
     pub transport: Transport,
     pub scheduler: Scheduler,
+    /// The incoherence sanitizer is attached: racy accessors emit
+    /// `Op::MarkRacy` hints ahead of themselves (zero simulated cost,
+    /// and never emitted when checking is off).
+    pub checking: bool,
 }
 
 /// The per-thread handle applications program against.
@@ -228,6 +315,9 @@ impl ThreadCtx {
     /// Store that must become globally visible despite racing (the write
     /// side of Figure 6b): store + per-word WB.
     pub fn racy_store(&self, w: WordAddr, v: Word) {
+        if self.shared.checking {
+            self.issue(Op::MarkRacy(w));
+        }
         self.store(w, v);
         if !self.coherent() {
             self.issue(Op::Coh(CohInstr::wb(Target::word(w))));
@@ -237,6 +327,9 @@ impl ThreadCtx {
     /// Load that must observe remote updates despite racing (the read side
     /// of Figure 6b): per-word INV + load.
     pub fn racy_load(&self, w: WordAddr) -> Word {
+        if self.shared.checking {
+            self.issue(Op::MarkRacy(w));
+        }
         if !self.coherent() {
             self.issue(Op::Coh(CohInstr::inv(Target::word(w))));
         }
@@ -247,67 +340,86 @@ impl ThreadCtx {
     // Synchronization with automatic annotation (programming model 1)
     // ------------------------------------------------------------------
 
-    /// Global barrier with the default annotations: `WB ALL` immediately
-    /// before, `INV ALL` immediately after (§IV-A1). For inter-block
-    /// configurations both operate globally (to/from L3 / L2).
-    pub fn barrier(&self, b: BarrierId) {
-        match self.shared.config {
-            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
-                self.issue(Op::BarrierArrive(b.0));
-            }
-            Config::Intra(_) => {
-                self.issue(Op::Coh(CohInstr::wb_all()));
-                self.issue(Op::BarrierArrive(b.0));
-                self.issue(Op::Coh(CohInstr::inv_all()));
-            }
-            Config::Inter(_) => {
-                // All incoherent inter configs communicate cross-block at
-                // barriers conservatively; Addr/Addr+L refine *epoch* data
-                // movement via plans, not the barrier-global semantics.
-                self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
-                self.issue(Op::BarrierArrive(b.0));
-                self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
-            }
-        }
-    }
-
-    /// Barrier with programmer-provided hints: only the given regions are
-    /// written back / invalidated ("the programmer can often provide
-    /// information to reduce WB and INV operations", §IV-A1). `None`
-    /// means "nothing to move on this side".
-    pub fn barrier_hinted(&self, b: BarrierId, wb: Option<&[Region]>, inv: Option<&[Region]>) {
+    /// Global barrier with explicit data-movement options — the single
+    /// entry point every barrier flavor reduces to.
+    ///
+    /// Under incoherent configurations the WB side issues immediately
+    /// before the arrival and the INV side immediately after the release
+    /// (§IV-A1); both operate globally (to L3 / from L2) on the
+    /// inter-block machine. Coherent (HCC) runs ignore the options:
+    /// hardware moves the data.
+    pub fn barrier_with(&self, b: BarrierId, opts: BarrierOpts<'_>) {
         if self.coherent() {
             self.issue(Op::BarrierArrive(b.0));
             return;
         }
         let inter = matches!(self.shared.config, Config::Inter(_));
-        if let Some(regions) = wb {
-            for &r in regions {
-                let t = Target::range(r);
+        match opts.wb {
+            SyncData::All => {
+                // All incoherent inter configs communicate cross-block at
+                // barriers conservatively; Addr/Addr+L refine *epoch* data
+                // movement via plans, not the barrier-global semantics.
                 self.issue(Op::Coh(if inter {
-                    CohInstr::wb_l3(t)
+                    CohInstr::wb_l3(Target::All)
                 } else {
-                    CohInstr::wb(t)
+                    CohInstr::wb_all()
                 }));
+            }
+            SyncData::None => {}
+            SyncData::Regions(regions) => {
+                for &r in regions {
+                    let t = Target::range(r);
+                    self.issue(Op::Coh(if inter {
+                        CohInstr::wb_l3(t)
+                    } else {
+                        CohInstr::wb(t)
+                    }));
+                }
             }
         }
         self.issue(Op::BarrierArrive(b.0));
-        if let Some(regions) = inv {
-            for &r in regions {
-                let t = Target::range(r);
+        match opts.inv {
+            SyncData::All => {
                 self.issue(Op::Coh(if inter {
-                    CohInstr::inv_l2(t)
+                    CohInstr::inv_l2(Target::All)
                 } else {
-                    CohInstr::inv(t)
+                    CohInstr::inv_all()
                 }));
+            }
+            SyncData::None => {}
+            SyncData::Regions(regions) => {
+                for &r in regions {
+                    let t = Target::range(r);
+                    self.issue(Op::Coh(if inter {
+                        CohInstr::inv_l2(t)
+                    } else {
+                        CohInstr::inv(t)
+                    }));
+                }
             }
         }
     }
 
-    /// Plain barrier arrival with no data movement (for phase changes over
-    /// thread-private data).
+    /// Global barrier with the default annotations: `WB ALL` immediately
+    /// before, `INV ALL` immediately after (§IV-A1). Sugar for
+    /// [`ThreadCtx::barrier_with`] with [`BarrierOpts::all`].
+    pub fn barrier(&self, b: BarrierId) {
+        self.barrier_with(b, BarrierOpts::all());
+    }
+
+    /// Barrier with programmer-provided region hints.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use barrier_with(b, BarrierOpts::hinted(wb, inv))"
+    )]
+    pub fn barrier_hinted(&self, b: BarrierId, wb: Option<&[Region]>, inv: Option<&[Region]>) {
+        self.barrier_with(b, BarrierOpts::hinted(wb, inv));
+    }
+
+    /// Plain barrier arrival with no data movement.
+    #[deprecated(since = "0.1.0", note = "use barrier_with(b, BarrierOpts::none())")]
     pub fn barrier_private(&self, b: BarrierId) {
-        self.issue(Op::BarrierArrive(b.0));
+        self.barrier_with(b, BarrierOpts::none());
     }
 
     /// Acquire a lock, inserting the critical-section annotations of the
@@ -386,10 +498,12 @@ impl ThreadCtx {
         }
     }
 
-    /// Set a condition flag: `WB ALL` first so the waiter sees everything
-    /// written before the set (§IV-A1, Figure 4c).
-    pub fn flag_set(&self, f: FlagId) {
-        if !self.coherent() {
+    /// Set a condition flag — the single entry point for both the
+    /// annotated and raw variants. With `raw: false`, a `WB ALL` issues
+    /// first so the waiter sees everything written before the set
+    /// (§IV-A1, Figure 4c); with `raw: true` the set only orders.
+    pub fn flag_set_opts(&self, f: FlagId, opts: FlagOpts) {
+        if !opts.raw && !self.coherent() {
             let instr = match self.shared.config {
                 Config::Inter(_) => CohInstr::wb_l3(Target::All),
                 _ => CohInstr::wb_all(),
@@ -399,11 +513,12 @@ impl ThreadCtx {
         self.issue(Op::FlagSet(f.0));
     }
 
-    /// Wait for a condition flag, then `INV ALL` so subsequent reads see
-    /// the producer's data.
-    pub fn flag_wait(&self, f: FlagId) {
+    /// Wait for a condition flag. With `raw: false`, an `INV ALL` issues
+    /// after the wait completes so subsequent reads see the producer's
+    /// data; with `raw: true` the wait only orders.
+    pub fn flag_wait_opts(&self, f: FlagId, opts: FlagOpts) {
         self.issue(Op::FlagWait(f.0));
-        if !self.coherent() {
+        if !opts.raw && !self.coherent() {
             let instr = match self.shared.config {
                 Config::Inter(_) => CohInstr::inv_l2(Target::All),
                 _ => CohInstr::inv_all(),
@@ -412,21 +527,33 @@ impl ThreadCtx {
         }
     }
 
+    /// Set a condition flag with the default annotations. Sugar for
+    /// [`ThreadCtx::flag_set_opts`] with [`FlagOpts::annotated`].
+    pub fn flag_set(&self, f: FlagId) {
+        self.flag_set_opts(f, FlagOpts::annotated());
+    }
+
+    /// Wait for a condition flag with the default annotations. Sugar for
+    /// [`ThreadCtx::flag_wait_opts`] with [`FlagOpts::annotated`].
+    pub fn flag_wait(&self, f: FlagId) {
+        self.flag_wait_opts(f, FlagOpts::annotated());
+    }
+
     /// Clear a condition flag (no data movement implied).
     pub fn flag_clear(&self, f: FlagId) {
         self.issue(Op::FlagClear(f.0));
     }
 
-    /// Set a flag with NO data movement — the raw synchronization
-    /// primitive, without the §IV-A1 annotations. Exists so examples and
-    /// tests can demonstrate what goes wrong without them.
+    /// Set a flag with NO data movement.
+    #[deprecated(since = "0.1.0", note = "use flag_set_opts(f, FlagOpts::raw())")]
     pub fn flag_set_raw(&self, f: FlagId) {
-        self.issue(Op::FlagSet(f.0));
+        self.flag_set_opts(f, FlagOpts::raw());
     }
 
-    /// Wait on a flag with NO data movement (see [`ThreadCtx::flag_set_raw`]).
+    /// Wait on a flag with NO data movement.
+    #[deprecated(since = "0.1.0", note = "use flag_wait_opts(f, FlagOpts::raw())")]
     pub fn flag_wait_raw(&self, f: FlagId) {
-        self.issue(Op::FlagWait(f.0));
+        self.flag_wait_opts(f, FlagOpts::raw());
     }
 
     // ------------------------------------------------------------------
@@ -500,7 +627,7 @@ impl ThreadCtx {
     /// An inter-block barrier *without* implicit global data movement:
     /// model-2 programs move data via plans, the barrier only orders.
     pub fn plan_barrier(&self, b: BarrierId) {
-        self.issue(Op::BarrierArrive(b.0));
+        self.barrier_with(b, BarrierOpts::none());
     }
 
     /// Convenience: full model-2 epoch boundary — the producing side of

@@ -338,6 +338,14 @@ impl EngineCore {
             }
             self.set_needs_op(i);
         }
+        // Under CheckMode::Strict the sanitizer latches the first finding;
+        // surface it as the run's death message so the program aborts at
+        // the faulty access instead of completing with bad data.
+        if let Some(msg) = self.machine.take_fatal() {
+            if self.dead.is_none() {
+                self.dead = Some(msg);
+            }
+        }
     }
 
     /// All unfinished cores are parked on synchronization: nothing can
@@ -433,8 +441,13 @@ impl EngineShared {
             panic!("simulator hung up");
         }
         g.enqueue(c, msg);
-        while g.executable() {
+        while g.dead.is_none() && g.executable() {
             g.execute_one();
+        }
+        if g.dead.is_some() {
+            self.wake_everyone(&mut g);
+            drop(g);
+            panic!("simulator hung up");
         }
         self.flush_wakes(&mut g);
         if g.deadlocked() {
@@ -453,13 +466,17 @@ impl EngineShared {
         }
         g.enqueue(c, op);
         loop {
+            // Check death *before* consuming a reply: when Strict
+            // checking kills the run at this core's own faulty access,
+            // the access has a reply, but the thread must die with it.
+            if g.dead.is_some() {
+                self.wake_everyone(&mut g);
+                drop(g);
+                panic!("simulator hung up");
+            }
             if let Some(r) = g.reply[c].take() {
                 self.flush_wakes(&mut g);
                 return r;
-            }
-            if g.dead.is_some() {
-                drop(g);
-                panic!("simulator hung up");
             }
             if g.executable() {
                 g.execute_one();
@@ -571,6 +588,7 @@ mod tests {
             nthreads,
             transport,
             scheduler: Scheduler::default(),
+            checking: false,
         });
         (machine, shared)
     }
@@ -635,6 +653,7 @@ mod tests {
                 nthreads: 4,
                 transport: Transport::default(),
                 scheduler,
+                checking: false,
             });
             let mut m2 = Machine::incoherent(MachineConfig::intra_block());
             let b = m2.alloc_barrier(4);
@@ -663,7 +682,7 @@ mod tests {
         let b = m2.alloc_barrier(4);
         let (_, stats) = run_threads(m2, shared, 4, move |ctx| {
             ctx.compute(10 * (1 + ctx.tid() as u64));
-            ctx.barrier_private(crate::ctx::BarrierId(b));
+            ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
         });
         // Three cores park at the barrier; the fourth arrival wakes them.
         assert_eq!(stats.engine.wakeups, 3);
@@ -677,7 +696,7 @@ mod tests {
             harness(2, Config::Intra(IntraConfig::Hcc), Transport::default());
         let b = machine.alloc_barrier(3); // 3 participants, only 2 threads!
         run_threads(machine, shared, 2, move |ctx| {
-            ctx.barrier_private(crate::ctx::BarrierId(b));
+            ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
         });
     }
 
@@ -690,7 +709,7 @@ mod tests {
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_threads(machine, shared, 2, move |ctx| {
                 ctx.compute(5);
-                ctx.barrier_private(crate::ctx::BarrierId(b));
+                ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
             });
         }))
         .expect_err("must deadlock");

@@ -27,7 +27,8 @@ pub mod plan;
 
 pub use builder::{ProgramBuilder, RunOutcome};
 pub use config::{Config, InterConfig, IntraConfig};
-pub use ctx::{BarrierId, FlagId, LockId, ThreadCtx};
+pub use ctx::{BarrierId, BarrierOpts, FlagId, FlagOpts, LockId, SyncData, ThreadCtx};
 pub use engine::{Scheduler, Transport};
+pub use hic_check::{CheckMode, Diagnostics, Finding, FindingKind};
 pub use mpi::MpiWorld;
 pub use plan::{CommOp, EpochPlan};

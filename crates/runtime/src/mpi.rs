@@ -217,7 +217,7 @@ mod tests {
                     world.send(ctx, 0, &reply);
                 }
             });
-            assert!(out.stats.total_cycles > 0);
+            assert!(out.stats().total_cycles > 0);
         }
     }
 
@@ -234,7 +234,7 @@ mod tests {
                 assert_eq!(world.recv(ctx, 0, 23), want);
             }
         });
-        assert!(out.stats.total_cycles > 0);
+        assert!(out.stats().total_cycles > 0);
     }
 
     #[test]
@@ -260,7 +260,7 @@ mod tests {
                     cfg.name()
                 );
             });
-            assert!(out.stats.total_cycles > 0);
+            assert!(out.stats().total_cycles > 0);
         }
     }
 
@@ -298,6 +298,6 @@ mod tests {
                 }
             }
         });
-        assert!(out.stats.total_cycles > 0);
+        assert!(out.stats().total_cycles > 0);
     }
 }

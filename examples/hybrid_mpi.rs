@@ -125,5 +125,5 @@ fn run_once(cfg: InterConfig) -> (u64, u32) {
         }
     });
 
-    (out.stats.total_cycles, out.peek(checksum_out, 0))
+    (out.stats().total_cycles, out.peek(checksum_out, 0))
 }

@@ -100,8 +100,8 @@ fn run_once(cfg: InterConfig) -> (u64, u64, u64, bool) {
         }
     }
     let ok = (0..N).all(|i| out.peek(a, i) == ha[i as usize]);
-    let c = out.stats.counters;
-    (out.stats.total_cycles, c.global_wbs, c.global_invs, ok)
+    let c = out.stats().counters;
+    (out.stats().total_cycles, c.global_wbs, c.global_invs, ok)
 }
 
 fn main() {

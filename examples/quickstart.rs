@@ -42,7 +42,7 @@ fn run_once(cfg: IntraConfig) -> (u64, u32) {
         ctx.barrier(bar);
     });
 
-    (out.stats.total_cycles, out.peek(result, 0))
+    (out.stats().total_cycles, out.peek(result, 0))
 }
 
 fn main() {

@@ -1,20 +1,24 @@
 //! Demonstrates what "hardware-incoherent" actually means: without WB/INV
 //! instructions, a consumer simply never sees the producer's update — and
-//! with them, the paper's Figure 2 protocol delivers the fresh value.
+//! how the incoherence sanitizer (`hic-check`) pinpoints the bug at the
+//! first faulty access.
 //!
 //! ```text
 //! cargo run --example staleness
 //! ```
 
 use hic_core::{CohInstr, Target};
-use hic_runtime::{Config, IntraConfig, ProgramBuilder};
+use hic_runtime::{CheckMode, Config, FindingKind, FlagOpts, IntraConfig, ProgramBuilder};
 
-fn main() {
-    // --- Part 1: missing annotations leave the consumer stale. --------
+/// The buggy producer/consumer program: the producer signals through the
+/// flag WITHOUT the WB half of the Figure 2 protocol (`FlagOpts::raw()`),
+/// so its update never leaves the private L1.
+fn buggy_run(mode: CheckMode) -> (hic_runtime::RunOutcome, hic_mem::Region) {
     let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
-    let x = p.alloc(1);
+    p.check_mode(mode);
+    let x = p.alloc_named("x", 1);
     p.init(x, 0, 1);
-    let observed = p.alloc(2);
+    let observed = p.alloc_named("observed", 2);
     let f = p.flag();
     let out = p.run(2, move |ctx| {
         match ctx.tid() {
@@ -22,11 +26,11 @@ fn main() {
                 // Producer: update x, but signal WITHOUT writing back:
                 // the fresh value never leaves this core's L1.
                 ctx.store(x.at(0), 2);
-                ctx.flag_set_raw(f);
+                ctx.flag_set_opts(f, FlagOpts::raw());
             }
             _ => {
                 let _ = ctx.load(x.at(0)); // warm a (soon stale) copy
-                ctx.flag_wait_raw(f);
+                ctx.flag_wait_opts(f, FlagOpts::raw());
                 // No INV: this read sees the stale cached copy.
                 let stale = ctx.load(x.at(0));
                 // Even after a proper self-invalidation the value is
@@ -39,6 +43,12 @@ fn main() {
             }
         }
     });
+    (out, observed)
+}
+
+fn main() {
+    // --- Part 1: missing annotations leave the consumer stale. --------
+    let (out, observed) = buggy_run(CheckMode::Off);
     let stale = out.peek(observed, 0);
     let after_inv = out.peek(observed, 1);
     println!("producer skipped its WB:");
@@ -47,11 +57,33 @@ fn main() {
     assert_eq!(stale, 1);
     assert_eq!(after_inv, 1);
 
-    // --- Part 2: the correct Figure 2 protocol. -----------------------
+    // --- Part 2: the sanitizer catches the bug at the faulty access. --
+    let (out, _) = buggy_run(CheckMode::Report);
+    let diag = out.diagnostics();
+    println!("\nunder HIC_CHECK=report the sanitizer explains the bug:");
+    for f in &diag.findings {
+        println!("  {}", f.render());
+    }
+    assert!(!diag.is_clean(), "the sanitizer must flag the stale read");
+    assert!(
+        diag.count(FindingKind::MissingWb) >= 1,
+        "the finding names the missing WB (producer side)"
+    );
+
+    // --- Part 3: CheckMode::Strict aborts the run on the spot. --------
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // the abort is the point here
+    let aborted = std::panic::catch_unwind(|| buggy_run(CheckMode::Strict)).is_err();
+    std::panic::set_hook(hook);
+    println!("\nunder HIC_CHECK=strict the run aborts at the stale read: {aborted}");
+    assert!(aborted);
+
+    // --- Part 4: the correct Figure 2 protocol is silent. -------------
     let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
-    let x = p.alloc(1);
+    p.check_mode(CheckMode::Report);
+    let x = p.alloc_named("x", 1);
     p.init(x, 0, 1);
-    let observed = p.alloc(1);
+    let observed = p.alloc_named("observed", 1);
     let f = p.flag();
     let out = p.run(2, move |ctx| {
         match ctx.tid() {
@@ -70,7 +102,11 @@ fn main() {
             }
         }
     });
-    println!("with the WB -> sync -> INV protocol of Figure 2:");
+    println!("\nwith the WB -> sync -> INV protocol of Figure 2:");
     println!("  consumer read: {}   <- fresh", out.peek(observed, 0));
     assert_eq!(out.peek(observed, 0), 2);
+    assert!(
+        out.diagnostics().is_clean(),
+        "correct protocol, no findings"
+    );
 }

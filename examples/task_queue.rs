@@ -75,8 +75,8 @@ fn run_once(cfg: IntraConfig) -> (u64, u64, u32) {
     let total: u32 = (0..15)
         .map(|i| out.peek(done, i))
         .fold(0u32, |a, b| a.wrapping_add(b));
-    let ledger = out.stats.merged_ledger();
-    (out.stats.total_cycles, ledger.lock, total)
+    let ledger = out.stats().merged_ledger();
+    (out.stats().total_cycles, ledger.lock, total)
 }
 
 fn main() {

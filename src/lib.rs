@@ -30,7 +30,7 @@
 //!     ctx.barrier(bar);
 //! });
 //! assert_eq!(out.peek(data, 100), 200);
-//! println!("took {} simulated cycles", out.stats.total_cycles);
+//! println!("took {} simulated cycles", out.stats().total_cycles);
 //! ```
 //!
 //! ## Crate map

@@ -104,7 +104,7 @@ fn run_with(
             ctx.barrier(bar);
         }
     });
-    out.stats
+    out.stats().clone()
 }
 
 /// Heap and linear schedulers agree on every simulated quantity — and on

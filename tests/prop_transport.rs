@@ -99,7 +99,7 @@ fn run_with(cfg: IntraConfig, transport: Transport, script: &Script) -> RunStats
             ctx.barrier(bar);
         }
     });
-    out.stats
+    out.stats().clone()
 }
 
 /// Batched and synchronous transports agree on every simulated quantity,
