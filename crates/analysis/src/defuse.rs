@@ -137,6 +137,14 @@ impl<'p> Analyzer<'p> {
                 }
             }
         }
+        // Different (producer-node, array) pairs can emit overlapping or
+        // adjacent ops for the same thread; hand the runtime the minimal
+        // equivalent set.
+        for per_thread in plans.start.iter_mut().chain(plans.end.iter_mut()) {
+            for plan in per_thread.iter_mut() {
+                *plan = plan.coalesced();
+            }
+        }
         plans
     }
 

@@ -69,7 +69,7 @@ pub fn inspect_indirect(
             plan.inv
                 .push(CommOp::known(base.slice(lo, hi), ThreadId(p)));
         }
-        plans.push(plan);
+        plans.push(plan.coalesced());
     }
     plans
 }

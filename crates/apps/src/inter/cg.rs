@@ -17,7 +17,10 @@
 //! matching the paper's measured 78%.
 
 use hic_analysis::{inspect_indirect, Chunks};
-use hic_runtime::{CommOp, Config, EpochPlan, ProgramBuilder};
+use hic_mem::Region;
+use hic_runtime::{
+    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
+};
 use hic_sim::rng::SplitMix64;
 
 use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
@@ -122,6 +125,113 @@ impl Cg {
         }
         x
     }
+
+    /// Builder with allocations, inputs, barrier, and the inspector's
+    /// per-thread plans. Shared by [`App::run_with`] and [`App::record`]
+    /// so the record describes exactly the program that runs.
+    fn setup(&self, config: Config) -> (ProgramBuilder, CgSetup) {
+        let n = self.n;
+        let m = self.matrix();
+        let nnz = m.col.len();
+
+        let mut p = ProgramBuilder::new(config);
+        let nthreads = p.num_threads();
+        let chunks = Chunks::new(n as u64, nthreads);
+        let rowptr = p.alloc_named("rowptr", n as u64 + 1);
+        let colr = p.alloc_named("col", nnz as u64);
+        let valr = p.alloc_named("val", nnz as u64);
+        let xv = p.alloc_named("x", n as u64);
+        let rv = p.alloc_named("r", n as u64);
+        let pvr = p.alloc_named("p", n as u64);
+        let qv = p.alloc_named("q", n as u64);
+        let conflict = p.alloc_named("conflict", nnz as u64); // the inspector's output array
+        let scalars = p.alloc_named("scalars", 4); // 0: dot accumulator, 1: rsold, 2: alpha, 3: beta
+        for (i, v) in m.rowptr.iter().enumerate() {
+            p.init(rowptr, i as u64, *v);
+        }
+        for i in 0..nnz {
+            p.init(colr, i as u64, m.col[i]);
+            p.init_f32(valr, i as u64, m.val[i]);
+        }
+        let partials = p.alloc_named("partials", nthreads as u64); // per-thread dot partials
+        for i in 0..n as u64 {
+            p.init_f32(xv, i, 0.0);
+            p.init_f32(rv, i, 1.0);
+            p.init_f32(pvr, i, 1.0);
+            p.init_f32(qv, i, 0.0);
+        }
+        let bar = p.barrier();
+
+        // The inspector's *result* is also computed host-side so the
+        // executor threads can index their plans; the simulated inspector
+        // loop pays the corresponding simulated cost.
+        let reads_by_thread: Vec<Vec<u64>> = (0..nthreads)
+            .map(|t| {
+                let (lo, hi) = chunks.range(t);
+                (m.rowptr[lo as usize]..m.rowptr[hi as usize])
+                    .map(|j| m.col[j as usize] as u64)
+                    .collect()
+            })
+            .collect();
+        let inv_plans = inspect_indirect(&reads_by_thread, chunks, pvr);
+        (
+            p,
+            CgSetup {
+                m,
+                nthreads,
+                chunks,
+                rowptr,
+                colr,
+                valr,
+                xv,
+                rv,
+                pvr,
+                qv,
+                conflict,
+                scalars,
+                partials,
+                bar,
+                reads_by_thread,
+                inv_plans,
+            },
+        )
+    }
+}
+
+/// Everything [`Cg::setup`] derives from the builder.
+struct CgSetup {
+    m: Csr,
+    nthreads: usize,
+    chunks: Chunks,
+    rowptr: Region,
+    colr: Region,
+    valr: Region,
+    xv: Region,
+    rv: Region,
+    pvr: Region,
+    qv: Region,
+    conflict: Region,
+    scalars: Region,
+    partials: Region,
+    bar: BarrierId,
+    reads_by_thread: Vec<Vec<u64>>,
+    inv_plans: Vec<EpochPlan>,
+}
+
+/// Maximal contiguous runs of a (possibly unsorted, duplicated) element
+/// set — the precise read summary of an indirect access.
+fn element_runs(elems: &[u64]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<u64> = elems.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &e in &sorted {
+        match runs.last_mut() {
+            Some((_, hi)) if *hi == e => *hi = e + 1,
+            _ => runs.push((e, e + 1)),
+        }
+    }
+    runs
 }
 
 impl App for Cg {
@@ -134,51 +244,144 @@ impl App for Cg {
     }
 
     fn run(&self, config: Config) -> AppRun {
+        self.run_with(config, None)
+    }
+
+    fn record(&self, config: Config) -> Option<ProgramRecord> {
+        let (p, s) = self.setup(config);
+        let iters = self.iters;
+        let mut rec = p.record(s.nthreads);
+        rec.host_reads(s.xv);
+        let empty = EpochPlan::new();
+        for t in 0..s.nthreads {
+            let (lo, hi) = s.chunks.range(t);
+            let (jlo, jhi) = (
+                s.m.rowptr[lo as usize] as u64,
+                s.m.rowptr[hi as usize] as u64,
+            );
+            let my_chunk = |r: Region| r.slice(lo, hi);
+            let my_partial = s.partials.slice(t as u64, t as u64 + 1);
+            let wb_partial = EpochPlan::new().with_wb(CommOp::unknown(my_partial));
+            let inv_partials = EpochPlan::new().with_inv(CommOp::unknown(s.partials));
+            let wb_scalars = EpochPlan::new().with_wb(CommOp::unknown(s.scalars));
+            let scalar_inv = EpochPlan::new().with_inv(CommOp::unknown(s.scalars));
+            let wb_p = EpochPlan::new().with_wb(CommOp::unknown(my_chunk(s.pvr)));
+            let pvr_runs = element_runs(&s.reads_by_thread[t]);
+            let my_inv = s.inv_plans[t].clone();
+            let mut th = rec.thread(t);
+
+            // dot(a, b) as the closure records it: partials written and
+            // published, thread 0 combines.
+            macro_rules! dot {
+                ($a:expr, $b:expr) => {
+                    th.reads(my_chunk($a)).reads(my_chunk($b));
+                    th.writes(my_partial);
+                    th.plan_wb(&wb_partial).plan_barrier(s.bar);
+                    if t == 0 {
+                        th.plan_inv(&inv_partials);
+                        th.reads(s.partials);
+                        th.writes(s.scalars.slice(0, 1));
+                    }
+                };
+            }
+
+            // Inspector epoch.
+            th.reads(s.rowptr.slice(lo, hi + 1));
+            th.reads(s.colr.slice(jlo, jhi));
+            th.writes(s.conflict.slice(jlo, jhi));
+            th.epoch_boundary(s.bar, &empty);
+
+            // rsold = dot(r, r).
+            dot!(s.rv, s.rv);
+            if t == 0 {
+                th.reads(s.scalars.slice(0, 1));
+                th.writes(s.scalars.slice(1, 2));
+                th.plan_wb(&wb_scalars);
+            }
+            th.plan_barrier(s.bar);
+
+            for _ in 0..iters {
+                // q = A p over own rows, p consumed through indirection.
+                th.plan_inv(&my_inv);
+                th.reads(s.rowptr.slice(lo, hi + 1));
+                th.reads(s.colr.slice(jlo, jhi));
+                th.reads(s.valr.slice(jlo, jhi));
+                th.reads(s.conflict.slice(jlo, jhi));
+                for &(elo, ehi) in &pvr_runs {
+                    th.reads(s.pvr.slice(elo, ehi));
+                }
+                th.writes(my_chunk(s.qv));
+                th.epoch_boundary(s.bar, &empty);
+
+                // alpha = rsold / dot(p, q).
+                dot!(s.pvr, s.qv);
+                if t == 0 {
+                    th.reads(s.scalars.slice(0, 2));
+                    th.writes(s.scalars.slice(2, 3));
+                    th.plan_wb(&wb_scalars);
+                }
+                th.plan_barrier(s.bar);
+                th.plan_inv(&scalar_inv);
+                th.reads(s.scalars.slice(2, 3));
+
+                // x += alpha p; r -= alpha q (own chunks).
+                th.reads(my_chunk(s.xv))
+                    .reads(my_chunk(s.pvr))
+                    .reads(my_chunk(s.rv))
+                    .reads(my_chunk(s.qv));
+                th.writes(my_chunk(s.xv)).writes(my_chunk(s.rv));
+                th.epoch_boundary(s.bar, &empty);
+
+                // rsnew = dot(r, r); beta = rsnew / rsold.
+                dot!(s.rv, s.rv);
+                if t == 0 {
+                    th.reads(s.scalars.slice(0, 2));
+                    th.writes(s.scalars.slice(3, 4));
+                    th.writes(s.scalars.slice(1, 2));
+                    th.plan_wb(&wb_scalars);
+                }
+                th.plan_barrier(s.bar);
+                th.plan_inv(&scalar_inv);
+                th.reads(s.scalars.slice(3, 4));
+
+                // p = r + beta p (own chunk).
+                th.reads(my_chunk(s.rv)).reads(my_chunk(s.pvr));
+                th.writes(my_chunk(s.pvr));
+                th.plan_wb(&wb_p).plan_barrier(s.bar);
+            }
+            // Final: publish x for the host verifier.
+            th.plan_wb(&EpochPlan::new().with_wb(CommOp::unknown(my_chunk(s.xv))));
+            th.plan_barrier(s.bar);
+        }
+        Some(rec)
+    }
+
+    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
         let n = self.n;
         let iters = self.iters;
-        let m = self.matrix();
+        let (mut p, s) = self.setup(config);
+        if let Some(o) = overrides {
+            p.override_plans(o);
+        }
+        let CgSetup {
+            m,
+            nthreads,
+            chunks,
+            rowptr,
+            colr,
+            valr,
+            xv,
+            rv,
+            pvr,
+            qv,
+            conflict,
+            scalars,
+            partials,
+            bar,
+            reads_by_thread: _,
+            inv_plans,
+        } = s;
         let nnz = m.col.len();
-
-        let mut p = ProgramBuilder::new(config);
-        let nthreads = p.num_threads();
-        let chunks = Chunks::new(n as u64, nthreads);
-        let rowptr = p.alloc(n as u64 + 1);
-        let colr = p.alloc(nnz as u64);
-        let valr = p.alloc(nnz as u64);
-        let xv = p.alloc(n as u64);
-        let rv = p.alloc(n as u64);
-        let pvr = p.alloc(n as u64);
-        let qv = p.alloc(n as u64);
-        let conflict = p.alloc(nnz as u64); // the inspector's output array
-        let scalars = p.alloc(4); // 0: dot accumulator, 1: rsold, 2: alpha, 3: beta
-        for (i, v) in m.rowptr.iter().enumerate() {
-            p.init(rowptr, i as u64, *v);
-        }
-        for i in 0..nnz {
-            p.init(colr, i as u64, m.col[i]);
-            p.init_f32(valr, i as u64, m.val[i]);
-        }
-        let partials = p.alloc(nthreads as u64); // per-thread dot partials
-        for i in 0..n as u64 {
-            p.init_f32(xv, i, 0.0);
-            p.init_f32(rv, i, 1.0);
-            p.init_f32(pvr, i, 1.0);
-            p.init_f32(qv, i, 0.0);
-        }
-        let bar = p.barrier();
-
-        // The inspector's *result* is also computed host-side so the
-        // executor threads can index their plans; the simulated inspector
-        // loop below pays the corresponding simulated cost.
-        let reads_by_thread: Vec<Vec<u64>> = (0..nthreads)
-            .map(|t| {
-                let (lo, hi) = chunks.range(t);
-                (m.rowptr[lo as usize]..m.rowptr[hi as usize])
-                    .map(|j| m.col[j as usize] as u64)
-                    .collect()
-            })
-            .collect();
-        let inv_plans = inspect_indirect(&reads_by_thread, chunks, pvr);
 
         let out = p.run(nthreads, move |ctx| {
             let t = ctx.tid();

@@ -8,8 +8,11 @@
 //! `Addr+L` degenerates to `Addr` (paper §VII-C: "EP and IS show no
 //! impact").
 
-use hic_runtime::{CommOp, Config, EpochPlan, ProgramBuilder};
+use hic_runtime::{
+    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
+};
 use hic_sim::rng::SplitMix64;
+use hic_sim::ThreadId;
 
 use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
 
@@ -165,6 +168,48 @@ impl EpHier {
         };
         EpHier { pairs_per_thread }
     }
+
+    /// Builder with allocations and barriers. Shared by [`App::run_with`]
+    /// and [`App::record`].
+    fn setup(&self, config: Config) -> (ProgramBuilder, EpHierSetup) {
+        let mut p = ProgramBuilder::new(config);
+        let nthreads = p.num_threads();
+        let mc = config.machine_config();
+        let cpb = mc.cores_per_block();
+        let nblocks = mc.num_blocks();
+        // Per-thread partial counts (one bin set per thread, line-spaced),
+        // per-block sums, and the global result.
+        let partials = p.alloc_named("partials", (nthreads * BINS) as u64);
+        let block_sums = p.alloc_named("block_sums", (nblocks * BINS) as u64);
+        let global = p.alloc_named("global", BINS as u64);
+        let block_bars: Vec<_> = (0..nblocks).map(|_| p.barrier_of(cpb)).collect();
+        let bar = p.barrier();
+        (
+            p,
+            EpHierSetup {
+                nthreads,
+                cpb,
+                nblocks,
+                partials,
+                block_sums,
+                global,
+                block_bars,
+                bar,
+            },
+        )
+    }
+}
+
+/// Everything [`EpHier::setup`] derives from the builder.
+struct EpHierSetup {
+    nthreads: usize,
+    cpb: usize,
+    nblocks: usize,
+    partials: hic_mem::Region,
+    block_sums: hic_mem::Region,
+    global: hic_mem::Region,
+    block_bars: Vec<BarrierId>,
+    bar: BarrierId,
 }
 
 impl App for EpHier {
@@ -177,20 +222,66 @@ impl App for EpHier {
     }
 
     fn run(&self, config: Config) -> AppRun {
-        let pairs = self.pairs_per_thread;
+        self.run_with(config, None)
+    }
 
-        let mut p = ProgramBuilder::new(config);
-        let nthreads = p.num_threads();
-        let mc = config.machine_config();
-        let cpb = mc.cores_per_block();
-        let nblocks = mc.num_blocks();
-        // Per-thread partial counts (one bin set per thread, line-spaced),
-        // per-block sums, and the global result.
-        let partials = p.alloc((nthreads * BINS) as u64);
-        let block_sums = p.alloc((nblocks * BINS) as u64);
-        let global = p.alloc(BINS as u64);
-        let block_bars: Vec<_> = (0..nblocks).map(|_| p.barrier_of(cpb)).collect();
-        let bar = p.barrier();
+    fn record(&self, config: Config) -> Option<ProgramRecord> {
+        let (p, s) = self.setup(config);
+        let mut rec = p.record(s.nthreads);
+        rec.host_reads(s.global);
+        let bins = BINS as u64;
+        for t in 0..s.nthreads {
+            let block = t / s.cpb;
+            let leader = block * s.cpb;
+            let mine = s.partials.slice(t as u64 * bins, (t as u64 + 1) * bins);
+            let mut th = rec.thread(t);
+            // Level 1: publish partials to the block leader.
+            th.writes(mine);
+            th.plan_wb(&EpochPlan::new().with_wb(CommOp::known(mine, ThreadId(leader))));
+            th.plan_barrier(s.block_bars[block]);
+            // Level 2: leaders combine their block, publish globally.
+            if t == leader {
+                let all = s.partials.slice(
+                    (block * s.cpb) as u64 * bins,
+                    ((block + 1) * s.cpb) as u64 * bins,
+                );
+                th.plan_inv(&EpochPlan::new().with_inv(CommOp::unknown(all)));
+                th.reads(all);
+                let mine_bs = s
+                    .block_sums
+                    .slice(block as u64 * bins, (block as u64 + 1) * bins);
+                th.writes(mine_bs);
+                th.plan_wb(&EpochPlan::new().with_wb(CommOp::known(mine_bs, ThreadId(0))));
+            }
+            th.plan_barrier(s.bar);
+            // Level 3: thread 0 combines the block sums.
+            if t == 0 {
+                th.plan_inv(&EpochPlan::new().with_inv(CommOp::unknown(s.block_sums)));
+                th.reads(s.block_sums);
+                th.writes(s.global);
+                th.plan_wb(&EpochPlan::new().with_wb(CommOp::unknown(s.global)));
+            }
+            th.plan_barrier(s.bar);
+        }
+        Some(rec)
+    }
+
+    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+        let pairs = self.pairs_per_thread;
+        let (mut p, s) = self.setup(config);
+        if let Some(o) = overrides {
+            p.override_plans(o);
+        }
+        let EpHierSetup {
+            nthreads,
+            cpb,
+            nblocks,
+            partials,
+            block_sums,
+            global,
+            block_bars,
+            bar,
+        } = s;
 
         let out = p.run(nthreads, move |ctx| {
             let t = ctx.tid();

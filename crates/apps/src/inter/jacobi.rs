@@ -9,8 +9,11 @@
 //! This is the application where level-adaptive instructions shine
 //! (paper Figure 11: Jacobi's global WB/INV drop sharply under Addr+L).
 
-use hic_analysis::{Access, Analyzer, ArrayId, Node, Pattern, Program};
-use hic_runtime::{Config, ProgramBuilder};
+use hic_analysis::{Access, Analyzer, ArrayId, Chunks, Node, NodePlans, Pattern, Program};
+use hic_mem::Region;
+use hic_runtime::{
+    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
+};
 use hic_sim::rng::SplitMix64;
 
 use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
@@ -62,25 +65,19 @@ impl Jacobi {
         }
         a
     }
-}
 
-impl App for Jacobi {
-    fn name(&self) -> &'static str {
-        "Jacobi"
-    }
-
-    fn patterns(&self) -> PatternInfo {
-        PatternInfo::new(&[SyncPattern::Barrier], &[])
-    }
-
-    fn run(&self, config: Config) -> AppRun {
-        let (r, c, iters) = (self.rows, self.cols, self.iters);
+    /// Builder with allocations, inputs, barrier, and the analyzer's
+    /// plans. Shared by [`App::run_with`] and [`App::record`] so the
+    /// record describes exactly the program that runs (same addresses,
+    /// same plan call sites in the same order).
+    fn setup(&self, config: Config) -> (ProgramBuilder, JacobiSetup) {
+        let (r, c) = (self.rows, self.cols);
         let input = self.input();
 
         let mut p = ProgramBuilder::new(config);
         let nthreads = p.num_threads();
-        let ga = p.alloc((r * c) as u64);
-        let gb = p.alloc((r * c) as u64);
+        let ga = p.alloc_named("ga", (r * c) as u64);
+        let gb = p.alloc_named("gb", (r * c) as u64);
         for i in 0..r * c {
             p.init_f32(ga, i as u64, input[i]);
             p.init_f32(gb, i as u64, input[i]);
@@ -136,7 +133,105 @@ impl App for Jacobi {
             repeat: true,
         };
         let plans = Analyzer::new(&program, nthreads).analyze();
-        let chunks = hic_analysis::Chunks::new(interior, nthreads);
+        let chunks = Chunks::new(interior, nthreads);
+        (
+            p,
+            JacobiSetup {
+                nthreads,
+                ga,
+                gb,
+                bar,
+                plans,
+                chunks,
+            },
+        )
+    }
+
+    /// The final-writeback plan thread `t` posts for verification (only
+    /// threads with a non-empty band).
+    fn final_wb(&self, s: &JacobiSetup, t: usize) -> Option<EpochPlan> {
+        let (ilo, ihi) = s.chunks.range(t);
+        if ihi <= ilo {
+            return None;
+        }
+        let c = self.cols as u64;
+        let lo_w = (ilo + 1) * c;
+        let hi_w = (ihi + 1) * c;
+        Some(EpochPlan::new().with_wb(CommOp::unknown(s.ga.slice(lo_w, hi_w))))
+    }
+}
+
+/// Everything [`Jacobi::setup`] derives from the builder.
+struct JacobiSetup {
+    nthreads: usize,
+    ga: Region,
+    gb: Region,
+    bar: BarrierId,
+    plans: NodePlans,
+    chunks: Chunks,
+}
+
+impl App for Jacobi {
+    fn name(&self) -> &'static str {
+        "Jacobi"
+    }
+
+    fn patterns(&self) -> PatternInfo {
+        PatternInfo::new(&[SyncPattern::Barrier], &[])
+    }
+
+    fn run(&self, config: Config) -> AppRun {
+        self.run_with(config, None)
+    }
+
+    fn record(&self, config: Config) -> Option<ProgramRecord> {
+        let (p, s) = self.setup(config);
+        let (c, iters) = (self.cols, self.iters);
+        let mut rec = p.record(s.nthreads);
+        rec.host_reads(s.ga);
+        for t in 0..s.nthreads {
+            let (ilo, ihi) = s.chunks.range(t);
+            let final_wb = self.final_wb(&s, t);
+            let mut th = rec.thread(t);
+            let grids = [s.ga, s.gb];
+            for _ in 0..iters {
+                for node in 0..2 {
+                    th.plan_inv(&s.plans.start[node][t]);
+                    if ihi > ilo {
+                        let src = grids[node];
+                        let dst = grids[1 - node];
+                        // Stencil rows [ilo, ihi+2) read; band rows
+                        // [ilo+1, ihi+1) written (full-row summaries,
+                        // matching the patterns the analyzer saw).
+                        th.reads(src.slice(ilo * c as u64, (ihi + 2) * c as u64));
+                        th.writes(dst.slice((ilo + 1) * c as u64, (ihi + 1) * c as u64));
+                    }
+                    th.plan_wb(&s.plans.end[node][t]);
+                    th.plan_barrier(s.bar);
+                }
+            }
+            if let Some(wb) = &final_wb {
+                th.plan_wb(wb);
+            }
+            th.plan_barrier(s.bar);
+        }
+        Some(rec)
+    }
+
+    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+        let (r, c, iters) = (self.rows, self.cols, self.iters);
+        let (mut p, s) = self.setup(config);
+        if let Some(o) = overrides {
+            p.override_plans(o);
+        }
+        let JacobiSetup {
+            nthreads,
+            ga,
+            gb,
+            bar,
+            plans,
+            chunks,
+        } = s;
 
         let out = p.run(nthreads, move |ctx| {
             let t = ctx.tid();

@@ -27,7 +27,7 @@ pub mod patterns;
 pub use patterns::{PatternInfo, SyncPattern};
 
 use hic_machine::RunStats;
-use hic_runtime::Config;
+use hic_runtime::{Config, PlanOverrides, ProgramRecord};
 
 /// Input-size class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +65,25 @@ pub trait App: Sync {
 
     /// Run under a configuration and validate the result.
     fn run(&self, config: Config) -> AppRun;
+
+    /// The app's declarative [`ProgramRecord`] under a configuration —
+    /// its sync structure, per-epoch region access summaries, and the
+    /// `EpochPlan` at every plan call site — for `hic-lint`'s static
+    /// verifier/optimizer. `None` when the app has no recorded form
+    /// (model-1 apps, or data-dependent control flow the record format
+    /// cannot express).
+    fn record(&self, config: Config) -> Option<ProgramRecord> {
+        let _ = config;
+        None
+    }
+
+    /// Run with plan substitutions from `hic-lint`'s optimizer installed
+    /// at the matching call sites. Apps without plan sites (or without a
+    /// recorded form) ignore the overrides.
+    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+        let _ = overrides;
+        self.run(config)
+    }
 }
 
 /// The intra-block suite at a given scale, in the paper's Figure 9 order.

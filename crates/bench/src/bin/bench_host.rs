@@ -5,19 +5,22 @@
 //! transport ledger, so simulator performance is tracked PR over PR.
 //!
 //! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
-//!                    [--out <path>] [--micro] [--check]`
+//!                    [--out <path>] [--micro] [--check] [--lint]`
 //!
 //! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
 //! computes the speedup against it. `--micro` additionally runs the
 //! micro-benchmarks from the in-repo harness and embeds their timings.
 //! `--check` times the incoherent half of the suite with the incoherence
 //! sanitizer off and in Report mode and records the overhead (the checked
-//! sweep must stay finding-free).
+//! sweep must stay finding-free). `--lint` statically verifies and
+//! optimizes every recorded app with `hic-lint`, records the verify /
+//! optimize host times, and simulates each app with the original and the
+//! minimized plans to record the WB/INV traffic deltas.
 
 use std::process::ExitCode;
 
 use hic_apps::Scale;
-use hic_bench::host::{run_check_overhead, run_suite, to_json};
+use hic_bench::host::{run_check_overhead, run_lint_suite, run_suite, to_json};
 use hic_bench::{bench_with_setup, Timing};
 use hic_runtime::{Config, IntraConfig, ProgramBuilder};
 
@@ -56,6 +59,7 @@ fn main() -> ExitCode {
     let mut out_path = "BENCH_host.json".to_string();
     let mut micro = false;
     let mut check = false;
+    let mut lint = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,11 +93,12 @@ fn main() -> ExitCode {
             },
             "--micro" => micro = true,
             "--check" => check = true,
+            "--lint" => lint = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro] [--check]"
+                     [--out <path>] [--micro] [--check] [--lint]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -106,6 +111,9 @@ fn main() -> ExitCode {
     }
     if check {
         report.check = Some(run_check_overhead(scale));
+    }
+    if lint {
+        report.lint = run_lint_suite(scale);
     }
 
     let wall = report.wall.as_secs_f64();
@@ -142,6 +150,25 @@ fn main() -> ExitCode {
         );
     }
 
+    for l in &report.lint {
+        println!(
+            "lint: {:<8} {:<6} verify {:>7.3}ms opt {:>7.3}ms | plan ops {} -> {} \
+             ({} pruned, {} downgraded) | WB+INV flits {} -> {} ({:+.1}%) | {}",
+            l.app,
+            l.config,
+            l.verify.as_secs_f64() * 1e3,
+            l.optimize.as_secs_f64() * 1e3,
+            l.ops_before,
+            l.ops_after,
+            l.pruned,
+            l.downgraded,
+            l.flits_before,
+            l.flits_after,
+            -l.flit_savings_pct(),
+            if l.clean && l.correct { "ok" } else { "FAIL" },
+        );
+    }
+
     let json = to_json(&report, baseline);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
@@ -155,6 +182,10 @@ fn main() -> ExitCode {
     }
     if report.check.as_ref().is_some_and(|c| !c.clean) {
         eprintln!("the sanitizer flagged the unmodified suite");
+        return ExitCode::FAILURE;
+    }
+    if report.lint.iter().any(|l| !l.clean || !l.correct) {
+        eprintln!("hic-lint flagged a record or a minimized run went wrong");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -68,6 +68,44 @@ impl CheckOverhead {
     }
 }
 
+/// One static verify + optimize measurement (`--lint`): an app's record
+/// under one configuration, verified and minimized by `hic-lint` on the
+/// host clock, then simulated with the original and the minimized plans
+/// to measure the traffic delta.
+#[derive(Debug, Clone)]
+pub struct LintRun {
+    pub app: String,
+    pub config: String,
+    /// Host time to statically verify the record.
+    pub verify: Duration,
+    /// Host time to compute + re-verify the minimized plans.
+    pub optimize: Duration,
+    /// The record verified finding-free (it must).
+    pub clean: bool,
+    pub ops_before: usize,
+    pub ops_after: usize,
+    pub pruned: usize,
+    pub downgraded: usize,
+    /// WB+INV flits of the simulated run, original / minimized plans.
+    pub flits_before: u64,
+    pub flits_after: u64,
+    /// Executed WB/INV instructions, original / minimized plans.
+    pub wbinv_before: u64,
+    pub wbinv_after: u64,
+    /// The minimized run still matched the host reference.
+    pub correct: bool,
+}
+
+impl LintRun {
+    /// WB+INV flit reduction, in percent of the original.
+    pub fn flit_savings_pct(&self) -> f64 {
+        if self.flits_before == 0 {
+            return 0.0;
+        }
+        (1.0 - self.flits_after as f64 / self.flits_before as f64) * 100.0
+    }
+}
+
 /// Aggregate of a whole suite sweep.
 #[derive(Debug, Clone, Default)]
 pub struct HostReport {
@@ -77,6 +115,8 @@ pub struct HostReport {
     pub timings: Vec<Timing>,
     /// Sanitizer overhead numbers, when measured (`--check`).
     pub check: Option<CheckOverhead>,
+    /// Static verifier/optimizer numbers, when measured (`--lint`).
+    pub lint: Vec<LintRun>,
     /// Host wall-clock of the whole sweep (sum of per-run walls plus
     /// setup; measured around the sweep, not summed).
     pub wall: Duration,
@@ -155,8 +195,60 @@ pub fn run_suite(scale: Scale) -> HostReport {
         runs,
         timings: Vec::new(),
         check: None,
+        lint: Vec::new(),
         wall: t0.elapsed(),
     }
+}
+
+/// Statically verify + optimize every recorded app under the planned
+/// inter-block configurations, then simulate each with the original and
+/// the minimized plans to measure what `hic-lint` saves (`--lint`).
+/// Every record must verify clean and every minimized run must still
+/// match the host reference — `clean` / `correct` carry the verdicts.
+pub fn run_lint_suite(scale: Scale) -> Vec<LintRun> {
+    use hic_apps::App;
+    let mut apps: Vec<Box<dyn App>> = inter_apps(scale);
+    apps.push(Box::new(hic_apps::inter::ep::EpHier::new(scale)));
+    let wbinv = |s: &hic_machine::RunStats| {
+        s.counters.local_wbs
+            + s.counters.global_wbs
+            + s.counters.local_invs
+            + s.counters.global_invs
+    };
+    let mut out = Vec::new();
+    for app in &apps {
+        for cfg in [InterConfig::Addr, InterConfig::AddrL] {
+            let config = Config::Inter(cfg);
+            let Some(rec) = app.record(config) else {
+                continue;
+            };
+            let t0 = Instant::now();
+            let report = hic_lint::lint(&rec);
+            let verify = t0.elapsed();
+            let t1 = Instant::now();
+            let opt = hic_lint::optimize(&rec);
+            let optimize = t1.elapsed();
+            let base = app.run_with(config, None);
+            let mini = app.run_with(config, Some(opt.overrides));
+            out.push(LintRun {
+                app: app.name().to_string(),
+                config: cfg.name().to_string(),
+                verify,
+                optimize,
+                clean: report.is_clean() && opt.reverify.is_clean() && !opt.stats.fallback,
+                ops_before: opt.stats.ops_before,
+                ops_after: opt.stats.ops_after,
+                pruned: opt.stats.pruned,
+                downgraded: opt.stats.downgraded,
+                flits_before: base.stats.traffic.writeback + base.stats.traffic.invalidation,
+                flits_after: mini.stats.traffic.writeback + mini.stats.traffic.invalidation,
+                wbinv_before: wbinv(&base.stats),
+                wbinv_after: wbinv(&mini.stats),
+                correct: base.correct && mini.correct,
+            });
+        }
+    }
+    out
 }
 
 /// Time the incoherent half of the suite (the only configurations the
@@ -280,6 +372,34 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
         )),
         None => out.push_str("  \"check\": null,\n"),
     }
+    out.push_str("  \"lint\": [\n");
+    for (i, l) in report.lint.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\":\"{}\",\"config\":\"{}\",\"clean\":{},\"correct\":{},\
+             \"verify_ns\":{},\"optimize_ns\":{},\
+             \"ops_before\":{},\"ops_after\":{},\"pruned\":{},\"downgraded\":{},\
+             \"wbinv_flits_before\":{},\"wbinv_flits_after\":{},\
+             \"flit_savings_pct\":{},\
+             \"wbinv_ops_before\":{},\"wbinv_ops_after\":{}}}{}\n",
+            esc(&l.app),
+            esc(&l.config),
+            l.clean,
+            l.correct,
+            l.verify.as_nanos(),
+            l.optimize.as_nanos(),
+            l.ops_before,
+            l.ops_after,
+            l.pruned,
+            l.downgraded,
+            l.flits_before,
+            l.flits_after,
+            f(l.flit_savings_pct()),
+            l.wbinv_before,
+            l.wbinv_after,
+            if i + 1 < report.lint.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"runs\": [\n");
     for (i, r) in report.runs.iter().enumerate() {
         out.push_str(&format!(
@@ -352,6 +472,22 @@ mod tests {
                 checks: 4242,
                 clean: true,
             }),
+            lint: vec![LintRun {
+                app: "CG".into(),
+                config: "Addr+L".into(),
+                verify: Duration::from_micros(120),
+                optimize: Duration::from_micros(480),
+                clean: true,
+                ops_before: 728,
+                ops_after: 419,
+                pruned: 309,
+                downgraded: 21,
+                flits_before: 1000,
+                flits_after: 900,
+                wbinv_before: 600,
+                wbinv_after: 400,
+                correct: true,
+            }],
             wall: Duration::from_millis(10),
         }
     }
@@ -374,6 +510,23 @@ mod tests {
         let mut r = sample_report();
         r.check = None;
         assert!(to_json(&r, None).contains("\"check\": null"));
+    }
+
+    #[test]
+    fn json_carries_the_lint_sweep() {
+        let j = to_json(&sample_report(), None);
+        assert!(j.contains("\"ops_before\":728"));
+        assert!(j.contains("\"pruned\":309"));
+        assert!(j.contains("\"downgraded\":21"));
+        assert!(j.contains("\"flit_savings_pct\":10.000"));
+        assert!(j.contains("\"wbinv_ops_after\":400"));
+    }
+
+    #[test]
+    fn flit_savings_pct_handles_zero_traffic() {
+        let mut l = sample_report().lint[0].clone();
+        l.flits_before = 0;
+        assert_eq!(l.flit_savings_pct(), 0.0);
     }
 
     #[test]

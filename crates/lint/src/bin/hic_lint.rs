@@ -1,0 +1,102 @@
+//! `hic-lint` — statically verify and optimize the recorded app suite.
+//!
+//! For every app that exposes a [`ProgramRecord`](hic_runtime::ProgramRecord)
+//! and every incoherent inter-block configuration, verify WB/INV
+//! sufficiency (no cycle simulated), then run the optimizer and report
+//! what it pruned / downgraded. Exit status is nonzero when any record
+//! has findings or structural errors.
+//!
+//! Usage: `hic-lint [--scale test|small] [--verbose] [name-filter ...]`
+
+use hic_apps::inter::ep::EpHier;
+use hic_apps::{inter_apps, App, Scale};
+use hic_lint::{lint, optimize};
+use hic_runtime::{Config, InterConfig};
+
+fn main() {
+    let mut scale = Scale::Test;
+    let mut verbose = false;
+    let mut filters: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                eprintln!("usage: hic-lint [--scale test|small|paper] [--verbose] [name ...]");
+                return;
+            }
+            f => filters.push(f.to_ascii_lowercase()),
+        }
+    }
+
+    let mut apps: Vec<Box<dyn App>> = inter_apps(scale);
+    apps.push(Box::new(EpHier::new(scale)));
+    let configs = [
+        Config::Inter(InterConfig::Base),
+        Config::Inter(InterConfig::Addr),
+        Config::Inter(InterConfig::AddrL),
+    ];
+
+    let mut checked = 0usize;
+    let mut dirty = 0usize;
+    for app in &apps {
+        let name = app.name();
+        if !filters.is_empty()
+            && !filters
+                .iter()
+                .any(|f| name.to_ascii_lowercase().contains(f))
+        {
+            continue;
+        }
+        let mut any_record = false;
+        for config in configs {
+            let Some(rec) = app.record(config) else {
+                continue;
+            };
+            any_record = true;
+            checked += 1;
+            let report = lint(&rec);
+            if report.is_clean() {
+                let out = optimize(&rec);
+                println!(
+                    "{name:>8} {:<6} clean ({} checks, {} words) | {}",
+                    config.name(),
+                    report.checks,
+                    report.tracked_words,
+                    out.stats.render()
+                );
+                if verbose && !out.overrides.is_empty() {
+                    println!("         reverify: {}", out.reverify.render().trim_end());
+                }
+            } else {
+                dirty += 1;
+                println!(
+                    "{name:>8} {:<6} {} finding(s), {} error(s)",
+                    config.name(),
+                    report.findings.len(),
+                    report.errors.len()
+                );
+                print!("{}", report.render());
+            }
+        }
+        if !any_record {
+            println!("{name:>8} (no record — skipped)");
+        }
+    }
+    println!("---");
+    println!("{checked} records linted, {dirty} with findings");
+    if dirty > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Lint findings and reports.
+//!
+//! `hic-lint` findings deliberately mirror the dynamic sanitizer's
+//! [`hic_check::Finding`]s — same kinds, same producer/consumer
+//! attribution, same "which sync op should have carried the fix" hint —
+//! but they are *ranges*, not single faulty accesses: the static analysis
+//! sees the whole region summary at once, so one missing WB surfaces as
+//! one finding over the full uncovered range instead of up to
+//! `MAX_FINDINGS` per-word reports.
+
+use hic_check::{FindingKind, SyncRef};
+use hic_mem::{Region, WordAddr};
+use hic_runtime::{Config, PlanOverrides};
+use hic_sim::ThreadId;
+
+/// One statically-proven protocol violation over a word range.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    pub kind: FindingKind,
+    /// The thread whose writes go stale (the producer).
+    pub producer: ThreadId,
+    /// The thread whose ordered reads observe the stale value.
+    pub consumer: ThreadId,
+    /// First affected word.
+    pub start: WordAddr,
+    /// Number of contiguous affected words.
+    pub words: u64,
+    /// `name[lo..hi]` within the containing allocation, when named.
+    pub region: Option<String>,
+    /// The producer's epoch whose values never arrive.
+    pub write_epoch: u32,
+    /// The sync op that should have carried the missing WB (producer's
+    /// release) or INV (consumer's acquire).
+    pub sync_hint: Option<SyncRef>,
+}
+
+impl LintFinding {
+    /// The affected range as a [`Region`].
+    pub fn range(&self) -> Region {
+        Region::new(self.start, self.words)
+    }
+
+    /// Does this finding explain a dynamic sanitizer finding? Same kind,
+    /// same producer/consumer pair, faulty word inside the range.
+    pub fn explains(&self, f: &hic_check::Finding) -> bool {
+        self.kind == f.kind
+            && self.producer == f.writer
+            && self.consumer == f.actor
+            && self.range().contains(f.addr)
+    }
+
+    /// One-line human-readable report.
+    pub fn render(&self) -> String {
+        let loc = match &self.region {
+            Some(r) => format!(
+                "{} (words {:#x}..{:#x})",
+                r,
+                self.start.0,
+                self.start.0 + self.words
+            ),
+            None => format!(
+                "words {:#x}..{:#x}",
+                self.start.0,
+                self.start.0 + self.words
+            ),
+        };
+        let (side, who) = match self.kind {
+            FindingKind::MissingWb => ("WB", self.producer),
+            FindingKind::MissingInv => ("INV", self.consumer),
+            FindingKind::WriteRace => ("sync", self.consumer),
+        };
+        let hint = match (&self.sync_hint, self.kind) {
+            (_, FindingKind::WriteRace) => String::new(),
+            (Some(s), _) => format!(" — a {side} covering it should travel with {who}'s {s}"),
+            (None, _) => format!(" — no sync op by {who} could carry the {side} at all"),
+        };
+        format!(
+            "{}: {} -> {}: {} (producer epoch {}){}",
+            self.kind.label(),
+            self.producer,
+            self.consumer,
+            loc,
+            self.write_epoch,
+            hint
+        )
+    }
+}
+
+/// The outcome of statically verifying one [`hic_runtime::ProgramRecord`].
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    pub config: Config,
+    /// Range-aggregated findings, in discovery order.
+    pub findings: Vec<LintFinding>,
+    /// Structural problems with the record itself (deadlocked barrier,
+    /// flag never set, event streams that cannot interleave). A report
+    /// with errors proves nothing about the program.
+    pub errors: Vec<String>,
+    /// Ordered cross-thread reads the verifier checked.
+    pub checks: u64,
+    /// Distinct words the abstract memory model materialized.
+    pub tracked_words: usize,
+}
+
+impl LintReport {
+    /// A report for a configuration that needs no verification (HCC:
+    /// hardware moves the data).
+    pub fn trivially_clean(config: Config) -> LintReport {
+        LintReport {
+            config,
+            findings: Vec::new(),
+            errors: Vec::new(),
+            checks: 0,
+            tracked_words: 0,
+        }
+    }
+
+    /// No findings and no structural errors.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.errors.is_empty()
+    }
+
+    /// Does some static finding explain the dynamic finding `f`?
+    pub fn covers(&self, f: &hic_check::Finding) -> bool {
+        self.findings.iter().any(|lf| lf.explains(f))
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str(&format!(
+                "clean: {} ordered cross-thread reads verified over {} words\n",
+                self.checks, self.tracked_words
+            ));
+        }
+        out
+    }
+}
+
+/// What the optimizer did to the plans.
+#[derive(Debug, Clone, Default)]
+pub struct OptStats {
+    /// Planned WB/INV operations across all plan call sites, before.
+    pub ops_before: usize,
+    /// ... and after pruning / downgrading / coalescing.
+    pub ops_after: usize,
+    /// Ops removed because no ordered read ever consumed what they moved.
+    pub pruned: usize,
+    /// `peer: None` ops given a statically-known local peer, turning a
+    /// global WB/INV into a block-local one under `Addr+L`.
+    pub downgraded: usize,
+    /// Plan call sites whose plan was replaced.
+    pub sites_overridden: usize,
+    /// The minimized plans failed re-verification and were discarded
+    /// (the returned overrides are empty). Should never happen; present
+    /// as a safety net, not a normal outcome.
+    pub fallback: bool,
+}
+
+impl OptStats {
+    pub fn render(&self) -> String {
+        format!(
+            "plan ops {} -> {} ({} pruned, {} downgraded, {} sites rewritten){}",
+            self.ops_before,
+            self.ops_after,
+            self.pruned,
+            self.downgraded,
+            self.sites_overridden,
+            if self.fallback {
+                " [re-verification failed: overrides discarded]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// The outcome of [`crate::optimize`]: the verification report of the
+/// original program, the minimized plan substitutions, and the proof that
+/// the minimized program is still sufficient.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// Verification of the *original* record (optimization only proceeds
+    /// when this is clean).
+    pub report: LintReport,
+    /// Per-call-site plan substitutions for
+    /// [`hic_runtime::ProgramBuilder::override_plans`]. Empty when the
+    /// original record has findings or the config ignores plans.
+    pub overrides: PlanOverrides,
+    pub stats: OptStats,
+    /// Verification of the record with the minimized plans applied.
+    pub reverify: LintReport,
+}

@@ -24,6 +24,8 @@ use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
 use crate::config::Config;
 use crate::ctx::{BarrierId, FlagId, LockId, LockInfo, RtShared, ThreadCtx};
 use crate::engine::{run_threads, Scheduler, Transport};
+use crate::plan::PlanOverrides;
+use crate::record::ProgramRecord;
 
 /// Builder for one simulated program run.
 pub struct ProgramBuilder {
@@ -39,6 +41,11 @@ pub struct ProgramBuilder {
     check: Option<CheckMode>,
     /// Allocation names for sanitizer reports.
     regions: Vec<(Region, String)>,
+    /// Barriers declared so far: (raw sync id, participants) — captured
+    /// for [`ProgramBuilder::record`].
+    barriers: Vec<(usize, usize)>,
+    /// Plan substitutions from a static optimizer (`hic-lint`).
+    overrides: Option<Arc<PlanOverrides>>,
 }
 
 impl ProgramBuilder {
@@ -72,6 +79,8 @@ impl ProgramBuilder {
             scheduler: Scheduler::default(),
             check: None,
             regions: Vec::new(),
+            barriers: Vec::new(),
+            overrides: None,
         }
     }
 
@@ -92,6 +101,8 @@ impl ProgramBuilder {
             scheduler: Scheduler::default(),
             check: None,
             regions: Vec::new(),
+            barriers: Vec::new(),
+            overrides: None,
         }
     }
 
@@ -174,7 +185,9 @@ impl ProgramBuilder {
     /// Declare a barrier over all `n` participating threads (call with the
     /// same `n` you pass to [`ProgramBuilder::run`]).
     pub fn barrier_of(&mut self, participants: usize) -> BarrierId {
-        BarrierId(self.machine.alloc_barrier(participants))
+        let id = self.machine.alloc_barrier(participants);
+        self.barriers.push((id.0, participants));
+        BarrierId(id)
     }
 
     /// Declare a barrier over every hardware thread.
@@ -208,6 +221,26 @@ impl ProgramBuilder {
         self.machine.enable_trace(capacity);
     }
 
+    /// Start a [`ProgramRecord`] for a program that will run on
+    /// `nthreads` threads, seeded with this builder's configuration,
+    /// allocation map, and declared barriers. The caller fills in the
+    /// per-thread event sequences (see [`crate::record`]).
+    pub fn record(&self, nthreads: usize) -> ProgramRecord {
+        let mut rec = ProgramRecord::new(self.config, nthreads);
+        rec.regions = self.regions.clone();
+        rec.barriers = self.barriers.clone();
+        rec
+    }
+
+    /// Install per-call-site plan substitutions (from `hic-lint`'s
+    /// optimizer): thread `t`'s k-th `plan_wb` / `plan_inv` call issues
+    /// the override instead of the plan the program passed, when one is
+    /// set for that site.
+    pub fn override_plans(&mut self, overrides: PlanOverrides) -> &mut Self {
+        self.overrides = Some(Arc::new(overrides));
+        self
+    }
+
     /// Run `body` on `nthreads` threads. Thread `i` is pinned to core `i`.
     pub fn run<F>(mut self, nthreads: usize, body: F) -> RunOutcome
     where
@@ -230,6 +263,7 @@ impl ProgramBuilder {
             transport: self.transport,
             scheduler: self.scheduler,
             checking: self.machine.checking(),
+            overrides: self.overrides,
         });
         let (machine, stats) = run_threads(self.machine, shared, nthreads, body);
         let diagnostics = machine.diagnostics();

@@ -26,7 +26,7 @@ use hic_sync::SyncId;
 
 use crate::config::{Config, InterConfig, IntraConfig};
 use crate::engine::{EngineShared, Scheduler, Transport};
-use crate::plan::EpochPlan;
+use crate::plan::{EpochPlan, PlanOverrides};
 
 /// What data a synchronization operation moves on one side (the WB half
 /// before the sync, or the INV half after it).
@@ -143,6 +143,8 @@ pub(crate) struct RtShared {
     /// `Op::MarkRacy` hints ahead of themselves (zero simulated cost,
     /// and never emitted when checking is off).
     pub checking: bool,
+    /// Per-call-site plan substitutions (`hic-lint` optimizer output).
+    pub overrides: Option<Arc<PlanOverrides>>,
 }
 
 /// The per-thread handle applications program against.
@@ -159,6 +161,11 @@ pub struct ThreadCtx {
     /// Set by [`ThreadCtx::finish`]; a context dropped without it means
     /// the app thread died (panicked) mid-run.
     finished: Cell<bool>,
+    /// Number of [`ThreadCtx::plan_wb`] calls issued so far — the call
+    /// *site* index plan overrides are keyed by.
+    wb_sites: Cell<usize>,
+    /// Number of [`ThreadCtx::plan_inv`] calls issued so far.
+    inv_sites: Cell<usize>,
 }
 
 impl ThreadCtx {
@@ -170,6 +177,8 @@ impl ThreadCtx {
             pending_compute: Cell::new(0),
             batch: RefCell::new(Vec::new()),
             finished: Cell::new(false),
+            wb_sites: Cell::new(0),
+            inv_sites: Cell::new(0),
         }
     }
 
@@ -407,21 +416,6 @@ impl ThreadCtx {
         self.barrier_with(b, BarrierOpts::all());
     }
 
-    /// Barrier with programmer-provided region hints.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use barrier_with(b, BarrierOpts::hinted(wb, inv))"
-    )]
-    pub fn barrier_hinted(&self, b: BarrierId, wb: Option<&[Region]>, inv: Option<&[Region]>) {
-        self.barrier_with(b, BarrierOpts::hinted(wb, inv));
-    }
-
-    /// Plain barrier arrival with no data movement.
-    #[deprecated(since = "0.1.0", note = "use barrier_with(b, BarrierOpts::none())")]
-    pub fn barrier_private(&self, b: BarrierId) {
-        self.barrier_with(b, BarrierOpts::none());
-    }
-
     /// Acquire a lock, inserting the critical-section annotations of the
     /// active configuration.
     pub fn lock(&self, l: LockId) {
@@ -544,25 +538,25 @@ impl ThreadCtx {
         self.issue(Op::FlagClear(f.0));
     }
 
-    /// Set a flag with NO data movement.
-    #[deprecated(since = "0.1.0", note = "use flag_set_opts(f, FlagOpts::raw())")]
-    pub fn flag_set_raw(&self, f: FlagId) {
-        self.flag_set_opts(f, FlagOpts::raw());
-    }
-
-    /// Wait on a flag with NO data movement.
-    #[deprecated(since = "0.1.0", note = "use flag_wait_opts(f, FlagOpts::raw())")]
-    pub fn flag_wait_raw(&self, f: FlagId) {
-        self.flag_wait_opts(f, FlagOpts::raw());
-    }
-
     // ------------------------------------------------------------------
     // Epoch plans (programming model 2)
     // ------------------------------------------------------------------
 
     /// Execute the write-back half of an epoch plan (call at the *end* of
-    /// a producing epoch, before the synchronization).
+    /// a producing epoch, before the synchronization). When the builder
+    /// installed [`PlanOverrides`], the override for this call site (if
+    /// any) is issued instead of `plan`.
     pub fn plan_wb(&self, plan: &EpochPlan) {
+        let site = self.wb_sites.get();
+        self.wb_sites.set(site + 1);
+        let plan = match &self.shared.overrides {
+            Some(o) => o.wb_at(self.tid, site).unwrap_or(plan),
+            None => plan,
+        };
+        self.plan_wb_ops(plan);
+    }
+
+    fn plan_wb_ops(&self, plan: &EpochPlan) {
         match self.shared.config {
             Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
             Config::Inter(InterConfig::Base) => {
@@ -594,8 +588,19 @@ impl ThreadCtx {
     }
 
     /// Execute the invalidation half of an epoch plan (call at the *start*
-    /// of a consuming epoch, after the synchronization).
+    /// of a consuming epoch, after the synchronization). Subject to
+    /// [`PlanOverrides`] like [`ThreadCtx::plan_wb`].
     pub fn plan_inv(&self, plan: &EpochPlan) {
+        let site = self.inv_sites.get();
+        self.inv_sites.set(site + 1);
+        let plan = match &self.shared.overrides {
+            Some(o) => o.inv_at(self.tid, site).unwrap_or(plan),
+            None => plan,
+        };
+        self.plan_inv_ops(plan);
+    }
+
+    fn plan_inv_ops(&self, plan: &EpochPlan) {
         match self.shared.config {
             Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
             Config::Inter(InterConfig::Base) => {

@@ -589,6 +589,7 @@ mod tests {
             transport,
             scheduler: Scheduler::default(),
             checking: false,
+            overrides: None,
         });
         (machine, shared)
     }
@@ -654,6 +655,7 @@ mod tests {
                 transport: Transport::default(),
                 scheduler,
                 checking: false,
+                overrides: None,
             });
             let mut m2 = Machine::incoherent(MachineConfig::intra_block());
             let b = m2.alloc_barrier(4);

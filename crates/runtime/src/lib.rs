@@ -24,6 +24,7 @@ pub mod ctx;
 pub mod engine;
 pub mod mpi;
 pub mod plan;
+pub mod record;
 
 pub use builder::{ProgramBuilder, RunOutcome};
 pub use config::{Config, InterConfig, IntraConfig};
@@ -31,4 +32,5 @@ pub use ctx::{BarrierId, BarrierOpts, FlagId, FlagOpts, LockId, SyncData, Thread
 pub use engine::{Scheduler, Transport};
 pub use hic_check::{CheckMode, Diagnostics, Finding, FindingKind};
 pub use mpi::MpiWorld;
-pub use plan::{CommOp, EpochPlan};
+pub use plan::{coalesce_ops, CommOp, EpochPlan, PlanOverrides};
+pub use record::{ProgramRecord, RecEvent, RecSync, RecThread};

@@ -66,6 +66,108 @@ impl EpochPlan {
     pub fn is_empty(&self) -> bool {
         self.wb.is_empty() && self.inv.is_empty()
     }
+
+    /// The plan with both halves run through [`coalesce_ops`]: same word
+    /// coverage and per-word peer scopes, fewest ops.
+    pub fn coalesced(&self) -> EpochPlan {
+        EpochPlan {
+            wb: coalesce_ops(&self.wb),
+            inv: coalesce_ops(&self.inv),
+        }
+    }
+
+    /// Total number of planned operations (both halves).
+    pub fn num_ops(&self) -> usize {
+        self.wb.len() + self.inv.len()
+    }
+}
+
+/// Merge a list of planned operations into the minimal equivalent list:
+/// ops with the same peer whose regions overlap or touch become one op
+/// over the union range, exact same-peer duplicates collapse, and empty
+/// regions vanish. Ops with *different* peers are never merged (the peer
+/// selects the cache level under `Addr+L`), so per-word scope is
+/// preserved exactly. The result is sorted by (region start, peer).
+pub fn coalesce_ops(ops: &[CommOp]) -> Vec<CommOp> {
+    let mut sorted: Vec<CommOp> = ops.iter().copied().filter(|o| o.region.words > 0).collect();
+    // Group by peer, then by start address within the group.
+    let key = |o: &CommOp| (o.peer.map_or(u64::MAX, |p| p.0 as u64), o.region.start.0);
+    sorted.sort_by_key(key);
+    let mut out: Vec<CommOp> = Vec::with_capacity(sorted.len());
+    for op in sorted {
+        match out.last_mut() {
+            Some(last) if last.peer == op.peer && op.region.start.0 <= last.region.end().0 => {
+                let end = last.region.end().0.max(op.region.end().0);
+                last.region = Region::new(last.region.start, end - last.region.start.0);
+            }
+            _ => out.push(op),
+        }
+    }
+    out.sort_by_key(|o| (o.region.start.0, o.peer.map_or(u64::MAX, |p| p.0 as u64)));
+    out
+}
+
+/// Per-call-site plan substitutions computed by a static optimizer
+/// (`hic-lint`). Entry `wb[t][k]` replaces the plan of thread `t`'s k-th
+/// [`crate::ThreadCtx::plan_wb`] call (`inv[t][k]` its k-th `plan_inv`);
+/// `None` keeps the plan the program passed. Install on the builder with
+/// [`crate::ProgramBuilder::override_plans`] — the program text stays
+/// untouched, only the issued WB/INV instructions change.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanOverrides {
+    pub wb: Vec<Vec<Option<EpochPlan>>>,
+    pub inv: Vec<Vec<Option<EpochPlan>>>,
+}
+
+impl PlanOverrides {
+    pub fn new(nthreads: usize) -> PlanOverrides {
+        PlanOverrides {
+            wb: vec![Vec::new(); nthreads],
+            inv: vec![Vec::new(); nthreads],
+        }
+    }
+
+    fn set(side: &mut Vec<Option<EpochPlan>>, site: usize, plan: EpochPlan) {
+        if side.len() <= site {
+            side.resize(site + 1, None);
+        }
+        side[site] = Some(plan);
+    }
+
+    /// Substitute thread `t`'s `site`-th `plan_wb` call.
+    pub fn set_wb(&mut self, t: usize, site: usize, plan: EpochPlan) {
+        Self::set(&mut self.wb[t], site, plan);
+    }
+
+    /// Substitute thread `t`'s `site`-th `plan_inv` call.
+    pub fn set_inv(&mut self, t: usize, site: usize, plan: EpochPlan) {
+        Self::set(&mut self.inv[t], site, plan);
+    }
+
+    pub fn wb_at(&self, t: usize, site: usize) -> Option<&EpochPlan> {
+        self.wb.get(t)?.get(site)?.as_ref()
+    }
+
+    pub fn inv_at(&self, t: usize, site: usize) -> Option<&EpochPlan> {
+        self.inv.get(t)?.get(site)?.as_ref()
+    }
+
+    /// True when no site is substituted at all.
+    pub fn is_empty(&self) -> bool {
+        let unset =
+            |side: &[Vec<Option<EpochPlan>>]| side.iter().all(|v| v.iter().all(|p| p.is_none()));
+        unset(&self.wb) && unset(&self.inv)
+    }
+
+    /// Number of substituted sites.
+    pub fn num_overridden(&self) -> usize {
+        let count = |side: &[Vec<Option<EpochPlan>>]| {
+            side.iter()
+                .map(|v| v.iter().filter(|p| p.is_some()).count())
+                .sum::<usize>()
+        };
+        count(&self.wb) + count(&self.inv)
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +187,62 @@ mod tests {
         assert_eq!(p.inv[0].peer, None);
         assert!(!p.is_empty());
         assert!(EpochPlan::new().is_empty());
+    }
+
+    /// Per-word scopes of an op list, the naive way: for every word, the
+    /// set of peer scopes some op covers it with.
+    fn naive_scopes(
+        ops: &[CommOp],
+    ) -> std::collections::BTreeMap<u64, std::collections::BTreeSet<Option<u64>>> {
+        let mut m: std::collections::BTreeMap<u64, std::collections::BTreeSet<Option<u64>>> =
+            std::collections::BTreeMap::new();
+        for op in ops {
+            for w in op.region.start.0..op.region.end().0 {
+                m.entry(w).or_default().insert(op.peer.map(|p| p.0 as u64));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn coalesce_preserves_per_word_scopes_and_is_minimal() {
+        let mut rng = hic_sim::SplitMix64::new(0x0a1b2c3d);
+        for _ in 0..500 {
+            let n = (rng.next_u64() % 12) as usize;
+            let ops: Vec<CommOp> = (0..n)
+                .map(|_| {
+                    let start = 64 + rng.next_u64() % 64;
+                    let words = rng.next_u64() % 20; // empty regions allowed
+                    let peer = match rng.next_u64() % 3 {
+                        0 => None,
+                        v => Some(ThreadId((v % 2) as usize)),
+                    };
+                    CommOp {
+                        region: Region::new(WordAddr(start), words),
+                        peer,
+                    }
+                })
+                .collect();
+            let out = coalesce_ops(&ops);
+            // Same word coverage with the same per-word peer scopes.
+            assert_eq!(naive_scopes(&ops), naive_scopes(&out), "{ops:?} -> {out:?}");
+            // Minimal: no empty regions, no two same-peer ops that still
+            // touch or overlap.
+            assert!(out.iter().all(|o| o.region.words > 0));
+            for a in 0..out.len() {
+                for b in a + 1..out.len() {
+                    let (x, y) = (&out[a], &out[b]);
+                    if x.peer == y.peer {
+                        let disjoint = x.region.end().0 < y.region.start.0
+                            || y.region.end().0 < x.region.start.0;
+                        assert!(disjoint, "mergeable ops survived: {out:?}");
+                    }
+                }
+            }
+            // Sorted by (start, peer).
+            let mut sorted = out.clone();
+            sorted.sort_by_key(|o| (o.region.start.0, o.peer.map_or(u64::MAX, |p| p.0 as u64)));
+            assert_eq!(out, sorted);
+        }
     }
 }
