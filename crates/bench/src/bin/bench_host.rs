@@ -5,22 +5,26 @@
 //! transport ledger, so simulator performance is tracked PR over PR.
 //!
 //! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
-//!                    [--out <path>] [--micro] [--check] [--lint]`
+//!                    [--out <path>] [--micro] [--check] [--faults] [--lint]`
 //!
 //! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
 //! computes the speedup against it. `--micro` additionally runs the
 //! micro-benchmarks from the in-repo harness and embeds their timings.
 //! `--check` times the incoherent half of the suite with the incoherence
 //! sanitizer off and in Report mode and records the overhead (the checked
-//! sweep must stay finding-free). `--lint` statically verifies and
-//! optimizes every recorded app with `hic-lint`, records the verify /
-//! optimize host times, and simulates each app with the original and the
-//! minimized plans to record the WB/INV traffic deltas.
+//! sweep must stay finding-free). `--faults` times the incoherent half of
+//! the suite clean and under the canned recoverable fault plan
+//! (`HIC_FAULTS`) and records retry counts, recovery traffic, and the
+//! host-time overhead (the faulted sweep must stay correct). `--lint`
+//! statically verifies and optimizes every recorded app with `hic-lint`,
+//! records the verify / optimize host times, and simulates each app with
+//! the original and the minimized plans to record the WB/INV traffic
+//! deltas.
 
 use std::process::ExitCode;
 
 use hic_apps::Scale;
-use hic_bench::host::{run_check_overhead, run_lint_suite, run_suite, to_json};
+use hic_bench::host::{run_check_overhead, run_fault_suite, run_lint_suite, run_suite, to_json};
 use hic_bench::{bench_with_setup, Timing};
 use hic_runtime::{Config, IntraConfig, ProgramBuilder};
 
@@ -59,7 +63,11 @@ fn main() -> ExitCode {
     let mut out_path = "BENCH_host.json".to_string();
     let mut micro = false;
     let mut check = false;
+    let mut faults = false;
     let mut lint = false;
+    // Fixed seed for the canned fault plan: the sweep must be exactly
+    // reproducible PR over PR.
+    const FAULT_SEED: u64 = 2026;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,12 +101,13 @@ fn main() -> ExitCode {
             },
             "--micro" => micro = true,
             "--check" => check = true,
+            "--faults" => faults = true,
             "--lint" => lint = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro] [--check] [--lint]"
+                     [--out <path>] [--micro] [--check] [--faults] [--lint]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -111,6 +120,9 @@ fn main() -> ExitCode {
     }
     if check {
         report.check = Some(run_check_overhead(scale));
+    }
+    if faults {
+        report.faults = Some(run_fault_suite(scale, FAULT_SEED));
     }
     if lint {
         report.lint = run_lint_suite(scale);
@@ -150,6 +162,29 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fo) = &report.faults {
+        println!(
+            "faults (seed {}): {:.3}s clean -> {:.3}s faulted ({:+.1}% host time), \
+             {} retries / {} retry flits, {} flips ({} recovered, {} recovery flits), \
+             {} delayed acks, {}",
+            fo.seed,
+            fo.wall_clean.as_secs_f64(),
+            fo.wall_faulted.as_secs_f64(),
+            fo.overhead_pct(),
+            fo.stats.retries,
+            fo.stats.retry_flits,
+            fo.stats.bit_flips,
+            fo.stats.flips_recovered,
+            fo.stats.recovery_flits,
+            fo.stats.delayed_acks,
+            if fo.correct {
+                "correct"
+            } else {
+                "WRONG RESULTS"
+            },
+        );
+    }
+
     for l in &report.lint {
         println!(
             "lint: {:<8} {:<6} verify {:>7.3}ms opt {:>7.3}ms | plan ops {} -> {} \
@@ -182,6 +217,10 @@ fn main() -> ExitCode {
     }
     if report.check.as_ref().is_some_and(|c| !c.clean) {
         eprintln!("the sanitizer flagged the unmodified suite");
+        return ExitCode::FAILURE;
+    }
+    if report.faults.as_ref().is_some_and(|fo| !fo.correct) {
+        eprintln!("a recoverable fault plan changed application results");
         return ExitCode::FAILURE;
     }
     if report.lint.iter().any(|l| !l.clean || !l.correct) {

@@ -14,6 +14,7 @@
 use std::time::{Duration, Instant};
 
 use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_machine::ResilienceStats;
 use hic_runtime::{Config, InterConfig, IntraConfig};
 use hic_sim::EngineStats;
 
@@ -68,6 +69,35 @@ impl CheckOverhead {
     }
 }
 
+/// Fault-resilience measurement (`--faults`): the incoherent half of the
+/// suite timed twice, clean and under the canned recoverable fault plan
+/// (`HIC_FAULTS=<seed>`). The faulted sweep must still produce correct
+/// results — every fault in the canned plan is recoverable.
+#[derive(Debug, Clone)]
+pub struct FaultOverhead {
+    /// Seed of the canned plan (`FaultPlan::from_seed`).
+    pub seed: u64,
+    /// Wall time of the sweep with no faults installed.
+    pub wall_clean: Duration,
+    /// Wall time of the same sweep under the fault plan.
+    pub wall_faulted: Duration,
+    /// True when every faulted run still matched its reference.
+    pub correct: bool,
+    /// Injected faults and recovery work, summed over the faulted sweep.
+    pub stats: ResilienceStats,
+}
+
+impl FaultOverhead {
+    /// Host-time overhead of running under faults, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        let clean = self.wall_clean.as_secs_f64();
+        if clean == 0.0 {
+            return 0.0;
+        }
+        (self.wall_faulted.as_secs_f64() / clean - 1.0) * 100.0
+    }
+}
+
 /// One static verify + optimize measurement (`--lint`): an app's record
 /// under one configuration, verified and minimized by `hic-lint` on the
 /// host clock, then simulated with the original and the minimized plans
@@ -115,6 +145,8 @@ pub struct HostReport {
     pub timings: Vec<Timing>,
     /// Sanitizer overhead numbers, when measured (`--check`).
     pub check: Option<CheckOverhead>,
+    /// Fault-injection overhead numbers, when measured (`--faults`).
+    pub faults: Option<FaultOverhead>,
     /// Static verifier/optimizer numbers, when measured (`--lint`).
     pub lint: Vec<LintRun>,
     /// Host wall-clock of the whole sweep (sum of per-run walls plus
@@ -195,8 +227,57 @@ pub fn run_suite(scale: Scale) -> HostReport {
         runs,
         timings: Vec::new(),
         check: None,
+        faults: None,
         lint: Vec::new(),
         wall: t0.elapsed(),
+    }
+}
+
+/// Time the incoherent half of the suite twice — clean, then under the
+/// canned recoverable fault plan (`HIC_FAULTS=<seed>`) — and report the
+/// host-time overhead plus the summed resilience ledger. The faulted
+/// sweep must stay correct: the canned plan only injects recoverable
+/// faults, and the paper's timing-independence argument says recoverable
+/// perturbation cannot change race-free results.
+pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
+    fn sweep(scale: Scale) -> (Duration, bool, ResilienceStats) {
+        let t0 = Instant::now();
+        let mut correct = true;
+        let mut stats = ResilienceStats::default();
+        for app in intra_apps(scale) {
+            for cfg in IntraConfig::ALL {
+                if cfg.is_coherent() {
+                    continue;
+                }
+                let r = app.run(Config::Intra(cfg));
+                correct &= r.correct;
+                stats += r.stats.resilience;
+            }
+        }
+        for app in inter_apps(scale) {
+            for cfg in InterConfig::ALL {
+                if cfg.is_coherent() {
+                    continue;
+                }
+                let r = app.run(Config::Inter(cfg));
+                correct &= r.correct;
+                stats += r.stats.resilience;
+            }
+        }
+        (t0.elapsed(), correct, stats)
+    }
+
+    std::env::remove_var("HIC_FAULTS");
+    let (wall_clean, _, _) = sweep(scale);
+    std::env::set_var("HIC_FAULTS", seed.to_string());
+    let (wall_faulted, correct, stats) = sweep(scale);
+    std::env::remove_var("HIC_FAULTS");
+    FaultOverhead {
+        seed,
+        wall_clean,
+        wall_faulted,
+        correct,
+        stats,
     }
 }
 
@@ -372,6 +453,28 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
         )),
         None => out.push_str("  \"check\": null,\n"),
     }
+    match &report.faults {
+        Some(fo) => out.push_str(&format!(
+            "  \"faults\": {{\"seed\":{},\"wall_s_clean\":{},\"wall_s_faulted\":{},\
+             \"overhead_pct\":{},\"correct\":{},\"retries\":{},\"retry_flits\":{},\
+             \"retry_cycles\":{},\"bit_flips\":{},\"flips_recovered\":{},\
+             \"recovery_flits\":{},\"delayed_acks\":{},\"ack_delay_cycles\":{}}},\n",
+            fo.seed,
+            f(fo.wall_clean.as_secs_f64()),
+            f(fo.wall_faulted.as_secs_f64()),
+            f(fo.overhead_pct()),
+            fo.correct,
+            fo.stats.retries,
+            fo.stats.retry_flits,
+            fo.stats.retry_cycles,
+            fo.stats.bit_flips,
+            fo.stats.flips_recovered,
+            fo.stats.recovery_flits,
+            fo.stats.delayed_acks,
+            fo.stats.ack_delay_cycles,
+        )),
+        None => out.push_str("  \"faults\": null,\n"),
+    }
     out.push_str("  \"lint\": [\n");
     for (i, l) in report.lint.iter().enumerate() {
         out.push_str(&format!(
@@ -472,6 +575,21 @@ mod tests {
                 checks: 4242,
                 clean: true,
             }),
+            faults: Some(FaultOverhead {
+                seed: 2026,
+                wall_clean: Duration::from_millis(100),
+                wall_faulted: Duration::from_millis(105),
+                correct: true,
+                stats: ResilienceStats {
+                    retries: 12,
+                    retry_flits: 108,
+                    bit_flips: 5,
+                    flips_recovered: 5,
+                    recovery_flits: 85,
+                    delayed_acks: 9,
+                    ..ResilienceStats::default()
+                },
+            }),
             lint: vec![LintRun {
                 app: "CG".into(),
                 config: "Addr+L".into(),
@@ -510,6 +628,19 @@ mod tests {
         let mut r = sample_report();
         r.check = None;
         assert!(to_json(&r, None).contains("\"check\": null"));
+    }
+
+    #[test]
+    fn json_carries_the_fault_sweep() {
+        let j = to_json(&sample_report(), None);
+        assert!(j.contains("\"faults\": {\"seed\":2026"));
+        assert!(j.contains("\"retries\":12"));
+        assert!(j.contains("\"flips_recovered\":5"));
+        assert!(j.contains("\"recovery_flits\":85"));
+        assert!(j.contains("\"overhead_pct\":5.000"));
+        let mut r = sample_report();
+        r.faults = None;
+        assert!(to_json(&r, None).contains("\"faults\": null"));
     }
 
     #[test]

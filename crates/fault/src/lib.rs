@@ -1,0 +1,437 @@
+//! Seeded, deterministic fault injection for the hardware-incoherent
+//! hierarchy.
+//!
+//! The paper's central claim is that correctness in an incoherent
+//! hierarchy comes from *software-placed* WB/INV instructions and sync
+//! ordering, never from hardware timing. That makes correctness
+//! **timing-independent**: any protocol-legal perturbation of NoC
+//! latency, controller ack timing, or retry schedules must leave the
+//! readable memory of a race-free program bit-identical (only cycles and
+//! traffic may move). This crate defines the perturbations and the
+//! accounting; `tests/fault_resilience.rs` proves the invariant
+//! metamorphically.
+//!
+//! A [`FaultPlan`] is a pure function of a seed: two runs with the same
+//! plan take identical fault decisions, so every faulted run is exactly
+//! reproducible. Four fault classes are modeled, all of them ones a
+//! Runnemede-style near-threshold machine (PAPERS.md) must survive:
+//!
+//! * **Link jitter / transient slowdowns** — extra latency on mesh links
+//!   ([`hic_noc::LinkFaults`]). Pure timing; always recoverable.
+//! * **Dropped flits** — a transfer is lost and retransmitted by the
+//!   controller after a timeout with exponential backoff. Costs latency
+//!   and retry flits; counted in [`ResilienceStats`]. Always recoverable.
+//! * **Delayed sync acks** — the sync controller's grant ack is held for
+//!   extra cycles. Pure timing; always recoverable.
+//! * **Single-bit flips in cache lines** — detected by per-line parity in
+//!   `hic-mem`. A flip in a *clean* line recovers by invalidate + refetch
+//!   from the next level (recovery traffic is counted); a flip in a
+//!   *dirty* line destroys the only copy of the data and must surface as
+//!   a typed fatal error, never as a silently wrong answer.
+
+use hic_noc::{mix64, LinkFaults};
+use serde::{Deserialize, Serialize};
+
+/// A complete, seeded description of what to perturb. Fully determines
+/// every fault decision of a run; serializable into run diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed. Every component derives its decisions from this.
+    pub seed: u64,
+    /// Static per-link latency jitter, uniform in `0..=link_jitter_max`
+    /// cycles. 0 disables.
+    pub link_jitter_max: u64,
+    /// Every `slow_period` traversals of a link, the next `slow_len`
+    /// traversals are slowed by `slow_factor`. `slow_period == 0` or
+    /// `slow_factor == 1` disables.
+    pub slow_period: u64,
+    pub slow_len: u64,
+    pub slow_factor: u64,
+    /// Roughly one in `drop_period` memory-path transfers is dropped and
+    /// retransmitted. 0 disables.
+    pub drop_period: u64,
+    /// Cycles the controller waits before the first retransmission;
+    /// doubles per consecutive drop (exponential backoff).
+    pub retry_timeout: u64,
+    /// Upper bound on consecutive drops of one transfer (the retry that
+    /// follows the last allowed drop always succeeds).
+    pub max_retries: u32,
+    /// Roughly one in `ack_delay_period` sync-controller grant acks is
+    /// delayed by `ack_delay_cycles`. 0 disables.
+    pub ack_delay_period: u64,
+    pub ack_delay_cycles: u64,
+    /// Roughly one in `flip_period` L1 reads flips one bit in the line
+    /// being read (before the read observes it). 0 disables.
+    pub flip_period: u64,
+    /// Allow flips to land in lines holding dirty words. A dirty-line
+    /// flip is unrecoverable and surfaces as a fatal `RunError`; plans
+    /// with `flip_dirty == false` only ever corrupt clean lines, so they
+    /// must always recover.
+    pub flip_dirty: bool,
+}
+
+impl FaultPlan {
+    /// A plan with every amplitude at zero. Installing it must be
+    /// bit-identical to installing nothing — in cycles *and* traffic.
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            link_jitter_max: 0,
+            slow_period: 0,
+            slow_len: 0,
+            slow_factor: 1,
+            drop_period: 0,
+            retry_timeout: 0,
+            max_retries: 0,
+            ack_delay_period: 0,
+            ack_delay_cycles: 0,
+            flip_period: 0,
+            flip_dirty: false,
+        }
+    }
+
+    /// A randomized timing-only plan: jitter, slowdowns, drops/retries,
+    /// and ack delays, but no bit flips. Readable memory must be
+    /// bit-identical to the unfaulted run for race-free programs.
+    pub fn timing_only(seed: u64) -> FaultPlan {
+        let r = |salt: u64| mix64(seed ^ salt);
+        FaultPlan {
+            seed,
+            link_jitter_max: 1 + r(0x01) % 8,
+            slow_period: 16 + r(0x02) % 48,
+            slow_len: 1 + r(0x03) % 8,
+            slow_factor: 2 + r(0x04) % 3,
+            drop_period: 64 + r(0x05) % 192,
+            retry_timeout: 20 + r(0x06) % 60,
+            max_retries: 3,
+            ack_delay_period: 8 + r(0x07) % 24,
+            ack_delay_cycles: 10 + r(0x08) % 40,
+            flip_period: 0,
+            flip_dirty: false,
+        }
+    }
+
+    /// The canned recoverable plan used by the `HIC_FAULTS=<seed>` env
+    /// knob: timing faults plus clean-line bit flips. Every fault in it
+    /// is recoverable, so any race-free program must still produce
+    /// bit-identical readable memory (and stay finding-free under
+    /// `HIC_CHECK=strict`).
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            flip_period: 400,
+            flip_dirty: false,
+            ..FaultPlan::timing_only(seed)
+        }
+    }
+
+    /// True when no amplitude is nonzero (installing the plan cannot
+    /// change anything).
+    pub fn is_zero(&self) -> bool {
+        self.link_jitter_max == 0
+            && (self.slow_period == 0 || self.slow_factor <= 1)
+            && self.drop_period == 0
+            && self.ack_delay_period == 0
+            && self.flip_period == 0
+    }
+
+    /// The link-fault component, ready to install into a mesh.
+    pub fn link_faults(&self) -> LinkFaults {
+        LinkFaults::new(
+            self.seed,
+            self.link_jitter_max,
+            self.slow_period,
+            self.slow_len,
+            self.slow_factor,
+        )
+    }
+
+    /// One-line human summary for diagnostics.
+    pub fn summary(&self) -> String {
+        if self.is_zero() {
+            return format!("fault plan seed={} (zero: no perturbation)", self.seed);
+        }
+        format!(
+            "fault plan seed={}: jitter<={}cyc, slowdown {}/{} x{}, drop 1/{} (retry {}cyc, <= {}), \
+             ack delay 1/{} +{}cyc, bit flip 1/{} ({} lines)",
+            self.seed,
+            self.link_jitter_max,
+            self.slow_len,
+            self.slow_period,
+            self.slow_factor,
+            self.drop_period,
+            self.retry_timeout,
+            self.max_retries,
+            self.ack_delay_period,
+            self.ack_delay_cycles,
+            self.flip_period,
+            if self.flip_dirty { "any" } else { "clean" },
+        )
+    }
+}
+
+/// Running counts of injected faults and the work spent recovering from
+/// them. Lives in `RunStats`; merged from the backend and the machine's
+/// sync controller at `Machine::finish`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Flits lost to injected drops (each re-sent transfer re-counts its
+    /// flits under `retry_flits`).
+    pub dropped_flits: u64,
+    /// Retransmissions performed by the controller-side retry.
+    pub retries: u64,
+    /// Flits re-sent by retries (charged to the same traffic category as
+    /// the original transfer).
+    pub retry_flits: u64,
+    /// Extra cycles spent in retry timeouts (exponential backoff).
+    pub retry_cycles: u64,
+    /// Single-bit flips injected into cache lines.
+    pub bit_flips: u64,
+    /// Flips detected by parity in clean lines and repaired by refetch.
+    pub flips_recovered: u64,
+    /// Flits spent refetching lines to repair detected flips.
+    pub recovery_flits: u64,
+    /// Sync-controller grant acks that were delayed.
+    pub delayed_acks: u64,
+    /// Extra cycles added to delayed acks.
+    pub ack_delay_cycles: u64,
+}
+
+impl ResilienceStats {
+    pub fn is_zero(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, o: &ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            dropped_flits: self.dropped_flits + o.dropped_flits,
+            retries: self.retries + o.retries,
+            retry_flits: self.retry_flits + o.retry_flits,
+            retry_cycles: self.retry_cycles + o.retry_cycles,
+            bit_flips: self.bit_flips + o.bit_flips,
+            flips_recovered: self.flips_recovered + o.flips_recovered,
+            recovery_flits: self.recovery_flits + o.recovery_flits,
+            delayed_acks: self.delayed_acks + o.delayed_acks,
+            ack_delay_cycles: self.ack_delay_cycles + o.ack_delay_cycles,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ResilienceStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = self.merged(&rhs);
+    }
+}
+
+/// Per-component dynamic fault state: the plan plus event counters.
+/// Each consumer (the memory backend, the machine's sync controller)
+/// owns its own `FaultState` with a distinct `salt`, so their decision
+/// streams are independent but individually reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    salt: u64,
+    transfers: u64,
+    acks: u64,
+    reads: u64,
+    /// Injected-fault accounting, merged into `RunStats` at finish.
+    pub stats: ResilienceStats,
+}
+
+/// Salt for the memory-backend fault stream.
+pub const SALT_MEM: u64 = 0x4D45_4D00;
+/// Salt for the sync-controller fault stream.
+pub const SALT_SYNC: u64 = 0x5359_4E00;
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, salt: u64) -> FaultState {
+        FaultState {
+            plan,
+            salt,
+            transfers: 0,
+            acks: 0,
+            reads: 0,
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    #[inline]
+    fn decide(&self, stream: u64, event: u64, period: u64) -> bool {
+        period > 0
+            && mix64(self.plan.seed ^ self.salt ^ stream ^ event.wrapping_mul(0x9E37))
+                .is_multiple_of(period)
+    }
+
+    /// Account one memory-path transfer of `flits` flits. Returns
+    /// `(extra_cycles, extra_flits)`: the retry-timeout latency (with
+    /// exponential backoff) and the retransmitted flits caused by
+    /// injected drops. `(0, 0)` on the (overwhelmingly common) clean
+    /// path.
+    #[inline]
+    pub fn on_transfer(&mut self, flits: u64) -> (u64, u64) {
+        if self.plan.drop_period == 0 {
+            return (0, 0);
+        }
+        let n = self.transfers;
+        self.transfers += 1;
+        if !self.decide(0x7472, n, self.plan.drop_period) {
+            return (0, 0);
+        }
+        // The transfer was dropped at least once. Each consecutive drop
+        // doubles the timeout; the drop after `max_retries` always
+        // succeeds, bounding the tail.
+        let mut drops: u32 = 1;
+        while drops < self.plan.max_retries.max(1)
+            && self.decide(0x7273, n.wrapping_mul(7).wrapping_add(drops as u64), 2)
+        {
+            drops += 1;
+        }
+        // timeout + 2*timeout + ... = timeout * (2^drops - 1).
+        let extra_cycles = self
+            .plan
+            .retry_timeout
+            .saturating_mul((1u64 << drops.min(32)) - 1);
+        let extra_flits = flits * drops as u64;
+        self.stats.dropped_flits += extra_flits;
+        self.stats.retries += drops as u64;
+        self.stats.retry_flits += extra_flits;
+        self.stats.retry_cycles += extra_cycles;
+        (extra_cycles, extra_flits)
+    }
+
+    /// Account one sync-controller grant ack. Returns the extra cycles
+    /// the ack is held for (usually 0).
+    #[inline]
+    pub fn on_ack(&mut self) -> u64 {
+        if self.plan.ack_delay_period == 0 {
+            return 0;
+        }
+        let n = self.acks;
+        self.acks += 1;
+        if self.decide(0x61636B, n, self.plan.ack_delay_period) {
+            self.stats.delayed_acks += 1;
+            self.stats.ack_delay_cycles += self.plan.ack_delay_cycles;
+            self.plan.ack_delay_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Decide whether this L1 read suffers a bit flip. Returns the
+    /// `(word_selector, bit)` to corrupt (the caller maps the selector
+    /// onto the line) or `None`.
+    #[inline]
+    pub fn flip_decision(&mut self) -> Option<(usize, u32)> {
+        if self.plan.flip_period == 0 {
+            return None;
+        }
+        let n = self.reads;
+        self.reads += 1;
+        if !self.decide(0x666C70, n, self.plan.flip_period) {
+            return None;
+        }
+        let r = mix64(self.plan.seed ^ self.salt ^ 0x776264 ^ n);
+        Some(((r >> 8) as usize, (r % 32) as u32))
+    }
+
+    /// Whether flips may land in dirty lines (unrecoverable).
+    pub fn flip_dirty_allowed(&self) -> bool {
+        self.plan.flip_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero_and_inert() {
+        let p = FaultPlan::zero(17);
+        assert!(p.is_zero());
+        let mut s = FaultState::new(p, SALT_MEM);
+        for _ in 0..1000 {
+            assert_eq!(s.on_transfer(9), (0, 0));
+            assert_eq!(s.on_ack(), 0);
+            assert_eq!(s.flip_decision(), None);
+        }
+        assert!(s.stats.is_zero());
+    }
+
+    #[test]
+    fn timing_only_plans_never_flip() {
+        for seed in 0..32 {
+            let p = FaultPlan::timing_only(seed);
+            assert!(!p.is_zero());
+            assert_eq!(p.flip_period, 0);
+        }
+    }
+
+    #[test]
+    fn canned_plan_flips_only_clean_lines() {
+        let p = FaultPlan::from_seed(3);
+        assert!(p.flip_period > 0);
+        assert!(!p.flip_dirty);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = || {
+            let mut s = FaultState::new(FaultPlan::timing_only(42), SALT_MEM);
+            let transfers: Vec<(u64, u64)> = (0..500).map(|_| s.on_transfer(9)).collect();
+            let acks: Vec<u64> = (0..500).map(|_| s.on_ack()).collect();
+            (transfers, acks, s.stats)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distinct_salts_give_distinct_streams() {
+        let mut a = FaultState::new(FaultPlan::timing_only(42), SALT_MEM);
+        let mut b = FaultState::new(FaultPlan::timing_only(42), SALT_SYNC);
+        let va: Vec<(u64, u64)> = (0..2000).map(|_| a.on_transfer(9)).collect();
+        let vb: Vec<(u64, u64)> = (0..2000).map(|_| b.on_transfer(9)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn drops_do_happen_and_backoff_is_bounded() {
+        let mut s = FaultState::new(FaultPlan::timing_only(7), SALT_MEM);
+        let mut total_extra = 0u64;
+        for _ in 0..10_000 {
+            let (cyc, flits) = s.on_transfer(9);
+            if flits > 0 {
+                // At most max_retries retransmissions per transfer.
+                assert!(flits <= 9 * 3);
+            }
+            total_extra += cyc;
+        }
+        assert!(
+            s.stats.retries > 0,
+            "a 1/[64,256) drop rate must fire in 10k transfers"
+        );
+        assert!(total_extra > 0);
+        assert_eq!(s.stats.retry_flits, s.stats.dropped_flits);
+    }
+
+    #[test]
+    fn flips_fire_at_roughly_the_configured_rate() {
+        let mut s = FaultState::new(FaultPlan::from_seed(11), SALT_MEM);
+        let flips = (0..40_000).filter_map(|_| s.flip_decision()).count();
+        assert!(flips > 20, "expected ~100 flips in 40k reads, got {flips}");
+        for _ in 0..1000 {
+            if let Some((_, bit)) = s.flip_decision() {
+                assert!(bit < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mentions_the_seed() {
+        assert!(FaultPlan::from_seed(99).summary().contains("seed=99"));
+        assert!(FaultPlan::zero(5).summary().contains("zero"));
+    }
+}

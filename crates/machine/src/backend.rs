@@ -19,6 +19,7 @@
 use hic_check::Checker;
 use hic_coherence::MesiSystem;
 use hic_core::CohInstr;
+use hic_fault::{FaultPlan, ResilienceStats};
 use hic_mem::{Memory, Word, WordAddr};
 use hic_noc::TrafficLedger;
 use hic_sim::{CoreId, MachineConfig};
@@ -118,6 +119,26 @@ pub trait MemBackend: Send {
     fn checker_mut(&mut self) -> Option<&mut Checker> {
         None
     }
+
+    /// Install a fault-injection plan (`hic-fault`). Returns `false` on
+    /// backends with no injection support — their runs stay fault-free
+    /// apart from the machine-level sync perturbations.
+    fn install_faults(&mut self, _plan: &FaultPlan) -> bool {
+        false
+    }
+
+    /// Resilience ledger accumulated by injected faults (zeros without
+    /// a plan installed).
+    fn resilience(&self) -> ResilienceStats {
+        ResilienceStats::default()
+    }
+
+    /// An unrecoverable fault condition (a corrupted dirty line),
+    /// delivered at most once; the machine surfaces it as
+    /// [`crate::RunError::CorruptDirtyLine`].
+    fn take_fault_fatal(&mut self) -> Option<String> {
+        None
+    }
 }
 
 impl MemBackend for IncoherentSystem {
@@ -212,6 +233,19 @@ impl MemBackend for IncoherentSystem {
 
     fn checker_mut(&mut self) -> Option<&mut Checker> {
         self.checker.as_deref_mut()
+    }
+
+    fn install_faults(&mut self, plan: &FaultPlan) -> bool {
+        IncoherentSystem::install_faults(self, plan);
+        true
+    }
+
+    fn resilience(&self) -> ResilienceStats {
+        IncoherentSystem::resilience(self)
+    }
+
+    fn take_fault_fatal(&mut self) -> Option<String> {
+        IncoherentSystem::take_fault_fatal(self)
     }
 }
 

@@ -21,6 +21,7 @@
 use hic_check::Checker;
 use hic_core::ieb::IebAction;
 use hic_core::{CohInstr, Ieb, InvScope, Meb, MebDrain, Target, ThreadMap, WbScope};
+use hic_fault::{FaultPlan, FaultState, ResilienceStats, SALT_MEM};
 use hic_mem::addr::WORDS_PER_LINE;
 use hic_mem::cache::{DirtyMask, EvictedLine};
 use hic_mem::{Cache, LineAddr, Memory, Word, WordAddr};
@@ -80,6 +81,13 @@ pub struct IncoherentSystem {
     /// fast path costs one pointer test; `None` runs are bit-identical to
     /// a build without the checker.
     pub(crate) checker: Option<Box<Checker>>,
+    /// Fault injection (`hic-fault`, SALT_MEM stream): dropped transfers
+    /// with retry and transient L1 bit flips. `None` runs are
+    /// bit-identical to a build without injection.
+    faults: Option<Box<FaultState>>,
+    /// Latched unrecoverable fault (a corrupted dirty line), taken once
+    /// by the machine and surfaced as `RunError::CorruptDirtyLine`.
+    fault_fatal: Option<String>,
 }
 
 impl IncoherentSystem {
@@ -108,7 +116,97 @@ impl IncoherentSystem {
             wb_l2_scratch: Vec::new(),
             inv_scratch: Vec::new(),
             checker: None,
+            faults: None,
+            fault_fatal: None,
             cfg,
+        }
+    }
+
+    /// Install a fault plan: link perturbation on this system's mesh,
+    /// transfer drop/retry, and (when the plan flips bits) per-line
+    /// parity on every L1 so corruption is detected instead of silently
+    /// returning wrong data.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.mesh.set_faults(plan.link_faults());
+        if plan.flip_period > 0 {
+            for c in &mut self.l1 {
+                c.enable_parity();
+            }
+        }
+        self.faults = Some(Box::new(FaultState::new(*plan, SALT_MEM)));
+    }
+
+    /// Resilience ledger (zeros when no faults are installed).
+    pub fn resilience(&self) -> ResilienceStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// The latched unrecoverable fault, delivered at most once.
+    pub fn take_fault_fatal(&mut self) -> Option<String> {
+        self.fault_fatal.take()
+    }
+
+    /// A line (or partial-line) transfer crosses the mesh: give the
+    /// fault plan a chance to drop it. A dropped transfer is recovered
+    /// by a controller-side retry (timeout + exponential backoff): the
+    /// retried flits are charged to the same traffic category and the
+    /// retry wait is returned as extra cycles (callers on posted paths
+    /// discard it — the core never waited for the original either).
+    #[inline]
+    fn fault_transfer(&mut self, flits: u64, cat: TrafficCategory) -> u64 {
+        let Some(fs) = self.faults.as_mut() else {
+            return 0;
+        };
+        let (extra_cycles, extra_flits) = fs.on_transfer(flits);
+        if extra_flits > 0 {
+            self.traffic.add(cat, extra_flits);
+        }
+        extra_cycles
+    }
+
+    /// Fault hook on the read path: maybe flip one bit of the L1 line
+    /// about to be read, then verify the line's parity. A corrupted
+    /// clean line recovers by refetch — the copy below is intact, so the
+    /// line is dropped and the read misses into a fresh fill (counted as
+    /// recovery traffic). A corrupted dirty line is unrecoverable: the
+    /// dirty words exist nowhere else, so a fatal finding is latched
+    /// instead of letting the run complete with silently wrong data.
+    fn fault_scrub(&mut self, c: CoreId, line: LineAddr) {
+        let decision = match self.faults.as_mut() {
+            Some(fs) => fs.flip_decision(),
+            None => return,
+        };
+        if let Some((wsel, bit)) = decision {
+            if let Some(mask) = self.l1[c.0].view(line).map(|v| v.dirty) {
+                let fs = self.faults.as_mut().expect("faults installed");
+                if mask == 0 || fs.flip_dirty_allowed() {
+                    self.l1[c.0].corrupt_bit(line, wsel % WORDS_PER_LINE, bit);
+                    let fs = self.faults.as_mut().expect("faults installed");
+                    fs.stats.bit_flips += 1;
+                }
+            }
+        }
+        if !self.l1[c.0].parity_ok(line) {
+            let mask = self.l1[c.0].view(line).map(|v| v.dirty).unwrap_or(0);
+            if mask != 0 {
+                if self.fault_fatal.is_none() {
+                    self.fault_fatal = Some(format!(
+                        "corrupt dirty line: parity error in {c}'s L1 copy of \
+                         line {:#x} (dirty mask {mask:#06x}); the dirty words \
+                         exist nowhere else in the hierarchy, so the data \
+                         cannot be recovered",
+                        line.0
+                    ));
+                }
+            } else {
+                // Clean line: the copy below is intact. Drop the corrupted
+                // line; the read misses and refetches a fresh copy.
+                self.l1[c.0].invalidate(line);
+                let flits = self.cfg.line_flits();
+                let fs = self.faults.as_mut().expect("faults installed");
+                fs.stats.flips_recovered += 1;
+                fs.stats.recovery_flits += flits;
+            }
         }
     }
 
@@ -167,8 +265,9 @@ impl IncoherentSystem {
     ) {
         debug_assert!(mask != 0);
         let bytes = mask.count_ones() as usize * 4;
-        self.traffic
-            .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
+        let flits = self.cfg.flits_for(bytes);
+        self.traffic.add(TrafficCategory::Writeback, flits);
+        self.fault_transfer(flits, TrafficCategory::Writeback);
         let hb = self.home_bank(blk, line);
         if self.l2[hb].merge_words(line, data, mask) {
             if let Some(chk) = self.checker.as_deref_mut() {
@@ -186,16 +285,17 @@ impl IncoherentSystem {
             chk.on_push_global(line, data, mask);
         }
         let bytes = mask.count_ones() as usize * 4;
+        let flits = self.cfg.flits_for(bytes);
         if self.is_hier() {
             let l3b = self.l3_bank(line);
             if self.l3[l3b].merge_words(line, data, mask) {
-                self.traffic
-                    .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
+                self.traffic.add(TrafficCategory::L2L3, flits);
+                self.fault_transfer(flits, TrafficCategory::L2L3);
                 return;
             }
         }
-        self.traffic
-            .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        self.traffic.add(TrafficCategory::Memory, flits);
+        self.fault_transfer(flits, TrafficCategory::Memory);
         self.mem.merge_words(line, data, mask);
     }
 
@@ -203,8 +303,9 @@ impl IncoherentSystem {
     fn push_below_l3(&mut self, line: LineAddr, data: &[Word; WORDS_PER_LINE], mask: DirtyMask) {
         debug_assert!(mask != 0);
         let bytes = mask.count_ones() as usize * 4;
-        self.traffic
-            .add(TrafficCategory::Memory, self.cfg.flits_for(bytes));
+        let flits = self.cfg.flits_for(bytes);
+        self.traffic.add(TrafficCategory::Memory, flits);
+        self.fault_transfer(flits, TrafficCategory::Memory);
         self.mem.merge_words(line, data, mask);
     }
 
@@ -247,6 +348,7 @@ impl IncoherentSystem {
                 let data = self.mem.read_line(line);
                 self.traffic
                     .add(TrafficCategory::Memory, self.cfg.line_flits());
+                lat += self.fault_transfer(self.cfg.line_flits(), TrafficCategory::Memory);
                 if let Some(v) = self.l3[l3b].fill(line, data, 0) {
                     self.handle_l3_eviction(v);
                 }
@@ -254,16 +356,18 @@ impl IncoherentSystem {
             let data = *self.l3[l3b].view(line).expect("just filled").data;
             self.traffic
                 .add(TrafficCategory::L2L3, self.cfg.line_flits());
+            lat += self.fault_transfer(self.cfg.line_flits(), TrafficCategory::L2L3);
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.handle_l2_eviction(v);
             }
             lat
         } else {
             let corner = self.mesh.nearest_corner(hb_tile);
-            let lat = self.mesh.rt_latency_to_corner(hb_tile, corner) + self.cfg.mem_rt;
+            let mut lat = self.mesh.rt_latency_to_corner(hb_tile, corner) + self.cfg.mem_rt;
             let data = self.mem.read_line(line);
             self.traffic
                 .add(TrafficCategory::Memory, self.cfg.line_flits());
+            lat += self.fault_transfer(self.cfg.line_flits(), TrafficCategory::Memory);
             if let Some(v) = self.l2[hb].fill(line, data, 0) {
                 self.handle_l2_eviction(v);
             }
@@ -281,6 +385,7 @@ impl IncoherentSystem {
         let data = *self.l2[hb].view(line).expect("in L2 now").data;
         self.traffic
             .add(TrafficCategory::Linefill, self.cfg.line_flits());
+        lat += self.fault_transfer(self.cfg.line_flits(), TrafficCategory::Linefill);
         if let Some(v) = self.l1[c.0].fill(line, data, 0) {
             self.handle_l1_eviction(blk, v);
         }
@@ -297,6 +402,9 @@ impl IncoherentSystem {
     pub fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
         let line = w.line();
         let idx = w.index_in_line();
+        if self.faults.is_some() {
+            self.fault_scrub(c, line);
+        }
         if self.ieb[c.0].active() {
             let hit = self.l1[c.0].probe(line).is_hit();
             let word_dirty = hit && self.l1[c.0].word_dirty(line, idx);

@@ -16,12 +16,15 @@
 //! thread runtime (`hic-runtime`) drives in global simulated-time order.
 
 pub mod backend;
+pub mod error;
 pub mod incoherent;
 pub mod machine;
 pub mod ops;
 pub mod trace;
 
 pub use backend::{BackendKind, MemBackend, RefBackend};
+pub use error::RunError;
+pub use hic_fault::{FaultPlan, ResilienceStats};
 pub use hic_noc::TrafficLedger;
 pub use incoherent::{IncCounters, IncoherentSystem};
 pub use machine::{Exec, Machine, RunStats, Wakeup};

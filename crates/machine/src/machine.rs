@@ -17,12 +17,14 @@ use fxhash::FxHashMap;
 
 use hic_check::{CheckMode, Checker, Diagnostics};
 use hic_coherence::MesiSystem;
+use hic_fault::{FaultPlan, FaultState, ResilienceStats, SALT_SYNC};
 use hic_mem::{Region, Word, WordAddr};
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
 use hic_sim::{CoreId, Cycle, EngineStats, MachineConfig, StallCategory, StallLedger};
 use hic_sync::{Grant, SyncController, SyncId};
 
 use crate::backend::{BackendKind, MemBackend, RefBackend};
+use crate::error::RunError;
 use crate::incoherent::{IncCounters, IncoherentSystem};
 use crate::ops::Op;
 use crate::trace::{TraceEvent, TraceRing};
@@ -57,6 +59,8 @@ pub struct RunStats {
     /// Host-side engine bookkeeping (zeros when the machine is driven
     /// directly rather than through the runtime engine).
     pub engine: EngineStats,
+    /// Fault-injection resilience ledger (zeros without a fault plan).
+    pub resilience: ResilienceStats,
 }
 
 impl RunStats {
@@ -85,6 +89,12 @@ pub struct Machine {
     /// Mirror of "the backend has a sanitizer attached", so the hot path
     /// pays a plain bool test (not a virtual call) when checking is off.
     has_checker: bool,
+    /// The installed fault plan, if any (kept for diagnostics).
+    fault_plan: Option<FaultPlan>,
+    /// Sync-controller ack-delay injection (`hic-fault`, SALT_SYNC
+    /// stream): grants occasionally resume late, a protocol-legal
+    /// perturbation that must not change readable memory.
+    ack_faults: Option<FaultState>,
 }
 
 impl Machine {
@@ -102,8 +112,27 @@ impl Machine {
             finished_at: vec![None; n],
             trace: TraceRing::default(),
             has_checker: false,
+            fault_plan: None,
+            ack_faults: None,
             cfg,
         }
+    }
+
+    /// Install a seeded fault-injection plan (`hic-fault`): mesh link
+    /// jitter and slowdowns on every machine-level message, delayed
+    /// sync-controller acks, and — on backends that support it — dropped
+    /// transfers with retry and transient cache-line bit flips guarded
+    /// by parity. Fully deterministic for a given plan and program.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+        self.mesh.set_faults(plan.link_faults());
+        self.backend.install_faults(&plan);
+        self.ack_faults = Some(FaultState::new(plan, SALT_SYNC));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
     }
 
     /// Attach the incoherence sanitizer (`hic-check`) to the backend.
@@ -133,21 +162,37 @@ impl Machine {
             .unwrap_or_default()
     }
 
-    /// In `CheckMode::Strict`: the rendered diagnostic that should abort
-    /// the run, delivered at most once. The runtime engine polls this
-    /// after every executed operation so the run stops at the faulty
-    /// access, with the trace tail attached when tracing is on.
-    pub fn take_fatal(&mut self) -> Option<String> {
+    /// The typed error that should abort the run, delivered at most
+    /// once: an unrecoverable injected fault (corrupted dirty line) or,
+    /// in `CheckMode::Strict`, the sanitizer's rendered fatal finding.
+    /// The runtime engine polls this after every executed operation so
+    /// the run stops at the faulty access, with the trace tail attached
+    /// when tracing is on.
+    pub fn take_fatal(&mut self) -> Option<RunError> {
+        if self.fault_plan.is_some() {
+            if let Some(detail) = self.backend.take_fault_fatal() {
+                return Some(RunError::CorruptDirtyLine {
+                    detail: self.with_trace(detail),
+                });
+            }
+        }
         if !self.has_checker {
             return None;
         }
         let f = self.backend.checker_mut()?.take_fatal()?;
-        let mut msg = format!("incoherence detected: {}", f.render());
+        let msg = format!("incoherence detected: {}", f.render());
+        Some(RunError::CheckFatal {
+            msg: self.with_trace(msg),
+        })
+    }
+
+    /// Append the rendered trace tail when tracing is enabled.
+    fn with_trace(&self, mut msg: String) -> String {
         if self.trace.enabled() {
             msg.push_str("\nmost recent operations (oldest first):\n");
             msg.push_str(&self.trace.render());
         }
-        Some(msg)
+        msg
     }
 
     /// Build an incoherent machine.
@@ -263,7 +308,10 @@ impl Machine {
     ) -> Option<Cycle> {
         let mut my_end = None;
         for g in grants {
-            let resume = g.at + self.sync_oneway(g.core, id);
+            let mut resume = g.at + self.sync_oneway(g.core, id);
+            if let Some(fs) = self.ack_faults.as_mut() {
+                resume += fs.on_ack();
+            }
             self.backend.traffic_mut().add(TrafficCategory::Sync, 1);
             if g.core == me {
                 self.ledgers[me.0].charge(cat, resume.saturating_sub(my_issue));
@@ -579,6 +627,18 @@ impl Machine {
                 );
             }
         }
+        self.collect_stats()
+    }
+
+    /// Finish bookkeeping for a run torn down by a [`RunError`]: cores
+    /// may legitimately never have issued [`Op::Finish`] (they were
+    /// parked, or unwound on teardown), so the never-finished check is
+    /// skipped and the total covers only the cores that did finish.
+    pub fn finish_after_failure(&self) -> RunStats {
+        self.collect_stats()
+    }
+
+    fn collect_stats(&self) -> RunStats {
         let total = self
             .finished_at
             .iter()
@@ -586,12 +646,17 @@ impl Machine {
             .copied()
             .max()
             .unwrap_or(0);
+        let mut resilience = self.backend.resilience();
+        if let Some(fs) = &self.ack_faults {
+            resilience += fs.stats;
+        }
         RunStats {
             total_cycles: total,
             ledgers: self.ledgers.clone(),
             traffic: self.backend.traffic(),
             counters: self.backend.counters(),
             engine: EngineStats::default(),
+            resilience,
         }
     }
 
@@ -898,6 +963,64 @@ mod tests {
             Exec::Done { value: Some(v), .. } => assert_eq!(v, 5),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<hic_fault::FaultPlan>| {
+            let mut m = intra_inc();
+            if let Some(p) = plan {
+                m.enable_faults(p);
+            }
+            let b = m.alloc_barrier(2);
+            m.poke_word(w(0x100), 1);
+            m.execute(CoreId(0), &Op::Store(w(0x100), 7), 0);
+            m.execute(CoreId(0), &Op::Coh(hic_core::CohInstr::wb_all()), 50);
+            m.execute(CoreId(0), &Op::BarrierArrive(b), 400);
+            m.execute(CoreId(1), &Op::BarrierArrive(b), 500);
+            m.take_wakeups();
+            m.execute(CoreId(1), &Op::Load(w(0x100)), 900);
+            finish_active(&mut m, 2000);
+            (m.finish(), m.peek_word(w(0x100)))
+        };
+        let (base, v0) = run(None);
+        let (zero, v1) = run(Some(hic_fault::FaultPlan::zero(42)));
+        assert_eq!(v0, v1);
+        assert_eq!(base.total_cycles, zero.total_cycles);
+        assert_eq!(base.traffic, zero.traffic);
+        assert_eq!(base.ledgers, zero.ledgers);
+        assert!(zero.resilience.is_zero());
+    }
+
+    #[test]
+    fn ack_delays_are_injected_and_counted() {
+        let plan = hic_fault::FaultPlan {
+            ack_delay_period: 1, // delay every ack
+            ack_delay_cycles: 25,
+            ..hic_fault::FaultPlan::zero(7)
+        };
+        let mut base = intra_inc();
+        let mut faulty = intra_inc();
+        faulty.enable_faults(plan);
+        for m in [&mut base, &mut faulty] {
+            let b = m.alloc_barrier(2);
+            m.execute(CoreId(0), &Op::BarrierArrive(b), 0);
+            m.execute(CoreId(1), &Op::BarrierArrive(b), 10);
+        }
+        let wk_base = base.take_wakeups();
+        let wk_faulty = faulty.take_wakeups();
+        assert_eq!(wk_base.len(), 1);
+        assert_eq!(wk_faulty.len(), 1);
+        assert_eq!(wk_faulty[0].at, wk_base[0].at + 25, "ack arrives late");
+        finish_active(&mut base, 1000);
+        finish_active(&mut faulty, 1000);
+        let stats = faulty.finish();
+        assert!(stats.resilience.delayed_acks >= 2, "both grants delayed");
+        assert_eq!(
+            stats.resilience.ack_delay_cycles,
+            25 * stats.resilience.delayed_acks
+        );
+        assert!(base.finish().resilience.is_zero());
     }
 
     #[test]

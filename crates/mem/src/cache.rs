@@ -99,6 +99,20 @@ pub struct Cache {
     /// word (the OR-reduction of its per-word dirty bits). `WB ALL`
     /// walks exactly these.
     dirty_bits: Vec<u64>,
+    /// Per-line parity protection, modeling the ECC-lite arrays of a
+    /// near-threshold design (off by default; enabled by fault
+    /// injection). When on, bit `i` holds the even parity of slot `i`'s
+    /// data and is maintained on every legitimate write; a bit flip
+    /// injected via [`Cache::corrupt_bit`] bypasses the update, so
+    /// [`Cache::parity_ok`] detects it on the next read.
+    parity_enabled: bool,
+    parity_bits: Vec<u64>,
+}
+
+/// Even parity of a line's data: XOR-reduction of all its bits.
+#[inline]
+fn line_parity(data: &[Word; WORDS_PER_LINE]) -> bool {
+    data.iter().fold(0u32, |p, w| p ^ w.count_ones()) & 1 == 1
 }
 
 /// Iterate the indices of set bits in a slot bitmap, ascending.
@@ -135,6 +149,67 @@ impl Cache {
             dirty_line_count: 0,
             valid_bits: vec![0; words],
             dirty_bits: vec![0; words],
+            parity_enabled: false,
+            parity_bits: vec![0; words],
+        }
+    }
+
+    /// Turn on per-line parity tracking. Recomputes parity for every
+    /// resident line so it can be enabled mid-flight; costs nothing when
+    /// never called (every maintenance site is behind the flag).
+    pub fn enable_parity(&mut self) {
+        self.parity_enabled = true;
+        self.parity_bits.fill(0);
+        for i in 0..self.slots.len() {
+            if self.slots[i].valid && line_parity(&self.slots[i].data) {
+                self.parity_bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn set_parity_bit(&mut self, i: usize, on: bool) {
+        if on {
+            self.parity_bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.parity_bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flip the stored parity of slot `i` when a word changes from `old`
+    /// to `new` (parity of a line is linear in its bits).
+    #[inline]
+    fn update_parity_for_write(&mut self, i: usize, old: Word, new: Word) {
+        if self.parity_enabled && (old ^ new).count_ones() & 1 == 1 {
+            self.parity_bits[i / 64] ^= 1 << (i % 64);
+        }
+    }
+
+    /// Does the stored parity of a resident line match its data? Always
+    /// `true` when parity is disabled or the line is not resident.
+    pub fn parity_ok(&self, addr: LineAddr) -> bool {
+        if !self.parity_enabled {
+            return true;
+        }
+        match self.find(addr) {
+            Some(i) => {
+                let stored = self.parity_bits[i / 64] & (1 << (i % 64)) != 0;
+                stored == line_parity(&self.slots[i].data)
+            }
+            None => true,
+        }
+    }
+
+    /// Fault injection: flip one bit of a resident line's data *without*
+    /// updating its parity, modeling a transient upset in the data array.
+    /// Returns `true` if the line was resident and the bit was flipped.
+    pub fn corrupt_bit(&mut self, addr: LineAddr, word: usize, bit: u32) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.slots[i].data[word % WORDS_PER_LINE] ^= 1 << (bit % Word::BITS);
+                true
+            }
+            None => false,
         }
     }
 
@@ -265,8 +340,10 @@ impl Cache {
         }
         let s = &mut self.slots[i];
         let was_clean = s.dirty & (1 << word) == 0;
+        let old = s.data[word];
         s.data[word] = value;
         s.dirty |= 1 << word;
+        self.update_parity_for_write(i, old, value);
         Some(was_clean)
     }
 
@@ -285,12 +362,15 @@ impl Cache {
             let s = &mut self.slots[i];
             s.lru = self.tick;
             s.data = data;
-            if s.dirty == 0 && dirty != 0 {
+            if self.parity_enabled {
+                let p = line_parity(&self.slots[i].data);
+                self.set_parity_bit(i, p);
+            }
+            if self.slots[i].dirty == 0 && dirty != 0 {
                 self.dirty_line_count += 1;
                 self.dirty_bits[i / 64] |= 1 << (i % 64);
             }
-            let s = &mut self.slots[i];
-            s.dirty |= dirty;
+            self.slots[i].dirty |= dirty;
             return None;
         }
         let set = self.set_of(addr);
@@ -335,6 +415,10 @@ impl Cache {
         self.line_count_resident += 1;
         self.set_valid_bit(victim_idx, true);
         self.set_dirty_bit(victim_idx, dirty != 0);
+        if self.parity_enabled {
+            let p = line_parity(&self.slots[victim_idx].data);
+            self.set_parity_bit(victim_idx, p);
+        }
         evicted
     }
 
@@ -350,19 +434,23 @@ impl Cache {
         match self.find(addr) {
             Some(i) => {
                 self.tick += 1;
+                let mut parity_delta = 0u32;
                 let s = &mut self.slots[i];
                 s.lru = self.tick;
                 for (w, incoming) in data.iter().enumerate() {
                     if mask & (1 << w) != 0 {
+                        parity_delta ^= s.data[w] ^ *incoming;
                         s.data[w] = *incoming;
                     }
                 }
-                if s.dirty == 0 && mask != 0 {
+                if self.parity_enabled && parity_delta.count_ones() & 1 == 1 {
+                    self.parity_bits[i / 64] ^= 1 << (i % 64);
+                }
+                if self.slots[i].dirty == 0 && mask != 0 {
                     self.dirty_line_count += 1;
                     self.dirty_bits[i / 64] |= 1 << (i % 64);
                 }
-                let s = &mut self.slots[i];
-                s.dirty |= mask;
+                self.slots[i].dirty |= mask;
                 true
             }
             None => false,
@@ -493,6 +581,7 @@ impl Cache {
         self.dirty_line_count = 0;
         self.valid_bits.fill(0);
         self.dirty_bits.fill(0);
+        self.parity_bits.fill(0);
     }
 }
 
@@ -666,6 +755,41 @@ mod tests {
         c.reset();
         assert_eq!(c.resident_lines(), 0);
         assert!(!c.probe(LineAddr(0)).is_hit());
+    }
+
+    #[test]
+    fn parity_tracks_legitimate_writes() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(7), 0);
+        c.enable_parity();
+        assert!(c.parity_ok(LineAddr(1)));
+        // Every legitimate mutation keeps parity consistent.
+        c.write_word(LineAddr(1), 3, 0xDEAD_BEEF).unwrap();
+        assert!(c.parity_ok(LineAddr(1)));
+        assert!(c.merge_words(LineAddr(1), &line_data(9000), 0b1101));
+        assert!(c.parity_ok(LineAddr(1)));
+        c.fill(LineAddr(1), line_data(1234), 0);
+        assert!(c.parity_ok(LineAddr(1)));
+        c.fill(LineAddr(2), line_data(55), FULL_DIRTY);
+        assert!(c.parity_ok(LineAddr(2)));
+        // Non-resident and parity-disabled caches always report ok.
+        assert!(c.parity_ok(LineAddr(99)));
+        assert!(small_cache().parity_ok(LineAddr(1)));
+    }
+
+    #[test]
+    fn corrupt_bit_is_detected_by_parity() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(7), 0);
+        c.enable_parity();
+        assert!(c.corrupt_bit(LineAddr(1), 5, 17));
+        assert!(!c.parity_ok(LineAddr(1)));
+        // A refetch (refill) restores consistency.
+        c.fill(LineAddr(1), line_data(7), 0);
+        assert!(c.parity_ok(LineAddr(1)));
+        assert_eq!(c.read_word(LineAddr(1), 5), Some(12));
+        // Corrupting a missing line is a no-op.
+        assert!(!c.corrupt_bit(LineAddr(42), 0, 0));
     }
 
     #[test]

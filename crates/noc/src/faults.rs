@@ -1,0 +1,161 @@
+//! Deterministic link-timing perturbation for the mesh.
+//!
+//! [`LinkFaults`] adds protocol-legal latency noise to every directed
+//! link the mesh routes over: a static per-link jitter (modeling route
+//! asymmetry or a marginal repeater) and transient traversal-windowed
+//! slowdowns (modeling a link that is periodically degraded, e.g. by
+//! near-threshold voltage droop — see PAPERS.md, Runnemede). Both are
+//! pure functions of a seed and per-link traversal counts, so a faulted
+//! run is exactly reproducible. Latency is the *only* thing perturbed:
+//! no message is reordered, lost, or rerouted here, which is what makes
+//! the perturbation legal for the incoherent protocol (correctness may
+//! not depend on NoC timing, DESIGN.md §12).
+
+use std::cell::Cell;
+
+/// Stateless 64-bit mixer (SplitMix64 finalizer). Used to derive
+/// per-link decisions from `(seed, key)` without a shared RNG stream,
+/// so decisions are independent of the order links are queried in.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded per-link latency perturbation. Installed into a [`crate::Mesh`]
+/// with [`crate::Mesh::set_faults`]; all latency queries then route
+/// through `LinkFaults::extra`.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    seed: u64,
+    /// Static extra cycles per directed link, uniform in `0..=jitter_max`.
+    jitter_max: u64,
+    /// Every `slow_period` traversals of a link, the next `slow_len`
+    /// traversals are slowed by `slow_factor`. 0 disables slowdowns.
+    slow_period: u64,
+    slow_len: u64,
+    /// Latency multiplier while a link is slowed (>= 1).
+    slow_factor: u64,
+    /// Per-directed-link traversal counts, indexed by the caller's key.
+    /// `Cell` because latency queries take `&self`; the mesh lives behind
+    /// the engine mutex, so only `Send` is required, never `Sync`.
+    counters: Vec<Cell<u64>>,
+}
+
+impl LinkFaults {
+    pub fn new(
+        seed: u64,
+        jitter_max: u64,
+        slow_period: u64,
+        slow_len: u64,
+        slow_factor: u64,
+    ) -> LinkFaults {
+        assert!(
+            slow_factor >= 1,
+            "slow_factor is a multiplier, must be >= 1"
+        );
+        LinkFaults {
+            seed,
+            jitter_max,
+            slow_period,
+            slow_len,
+            slow_factor,
+            counters: Vec::new(),
+        }
+    }
+
+    /// True when every amplitude is zero: installing this plan cannot
+    /// change any latency.
+    pub fn is_zero(&self) -> bool {
+        self.jitter_max == 0 && (self.slow_period == 0 || self.slow_factor == 1)
+    }
+
+    /// Size the traversal-counter table for `n_keys` directed links.
+    /// Called by the mesh when the faults are installed.
+    pub(crate) fn size_for(&mut self, n_keys: usize) {
+        self.counters = vec![Cell::new(0); n_keys];
+    }
+
+    /// Extra one-way cycles for one traversal of the directed link `key`
+    /// whose fault-free latency is `base`. Local accesses (`base == 0`)
+    /// cross no link and are never perturbed.
+    pub(crate) fn extra(&self, key: usize, base: u64) -> u64 {
+        if base == 0 {
+            return 0;
+        }
+        let mut extra = 0;
+        if self.jitter_max > 0 {
+            extra += mix64(self.seed ^ 0xA5A5_0000 ^ key as u64) % (self.jitter_max + 1);
+        }
+        if self.slow_period > 0 && self.slow_factor > 1 {
+            let n = self.counters[key].get();
+            self.counters[key].set(n + 1);
+            // Per-link phase offset so the whole mesh does not degrade in
+            // lockstep.
+            let phase = mix64(self.seed ^ 0x5A5A_0000 ^ key as u64) % self.slow_period;
+            if (n + phase) % self.slow_period < self.slow_len {
+                extra += base * (self.slow_factor - 1);
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_amplitudes_never_perturb() {
+        let mut f = LinkFaults::new(7, 0, 0, 0, 1);
+        f.size_for(16);
+        assert!(f.is_zero());
+        for key in 0..16 {
+            for _ in 0..10 {
+                assert_eq!(f.extra(key, 8), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn local_access_is_never_perturbed() {
+        let mut f = LinkFaults::new(7, 100, 2, 2, 8);
+        f.size_for(4);
+        assert_eq!(f.extra(0, 0), 0);
+    }
+
+    #[test]
+    fn jitter_is_static_per_link_and_bounded() {
+        let mut f = LinkFaults::new(42, 3, 0, 0, 1);
+        f.size_for(64);
+        for key in 0..64 {
+            let first = f.extra(key, 8);
+            assert!(first <= 3);
+            assert_eq!(f.extra(key, 8), first, "jitter must be static per link");
+        }
+        // Some link must actually be jittered, else the knob is dead.
+        assert!((0..64).any(|key| f.extra(key, 8) > 0));
+    }
+
+    #[test]
+    fn slowdown_windows_scale_base_latency() {
+        let mut f = LinkFaults::new(1, 0, 4, 2, 3);
+        f.size_for(1);
+        let extras: Vec<u64> = (0..16).map(|_| f.extra(0, 10)).collect();
+        // 2 of every 4 traversals are slowed by (3-1)*base = 20.
+        assert_eq!(extras.iter().filter(|&&e| e == 20).count(), 8);
+        assert_eq!(extras.iter().filter(|&&e| e == 0).count(), 8);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let mk = || {
+            let mut f = LinkFaults::new(99, 4, 3, 1, 2);
+            f.size_for(8);
+            (0..32).map(|i| f.extra(i % 8, 12)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -6,8 +6,10 @@
 //! accounting; link contention is not queued (see DESIGN.md §5 on the
 //! timing-model substitution).
 
+pub mod faults;
 pub mod mesh;
 pub mod traffic;
 
+pub use faults::{mix64, LinkFaults};
 pub use mesh::{Mesh, Tile};
 pub use traffic::{TrafficCategory, TrafficLedger};

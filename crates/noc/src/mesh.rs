@@ -6,6 +6,7 @@
 //! Memory controllers and L3 banks sit at the four corners ("connected to
 //! each chip corner", Table III).
 
+use crate::faults::LinkFaults;
 use hic_sim::CoreId;
 use serde::{Deserialize, Serialize};
 
@@ -25,12 +26,17 @@ impl Tile {
 }
 
 /// A 2D mesh hosting `n` core tiles.
+///
+/// With [`Mesh::set_faults`] installed, every latency query is perturbed
+/// by the seeded [`LinkFaults`] model (the no-faults path is untouched).
+/// The no-op serde derives ignore the runtime-only `faults` field.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mesh {
     cols: usize,
     rows: usize,
     n_tiles: usize,
     hop_cycles: u64,
+    faults: Option<LinkFaults>,
 }
 
 impl Mesh {
@@ -44,6 +50,30 @@ impl Mesh {
             rows,
             n_tiles: n,
             hop_cycles,
+            faults: None,
+        }
+    }
+
+    /// Install a seeded link-fault model. All subsequent latency queries
+    /// are perturbed deterministically; traversal counters start at zero.
+    pub fn set_faults(&mut self, mut faults: LinkFaults) {
+        faults.size_for(self.key_stride() * self.key_stride());
+        self.faults = Some(faults);
+    }
+
+    /// Directed-link key space: tiles `0..n_tiles` plus the four corners
+    /// mapped to `n_tiles..n_tiles+4`.
+    fn key_stride(&self) -> usize {
+        self.n_tiles + 4
+    }
+
+    /// Fault perturbation for one traversal of the directed link from
+    /// endpoint key `a` to endpoint key `b` with fault-free latency `base`.
+    #[inline]
+    fn perturb(&self, a: usize, b: usize, base: u64) -> u64 {
+        match &self.faults {
+            None => base,
+            Some(f) => base + f.extra(a * self.key_stride() + b, base),
         }
     }
 
@@ -88,22 +118,26 @@ impl Mesh {
 
     /// One-way latency between two core tiles, cycles.
     pub fn latency(&self, a: usize, b: usize) -> u64 {
-        self.hops(a, b) * self.hop_cycles
+        self.perturb(a, b, self.hops(a, b) * self.hop_cycles)
     }
 
-    /// Round-trip latency between two core tiles, cycles.
+    /// Round-trip latency between two core tiles, cycles. The two legs
+    /// are perturbed independently (a request and its reply traverse the
+    /// directed links `a->b` and `b->a`).
     pub fn rt_latency(&self, a: usize, b: usize) -> u64 {
-        2 * self.latency(a, b)
+        self.latency(a, b) + self.latency(b, a)
     }
 
     /// One-way latency from core tile `a` to corner `c`, cycles.
     pub fn latency_to_corner(&self, a: usize, c: usize) -> u64 {
-        self.tile(a).hops_to(self.corner(c)) * self.hop_cycles
+        let base = self.tile(a).hops_to(self.corner(c)) * self.hop_cycles;
+        self.perturb(a, self.n_tiles + c % 4, base)
     }
 
     /// Round-trip latency from core tile `a` to corner `c`, cycles.
     pub fn rt_latency_to_corner(&self, a: usize, c: usize) -> u64 {
-        2 * self.latency_to_corner(a, c)
+        let base = self.tile(a).hops_to(self.corner(c)) * self.hop_cycles;
+        self.perturb(a, self.n_tiles + c % 4, base) + self.perturb(self.n_tiles + c % 4, a, base)
     }
 
     /// The nearest corner to a core tile (a request picks the closest
@@ -200,5 +234,38 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn tile_out_of_range_panics() {
         Mesh::new(4, 4).tile(4);
+    }
+
+    #[test]
+    fn installed_faults_only_add_latency() {
+        let mut m = Mesh::new(16, 4);
+        let base: Vec<u64> = (0..16).map(|t| m.rt_latency(0, t)).collect();
+        m.set_faults(LinkFaults::new(3, 5, 0, 0, 1));
+        let faulted: Vec<u64> = (0..16).map(|t| m.rt_latency(0, t)).collect();
+        for (b, f) in base.iter().zip(&faulted) {
+            assert!(f >= b, "faults must never make a link faster");
+        }
+        assert!(
+            base.iter().zip(&faulted).any(|(b, f)| f > b),
+            "a nonzero jitter plan must perturb some link"
+        );
+        // Local accesses stay free.
+        assert_eq!(m.rt_latency(5, 5), 0);
+    }
+
+    #[test]
+    fn zero_amplitude_faults_are_latency_identical() {
+        let mut m = Mesh::new(16, 4);
+        let base: Vec<u64> = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| m.rt_latency(a, b))
+            .collect();
+        m.set_faults(LinkFaults::new(9, 0, 0, 0, 1));
+        let zeroed: Vec<u64> = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| m.rt_latency(a, b))
+            .collect();
+        assert_eq!(base, zeroed);
+        assert_eq!(m.rt_latency_to_corner(5, 3), 2 * m.latency_to_corner(5, 3));
     }
 }

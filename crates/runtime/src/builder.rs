@@ -18,8 +18,9 @@
 use std::sync::Arc;
 
 use hic_check::{CheckMode, Diagnostics};
-use hic_machine::{Machine, RunStats, TrafficLedger};
+use hic_machine::{FaultPlan, Machine, RunError, RunStats, TrafficLedger};
 use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
+use hic_sim::Cycle;
 
 use crate::config::Config;
 use crate::ctx::{BarrierId, FlagId, LockId, LockInfo, RtShared, ThreadCtx};
@@ -46,6 +47,14 @@ pub struct ProgramBuilder {
     barriers: Vec<(usize, usize)>,
     /// Plan substitutions from a static optimizer (`hic-lint`).
     overrides: Option<Arc<PlanOverrides>>,
+    /// Explicit fault plan; `None` defers to the `HIC_FAULTS`
+    /// environment variable (a decimal seed for
+    /// [`FaultPlan::from_seed`]), which in turn defaults to no faults.
+    fault: Option<FaultPlan>,
+    /// Simulated-cycle watchdog budget for the run.
+    watchdog_cycles: Option<Cycle>,
+    /// Host wall-clock watchdog for the run, in milliseconds.
+    watchdog_wall_ms: Option<u64>,
 }
 
 impl ProgramBuilder {
@@ -81,6 +90,9 @@ impl ProgramBuilder {
             regions: Vec::new(),
             barriers: Vec::new(),
             overrides: None,
+            fault: None,
+            watchdog_cycles: None,
+            watchdog_wall_ms: None,
         }
     }
 
@@ -103,6 +115,9 @@ impl ProgramBuilder {
             regions: Vec::new(),
             barriers: Vec::new(),
             overrides: None,
+            fault: None,
+            watchdog_cycles: None,
+            watchdog_wall_ms: None,
         }
     }
 
@@ -162,6 +177,29 @@ impl ProgramBuilder {
     /// machines never produce stale values to detect.
     pub fn check_mode(&mut self, mode: CheckMode) -> &mut Self {
         self.check = Some(mode);
+        self
+    }
+
+    /// Inject a deterministic fault plan into this run, overriding the
+    /// `HIC_FAULTS` environment variable. See [`FaultPlan`] for what can
+    /// be perturbed; every perturbation is protocol-legal, so timing-only
+    /// plans never change the results of race-free programs.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Fail the run with [`RunError::Hang`] if any core's simulated
+    /// clock exceeds `budget` cycles.
+    pub fn watchdog_cycles(&mut self, budget: Cycle) -> &mut Self {
+        self.watchdog_cycles = Some(budget);
+        self
+    }
+
+    /// Fail the run with [`RunError::Hang`] if it takes longer than `ms`
+    /// milliseconds of host wall-clock time.
+    pub fn watchdog_wall_ms(&mut self, ms: u64) -> &mut Self {
+        self.watchdog_wall_ms = Some(ms);
         self
     }
 
@@ -256,6 +294,15 @@ impl ProgramBuilder {
             self.machine
                 .enable_check(mode, std::mem::take(&mut self.regions));
         }
+        let fault = self.fault.or_else(|| {
+            std::env::var("HIC_FAULTS")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .map(FaultPlan::from_seed)
+        });
+        if let Some(plan) = fault {
+            self.machine.enable_faults(plan);
+        }
         let shared = Arc::new(RtShared {
             config: self.config,
             locks: self.locks,
@@ -264,26 +311,48 @@ impl ProgramBuilder {
             scheduler: self.scheduler,
             checking: self.machine.checking(),
             overrides: self.overrides,
+            watchdog_cycles: self.watchdog_cycles,
+            watchdog_wall_ms: self.watchdog_wall_ms,
         });
-        let (machine, stats) = run_threads(self.machine, shared, nthreads, body);
+        let (machine, stats, error) = run_threads(self.machine, shared, nthreads, body);
         let diagnostics = machine.diagnostics();
         RunOutcome {
             machine,
             stats,
             diagnostics,
+            error,
         }
     }
 }
 
-/// The results of a finished run.
+/// The results of a finished run — successful or not. Check
+/// [`RunOutcome::result`] before trusting [`RunOutcome::peek`]: a failed
+/// run's memory reflects the state at the point of failure.
 pub struct RunOutcome {
     machine: Machine,
     stats: RunStats,
     diagnostics: Diagnostics,
+    error: Option<RunError>,
 }
 
 impl RunOutcome {
-    /// Cycle, stall, traffic, and instruction-count statistics.
+    /// `Ok(())` if the run completed, or the typed [`RunError`] that
+    /// killed it (deadlock, watchdog hang, strict-mode incoherence
+    /// finding, unrecoverable fault corruption, app-thread death).
+    pub fn result(&self) -> Result<(), &RunError> {
+        match &self.error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The fault plan this run executed under, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.machine.fault_plan()
+    }
+
+    /// Cycle, stall, traffic, and instruction-count statistics. On a
+    /// failed run these cover the simulation up to the failure point.
     pub fn stats(&self) -> &RunStats {
         &self.stats
     }

@@ -19,9 +19,9 @@ use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use hic_core::{CohInstr, Target};
-use hic_machine::Op;
+use hic_machine::{Op, RunError};
 use hic_mem::{f32_to_word, word_to_f32, Region, Word, WordAddr};
-use hic_sim::ThreadId;
+use hic_sim::{Cycle, ThreadId};
 use hic_sync::SyncId;
 
 use crate::config::{Config, InterConfig, IntraConfig};
@@ -145,6 +145,12 @@ pub(crate) struct RtShared {
     pub checking: bool,
     /// Per-call-site plan substitutions (`hic-lint` optimizer output).
     pub overrides: Option<Arc<PlanOverrides>>,
+    /// Watchdog: fail the run with [`RunError::Hang`] once any core's
+    /// simulated clock exceeds this budget.
+    pub watchdog_cycles: Option<Cycle>,
+    /// Watchdog: fail the run with [`RunError::Hang`] once this much
+    /// host wall-clock time has elapsed.
+    pub watchdog_wall_ms: Option<u64>,
 }
 
 /// The per-thread handle applications program against.
@@ -664,7 +670,9 @@ impl Drop for ThreadCtx {
             // The app thread is unwinding mid-run (assertion failure in
             // app code, machine panic, ...). Wake every blocked sibling
             // so the run tears down instead of hanging.
-            self.engine.mark_dead("app thread died mid-run");
+            self.engine.mark_dead(RunError::ThreadDied {
+                detail: "app thread died mid-run".to_string(),
+            });
         }
     }
 }

@@ -46,20 +46,50 @@
 //! [`Transport::Sync`] — only the host-side reply waits disappear.
 //! [`EngineStats`] (surfaced through `RunStats::engine`) records how many.
 //!
-//! If every unfinished core is parked on synchronization, the program has
-//! deadlocked; the engine panics with a diagnostic (including each parked
-//! core's stall category and, when tracing is enabled, the recent
-//! operation history) rather than hanging.
+//! # Failure handling
+//!
+//! A run that cannot complete — deadlock, watchdog expiry (simulated-
+//! cycle budget or host wall-clock), a fatal sanitizer finding under
+//! `CheckMode::Strict`, or an unrecoverable injected fault — does not
+//! abort the process. The engine latches the *first* [`RunError`], wakes
+//! every blocked thread, and unwinds each app thread with a quiet
+//! sentinel payload that the thread wrapper catches; the scope joins
+//! normally and the error is returned alongside the stats, so a failed
+//! run leaves the process fully reusable. If every unfinished core is
+//! parked on synchronization the program has deadlocked, and the error
+//! names each parked core's stall category (plus the recent operation
+//! history when tracing is enabled).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
-use hic_machine::{Exec, Machine, Op, RunStats};
+use hic_machine::{Exec, Machine, Op, RunError, RunStats};
 use hic_mem::Word;
 use hic_sim::{CoreId, Cycle, EngineStats};
 
 use crate::ctx::{RtShared, ThreadCtx};
+
+/// Unwind payload used to exit app threads once the run is dead. The
+/// thread wrapper in [`run_threads`] catches it (and only it) so the
+/// typed [`RunError`] — not a panic — is what reaches the caller.
+struct EngineDead;
+
+/// Suppress the default "thread panicked" stderr line for [`EngineDead`]
+/// unwinds; every other payload still reaches the previous hook.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<EngineDead>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// How simulated threads ship ops to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,13 +180,25 @@ struct EngineCore {
     main_waiting: bool,
     done: usize,
     parked_now: u64,
-    /// Set on deadlock or app-thread death; every blocked thread exits.
-    dead: Option<String>,
+    /// First fatal condition of the run (deadlock, hang, fatal finding,
+    /// app-thread death); every blocked thread exits once it is set.
+    dead: Option<RunError>,
+    /// Watchdog: fail the run if any core's clock passes this budget.
+    watchdog_cycles: Option<Cycle>,
+    /// Watchdog: fail the run past this host-time deadline (checked
+    /// every [`WALL_CHECK_PERIOD`] ops to keep the hot path cheap).
+    deadline: Option<Instant>,
+    ops_since_wall_check: u32,
     stats: EngineStats,
 }
 
+/// How many executed ops between host wall-clock watchdog checks.
+const WALL_CHECK_PERIOD: u32 = 1024;
+
 impl EngineCore {
-    fn new(machine: Machine, nthreads: usize, scheduler: Scheduler) -> EngineCore {
+    fn new(machine: Machine, shared: &RtShared) -> EngineCore {
+        let nthreads = shared.nthreads;
+        let scheduler = shared.scheduler;
         let mut idle_heap = BinaryHeap::with_capacity(nthreads + 4);
         if scheduler == Scheduler::Heap {
             // Every core starts op-less at time 0.
@@ -181,6 +223,11 @@ impl EngineCore {
             done: 0,
             parked_now: 0,
             dead: None,
+            watchdog_cycles: shared.watchdog_cycles,
+            deadline: shared
+                .watchdog_wall_ms
+                .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+            ops_since_wall_check: 0,
             stats: EngineStats::new(),
         }
     }
@@ -338,12 +385,38 @@ impl EngineCore {
             }
             self.set_needs_op(i);
         }
-        // Under CheckMode::Strict the sanitizer latches the first finding;
-        // surface it as the run's death message so the program aborts at
-        // the faulty access instead of completing with bad data.
-        if let Some(msg) = self.machine.take_fatal() {
+        // Under CheckMode::Strict the sanitizer latches the first finding
+        // (and fault injection latches unrecoverable corruption); surface
+        // it as the run's error so the program stops at the faulty access
+        // instead of completing with bad data.
+        if let Some(err) = self.machine.take_fatal() {
             if self.dead.is_none() {
-                self.dead = Some(msg);
+                self.dead = Some(err);
+            }
+        }
+        if self.dead.is_none() {
+            if let Some(limit) = self.watchdog_cycles {
+                if self.time[c] > limit {
+                    self.dead = Some(RunError::Hang {
+                        detail: format!(
+                            "simulated-cycle budget exceeded: core{c} reached cycle {} \
+                             (budget {limit})",
+                            self.time[c]
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(dl) = self.deadline {
+            self.ops_since_wall_check += 1;
+            if self.ops_since_wall_check >= WALL_CHECK_PERIOD {
+                self.ops_since_wall_check = 0;
+                if self.dead.is_none() && Instant::now() >= dl {
+                    self.dead = Some(RunError::Hang {
+                        detail: "host wall-clock watchdog expired before the run completed"
+                            .to_string(),
+                    });
+                }
             }
         }
     }
@@ -354,8 +427,8 @@ impl EngineCore {
         self.needs_op == 0 && self.has_op == 0 && self.done < self.state.len()
     }
 
-    fn deadlock_message(&self) -> String {
-        let parked: Vec<String> = (0..self.state.len())
+    fn deadlock_error(&self) -> RunError {
+        let parked: Vec<(usize, String)> = (0..self.state.len())
             .filter(|&c| self.state[c] == CoreState::Parked)
             .map(|c| {
                 let cat = self
@@ -363,19 +436,15 @@ impl EngineCore {
                     .parked_category(CoreId(c))
                     .map(|cat| cat.label())
                     .unwrap_or("?");
-                format!("core{c} ({cat})")
+                (c, cat.to_string())
             })
             .collect();
-        let mut msg = format!(
-            "deadlock: no runnable core; parked cores: [{}] \
-             (a barrier is missing an arrival, or a lock is never released)",
-            parked.join(", ")
-        );
-        if self.machine.trace().enabled() {
-            msg.push_str("\nmost recent operations (oldest first):\n");
-            msg.push_str(&self.machine.trace().render());
-        }
-        msg
+        let trace_tail = if self.machine.trace().enabled() {
+            self.machine.trace().render()
+        } else {
+            String::new()
+        };
+        RunError::Deadlock { parked, trace_tail }
     }
 }
 
@@ -389,10 +458,10 @@ pub(crate) struct EngineShared {
 }
 
 impl EngineShared {
-    fn new(machine: Machine, nthreads: usize, scheduler: Scheduler) -> EngineShared {
+    fn new(machine: Machine, shared: &RtShared) -> EngineShared {
         EngineShared {
-            core: Mutex::new(EngineCore::new(machine, nthreads, scheduler)),
-            cvs: (0..nthreads).map(|_| Condvar::new()).collect(),
+            core: Mutex::new(EngineCore::new(machine, shared)),
+            cvs: (0..shared.nthreads).map(|_| Condvar::new()).collect(),
             cv_main: Condvar::new(),
         }
     }
@@ -422,36 +491,37 @@ impl EngineShared {
         self.cv_main.notify_all();
     }
 
-    /// Declare deadlock: record the message, wake every blocked thread,
-    /// release the lock, and panic with the message.
-    fn deadlock_panic(&self, mut g: MutexGuard<'_, EngineCore>) -> ! {
-        let msg = g.deadlock_message();
-        g.dead = Some(msg.clone());
+    /// Declare the run dead: latch the first error, wake every blocked
+    /// thread, release the lock, and unwind the calling app thread with
+    /// the quiet [`EngineDead`] sentinel (caught by its wrapper in
+    /// [`run_threads`], so this is teardown, not a process abort).
+    fn die(&self, mut g: MutexGuard<'_, EngineCore>, err: RunError) -> ! {
+        if g.dead.is_none() {
+            g.dead = Some(err);
+        }
         self.wake_everyone(&mut g);
         drop(g);
-        panic!("{msg}");
+        std::panic::panic_any(EngineDead);
     }
 
     /// Submit a fire-and-forget message (a batch or `Finish`) for core
     /// `c`, then execute everything that is safe to execute.
     pub(crate) fn submit(&self, c: usize, msg: Op) {
         let mut g = self.lock();
-        if g.dead.is_some() {
-            drop(g);
-            panic!("simulator hung up");
+        if let Some(err) = g.dead.clone() {
+            self.die(g, err);
         }
         g.enqueue(c, msg);
         while g.dead.is_none() && g.executable() {
             g.execute_one();
         }
-        if g.dead.is_some() {
-            self.wake_everyone(&mut g);
-            drop(g);
-            panic!("simulator hung up");
+        if let Some(err) = g.dead.clone() {
+            self.die(g, err);
         }
         self.flush_wakes(&mut g);
         if g.deadlocked() {
-            self.deadlock_panic(g);
+            let err = g.deadlock_error();
+            self.die(g, err);
         }
     }
 
@@ -460,19 +530,16 @@ impl EngineShared {
     /// this core's reply is produced.
     pub(crate) fn submit_await(&self, c: usize, op: Op) -> Option<Word> {
         let mut g = self.lock();
-        if g.dead.is_some() {
-            drop(g);
-            panic!("simulator hung up");
+        if let Some(err) = g.dead.clone() {
+            self.die(g, err);
         }
         g.enqueue(c, op);
         loop {
             // Check death *before* consuming a reply: when Strict
             // checking kills the run at this core's own faulty access,
             // the access has a reply, but the thread must die with it.
-            if g.dead.is_some() {
-                self.wake_everyone(&mut g);
-                drop(g);
-                panic!("simulator hung up");
+            if let Some(err) = g.dead.clone() {
+                self.die(g, err);
             }
             if let Some(r) = g.reply[c].take() {
                 self.flush_wakes(&mut g);
@@ -484,7 +551,8 @@ impl EngineShared {
             }
             self.flush_wakes(&mut g);
             if g.deadlocked() {
-                self.deadlock_panic(g);
+                let err = g.deadlock_error();
+                self.die(g, err);
             }
             g.waiting[c] = true;
             g = self.cvs[c].wait(g).unwrap_or_else(|e| e.into_inner());
@@ -492,18 +560,20 @@ impl EngineShared {
         }
     }
 
-    /// Block the spawning thread until every core has finished. The app
-    /// threads do all the driving — the final `Finish` submission drains
-    /// the remaining queues before its thread exits.
-    fn await_completion(&self) {
+    /// Block the spawning thread until every core has finished (returns
+    /// `None`) or the run dies (returns the latched error, after waking
+    /// every blocked app thread so the scope can join). The app threads
+    /// do all the driving — the final `Finish` submission drains the
+    /// remaining queues before its thread exits.
+    fn await_completion(&self) -> Option<RunError> {
         let mut g = self.lock();
         loop {
-            if let Some(msg) = g.dead.clone() {
-                drop(g);
-                panic!("{msg}");
+            if let Some(err) = g.dead.clone() {
+                self.wake_everyone(&mut g);
+                return Some(err);
             }
             if g.done == g.state.len() {
-                return;
+                return None;
             }
             g.main_waiting = true;
             g = self.cv_main.wait(g).unwrap_or_else(|e| e.into_inner());
@@ -513,23 +583,26 @@ impl EngineShared {
 
     /// Record that an app thread died without finishing, and wake every
     /// blocked thread so the run tears down instead of hanging.
-    pub(crate) fn mark_dead(&self, msg: &str) {
+    pub(crate) fn mark_dead(&self, err: RunError) {
         let mut g = self.lock();
         if g.dead.is_none() {
-            g.dead = Some(msg.to_string());
+            g.dead = Some(err);
         }
         self.wake_everyone(&mut g);
     }
 }
 
 /// Run `body` on `nthreads` simulated threads over `machine`.
-/// Returns the machine (for result inspection) and the run statistics.
+/// Returns the machine (for result inspection), the run statistics, and
+/// the [`RunError`] that killed the run, if any. Every app thread is
+/// woken and joined before this returns — even on failure the process is
+/// left reusable for further runs.
 pub(crate) fn run_threads<F>(
     machine: Machine,
     shared: Arc<RtShared>,
     nthreads: usize,
     body: F,
-) -> (Machine, RunStats)
+) -> (Machine, RunStats, Option<RunError>)
 where
     F: Fn(&ThreadCtx) + Send + Sync,
 {
@@ -540,33 +613,49 @@ where
         machine.config().num_cores()
     );
 
-    let engine = Arc::new(EngineShared::new(machine, nthreads, shared.scheduler));
+    install_quiet_hook();
+    let engine = Arc::new(EngineShared::new(machine, &shared));
     let body = &body;
-    std::thread::scope(|scope| {
+    let error = std::thread::scope(|scope| {
         for tid in 0..nthreads {
             let shared = Arc::clone(&shared);
             let engine = Arc::clone(&engine);
             scope.spawn(move || {
-                let ctx = ThreadCtx::new(tid, engine, shared);
-                body(&ctx);
-                ctx.finish();
+                let exit = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let ctx = ThreadCtx::new(tid, engine, shared);
+                    body(&ctx);
+                    ctx.finish();
+                }));
+                if let Err(payload) = exit {
+                    // EngineDead is the engine's own quiet teardown
+                    // signal — swallow it so the scope joins cleanly.
+                    // Anything else is a genuine app-thread panic: the
+                    // ThreadCtx destructor already latched ThreadDied
+                    // during the unwind (releasing the other threads),
+                    // so re-raise it for the caller to see.
+                    if !payload.is::<EngineDead>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
             });
         }
-        // The spawning thread waits for completion (and surfaces
-        // deadlock with the real message, since a panic from a scoped
-        // thread would be replaced by a generic one). If it panics, the
-        // scope unwinds with that payload; the dead flag makes blocked
-        // app threads exit so the join completes.
-        engine.await_completion();
+        // The spawning thread waits for completion; on death it returns
+        // the latched error after waking every blocked app thread, so
+        // the scope joins instead of hanging.
+        engine.await_completion()
     });
 
     let shared = Arc::try_unwrap(engine)
         .ok()
         .expect("all thread contexts are dropped after the scope joins");
     let core = shared.core.into_inner().unwrap_or_else(|e| e.into_inner());
-    let mut stats = core.machine.finish();
+    let mut stats = if error.is_some() {
+        core.machine.finish_after_failure()
+    } else {
+        core.machine.finish()
+    };
     stats.engine = core.stats;
-    (core.machine, stats)
+    (core.machine, stats, error)
 }
 
 #[cfg(test)]
@@ -590,6 +679,8 @@ mod tests {
             scheduler: Scheduler::default(),
             checking: false,
             overrides: None,
+            watchdog_cycles: None,
+            watchdog_wall_ms: None,
         });
         (machine, shared)
     }
@@ -597,7 +688,7 @@ mod tests {
     #[test]
     fn single_thread_store_load() {
         let (machine, shared) = harness(1, Config::Intra(IntraConfig::Base), Transport::default());
-        let (machine, stats) = run_threads(machine, shared, 1, |ctx| {
+        let (machine, stats, err) = run_threads(machine, shared, 1, |ctx| {
             let r = Region::new(WordAddr(16), 4);
             ctx.write(r, 0, 7);
             assert_eq!(ctx.read(r, 0), 7);
@@ -605,6 +696,7 @@ mod tests {
             // Post the value so a fresh reader (peek) sees it.
             ctx.coh(hic_core::CohInstr::wb_all());
         });
+        assert!(err.is_none());
         assert!(stats.total_cycles >= 100);
         assert_eq!(machine.peek_word(WordAddr(16)), 7);
     }
@@ -616,7 +708,7 @@ mod tests {
             let mut m2 = machine;
             let b = m2.alloc_barrier(4);
             let shared2 = shared;
-            let (_, stats) = run_threads(m2, shared2, 4, move |ctx| {
+            let (_, stats, _) = run_threads(m2, shared2, 4, move |ctx| {
                 let r = Region::new(WordAddr(16 * (1 + ctx.tid() as u64)), 4);
                 for i in 0..4 {
                     ctx.write(r, i, (ctx.tid() as u32 + 1) * 10 + i as u32);
@@ -656,10 +748,12 @@ mod tests {
                 scheduler,
                 checking: false,
                 overrides: None,
+                watchdog_cycles: None,
+                watchdog_wall_ms: None,
             });
             let mut m2 = Machine::incoherent(MachineConfig::intra_block());
             let b = m2.alloc_barrier(4);
-            let (_, stats) = run_threads(m2, shared, 4, move |ctx| {
+            let (_, stats, _) = run_threads(m2, shared, 4, move |ctx| {
                 let r = Region::new(WordAddr(16 * (1 + ctx.tid() as u64)), 4);
                 for i in 0..4 {
                     ctx.write(r, i, (ctx.tid() as u32 + 1) * 10 + i as u32);
@@ -682,7 +776,7 @@ mod tests {
         let (machine, shared) = harness(4, Config::Intra(IntraConfig::Hcc), Transport::default());
         let mut m2 = machine;
         let b = m2.alloc_barrier(4);
-        let (_, stats) = run_threads(m2, shared, 4, move |ctx| {
+        let (_, stats, _) = run_threads(m2, shared, 4, move |ctx| {
             ctx.compute(10 * (1 + ctx.tid() as u64));
             ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
         });
@@ -692,38 +786,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
     fn missing_barrier_arrival_is_detected() {
         let (mut machine, shared) =
             harness(2, Config::Intra(IntraConfig::Hcc), Transport::default());
         let b = machine.alloc_barrier(3); // 3 participants, only 2 threads!
-        run_threads(machine, shared, 2, move |ctx| {
+        let (_, _, err) = run_threads(machine, shared, 2, move |ctx| {
             ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
         });
+        let Some(RunError::Deadlock { parked, .. }) = err else {
+            unreachable!("expected a deadlock error, got {err:?}");
+        };
+        assert_eq!(parked.len(), 2, "both cores parked: {parked:?}");
     }
 
     #[test]
-    fn deadlock_panic_names_stall_categories_and_trace() {
+    fn deadlock_error_names_stall_categories_and_trace() {
         let (mut machine, shared) =
             harness(2, Config::Intra(IntraConfig::Hcc), Transport::default());
         machine.enable_trace(32);
         let b = machine.alloc_barrier(3);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_threads(machine, shared, 2, move |ctx| {
-                ctx.compute(5);
-                ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
-            });
-        }))
-        .expect_err("must deadlock");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        let (_, _, err) = run_threads(machine, shared, 2, move |ctx| {
+            ctx.compute(5);
+            ctx.barrier_with(crate::ctx::BarrierId(b), crate::ctx::BarrierOpts::none());
+        });
+        let msg = err.expect("must deadlock").to_string();
         assert!(msg.contains("deadlock"), "{msg}");
         assert!(
             msg.contains("barrier stall"),
             "stall category missing: {msg}"
         );
         assert!(msg.contains("BarrierArrive"), "trace tail missing: {msg}");
+    }
+
+    #[test]
+    fn cycle_watchdog_reports_hang() {
+        let (machine, _) = harness(1, Config::Intra(IntraConfig::Base), Transport::default());
+        let shared = Arc::new(RtShared {
+            config: Config::Intra(IntraConfig::Base),
+            locks: Vec::new(),
+            nthreads: 1,
+            transport: Transport::default(),
+            scheduler: Scheduler::default(),
+            checking: false,
+            overrides: None,
+            watchdog_cycles: Some(50),
+            watchdog_wall_ms: None,
+        });
+        let (_, _, err) = run_threads(machine, shared, 1, |ctx| {
+            for _ in 0..100 {
+                ctx.compute(10);
+            }
+        });
+        let Some(RunError::Hang { detail }) = err else {
+            unreachable!("expected a hang error, got {err:?}");
+        };
+        assert!(detail.contains("budget"), "{detail}");
     }
 }

@@ -31,6 +31,7 @@ pub use config::{Config, InterConfig, IntraConfig};
 pub use ctx::{BarrierId, BarrierOpts, FlagId, FlagOpts, LockId, SyncData, ThreadCtx};
 pub use engine::{Scheduler, Transport};
 pub use hic_check::{CheckMode, Diagnostics, Finding, FindingKind};
+pub use hic_machine::{FaultPlan, ResilienceStats, RunError};
 pub use mpi::MpiWorld;
 pub use plan::{coalesce_ops, CommOp, EpochPlan, PlanOverrides};
 pub use record::{ProgramRecord, RecEvent, RecSync, RecThread};

@@ -70,13 +70,17 @@ fn main() {
         "the finding names the missing WB (producer side)"
     );
 
-    // --- Part 3: CheckMode::Strict aborts the run on the spot. --------
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {})); // the abort is the point here
-    let aborted = std::panic::catch_unwind(|| buggy_run(CheckMode::Strict)).is_err();
-    std::panic::set_hook(hook);
-    println!("\nunder HIC_CHECK=strict the run aborts at the stale read: {aborted}");
-    assert!(aborted);
+    // --- Part 3: CheckMode::Strict fails the run on the spot. ---------
+    let (out, _) = buggy_run(CheckMode::Strict);
+    let err = out
+        .result()
+        .expect_err("strict checking must fail the buggy run");
+    println!("\nunder HIC_CHECK=strict the run fails at the stale read:");
+    println!(
+        "  {}: {}",
+        err.kind(),
+        err.to_string().lines().next().unwrap()
+    );
 
     // --- Part 4: the correct Figure 2 protocol is silent. -------------
     let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));

@@ -319,17 +319,12 @@ fn task_queue_annotated_is_clean() {
 
 #[test]
 fn strict_mode_aborts_with_a_rendered_diagnostic() {
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let err = std::panic::catch_unwind(|| {
-        let _ = task_queue_shape(IntraConfig::Base, true, false, CheckMode::Strict);
-    })
-    .expect_err("strict checking must abort the buggy run");
-    std::panic::set_hook(hook);
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+    let (out, _) = task_queue_shape(IntraConfig::Base, true, false, CheckMode::Strict);
+    let err = out
+        .result()
+        .expect_err("strict checking must abort the buggy run");
+    assert_eq!(err.kind(), "check_fatal");
+    let msg = err.to_string();
     assert!(msg.contains("incoherence detected"), "{msg}");
     assert!(msg.contains("stale read (missing WB)"), "{msg}");
 }
