@@ -115,7 +115,7 @@ pub fn hop_latency_sweep() -> Vec<(u64, u64, u64)> {
         .map(|&hop| {
             let mut mc = MachineConfig::intra_block();
             mc.hop_cycles = hop;
-            let base = cs_workload(Config::Intra(IntraConfig::Base), mc.clone(), 64, 4).cycles;
+            let base = cs_workload(Config::Intra(IntraConfig::Base), mc, 64, 4).cycles;
             let hcc = cs_workload(Config::Intra(IntraConfig::Hcc), mc, 64, 4).cycles;
             (hop, base, hcc)
         })

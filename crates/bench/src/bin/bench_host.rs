@@ -5,7 +5,8 @@
 //! transport ledger, so simulator performance is tracked PR over PR.
 //!
 //! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
-//!                    [--out <path>] [--micro] [--check] [--faults] [--lint]`
+//!                    [--out <path>] [--micro] [--check] [--faults] [--lint]
+//!                    [--geometry]`
 //!
 //! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
 //! computes the speedup against it. `--micro` additionally runs the
@@ -19,12 +20,18 @@
 //! statically verifies and optimizes every recorded app with `hic-lint`,
 //! records the verify / optimize host times, and simulates each app with
 //! the original and the minimized plans to record the WB/INV traffic
-//! deltas.
+//! deltas. `--geometry` runs the inter-block suite across the swept
+//! topology grid (2x2x2 through 8x8x4) under the three protocol
+//! families — incoherent Base, invalidation-based HCC (MESI), and
+//! update-based Dragon — and records cycles plus per-category traffic
+//! for every (shape, scheme, app) cell.
 
 use std::process::ExitCode;
 
 use hic_apps::Scale;
-use hic_bench::host::{run_check_overhead, run_fault_suite, run_lint_suite, run_suite, to_json};
+use hic_bench::host::{
+    run_check_overhead, run_fault_suite, run_geometry_matrix, run_lint_suite, run_suite, to_json,
+};
 use hic_bench::{bench_with_setup, Timing};
 use hic_runtime::{Config, IntraConfig, ProgramBuilder};
 
@@ -65,6 +72,7 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut faults = false;
     let mut lint = false;
+    let mut geometry = false;
     // Fixed seed for the canned fault plan: the sweep must be exactly
     // reproducible PR over PR.
     const FAULT_SEED: u64 = 2026;
@@ -103,11 +111,12 @@ fn main() -> ExitCode {
             "--check" => check = true,
             "--faults" => faults = true,
             "--lint" => lint = true,
+            "--geometry" => geometry = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro] [--check] [--faults] [--lint]"
+                     [--out <path>] [--micro] [--check] [--faults] [--lint] [--geometry]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -126,6 +135,9 @@ fn main() -> ExitCode {
     }
     if lint {
         report.lint = run_lint_suite(scale);
+    }
+    if geometry {
+        report.geometry = run_geometry_matrix(scale);
     }
 
     let wall = report.wall.as_secs_f64();
@@ -201,6 +213,23 @@ fn main() -> ExitCode {
             l.flits_after,
             -l.flit_savings_pct(),
             if l.clean && l.correct { "ok" } else { "FAIL" },
+        );
+    }
+
+    for g in &report.geometry {
+        println!(
+            "geometry: {:<8} {:<7} {:<8} {:>12} cycles | flits: {} fill, {} wb, {} inv, \
+             {} mem, {} l2l3 | {}",
+            g.shape,
+            g.scheme,
+            g.app,
+            g.cycles,
+            g.traffic.linefill,
+            g.traffic.writeback,
+            g.traffic.invalidation,
+            g.traffic.memory,
+            g.traffic.l2l3,
+            if g.correct { "ok" } else { "FAIL" },
         );
     }
 

@@ -51,6 +51,7 @@ fn table2() {
             IntraConfig::BI => "Base plus IEB",
             IntraConfig::BMI => "Base plus MEB and IEB",
             IntraConfig::Hcc => "Hardware cache coherence",
+            IntraConfig::Dragon => "Hardware cache coherence (update-based)",
         };
         println!("{:-8} {}", c.name(), desc);
     }
@@ -61,6 +62,7 @@ fn table2() {
             InterConfig::Addr => "WB of addresses to L3; INV of addresses from L2",
             InterConfig::AddrL => "WB_CONS and INV_PROD",
             InterConfig::Hcc => "Hardware cache coherence",
+            InterConfig::Dragon => "Hardware cache coherence (update-based)",
         };
         println!("{:-8} {}", c.name(), desc);
     }
@@ -94,18 +96,18 @@ fn table3() {
         );
         println!(
             "  L2: {} banks/block x {}KB, {}-way, {}-cycle RT",
-            cfg.l2_banks_per_block,
+            cfg.l2_banks_per_block(),
             cfg.l2.size_bytes / 1024,
             cfg.l2.ways,
             cfg.l2_rt
         );
-        if let Some(e) = &cfg.inter {
+        if let Some(l3) = cfg.l3() {
             println!(
                 "  L3: {} banks x {}MB, {}-way, {}-cycle RT",
-                e.l3_banks,
-                e.l3.size_bytes / (1024 * 1024),
-                e.l3.ways,
-                e.l3_rt
+                l3.banks,
+                l3.geometry.size_bytes / (1024 * 1024),
+                l3.geometry.ways,
+                l3.rt
             );
         }
         println!(

@@ -1,0 +1,55 @@
+//! Regenerate the golden table pinned by `tests/golden_equivalence.rs`.
+//!
+//! Dumps every (app, config) cell of the two paper suites at
+//! `Scale::Test` as Rust tuple literals — `("App", "Cfg", cycles,
+//! [linefill, writeback, invalidation, memory, l2l3, sync])` — ready to
+//! paste over the `GOLDEN` array. Only run this (and re-pin) after a
+//! change that *intentionally* shifts the timing or traffic model; the
+//! whole point of the golden test is that refactors keep the paper
+//! presets bit-identical.
+//!
+//! ```text
+//! cargo run --release -p hic-bench --bin golden_dump
+//! ```
+
+use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_runtime::{Config, InterConfig, IntraConfig};
+
+fn main() {
+    for app in intra_apps(Scale::Test) {
+        for cfg in IntraConfig::ALL {
+            let r = app.run(Config::Intra(cfg));
+            let t = r.stats.traffic;
+            println!(
+                "    (\"{}\", \"{}\", {}, [{}, {}, {}, {}, {}, {}]),",
+                app.name(),
+                cfg.name(),
+                r.stats.total_cycles,
+                t.linefill,
+                t.writeback,
+                t.invalidation,
+                t.memory,
+                t.l2l3,
+                t.sync
+            );
+        }
+    }
+    for app in inter_apps(Scale::Test) {
+        for cfg in InterConfig::ALL {
+            let r = app.run(Config::Inter(cfg));
+            let t = r.stats.traffic;
+            println!(
+                "    (\"{}\", \"{}\", {}, [{}, {}, {}, {}, {}, {}]),",
+                app.name(),
+                cfg.name(),
+                r.stats.total_cycles,
+                t.linefill,
+                t.writeback,
+                t.invalidation,
+                t.memory,
+                t.l2l3,
+                t.sync
+            );
+        }
+    }
+}

@@ -14,9 +14,9 @@
 use std::time::{Duration, Instant};
 
 use hic_apps::{inter_apps, intra_apps, Scale};
-use hic_machine::ResilienceStats;
+use hic_machine::{ResilienceStats, TrafficLedger};
 use hic_runtime::{Config, InterConfig, IntraConfig};
-use hic_sim::EngineStats;
+use hic_sim::{EngineStats, Topology, TopologyBuilder};
 
 use crate::harness::Timing;
 
@@ -136,6 +136,78 @@ impl LintRun {
     }
 }
 
+/// One cell of the protocol-comparison matrix (`--geometry`): an
+/// application on one swept topology under one protocol. The sweep pits
+/// the incoherent baseline against both hardware-coherent backends
+/// (invalidation-based MESI and update-based Dragon) on machine shapes
+/// the paper never built, so the comparison the paper makes on its two
+/// fixed geometries is tracked across the whole grid PR over PR.
+#[derive(Debug, Clone)]
+pub struct GeometryRun {
+    /// `"BxCxK"`: blocks x cores/block x L2 banks/block.
+    pub shape: String,
+    pub blocks: usize,
+    pub cores_per_block: usize,
+    pub l2_banks: usize,
+    /// `"Base"` (incoherent), `"HCC"` (MESI), or `"Dragon"`.
+    pub scheme: String,
+    pub app: String,
+    pub correct: bool,
+    pub cycles: u64,
+    /// Per-category flit totals of the simulated run.
+    pub traffic: TrafficLedger,
+    pub wall: Duration,
+}
+
+/// The swept geometry grid: 2x2x2 through 8x8x4 (blocks x cores/block x
+/// L2 banks/block), hierarchical shapes only, with the paper's 4x8 in
+/// the middle as the anchor point. Banks are capped at min(4, cores):
+/// L2 banks are colocated with the block's core tiles.
+pub fn geometry_grid() -> Vec<Topology> {
+    [(2, 2), (2, 4), (4, 4), (4, 8), (8, 8)]
+        .iter()
+        .map(|&(blocks, cores)| {
+            TopologyBuilder::new(blocks, cores)
+                .l2_banks_per_block(cores.min(4))
+                .validate()
+                .expect("geometry grid shapes are valid")
+        })
+        .collect()
+}
+
+/// Run the inter-block suite across [`geometry_grid`] under the three
+/// protocol families — incoherent `Base`, invalidation-based `HCC`
+/// (MESI), and update-based `Dragon` — timing each run and capturing
+/// cycles plus the per-category traffic ledger.
+pub fn run_geometry_matrix(scale: Scale) -> Vec<GeometryRun> {
+    let mut out = Vec::new();
+    for topo in geometry_grid() {
+        let shape = format!("{}x{}", topo.shape_label(), topo.l2_banks_per_block());
+        for scheme in [InterConfig::Base, InterConfig::Hcc, InterConfig::Dragon] {
+            let config = Config::Inter(scheme)
+                .with_topology(topo)
+                .expect("grid shapes are hierarchical");
+            for app in inter_apps(scale) {
+                let start = Instant::now();
+                let r = app.run(config);
+                out.push(GeometryRun {
+                    shape: shape.clone(),
+                    blocks: topo.blocks(),
+                    cores_per_block: topo.cores_per_block(),
+                    l2_banks: topo.l2_banks_per_block(),
+                    scheme: scheme.name().to_string(),
+                    app: app.name().to_string(),
+                    correct: r.correct,
+                    cycles: r.stats.total_cycles,
+                    traffic: r.stats.traffic,
+                    wall: start.elapsed(),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Aggregate of a whole suite sweep.
 #[derive(Debug, Clone, Default)]
 pub struct HostReport {
@@ -149,6 +221,8 @@ pub struct HostReport {
     pub faults: Option<FaultOverhead>,
     /// Static verifier/optimizer numbers, when measured (`--lint`).
     pub lint: Vec<LintRun>,
+    /// Protocol-comparison matrix over swept topologies (`--geometry`).
+    pub geometry: Vec<GeometryRun>,
     /// Host wall-clock of the whole sweep (sum of per-run walls plus
     /// setup; measured around the sweep, not summed).
     pub wall: Duration,
@@ -176,7 +250,7 @@ impl HostReport {
     }
 
     pub fn all_correct(&self) -> bool {
-        self.runs.iter().all(|r| r.correct)
+        self.runs.iter().all(|r| r.correct) && self.geometry.iter().all(|g| g.correct)
     }
 }
 
@@ -229,6 +303,7 @@ pub fn run_suite(scale: Scale) -> HostReport {
         check: None,
         faults: None,
         lint: Vec::new(),
+        geometry: Vec::new(),
         wall: t0.elapsed(),
     }
 }
@@ -503,6 +578,37 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"geometry\": [\n");
+    for (i, g) in report.geometry.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\":\"{}\",\"blocks\":{},\"cores_per_block\":{},\
+             \"l2_banks\":{},\"scheme\":\"{}\",\"app\":\"{}\",\
+             \"correct\":{},\"cycles\":{},\
+             \"traffic\":{{\"linefill\":{},\"writeback\":{},\"invalidation\":{},\
+             \"memory\":{},\"l2l3\":{},\"sync\":{}}},\"wall_s\":{}}}{}\n",
+            esc(&g.shape),
+            g.blocks,
+            g.cores_per_block,
+            g.l2_banks,
+            esc(&g.scheme),
+            esc(&g.app),
+            g.correct,
+            g.cycles,
+            g.traffic.linefill,
+            g.traffic.writeback,
+            g.traffic.invalidation,
+            g.traffic.memory,
+            g.traffic.l2l3,
+            g.traffic.sync,
+            f(g.wall.as_secs_f64()),
+            if i + 1 < report.geometry.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"runs\": [\n");
     for (i, r) in report.runs.iter().enumerate() {
         out.push_str(&format!(
@@ -606,6 +712,25 @@ mod tests {
                 wbinv_after: 400,
                 correct: true,
             }],
+            geometry: vec![GeometryRun {
+                shape: "2x4x4".into(),
+                blocks: 2,
+                cores_per_block: 4,
+                l2_banks: 4,
+                scheme: "Dragon".into(),
+                app: "Jacobi".into(),
+                correct: true,
+                cycles: 4321,
+                traffic: TrafficLedger {
+                    linefill: 11,
+                    writeback: 22,
+                    invalidation: 33,
+                    memory: 44,
+                    l2l3: 55,
+                    sync: 66,
+                },
+                wall: Duration::from_millis(2),
+            }],
             wall: Duration::from_millis(10),
         }
     }
@@ -651,6 +776,33 @@ mod tests {
         assert!(j.contains("\"downgraded\":21"));
         assert!(j.contains("\"flit_savings_pct\":10.000"));
         assert!(j.contains("\"wbinv_ops_after\":400"));
+    }
+
+    #[test]
+    fn json_carries_the_geometry_matrix() {
+        let j = to_json(&sample_report(), None);
+        assert!(j.contains("\"shape\":\"2x4x4\""));
+        assert!(j.contains("\"scheme\":\"Dragon\""));
+        assert!(j.contains("\"cycles\":4321"));
+        assert!(j.contains("\"invalidation\":33"));
+        assert!(j.contains("\"l2l3\":55"));
+    }
+
+    #[test]
+    fn incorrect_geometry_run_fails_the_report() {
+        let mut r = sample_report();
+        assert!(r.all_correct());
+        r.geometry[0].correct = false;
+        assert!(!r.all_correct());
+    }
+
+    #[test]
+    fn geometry_grid_spans_2x2_to_8x8_and_anchors_the_paper_shape() {
+        let grid = geometry_grid();
+        let labels: Vec<_> = grid.iter().map(|t| t.shape_label()).collect();
+        assert_eq!(labels, vec!["2x2", "2x4", "4x4", "4x8", "8x8"]);
+        assert!(grid.iter().all(|t| t.is_hierarchical()));
+        assert!(grid.iter().all(|t| t.l2_banks_per_block() <= 4));
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod report;
 
 pub use ablation::{hop_latency_sweep, ieb_capacity_sweep, meb_capacity_sweep, AblationPoint};
 pub use harness::{bench, bench_with_setup, Timing};
-pub use host::{HostReport, HostRun};
+pub use host::{geometry_grid, run_geometry_matrix, GeometryRun, HostReport, HostRun};
 pub use report::{
     fig10_rows, fig11_rows, fig12_rows, fig9_rows, Fig10Row, Fig11Row, Fig12Row, Fig9Row,
 };

@@ -1,15 +1,42 @@
-//! Full-map directory MESI, flat (one block) or hierarchical (blocks + L3).
+//! Update-based Dragon coherence, flat (one block) or hierarchical
+//! (blocks + L3) — the second citizen of the protocol zoo next to
+//! [`crate::MesiSystem`].
 //!
-//! Timing: every access returns its latency in cycles, composed of cache
-//! round trips (Table III) plus mesh hops. Invalidation and recall rounds
-//! complete when the farthest target acknowledges (messages fan out in
-//! parallel, so latency is the max, while traffic counts every message).
+//! Where MESI *invalidates* other copies on a write, Dragon *updates*
+//! them: a store to a shared line broadcasts the written word to every
+//! sharer, which patches its copy in place. Readers therefore never miss
+//! on a line they already hold — the classic trade: updates spend
+//! coherence-control bandwidth on every shared store to save the
+//! invalidate-plus-refetch round trips MESI pays on every reader.
 //!
-//! Value accuracy: lines carry real words; an M copy in an L1 is the only
-//! up-to-date copy until it is pulled down by a forward, recall, or
-//! writeback. `peek_word` (a simulator backdoor, no timing or traffic)
-//! always finds the newest value, which the test suite uses to check
-//! results.
+//! States per L1 line (absent = invalid):
+//!
+//! * `E` / `M` — exclusive clean / exclusive dirty, exactly as in MESI
+//!   (private lines are write-back; E upgrades to M silently).
+//! * `Sm` — shared, this core performed the last broadcast write.
+//! * `Sc` — shared clean copy, patched in place by other cores' updates.
+//!
+//! In the directory organization (no snooping bus), the shared levels
+//! play the `Sm` role for data: a broadcast write deposits the word
+//! *dirty* in the line's home L2 bank (and, when other blocks share the
+//! line, writes through to the home L3 bank), so every L1 copy — the
+//! writer's included — stays clean and byte-identical. The invariants:
+//!
+//! * all resident copies of a line hold identical words at all times;
+//! * only E/M lines carry dirty words in an L1;
+//! * `l3_dir` owner marks the one block whose L2 may be newer than L3
+//!   (set on exclusive fills and on block-local broadcast writes).
+//!
+//! A broadcast write that finds no other sharer anywhere converts the
+//! line back to `M` (the directory round discovered the line is private
+//! again), restoring zero-cost private writes.
+//!
+//! Timing mirrors MESI: a round completes when the farthest target
+//! acknowledges (max over fan-out legs) while traffic counts every
+//! message. Update messages carry one word (2 flits) and are recorded
+//! under the `Invalidation` category — the coherence-control column of
+//! paper Figure 10 — so the incoherent-vs-MESI-vs-Dragon matrix compares
+//! like with like.
 
 use fxhash::FxHashMap;
 
@@ -19,12 +46,23 @@ use hic_mem::{Cache, LineAddr, Memory, Word, WordAddr};
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
 use hic_sim::{CoreId, MachineConfig};
 
-/// Per-L1-line MESI state. Absent from the map = Invalid.
+/// Per-L1-line Dragon state. Absent from the map = Invalid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mesi {
-    S,
+pub enum Dragon {
+    /// Exclusive clean.
     E,
+    /// Shared clean (kept current by update broadcasts).
+    Sc,
+    /// Shared, last writer (data authority is the home L2/L3 copy).
+    Sm,
+    /// Modified exclusive (write-back, as in MESI).
     M,
+}
+
+impl Dragon {
+    fn is_shared(self) -> bool {
+        matches!(self, Dragon::Sc | Dragon::Sm)
+    }
 }
 
 /// Directory entry: full map over the children of this level
@@ -33,8 +71,8 @@ pub enum Mesi {
 struct DirEntry {
     /// Bitmask of children holding the line.
     sharers: u64,
-    /// Child holding the line exclusively (E or M), if any.
-    /// Invariant: `owner == Some(i)` implies `sharers == 1 << i`.
+    /// Child holding the line exclusively (E or M at L2; possibly-newer
+    /// L2 data at L3), if any.
     owner: Option<usize>,
 }
 
@@ -61,17 +99,17 @@ impl DirEntry {
     }
 }
 
-/// The hardware-coherent memory system.
+/// The update-based hardware-coherent memory system.
 #[derive(Debug)]
-pub struct MesiSystem {
+pub struct DragonSystem {
     cfg: MachineConfig,
     mesh: Mesh,
     cpb: usize,
     bpb: usize,
     /// Per-core private L1.
     l1: Vec<Cache>,
-    /// Per-core MESI state per resident line.
-    l1_state: Vec<FxHashMap<u64, Mesi>>,
+    /// Per-core Dragon state per resident line.
+    l1_state: Vec<FxHashMap<u64, Dragon>>,
     /// L2 banks, global index `block * bpb + bank`.
     l2: Vec<Cache>,
     /// Per-block directory over that block's cores.
@@ -85,15 +123,15 @@ pub struct MesiSystem {
     pub traffic: TrafficLedger,
 }
 
-impl MesiSystem {
-    pub fn new(cfg: MachineConfig) -> MesiSystem {
+impl DragonSystem {
+    pub fn new(cfg: MachineConfig) -> DragonSystem {
         let ncores = cfg.num_cores();
         let nblocks = cfg.num_blocks();
         let cpb = cfg.cores_per_block();
         let bpb = cfg.l2_banks_per_block();
         let l3 = cfg.l3();
         let l3_banks = l3.map(|l| l.banks).unwrap_or(0);
-        MesiSystem {
+        DragonSystem {
             mesh: Mesh::for_config(&cfg),
             cpb,
             bpb,
@@ -165,32 +203,41 @@ impl MesiSystem {
         self.mesh.rt_latency_to_corner(tile, l3b)
     }
 
+    /// Flits of one single-word update message.
+    fn update_flits(&self) -> u64 {
+        self.cfg.flits_for(self.cfg.word_bytes)
+    }
+
     // ------------------------------------------------------------------
     // L1 side
     // ------------------------------------------------------------------
 
-    fn l1_state_of(&self, c: CoreId, line: LineAddr) -> Option<Mesi> {
+    fn l1_state_of(&self, c: CoreId, line: LineAddr) -> Option<Dragon> {
         self.l1_state[c.0].get(&line.0).copied()
     }
 
     /// Install a line in an L1 with the given state, handling the victim.
-    /// Fills always arrive clean; an M installer dirties words as it
-    /// writes them.
-    fn l1_fill(&mut self, c: CoreId, line: LineAddr, data: [Word; WORDS_PER_LINE], st: Mesi) {
+    fn l1_fill(&mut self, c: CoreId, line: LineAddr, data: [Word; WORDS_PER_LINE], st: Dragon) {
         if let Some(victim) = self.l1[c.0].fill(line, data, 0) {
             self.l1_evict(c, victim);
         }
         self.l1_state[c.0].insert(line.0, st);
     }
 
-    /// Handle an L1 eviction: write dirty data back to the home L2 bank,
-    /// or send a replacement hint, and update the directory.
+    /// Handle an L1 eviction: write dirty data back to the home L2 bank
+    /// (only E/M lines can be dirty — shared copies are kept clean by the
+    /// broadcast write-through), or send a replacement hint, and update
+    /// the directory.
     fn l1_evict(&mut self, c: CoreId, victim: EvictedLine) {
         let line = victim.addr;
         let st = self.l1_state[c.0].remove(&line.0);
         debug_assert!(st.is_some(), "evicted line had no state");
         let blk = self.block_of(c);
         if victim.dirty != 0 {
+            debug_assert!(
+                matches!(st, Some(Dragon::E | Dragon::M)),
+                "shared Dragon copies must stay clean"
+            );
             let hb = self.home_bank(blk, line);
             let merged = self.l2[hb].merge_words(line, &victim.data, victim.dirty);
             debug_assert!(merged, "L2 must be inclusive of its L1s");
@@ -198,7 +245,8 @@ impl MesiSystem {
             self.traffic
                 .add(TrafficCategory::Writeback, self.cfg.flits_for(bytes));
         } else {
-            // Replacement hint keeps the full-map directory exact.
+            // Replacement hint keeps the full-map directory exact (and
+            // stops updates to a line nobody holds any more).
             self.traffic.add(TrafficCategory::Writeback, 1);
         }
         let local = self.local_idx(c);
@@ -211,7 +259,8 @@ impl MesiSystem {
     }
 
     // ------------------------------------------------------------------
-    // Block-level acquisition
+    // Block-level acquisition (same shapes as MESI: misses fetch through
+    // the hierarchy; only the write path differs between the protocols)
     // ------------------------------------------------------------------
 
     /// Ensure the block's L2 holds a readable copy of `line`; returns extra
@@ -225,7 +274,7 @@ impl MesiSystem {
         if self.is_hier() {
             let l3b = self.l3_bank(line);
             let mut lat = self.rt_core_to_l3(hb_tile, l3b) + self.l3_rt();
-            // Recall a remote exclusive block, if any.
+            // Recall a block whose L2 may be newer than L3, if any.
             let owner_blk = self.l3_dir.get(&line.0).and_then(|e| e.owner);
             if let Some(b) = owner_blk {
                 if b != blk {
@@ -265,14 +314,14 @@ impl MesiSystem {
         }
     }
 
-    /// Pull a possibly-dirty line from an exclusive block down into L3 and
-    /// downgrade the block to sharer. Returns the latency of the recall.
+    /// Pull a possibly-newer line from `owner_blk`'s L2 down into L3 and
+    /// clear the block-ownership mark. Returns the latency of the recall.
     fn recall_block_to_l3(&mut self, owner_blk: usize, line: LineAddr, l3b: usize) -> u64 {
         let hb = self.home_bank(owner_blk, line);
         let hb_tile = self.bank_tile(hb);
         let mut lat = self.rt_core_to_l3(hb_tile, l3b) + self.cfg.l2_rt;
         // First pull any L1 owner inside that block into its L2.
-        lat += self.pull_local_owner(owner_blk, line, hb, false, None);
+        lat += self.pull_local_owner(owner_blk, line, hb, None);
         // Then copy dirty words (if any) from L2 into L3.
         let (data, dirty) = match self.l2[hb].view(line) {
             Some(v) => (*v.data, v.dirty),
@@ -299,9 +348,10 @@ impl MesiSystem {
         lat
     }
 
-    /// If an L1 inside `blk` owns the line (E/M), pull its data into the
-    /// block's L2 and downgrade it (to S, or drop it entirely when
-    /// `drop_owner` — used by remote RFOs). Returns latency.
+    /// If an L1 inside `blk` holds the line exclusively (E/M), push its
+    /// dirty words into the block's L2 and downgrade it to `Sc` — under
+    /// Dragon the previous owner *keeps* its copy and simply joins the
+    /// sharer set (it will receive updates from now on). Returns latency.
     ///
     /// When the requesting core is known, the data is forwarded directly
     /// owner -> requester (three-hop protocol): the returned latency is
@@ -311,7 +361,6 @@ impl MesiSystem {
         blk: usize,
         line: LineAddr,
         hb: usize,
-        drop_owner: bool,
         requester: Option<CoreId>,
     ) -> u64 {
         let owner = match self.l2_dir[blk].get(&line.0).and_then(|e| e.owner) {
@@ -344,19 +393,9 @@ impl MesiSystem {
             let merged = self.l2[hb].merge_words(line, &data, dirty);
             debug_assert!(merged, "L2 must be inclusive of its L1s");
         }
-        if drop_owner {
-            self.l1[c.0].invalidate(line);
-            self.l1_state[c.0].remove(&line.0);
-            let e = self.l2_dir[blk].get_mut(&line.0).unwrap();
-            e.remove(owner);
-            if e.is_empty() {
-                self.l2_dir[blk].remove(&line.0);
-            }
-        } else {
-            self.l1[c.0].clean_line(line);
-            self.l1_state[c.0].insert(line.0, Mesi::S);
-            self.l2_dir[blk].get_mut(&line.0).unwrap().owner = None;
-        }
+        self.l1[c.0].clean_line(line);
+        self.l1_state[c.0].insert(line.0, Dragon::Sc);
+        self.l2_dir[blk].get_mut(&line.0).unwrap().owner = None;
         lat
     }
 
@@ -415,8 +454,8 @@ impl MesiSystem {
         if let Some(e) = self.l3_dir.remove(&line.0) {
             for blk in e.others(usize::MAX) {
                 let hb = self.home_bank(blk, line);
-                self.pull_local_owner(blk, line, hb, true, None);
-                // Drop every remaining L1 sharer, then the L2 copy.
+                self.pull_local_owner(blk, line, hb, None);
+                // Drop every L1 sharer, then the L2 copy.
                 if let Some(de) = self.l2_dir[blk].remove(&line.0) {
                     for local in de.others(usize::MAX) {
                         let c = CoreId(blk * self.cpb + local);
@@ -450,94 +489,130 @@ impl MesiSystem {
     }
 
     // ------------------------------------------------------------------
-    // Invalidation rounds
+    // The update broadcast (Dragon's replacement for MESI's
+    // invalidation round)
     // ------------------------------------------------------------------
 
-    /// Invalidate every copy of `line` other than requester `c`'s, at both
-    /// directory levels. Returns the latency of the round (max fan-out leg).
-    fn invalidate_others(&mut self, c: CoreId, line: LineAddr) -> u64 {
+    /// Broadcast the written word to every other copy of `line` and
+    /// deposit it in the shared levels. Returns `(latency, had_sharers)`;
+    /// with no other sharer anywhere the caller converts the line to `M`.
+    fn update_others(&mut self, c: CoreId, line: LineAddr, idx: usize, v: Word) -> (u64, bool) {
         let blk = self.block_of(c);
         let local = self.local_idx(c);
         let hb = self.home_bank(blk, line);
         let hb_tile = self.bank_tile(hb);
         let mut lat = 0;
+        let mut had_sharers = false;
 
-        // Local round: drop other L1 copies in this block.
-        if let Some(e) = self.l2_dir[blk].get(&line.0) {
-            let targets = e.others(local);
-            let mut max_leg = 0;
-            for t in &targets {
-                let c2 = CoreId(blk * self.cpb + t);
-                // Upgrades only happen when the requester holds S, so no
-                // other copy can be dirty; RFOs pull the owner separately.
-                self.l1[c2.0].invalidate(line);
-                self.l1_state[c2.0].remove(&line.0);
-                self.traffic.add(TrafficCategory::Invalidation, 2);
-                max_leg = max_leg.max(
-                    self.mesh
-                        .rt_latency(hb_tile, self.core_tile_of_local(blk, *t)),
-                );
-            }
-            if !targets.is_empty() {
-                lat = lat.max(max_leg);
-                let entry = self.l2_dir[blk].get_mut(&line.0).unwrap();
-                entry.sharers = 1 << local;
-                entry.owner = None;
-            }
+        let mut one = [0u32; WORDS_PER_LINE];
+        one[idx] = v;
+        let mask = 1u16 << idx;
+
+        // Local round: patch other L1 copies in this block in place.
+        let targets = self.l2_dir[blk]
+            .get(&line.0)
+            .map(|e| e.others(local))
+            .unwrap_or_default();
+        let mut max_leg = 0;
+        for t in &targets {
+            let c2 = CoreId(blk * self.cpb + t);
+            let hit = self.l1[c2.0].write_word(line, idx, v).is_some();
+            debug_assert!(hit, "directory lists a sharer without the line");
+            // Sharer copies stay clean: the home L2/L3 copy owns the
+            // dirtiness (it plays the Sm role at the shared level).
+            self.l1[c2.0].clean_words(line, mask);
+            debug_assert!(matches!(
+                self.l1_state[c2.0].get(&line.0),
+                Some(Dragon::Sc | Dragon::Sm)
+            ));
+            self.l1_state[c2.0].insert(line.0, Dragon::Sc);
+            self.traffic
+                .add(TrafficCategory::Invalidation, self.update_flits());
+            max_leg = max_leg.max(
+                self.mesh
+                    .rt_latency(hb_tile, self.core_tile_of_local(blk, *t)),
+            );
+        }
+        if !targets.is_empty() {
+            had_sharers = true;
+            lat = lat.max(max_leg);
         }
 
-        // Remote round: drop other blocks' copies via the L3 directory.
-        if self.is_hier() {
-            let remote: Vec<usize> = self
-                .l3_dir
+        // Remote round: patch other blocks' copies via the L3 directory.
+        let remote: Vec<usize> = if self.is_hier() {
+            self.l3_dir
                 .get(&line.0)
                 .map(|e| e.others(blk))
-                .unwrap_or_default();
-            if !remote.is_empty() {
-                let l3b = self.l3_bank(line);
-                let up = self.rt_core_to_l3(hb_tile, l3b) + self.l3_rt();
-                let mut max_leg = 0;
-                for b in remote {
-                    let bhb = self.home_bank(b, line);
-                    let bhb_tile = self.bank_tile(bhb);
-                    let mut leg = self.rt_core_to_l3(bhb_tile, l3b) + self.cfg.l2_rt;
-                    // Pull any dirty owner inside that block first, then
-                    // drop all its copies.
-                    leg += self.pull_local_owner(b, line, bhb, true, None);
-                    if let Some(de) = self.l2_dir[b].remove(&line.0) {
-                        for local2 in de.others(usize::MAX) {
-                            let c2 = CoreId(b * self.cpb + local2);
-                            self.l1[c2.0].invalidate(line);
-                            self.l1_state[c2.0].remove(&line.0);
-                            self.traffic.add(TrafficCategory::Invalidation, 2);
-                        }
-                    }
-                    if let Some(inv) = self.l2[bhb].invalidate(line) {
-                        if inv.dirty != 0 {
-                            let l3bank = self.l3_bank(line);
-                            let bytes = inv.dirty.count_ones() as usize * 4;
-                            self.traffic
-                                .add(TrafficCategory::L2L3, self.cfg.flits_for(bytes));
-                            self.l3[l3bank].merge_words(line, &inv.data, inv.dirty);
-                        }
-                    }
-                    self.traffic.add(TrafficCategory::Invalidation, 2);
-                    max_leg = max_leg.max(leg);
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        if !remote.is_empty() {
+            had_sharers = true;
+            let l3b = self.l3_bank(line);
+            let up = self.rt_core_to_l3(hb_tile, l3b) + self.l3_rt();
+            // Cross-block sharing writes through to the L3 home bank,
+            // which becomes the data authority; every L2 copy stays a
+            // clean mirror.
+            let merged = self.l3[l3b].merge_words(line, &one, mask);
+            debug_assert!(merged, "L3 holds every cross-block-shared line");
+            self.traffic.add(TrafficCategory::L2L3, self.update_flits());
+            let mut max_leg = 0;
+            for b in remote {
+                let bhb = self.home_bank(b, line);
+                let bhb_tile = self.bank_tile(bhb);
+                let leg = self.rt_core_to_l3(bhb_tile, l3b) + self.cfg.l2_rt;
+                // Patch the remote L2 mirror...
+                if self.l2[bhb].write_word(line, idx, v).is_some() {
+                    self.l2[bhb].clean_words(line, mask);
                 }
-                lat = lat.max(up + max_leg);
-                let e = self.l3_dir.get_mut(&line.0).unwrap();
-                e.sharers = 1 << blk;
-                e.owner = Some(blk);
-            } else {
-                // Even with no remote sharers, taking block ownership is a
-                // directory update; piggybacked on the L2 round (no extra
-                // latency), but the L3 entry must record it.
-                self.l3_dir.entry(line.0).or_default().owner = Some(blk);
-                let e = self.l3_dir.get_mut(&line.0).unwrap();
-                e.add(blk);
+                // ...and that block's L1 copies.
+                let locals = self.l2_dir[b]
+                    .get(&line.0)
+                    .map(|e| e.others(usize::MAX))
+                    .unwrap_or_default();
+                let mut fan = 0;
+                for local2 in locals {
+                    let c2 = CoreId(b * self.cpb + local2);
+                    let hit = self.l1[c2.0].write_word(line, idx, v).is_some();
+                    debug_assert!(hit, "directory lists a sharer without the line");
+                    self.l1[c2.0].clean_words(line, mask);
+                    self.l1_state[c2.0].insert(line.0, Dragon::Sc);
+                    self.traffic
+                        .add(TrafficCategory::Invalidation, self.update_flits());
+                    fan = fan.max(
+                        self.mesh
+                            .rt_latency(bhb_tile, self.core_tile_of_local(b, local2)),
+                    );
+                }
+                self.traffic
+                    .add(TrafficCategory::Invalidation, self.update_flits());
+                max_leg = max_leg.max(leg + fan);
+            }
+            lat = lat.max(up + max_leg);
+            // Every copy below L1 is current; no block is ahead of L3.
+            if let Some(e) = self.l3_dir.get_mut(&line.0) {
+                e.owner = None;
+            }
+            // The writer's own home L2 mirror is patched clean too (L3
+            // owns the dirtiness in cross-block mode).
+            if self.l2[hb].write_word(line, idx, v).is_some() {
+                self.l2[hb].clean_words(line, mask);
+            }
+        } else {
+            // Block-local sharing: the home L2 bank absorbs the word as
+            // dirty and this block becomes the one L3 must recall from.
+            let merged = self.l2[hb].merge_words(line, &one, mask);
+            debug_assert!(merged, "home L2 holds every shared line of its block");
+            self.traffic
+                .add(TrafficCategory::Writeback, self.update_flits());
+            if self.is_hier() {
+                if let Some(e) = self.l3_dir.get_mut(&line.0) {
+                    e.owner = Some(blk);
+                }
             }
         }
-        lat
+        (lat, had_sharers)
     }
 
     // ------------------------------------------------------------------
@@ -548,6 +623,8 @@ impl MesiSystem {
     pub fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
         let line = w.line();
         if self.l1_state_of(c, line).is_some() {
+            // Updates keep every resident copy fresh: a hit is always
+            // safe, whatever the state.
             let v = self.l1[c.0]
                 .read_word(line, w.index_in_line())
                 .expect("state/cache sync");
@@ -558,10 +635,11 @@ impl MesiSystem {
         let hb_tile = self.bank_tile(hb);
         let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
         lat += self.ensure_block_readable(blk, line);
-        // Forward from a local owner if one exists (three-hop).
-        lat += self.pull_local_owner(blk, line, hb, false, Some(c));
+        // Forward from a local owner if one exists (three-hop); the owner
+        // stays resident as Sc.
+        lat += self.pull_local_owner(blk, line, hb, Some(c));
         let data = *self.l2[hb].view(line).expect("block readable").data;
-        // E if no one else holds it anywhere; else S.
+        // E if no one else holds it anywhere; else Sc.
         let local_sharers = self.l2_dir[blk]
             .get(&line.0)
             .map(|e| e.sharers)
@@ -573,14 +651,14 @@ impl MesiSystem {
             true
         };
         let st = if local_sharers == 0 && exclusive_ok {
-            Mesi::E
+            Dragon::E
         } else {
-            Mesi::S
+            Dragon::Sc
         };
         let local = self.local_idx(c);
         let entry = self.l2_dir[blk].entry(line.0).or_default();
         entry.add(local);
-        if st == Mesi::E {
+        if st == Dragon::E {
             entry.owner = Some(local);
             // Record block-level exclusivity so a later remote request
             // recalls this block (an E copy may silently become M).
@@ -600,70 +678,94 @@ impl MesiSystem {
     /// Coherent store. Returns the access latency.
     pub fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
         let line = w.line();
+        let idx = w.index_in_line();
         match self.l1_state_of(c, line) {
-            Some(Mesi::M) => {
-                self.l1[c.0].write_word(line, w.index_in_line(), v);
+            Some(Dragon::M) => {
+                self.l1[c.0].write_word(line, idx, v);
                 self.cfg.l1_rt
             }
-            Some(Mesi::E) => {
-                // Silent E->M upgrade.
-                self.l1_state[c.0].insert(line.0, Mesi::M);
-                self.l1[c.0].write_word(line, w.index_in_line(), v);
+            Some(Dragon::E) => {
+                // Silent E->M upgrade, exactly as in MESI.
+                self.l1_state[c.0].insert(line.0, Dragon::M);
+                self.l1[c.0].write_word(line, idx, v);
                 self.cfg.l1_rt
             }
-            Some(Mesi::S) => {
-                // Upgrade: invalidate all other copies.
-                let blk = self.block_of(c);
-                let hb = self.home_bank(blk, line);
-                let hb_tile = self.bank_tile(hb);
-                let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
-                lat += self.invalidate_others(c, line);
-                let local = self.local_idx(c);
-                self.l2_dir[blk].get_mut(&line.0).unwrap().owner = Some(local);
-                self.l1_state[c.0].insert(line.0, Mesi::M);
-                self.l1[c.0].write_word(line, w.index_in_line(), v);
-                lat
-            }
-            None => {
-                // Read-for-ownership.
+            Some(st) if st.is_shared() => self.shared_write(c, line, idx, v),
+            _ => {
+                // Write miss: fetch the line, then write under whatever
+                // sharing situation the fetch found.
                 let blk = self.block_of(c);
                 let hb = self.home_bank(blk, line);
                 let hb_tile = self.bank_tile(hb);
                 let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
                 lat += self.ensure_block_readable(blk, line);
-                // Pull and drop any local owner; drop all other sharers.
-                lat += self.pull_local_owner(blk, line, hb, true, Some(c));
-                lat += self.invalidate_others(c, line);
+                lat += self.pull_local_owner(blk, line, hb, Some(c));
                 let data = *self.l2[hb].view(line).expect("block readable").data;
                 let local = self.local_idx(c);
                 let entry = self.l2_dir[blk].entry(line.0).or_default();
-                entry.sharers = 1 << local;
-                entry.owner = Some(local);
-                if self.is_hier() {
-                    let e = self.l3_dir.entry(line.0).or_default();
-                    e.add(blk);
-                    e.owner = Some(blk);
-                }
+                entry.add(local);
                 self.traffic
                     .add(TrafficCategory::Linefill, self.cfg.line_flits());
-                self.l1_fill(c, line, data, Mesi::M);
-                self.l1[c.0].write_word(line, w.index_in_line(), v);
+                self.l1_fill(c, line, data, Dragon::Sc);
+                self.l1[c.0].write_word(line, idx, v);
+                self.l1[c.0].clean_words(line, 1 << idx);
+                let (bcast, had_sharers) = self.update_others(c, line, idx, v);
+                lat += bcast;
+                if had_sharers {
+                    self.l1_state[c.0].insert(line.0, Dragon::Sm);
+                } else {
+                    // Nobody else holds it: the line is private after all.
+                    self.l1_state[c.0].insert(line.0, Dragon::M);
+                    self.l1[c.0].write_word(line, idx, v); // redo, dirty
+                    self.l2_dir[blk].get_mut(&line.0).unwrap().owner = Some(local);
+                    if self.is_hier() {
+                        self.l3_dir.entry(line.0).or_default().owner = Some(blk);
+                    }
+                }
                 lat
             }
         }
+    }
+
+    /// A store to a line this core shares: patch the local copy, then
+    /// broadcast. If the broadcast finds no other sharer (everyone
+    /// evicted), convert to `M` — the Dragon Sm->M transition.
+    fn shared_write(&mut self, c: CoreId, line: LineAddr, idx: usize, v: Word) -> u64 {
+        let blk = self.block_of(c);
+        let hb = self.home_bank(blk, line);
+        let hb_tile = self.bank_tile(hb);
+        let mut lat = self.cfg.l1_rt + self.mesh.rt_latency(c.0, hb_tile) + self.cfg.l2_rt;
+        self.l1[c.0].write_word(line, idx, v);
+        self.l1[c.0].clean_words(line, 1 << idx);
+        let (bcast, had_sharers) = self.update_others(c, line, idx, v);
+        lat += bcast;
+        if had_sharers {
+            self.l1_state[c.0].insert(line.0, Dragon::Sm);
+        } else {
+            let local = self.local_idx(c);
+            self.l1_state[c.0].insert(line.0, Dragon::M);
+            self.l1[c.0].write_word(line, idx, v); // redo, dirty
+            self.l2_dir[blk].get_mut(&line.0).unwrap().owner = Some(local);
+            if self.is_hier() {
+                self.l3_dir.entry(line.0).or_default().owner = Some(blk);
+            }
+        }
+        lat
     }
 
     // ------------------------------------------------------------------
     // Simulator backdoors (no timing, no traffic)
     // ------------------------------------------------------------------
 
-    /// Read the newest value of a word, wherever it lives.
+    /// Read the newest value of a word, wherever it lives. Under Dragon
+    /// every copy of a shared line is identical, so any resident copy is
+    /// as good as the authority.
     pub fn peek_word(&self, w: WordAddr) -> Word {
         let line = w.line();
         let idx = w.index_in_line();
         // An M/E L1 copy is newest.
         for (c, states) in self.l1_state.iter().enumerate() {
-            if matches!(states.get(&line.0), Some(Mesi::M | Mesi::E)) {
+            if matches!(states.get(&line.0), Some(Dragon::M | Dragon::E)) {
                 if let Some(v) = self.l1[c].view(line) {
                     return v.data[idx];
                 }
@@ -684,9 +786,7 @@ impl MesiSystem {
                 }
             }
         }
-        // Any clean cached copy equals memory... except memory may be
-        // stale if a clean S copy exists above a dirty L2/L3 copy, which
-        // the scans above already caught.
+        // Any clean cached copy equals the authority below it.
         for bank in &self.l2 {
             if let Some(v) = bank.view(line) {
                 return v.data[idx];
@@ -716,9 +816,10 @@ impl MesiSystem {
         self.mem.write_word(w, v);
     }
 
-    /// Directory invariant check, used by property tests: an owner implies
-    /// exactly one sharer, and every sharer bit corresponds to a resident
-    /// L1 line with a matching state.
+    /// Protocol invariant check, used by property tests: directories
+    /// match L1 residency; an owner implies sole local sharership; and —
+    /// Dragon's defining property — every resident copy of a line holds
+    /// identical words, with dirty words confined to E/M owners.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (blk, dir) in self.l2_dir.iter().enumerate() {
             for (laddr, e) in dir {
@@ -742,16 +843,35 @@ impl MesiSystem {
                 }
             }
         }
-        // And the reverse: resident L1 lines are listed.
         for (c, states) in self.l1_state.iter().enumerate() {
             let blk = c / self.cpb;
-            for laddr in states.keys() {
+            for (laddr, st) in states {
                 let listed = self.l2_dir[blk]
                     .get(laddr)
                     .map(|e| e.holds(c % self.cpb))
                     .unwrap_or(false);
                 if !listed {
                     return Err(format!("core {c} line {laddr} resident but unlisted"));
+                }
+                let view = self.l1[c]
+                    .view(LineAddr(*laddr))
+                    .ok_or_else(|| format!("core {c} line {laddr} stated but not cached"))?;
+                if st.is_shared() && view.dirty != 0 {
+                    return Err(format!("core {c} line {laddr} shared but dirty"));
+                }
+            }
+        }
+        // All resident copies of a line are byte-identical.
+        let mut seen: FxHashMap<u64, [Word; WORDS_PER_LINE]> = FxHashMap::default();
+        for (c, states) in self.l1_state.iter().enumerate() {
+            for laddr in states.keys() {
+                let data = *self.l1[c].view(LineAddr(*laddr)).expect("checked").data;
+                if let Some(prev) = seen.get(laddr) {
+                    if *prev != data {
+                        return Err(format!("line {laddr} has diverged copies (core {c})"));
+                    }
+                } else {
+                    seen.insert(*laddr, data);
                 }
             }
         }
@@ -764,12 +884,12 @@ mod tests {
     use super::*;
     use hic_mem::Addr;
 
-    fn flat() -> MesiSystem {
-        MesiSystem::new(MachineConfig::intra_block())
+    fn flat() -> DragonSystem {
+        DragonSystem::new(MachineConfig::intra_block())
     }
 
-    fn hier() -> MesiSystem {
-        MesiSystem::new(MachineConfig::inter_block())
+    fn hier() -> DragonSystem {
+        DragonSystem::new(MachineConfig::inter_block())
     }
 
     fn w(byte: u64) -> WordAddr {
@@ -782,13 +902,8 @@ mod tests {
         m.poke_word(w(0x1000), 77);
         let (v, lat) = m.read(CoreId(0), w(0x1000));
         assert_eq!(v, 77);
-        assert!(
-            lat > m.config().l1_rt,
-            "cold miss must cost more than a hit"
-        );
+        assert!(lat > m.config().l1_rt);
         assert!(m.traffic.memory > 0);
-        assert!(m.traffic.linefill > 0);
-        // Second read hits.
         let (v2, lat2) = m.read(CoreId(0), w(0x1000));
         assert_eq!(v2, 77);
         assert_eq!(lat2, m.config().l1_rt);
@@ -796,34 +911,22 @@ mod tests {
     }
 
     #[test]
-    fn store_then_remote_load_forwards_fresh_value() {
+    fn update_keeps_sharers_hitting() {
         let mut m = flat();
-        m.write(CoreId(0), w(0x2000), 123);
-        let (v, _) = m.read(CoreId(5), w(0x2000));
-        assert_eq!(v, 123, "MESI must forward the dirty copy");
-        m.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn write_invalidates_sharers() {
-        let mut m = flat();
-        m.poke_word(w(0x3000), 1);
-        // Three readers share the line.
+        m.poke_word(w(0x2000), 1);
         for c in [0, 1, 2] {
-            let (v, _) = m.read(CoreId(c), w(0x3000));
-            assert_eq!(v, 1);
+            assert_eq!(m.read(CoreId(c), w(0x2000)).0, 1);
         }
-        let inv_before = m.traffic.invalidation;
-        m.write(CoreId(0), w(0x3000), 2);
-        assert!(
-            m.traffic.invalidation > inv_before,
-            "upgrade sends invalidations"
-        );
-        // The other cores re-read and see the new value.
+        let fills_before = m.traffic.linefill;
+        m.write(CoreId(0), w(0x2000), 2);
+        // The defining Dragon behavior: the other sharers still *hit*
+        // and see the new value — no refetch, no linefill.
         for c in [1, 2] {
-            let (v, _) = m.read(CoreId(c), w(0x3000));
+            let (v, lat) = m.read(CoreId(c), w(0x2000));
             assert_eq!(v, 2);
+            assert_eq!(lat, m.config().l1_rt, "updated copy must still hit");
         }
+        assert_eq!(m.traffic.linefill, fills_before, "updates avoid refills");
         m.check_invariants().unwrap();
     }
 
@@ -833,31 +936,53 @@ mod tests {
         m.poke_word(w(0x4000), 9);
         m.read(CoreId(3), w(0x4000));
         let inv_before = m.traffic.invalidation;
-        // Sole reader got E; the write upgrades silently.
         let lat = m.write(CoreId(3), w(0x4000), 10);
-        assert_eq!(lat, m.config().l1_rt);
+        assert_eq!(lat, m.config().l1_rt, "E->M is silent");
         assert_eq!(m.traffic.invalidation, inv_before);
         assert_eq!(m.peek_word(w(0x4000)), 10);
     }
 
     #[test]
-    fn false_sharing_ping_pong_counts_invalidations() {
+    fn sm_converts_to_m_when_sharers_evaporate() {
         let mut m = flat();
-        // Two cores write different words of the same line repeatedly.
-        let a = w(0x5000);
+        m.poke_word(w(0x5000), 1);
+        m.read(CoreId(0), w(0x5000));
+        m.read(CoreId(1), w(0x5000));
+        m.write(CoreId(0), w(0x5000), 2);
+        assert_eq!(m.l1_state_of(CoreId(0), w(0x5000).line()), Some(Dragon::Sm));
+        // Core 1's copy leaves (direct invalidate models its eviction).
+        let line = w(0x5000).line();
+        m.l1[1].invalidate(line);
+        m.l1_state[1].remove(&line.0);
+        if let Some(e) = m.l2_dir[0].get_mut(&line.0) {
+            e.remove(1);
+        }
+        // Next shared write discovers it is alone and converts to M.
+        m.write(CoreId(0), w(0x5000), 3);
+        assert_eq!(m.l1_state_of(CoreId(0), w(0x5000).line()), Some(Dragon::M));
+        // ...after which writes are L1-local again.
+        let lat = m.write(CoreId(0), w(0x5000), 4);
+        assert_eq!(lat, m.config().l1_rt);
+        assert_eq!(m.peek_word(w(0x5000)), 4);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_updates_without_refills() {
+        let mut m = flat();
+        let a = w(0x6000);
         let b = WordAddr(a.0 + 1);
         m.write(CoreId(0), a, 1);
         m.write(CoreId(1), b, 2);
-        let inv_once = m.traffic.invalidation;
-        assert!(inv_once > 0, "second writer must invalidate the first");
+        let fills_once = m.traffic.linefill;
         for i in 0..10 {
             m.write(CoreId(0), a, i);
             m.write(CoreId(1), b, i);
         }
-        assert!(
-            m.traffic.invalidation > inv_once,
-            "ping-pong keeps invalidating"
-        );
+        // MESI would ping-pong ownership with a refill per write; Dragon
+        // keeps both copies resident and only exchanges word updates.
+        assert_eq!(m.traffic.linefill, fills_once);
+        assert!(m.traffic.invalidation > 0, "updates are counted as control");
         assert_eq!(m.peek_word(a), 9);
         assert_eq!(m.peek_word(b), 9);
         m.check_invariants().unwrap();
@@ -866,60 +991,26 @@ mod tests {
     #[test]
     fn cross_block_communication_in_hierarchical_machine() {
         let mut m = hier();
-        // Core 0 (block 0) writes; core 31 (block 3) reads.
-        m.write(CoreId(0), w(0x6000), 55);
-        let (v, lat) = m.read(CoreId(31), w(0x6000));
+        m.write(CoreId(0), w(0x7000), 55);
+        let (v, lat) = m.read(CoreId(31), w(0x7000));
         assert_eq!(v, 55, "recall through L3 must deliver the dirty data");
         assert!(lat > 0);
-        assert!(m.traffic.l2l3 > 0, "cross-block transfer moves data via L3");
+        assert!(m.traffic.l2l3 > 0);
+        // A subsequent cross-block write updates the remote copy in place.
+        m.write(CoreId(31), w(0x7000), 56);
+        let (v, lat) = m.read(CoreId(0), w(0x7000));
+        assert_eq!(v, 56, "block 0's copy must have been patched");
+        assert_eq!(lat, m.config().l1_rt, "no refetch under Dragon");
         m.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn cross_block_write_invalidates_remote_block() {
-        let mut m = hier();
-        m.poke_word(w(0x7000), 5);
-        m.read(CoreId(0), w(0x7000)); // block 0 caches it
-        m.read(CoreId(8), w(0x7000)); // block 1 caches it
-        m.write(CoreId(0), w(0x7000), 6);
-        let (v, _) = m.read(CoreId(8), w(0x7000));
-        assert_eq!(v, 6, "block 1 must have been invalidated and refetch");
-        m.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn intra_block_read_in_hier_machine_does_not_touch_l3_dir_owner() {
-        let mut m = hier();
-        m.write(CoreId(1), w(0x8000), 3);
-        let (v, _) = m.read(CoreId(2), w(0x8000)); // same block
-        assert_eq!(v, 3);
-        m.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn peek_finds_value_at_every_level() {
-        let mut m = flat();
-        // In memory only.
-        m.poke_word(w(0x9000), 1);
-        assert_eq!(m.peek_word(w(0x9000)), 1);
-        // Dirty in an L1.
-        m.write(CoreId(0), w(0x9000), 2);
-        assert_eq!(m.peek_word(w(0x9000)), 2);
-        // After a remote read pulls it into L2 (dirty there, owner gone).
-        m.read(CoreId(1), w(0x9000));
-        assert_eq!(m.peek_word(w(0x9000)), 2);
     }
 
     #[test]
     fn capacity_evictions_write_back_dirty_data() {
         let mut m = flat();
-        // Write more lines mapping to one L1 set than its associativity.
-        // L1: 128 sets, so lines 0, 128, 256, ... collide. 4 ways.
-        let step = 128 * 64; // one set apart in bytes
+        let step = 128 * 64; // one L1 set apart in bytes
         for i in 0..8u64 {
             m.write(CoreId(0), w(i * step), i as Word + 1);
         }
-        // All values must survive (in L2 or memory).
         for i in 0..8u64 {
             assert_eq!(m.peek_word(w(i * step)), i as Word + 1);
         }
@@ -928,18 +1019,15 @@ mod tests {
     }
 
     #[test]
-    fn latency_scales_with_distance_to_home_bank() {
+    fn peek_finds_value_at_every_level() {
         let mut m = flat();
-        // Line 0's home bank is bank 0 at tile 0. Core 0 is local; core 15
-        // is 6 hops away.
-        m.poke_word(w(0), 1);
-        let (_, lat_local) = m.read(CoreId(0), w(0));
-        let mut m2 = flat();
-        m2.poke_word(w(0), 1);
-        let (_, lat_remote) = m2.read(CoreId(15), w(0));
-        assert!(
-            lat_remote > lat_local,
-            "remote bank access ({lat_remote}) must exceed local ({lat_local})"
-        );
+        m.poke_word(w(0x9000), 1);
+        assert_eq!(m.peek_word(w(0x9000)), 1);
+        m.write(CoreId(0), w(0x9000), 2);
+        assert_eq!(m.peek_word(w(0x9000)), 2);
+        m.read(CoreId(1), w(0x9000));
+        assert_eq!(m.peek_word(w(0x9000)), 2);
+        m.write(CoreId(1), w(0x9000), 3);
+        assert_eq!(m.peek_word(w(0x9000)), 3);
     }
 }

@@ -1,17 +1,27 @@
-//! The hardware-coherent baseline (HCC): a full-map directory-based MESI
-//! protocol, flat for the single-block machine and hierarchical for the
-//! multi-block machine (paper §VI: "a hierarchical full-mapped
-//! directory-based MESI protocol").
+//! The hardware-coherent protocol zoo: directory-based protocols the
+//! incoherent machine is compared against.
 //!
-//! The protocol is value-accurate and timing-annotated: every transition
-//! moves real data between the L1s, L2 banks, optional L3 banks, and
-//! memory, returns the access latency in cycles, and records flits in the
-//! traffic ledger (linefill / writeback / invalidation / memory / L2-L3).
+//! * [`MesiSystem`] — the HCC baseline, a full-map directory-based MESI
+//!   protocol, flat for the single-block machine and hierarchical for the
+//!   multi-block machine (paper §VI: "a hierarchical full-mapped
+//!   directory-based MESI protocol").
+//! * [`DragonSystem`] — an update-based Dragon protocol over the same
+//!   directory organization: writes to shared lines broadcast word
+//!   updates instead of invalidating, trading control bandwidth for the
+//!   refetch misses MESI charges readers.
+//!
+//! Both protocols are value-accurate and timing-annotated: every
+//! transition moves real data between the L1s, L2 banks, optional L3
+//! banks, and memory, returns the access latency in cycles, and records
+//! flits in the traffic ledger (linefill / writeback / invalidation /
+//! memory / L2-L3).
 //!
 //! Directory placement follows the paper's organization: each line has a
 //! home L2 bank inside its block (full map over the block's cores), and —
 //! in the hierarchical machine — a home L3 bank (full map over blocks).
 
+pub mod dragon;
 pub mod mesi;
 
+pub use dragon::{Dragon, DragonSystem};
 pub use mesi::{Mesi, MesiSystem};

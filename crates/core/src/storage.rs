@@ -50,11 +50,10 @@ fn hierarchy_lines(cfg: &MachineConfig) -> (u64, u64, u64) {
     let cores = cfg.num_cores() as u64;
     let l1_lines = cores * cfg.l1.num_lines() as u64;
     let l2_lines =
-        cfg.num_blocks() as u64 * cfg.l2_banks_per_block as u64 * cfg.l2.num_lines() as u64;
+        cfg.num_blocks() as u64 * cfg.l2_banks_per_block() as u64 * cfg.l2.num_lines() as u64;
     let l3_lines = cfg
-        .inter
-        .as_ref()
-        .map(|e| e.l3_banks as u64 * e.l3.num_lines() as u64)
+        .l3()
+        .map(|l| l.banks as u64 * l.geometry.num_lines() as u64)
         .unwrap_or(0);
     (l1_lines, l2_lines, l3_lines)
 }

@@ -41,7 +41,7 @@ use hic_check::{FindingKind, SyncOp, SyncRef};
 use hic_core::VectorClock;
 use hic_mem::addr::WORDS_PER_LINE;
 use hic_mem::Region;
-use hic_runtime::{CommOp, Config, InterConfig, ProgramRecord, RecEvent, RecSync};
+use hic_runtime::{CommOp, InterConfig, ProgramRecord, RecEvent, RecSync, Scheme};
 use hic_sim::ThreadId;
 
 use crate::report::{LintFinding, LintReport};
@@ -134,7 +134,7 @@ pub(crate) struct Lowered {
 pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
     let cfg = rec.config;
     let coherent = cfg.is_coherent();
-    let inter = matches!(cfg, Config::Inter(_));
+    let inter = matches!(cfg.scheme(), Scheme::Inter(_));
     let cpb = cfg.machine_config().cores_per_block();
     let mut ops: Vec<OpInfo> = Vec::new();
     let mut streams = Vec::with_capacity(rec.nthreads);
@@ -163,13 +163,13 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                     if coherent {
                         continue;
                     }
-                    match cfg {
-                        Config::Inter(InterConfig::Base) => s.push(AOp::Wb {
+                    match cfg.scheme() {
+                        Scheme::Inter(InterConfig::Base) => s.push(AOp::Wb {
                             target: ATarget::All,
                             global: true,
                             id: None,
                         }),
-                        Config::Inter(InterConfig::Addr) => {
+                        Scheme::Inter(InterConfig::Addr) => {
                             for (i, op) in plan.wb.iter().enumerate() {
                                 s.push(AOp::Wb {
                                     target: ATarget::Range(op.region),
@@ -178,7 +178,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Inter(InterConfig::AddrL) => {
+                        Scheme::Inter(InterConfig::AddrL) => {
                             for (i, op) in plan.wb.iter().enumerate() {
                                 // WB_CONS: global iff the consumer is not
                                 // in the issuer's block (`wb_is_global`).
@@ -190,7 +190,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Intra(_) => {
+                        Scheme::Intra(_) => {
                             for (i, op) in plan.wb.iter().enumerate() {
                                 s.push(AOp::Wb {
                                     target: ATarget::Range(op.region),
@@ -199,7 +199,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Inter(InterConfig::Hcc) => unreachable!(),
+                        Scheme::Inter(InterConfig::Hcc | InterConfig::Dragon) => unreachable!(),
                     }
                 }
                 RecEvent::PlanInv(plan) => {
@@ -208,13 +208,13 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                     if coherent {
                         continue;
                     }
-                    match cfg {
-                        Config::Inter(InterConfig::Base) => s.push(AOp::Inv {
+                    match cfg.scheme() {
+                        Scheme::Inter(InterConfig::Base) => s.push(AOp::Inv {
                             target: ATarget::All,
                             global: true,
                             id: None,
                         }),
-                        Config::Inter(InterConfig::Addr) => {
+                        Scheme::Inter(InterConfig::Addr) => {
                             for (i, op) in plan.inv.iter().enumerate() {
                                 s.push(AOp::Inv {
                                     target: ATarget::Range(op.region),
@@ -223,7 +223,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Inter(InterConfig::AddrL) => {
+                        Scheme::Inter(InterConfig::AddrL) => {
                             for (i, op) in plan.inv.iter().enumerate() {
                                 // INV_PROD: global iff the producer is not
                                 // in the issuer's block (`inv_is_global`).
@@ -235,7 +235,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Intra(_) => {
+                        Scheme::Intra(_) => {
                             for (i, op) in plan.inv.iter().enumerate() {
                                 s.push(AOp::Inv {
                                     target: ATarget::Range(op.region),
@@ -244,7 +244,7 @@ pub(crate) fn lower(rec: &ProgramRecord) -> Lowered {
                                 });
                             }
                         }
-                        Config::Inter(InterConfig::Hcc) => unreachable!(),
+                        Scheme::Inter(InterConfig::Hcc | InterConfig::Dragon) => unreachable!(),
                     }
                 }
                 RecEvent::Barrier { bar, wb, inv } => {

@@ -17,7 +17,7 @@
 //!   experiments.
 
 use hic_check::Checker;
-use hic_coherence::MesiSystem;
+use hic_coherence::{DragonSystem, MesiSystem};
 use hic_core::CohInstr;
 use hic_fault::{FaultPlan, ResilienceStats};
 use hic_mem::{Memory, Word, WordAddr};
@@ -31,8 +31,10 @@ use crate::incoherent::{IncCounters, IncoherentSystem};
 pub enum BackendKind {
     /// Software-managed (WB/INV) incoherent hierarchy.
     Incoherent,
-    /// Hardware-coherent directory MESI.
+    /// Hardware-coherent invalidation-based directory MESI.
     Coherent,
+    /// Hardware-coherent update-based directory Dragon.
+    CoherentUpdate,
     /// Flat always-fresh reference store (correctness oracle).
     Reference,
 }
@@ -295,6 +297,51 @@ impl MemBackend for MesiSystem {
     }
 }
 
+impl MemBackend for DragonSystem {
+    fn kind(&self) -> BackendKind {
+        BackendKind::CoherentUpdate
+    }
+
+    fn read(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        DragonSystem::read(self, c, w)
+    }
+
+    fn write(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        DragonSystem::write(self, c, w, v)
+    }
+
+    /// Uncacheable semantics degenerate to plain coherent accesses under
+    /// Dragon — updates keep every copy fresh by construction.
+    fn read_uncached(&mut self, c: CoreId, w: WordAddr) -> (Word, u64) {
+        DragonSystem::read(self, c, w)
+    }
+
+    fn write_uncached(&mut self, c: CoreId, w: WordAddr, v: Word) -> u64 {
+        DragonSystem::write(self, c, w, v)
+    }
+
+    /// Like MESI, Dragon needs no WB/INV: they retire in zero cycles.
+    fn exec_coh(&mut self, _c: CoreId, instr: CohInstr) -> (u64, bool) {
+        (0, matches!(instr, CohInstr::Wb { .. }))
+    }
+
+    fn traffic(&self) -> TrafficLedger {
+        self.traffic
+    }
+
+    fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    fn peek_word(&self, w: WordAddr) -> Word {
+        DragonSystem::peek_word(self, w)
+    }
+
+    fn poke_word(&mut self, w: WordAddr, v: Word) {
+        DragonSystem::poke_word(self, w, v);
+    }
+}
+
 /// A flat, always-fresh memory with uniform access latency.
 ///
 /// Every load and store goes straight to one shared word-addressed store:
@@ -390,18 +437,15 @@ mod tests {
     #[test]
     fn backends_report_their_kind() {
         let cfg = MachineConfig::intra_block();
-        assert_eq!(
-            IncoherentSystem::new(cfg.clone()).kind(),
-            BackendKind::Incoherent
-        );
-        assert_eq!(MesiSystem::new(cfg.clone()).kind(), BackendKind::Coherent);
+        assert_eq!(IncoherentSystem::new(cfg).kind(), BackendKind::Incoherent);
+        assert_eq!(MesiSystem::new(cfg).kind(), BackendKind::Coherent);
         assert_eq!(RefBackend::new(&cfg).kind(), BackendKind::Reference);
     }
 
     #[test]
     fn incoherent_downcast_roundtrips() {
         let cfg = MachineConfig::intra_block();
-        let mut b: Box<dyn MemBackend> = Box::new(IncoherentSystem::new(cfg.clone()));
+        let mut b: Box<dyn MemBackend> = Box::new(IncoherentSystem::new(cfg));
         assert!(b.as_incoherent().is_some());
         assert!(b.as_incoherent_mut().is_some());
         let mut m: Box<dyn MemBackend> = Box::new(MesiSystem::new(cfg));

@@ -95,16 +95,17 @@ impl IncoherentSystem {
         let ncores = cfg.num_cores();
         let nblocks = cfg.num_blocks();
         let cpb = cfg.cores_per_block();
-        let bpb = cfg.l2_banks_per_block;
-        let l3_banks = cfg.inter.as_ref().map(|e| e.l3_banks).unwrap_or(0);
+        let bpb = cfg.l2_banks_per_block();
+        let l3 = cfg.l3();
+        let l3_banks = l3.map(|l| l.banks).unwrap_or(0);
         IncoherentSystem {
-            mesh: Mesh::new(ncores, cfg.hop_cycles),
+            mesh: Mesh::for_config(&cfg),
             cpb,
             bpb,
             l1: (0..ncores).map(|_| Cache::new(cfg.l1)).collect(),
             l2: (0..nblocks * bpb).map(|_| Cache::new(cfg.l2)).collect(),
             l3: (0..l3_banks)
-                .map(|_| Cache::new(cfg.inter.as_ref().unwrap().l3))
+                .map(|_| Cache::new(l3.expect("l3_banks > 0 implies an L3").geometry))
                 .collect(),
             mem: Memory::new(),
             meb: (0..ncores).map(|_| Meb::new(cfg.meb_entries)).collect(),
@@ -245,6 +246,13 @@ impl IncoherentSystem {
         !self.l3.is_empty()
     }
 
+    /// Round trip of a local L3 bank access (0 on flat machines, which
+    /// never reach an L3 path).
+    #[inline]
+    fn l3_rt(&self) -> u64 {
+        self.cfg.l3().map(|l| l.rt).unwrap_or(0)
+    }
+
     #[inline]
     fn l3_bank(&self, line: LineAddr) -> usize {
         line.0 as usize % self.l3.len()
@@ -341,8 +349,7 @@ impl IncoherentSystem {
         let hb_tile = self.bank_tile(hb);
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat = self.mesh.rt_latency_to_corner(hb_tile, l3b)
-                + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat = self.mesh.rt_latency_to_corner(hb_tile, l3b) + self.l3_rt();
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
@@ -466,8 +473,7 @@ impl IncoherentSystem {
         self.traffic.add(TrafficCategory::Sync, 2);
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat =
-                self.mesh.rt_latency_to_corner(c.0, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b) + self.l3_rt();
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
@@ -497,8 +503,7 @@ impl IncoherentSystem {
         let mask: DirtyMask = 1 << idx;
         if self.is_hier() {
             let l3b = self.l3_bank(line);
-            let mut lat =
-                self.mesh.rt_latency_to_corner(c.0, l3b) + self.cfg.inter.as_ref().unwrap().l3_rt;
+            let mut lat = self.mesh.rt_latency_to_corner(c.0, l3b) + self.l3_rt();
             if !self.l3[l3b].probe(line).is_hit() {
                 lat += self.cfg.mem_rt;
                 let data = self.mem.read_line(line);
@@ -678,7 +683,7 @@ impl IncoherentSystem {
                     // *farthest* involved L3 bank, not whichever bank the
                     // first work item happened to map to.
                     let hb_tile = self.bank_tile(blk * self.bpb);
-                    let l3_rt = self.cfg.inter.as_ref().map(|e| e.l3_rt).unwrap_or(0);
+                    let l3_rt = self.l3_rt();
                     let ack = l2_work
                         .iter()
                         .map(|&(line, _)| {

@@ -16,7 +16,7 @@
 use fxhash::FxHashMap;
 
 use hic_check::{CheckMode, Checker, Diagnostics};
-use hic_coherence::MesiSystem;
+use hic_coherence::{DragonSystem, MesiSystem};
 use hic_fault::{FaultPlan, FaultState, ResilienceStats, SALT_SYNC};
 use hic_mem::{Region, Word, WordAddr};
 use hic_noc::{Mesh, TrafficCategory, TrafficLedger};
@@ -98,13 +98,18 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Assemble a machine around any memory backend.
+    /// Assemble a machine around any memory backend. The configuration
+    /// must be valid ([`MachineConfig::validate`]); shapes a
+    /// `TopologyBuilder` would reject cannot reach the simulation loop.
     pub fn from_backend(cfg: MachineConfig, backend: Box<dyn MemBackend>) -> Machine {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine config: {e}");
+        }
         let n = cfg.num_cores();
         Machine {
             backend,
             sync: SyncController::new(),
-            mesh: Mesh::new(n, cfg.hop_cycles),
+            mesh: Mesh::for_config(&cfg),
             ledgers: vec![StallLedger::new(); n],
             parked: FxHashMap::default(),
             wakeups: Vec::new(),
@@ -197,13 +202,20 @@ impl Machine {
 
     /// Build an incoherent machine.
     pub fn incoherent(cfg: MachineConfig) -> Machine {
-        let backend = Box::new(IncoherentSystem::new(cfg.clone()));
+        let backend = Box::new(IncoherentSystem::new(cfg));
         Machine::from_backend(cfg, backend)
     }
 
     /// Build a hardware-coherent (MESI directory) machine.
     pub fn coherent(cfg: MachineConfig) -> Machine {
-        let backend = Box::new(MesiSystem::new(cfg.clone()));
+        let backend = Box::new(MesiSystem::new(cfg));
+        Machine::from_backend(cfg, backend)
+    }
+
+    /// Build a hardware-coherent machine running the update-based Dragon
+    /// protocol (see [`hic_coherence::DragonSystem`]).
+    pub fn dragon(cfg: MachineConfig) -> Machine {
+        let backend = Box::new(DragonSystem::new(cfg));
         Machine::from_backend(cfg, backend)
     }
 
@@ -273,7 +285,7 @@ impl Machine {
     /// the single-block machine, an L3 (corner) bank for the multi-block
     /// machine (§III-D).
     fn sync_oneway(&self, c: CoreId, id: SyncId) -> u64 {
-        if self.cfg.inter.is_some() {
+        if self.cfg.is_hierarchical() {
             self.mesh.latency_to_corner(c.0, id.0 % 4)
         } else {
             let bank_tile = id.0 % self.cfg.num_cores();
@@ -283,10 +295,9 @@ impl Machine {
 
     /// Controller service time for a sync request.
     fn sync_service(&self) -> u64 {
-        if let Some(e) = &self.cfg.inter {
-            e.l3_rt / 2
-        } else {
-            self.cfg.l2_rt / 2
+        match self.cfg.l3() {
+            Some(l3) => l3.rt / 2,
+            None => self.cfg.l2_rt / 2,
         }
     }
 

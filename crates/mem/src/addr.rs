@@ -1,19 +1,22 @@
 //! Byte addresses, word addresses, line addresses, and contiguous regions.
 //!
-//! The whole simulator uses a fixed geometry: 64-byte lines and 4-byte
-//! words, matching paper Table III ("64B lines") and §VII-A ("16 dirty bits
-//! per line"). Encoding these as constants (rather than threading a runtime
-//! geometry through every address computation) keeps the hot paths branch-
-//! free; the values are asserted against `MachineConfig` in `hic-machine`.
+//! The whole simulator uses a fixed word/line grain, matching paper
+//! Table III ("64B lines") and §VII-A ("16 dirty bits per line"). The
+//! canonical constants live in `hic-sim::config` — next to the
+//! [`hic_sim::CacheGeometry`] they validate against — and are re-exported
+//! here for the address math. Encoding the grain as constants (rather
+//! than threading a runtime geometry through every address computation)
+//! keeps the hot paths branch-free; `MachineConfig::validate` rejects any
+//! cache geometry whose line size disagrees.
 
 use serde::{Deserialize, Serialize};
 
-/// Line size in bytes.
-pub const LINE_BYTES: u64 = 64;
-/// Word size in bytes (the finest sharing grain).
-pub const WORD_BYTES: u64 = 4;
-/// Words per line.
-pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+pub use hic_sim::config::{WORDS_PER_LINE, WORD_BYTES};
+
+/// Line size in bytes, derived from the word grain (no independent
+/// line-size constant exists — `CacheGeometry::line_bytes` is validated
+/// against this same product).
+const LINE_BYTES: u64 = WORD_BYTES * WORDS_PER_LINE as u64;
 
 /// A byte address in the single shared address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

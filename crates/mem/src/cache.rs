@@ -129,11 +129,13 @@ fn for_each_set_bit(bits: &[u64], mut f: impl FnMut(usize)) {
 
 impl Cache {
     /// Build a cache from a geometry. Panics if the geometry's line size
-    /// does not match the global 64-byte line.
+    /// does not match the global line (`MachineConfig::validate` rejects
+    /// such geometries before a machine is ever assembled; this assert is
+    /// the defense in depth for direct `Cache` construction).
     pub fn new(geom: CacheGeometry) -> Cache {
         assert_eq!(
-            geom.line_bytes as u64,
-            crate::addr::LINE_BYTES,
+            geom.line_bytes,
+            hic_sim::config::line_bytes(),
             "cache geometry line size must match the global line size"
         );
         let sets = geom.num_sets();

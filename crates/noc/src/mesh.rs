@@ -40,11 +40,20 @@ pub struct Mesh {
 }
 
 impl Mesh {
-    /// Build a mesh for `n` cores with the given per-hop latency.
+    /// Build a mesh for `n` cores on the smallest square-ish grid that
+    /// fits them. Machines should use [`Mesh::for_config`] instead, which
+    /// honors the topology's explicit dimensions; this inference helper
+    /// remains for tests and ad-hoc meshes.
     pub fn new(n: usize, hop_cycles: u64) -> Mesh {
         assert!(n > 0);
         let cols = (n as f64).sqrt().ceil() as usize;
-        let rows = n.div_ceil(cols);
+        Mesh::with_dims(cols, n.div_ceil(cols), n, hop_cycles)
+    }
+
+    /// Build a mesh with explicit dimensions hosting `n` core tiles.
+    pub fn with_dims(cols: usize, rows: usize, n: usize, hop_cycles: u64) -> Mesh {
+        assert!(n > 0, "mesh needs at least one tile");
+        assert!(cols * rows >= n, "{cols}x{rows} mesh cannot host {n} tiles");
         Mesh {
             cols,
             rows,
@@ -52,6 +61,13 @@ impl Mesh {
             hop_cycles,
             faults: None,
         }
+    }
+
+    /// The mesh a machine configuration describes: the topology's
+    /// explicit (validated) dimensions, never inferred from core count.
+    pub fn for_config(cfg: &hic_sim::MachineConfig) -> Mesh {
+        let (cols, rows) = cfg.topology.mesh_dims();
+        Mesh::with_dims(cols, rows, cfg.num_cores(), cfg.hop_cycles)
     }
 
     /// Install a seeded link-fault model. All subsequent latency queries

@@ -22,7 +22,7 @@ use hic_machine::{FaultPlan, Machine, RunError, RunStats, TrafficLedger};
 use hic_mem::{f32_to_word, word_to_f32, BumpAllocator, Region, Word};
 use hic_sim::Cycle;
 
-use crate::config::Config;
+use crate::config::{Config, Scheme};
 use crate::ctx::{BarrierId, FlagId, LockId, LockInfo, RtShared, ThreadCtx};
 use crate::engine::{run_threads, Scheduler, Transport};
 use crate::plan::PlanOverrides;
@@ -70,11 +70,13 @@ impl ProgramBuilder {
     /// `config`.
     pub fn with_machine_config(config: Config, mc: hic_sim::MachineConfig) -> ProgramBuilder {
         assert_eq!(
-            mc.inter.is_some(),
-            matches!(config, Config::Inter(_)),
+            mc.is_hierarchical(),
+            matches!(config.scheme(), Scheme::Inter(_)),
             "machine shape must match the configuration family"
         );
-        let machine = if config.is_coherent() {
+        let machine = if config.is_dragon() {
+            Machine::dragon(mc)
+        } else if config.is_coherent() {
             Machine::coherent(mc)
         } else {
             Machine::incoherent(mc)

@@ -1,13 +1,26 @@
-//! The configurations evaluated in the paper (Table II).
+//! The configurations evaluated in the paper (Table II), plus the
+//! machine topology they run on.
+//!
+//! A [`Config`] pairs a coherence-management *scheme* (which protocol or
+//! WB/INV discipline the run uses) with a validated [`Topology`] (the
+//! machine's geometry). The paper's two shapes are the defaults —
+//! `Config::Intra(..)` runs on the 16-core single block,
+//! `Config::Inter(..)` on 4 blocks × 8 cores — and
+//! [`Config::with_topology`] retargets a scheme onto any other validated
+//! geometry (the sweep behind `bench_host --geometry`).
 
-use hic_sim::MachineConfig;
+use hic_sim::{ConfigError, MachineConfig, Topology};
 use serde::{Deserialize, Serialize};
 
-/// Intra-block configurations (upper half of Table II).
+/// Intra-block configurations (upper half of Table II), plus the
+/// update-based Dragon protocol from the extended protocol zoo.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IntraConfig {
     /// Hardware cache coherence (directory MESI).
     Hcc,
+    /// Hardware cache coherence, update-based (directory Dragon).
+    /// Not part of Table II — excluded from [`IntraConfig::ALL`].
+    Dragon,
     /// Baseline: WB ALL and INV ALL around every synchronization.
     Base,
     /// Base plus the MEB (critical sections drain via the MEB).
@@ -19,6 +32,8 @@ pub enum IntraConfig {
 }
 
 impl IntraConfig {
+    /// The five Table II configurations (Dragon is an extension and is
+    /// swept separately).
     pub const ALL: [IntraConfig; 5] = [
         IntraConfig::Hcc,
         IntraConfig::Base,
@@ -30,6 +45,7 @@ impl IntraConfig {
     pub fn name(self) -> &'static str {
         match self {
             IntraConfig::Hcc => "HCC",
+            IntraConfig::Dragon => "Dragon",
             IntraConfig::Base => "Base",
             IntraConfig::BM => "B+M",
             IntraConfig::BI => "B+I",
@@ -46,15 +62,18 @@ impl IntraConfig {
     }
 
     pub fn is_coherent(self) -> bool {
-        self == IntraConfig::Hcc
+        matches!(self, IntraConfig::Hcc | IntraConfig::Dragon)
     }
 }
 
-/// Inter-block configurations (lower half of Table II).
+/// Inter-block configurations (lower half of Table II), plus Dragon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum InterConfig {
     /// Hardware cache coherence (hierarchical directory MESI).
     Hcc,
+    /// Hardware cache coherence, update-based (hierarchical Dragon).
+    /// Not part of Table II — excluded from [`InterConfig::ALL`].
+    Dragon,
     /// Baseline: WB ALL to L3 and INV ALL from L2 at every epoch boundary.
     Base,
     /// WB of specific addresses to L3; INV of specific addresses from L2.
@@ -64,6 +83,8 @@ pub enum InterConfig {
 }
 
 impl InterConfig {
+    /// The four Table II configurations (Dragon is an extension and is
+    /// swept separately).
     pub const ALL: [InterConfig; 4] = [
         InterConfig::Hcc,
         InterConfig::Base,
@@ -74,6 +95,7 @@ impl InterConfig {
     pub fn name(self) -> &'static str {
         match self {
             InterConfig::Hcc => "HCC",
+            InterConfig::Dragon => "Dragon",
             InterConfig::Base => "Base",
             InterConfig::Addr => "Addr",
             InterConfig::AddrL => "Addr+L",
@@ -81,55 +103,133 @@ impl InterConfig {
     }
 
     pub fn is_coherent(self) -> bool {
-        self == InterConfig::Hcc
+        matches!(self, InterConfig::Hcc | InterConfig::Dragon)
     }
 }
 
-/// A fully-specified run configuration: machine shape + management scheme.
+/// The coherence-management scheme of a run: which half of Table II it
+/// belongs to and which row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Config {
+pub enum Scheme {
     Intra(IntraConfig),
     Inter(InterConfig),
 }
 
-impl Config {
+impl Scheme {
     pub fn name(self) -> &'static str {
         match self {
-            Config::Intra(c) => c.name(),
-            Config::Inter(c) => c.name(),
+            Scheme::Intra(c) => c.name(),
+            Scheme::Inter(c) => c.name(),
         }
     }
 
     pub fn is_coherent(self) -> bool {
         match self {
-            Config::Intra(c) => c.is_coherent(),
-            Config::Inter(c) => c.is_coherent(),
+            Scheme::Intra(c) => c.is_coherent(),
+            Scheme::Inter(c) => c.is_coherent(),
         }
+    }
+
+    pub fn is_dragon(self) -> bool {
+        matches!(
+            self,
+            Scheme::Intra(IntraConfig::Dragon) | Scheme::Inter(InterConfig::Dragon)
+        )
+    }
+}
+
+/// A fully-specified run configuration: management scheme + machine
+/// topology.
+///
+/// The associated functions [`Config::Intra`] and [`Config::Inter`]
+/// construct the paper's configurations on the paper's shapes, so the
+/// historical `Config::Intra(IntraConfig::Base)` expression keeps
+/// working; matching on the scheme goes through [`Config::scheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    scheme: Scheme,
+    topology: Topology,
+}
+
+impl Config {
+    /// An intra-block scheme on the paper's single-block topology
+    /// (1 block × 16 cores, Table III).
+    #[allow(non_snake_case)] // constructor: reads as the old enum variant
+    pub fn Intra(c: IntraConfig) -> Config {
+        Config {
+            scheme: Scheme::Intra(c),
+            topology: Topology::intra_block(),
+        }
+    }
+
+    /// An inter-block scheme on the paper's hierarchical topology
+    /// (4 blocks × 8 cores + shared L3, Table III).
+    #[allow(non_snake_case)] // constructor: reads as the old enum variant
+    pub fn Inter(c: InterConfig) -> Config {
+        Config {
+            scheme: Scheme::Inter(c),
+            topology: Topology::inter_block(),
+        }
+    }
+
+    /// Retarget this scheme onto another validated topology. Fails with
+    /// [`ConfigError::SchemeMismatch`] when the scheme's hierarchy
+    /// assumption disagrees with the shape: intra-block schemes need a
+    /// single block, inter-block schemes need a hierarchical machine.
+    pub fn with_topology(self, topology: Topology) -> Result<Config, ConfigError> {
+        let hierarchical = matches!(self.scheme, Scheme::Inter(_));
+        if topology.is_hierarchical() != hierarchical {
+            return Err(ConfigError::SchemeMismatch {
+                scheme: self.scheme.name(),
+                blocks: topology.blocks(),
+            });
+        }
+        Ok(Config {
+            scheme: self.scheme,
+            topology,
+        })
+    }
+
+    pub fn scheme(self) -> Scheme {
+        self.scheme
+    }
+
+    pub fn topology(self) -> Topology {
+        self.topology
+    }
+
+    pub fn name(self) -> &'static str {
+        self.scheme.name()
+    }
+
+    pub fn is_coherent(self) -> bool {
+        self.scheme.is_coherent()
+    }
+
+    pub fn is_dragon(self) -> bool {
+        self.scheme.is_dragon()
     }
 
     /// The machine this configuration runs on.
     pub fn machine_config(self) -> MachineConfig {
-        match self {
-            Config::Intra(_) => MachineConfig::intra_block(),
-            Config::Inter(_) => MachineConfig::inter_block(),
-        }
+        MachineConfig::with_topology(self.topology)
     }
 
     /// Number of hardware threads (= cores) available.
     pub fn num_threads(self) -> usize {
-        self.machine_config().num_cores()
+        self.topology.num_cores()
     }
 
     pub fn intra(self) -> Option<IntraConfig> {
-        match self {
-            Config::Intra(c) => Some(c),
+        match self.scheme {
+            Scheme::Intra(c) => Some(c),
             _ => None,
         }
     }
 
     pub fn inter(self) -> Option<InterConfig> {
-        match self {
-            Config::Inter(c) => Some(c),
+        match self.scheme {
+            Scheme::Inter(c) => Some(c),
             _ => None,
         }
     }
@@ -138,6 +238,7 @@ impl Config {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hic_sim::TopologyBuilder;
 
     #[test]
     fn table2_names() {
@@ -145,6 +246,16 @@ mod tests {
         assert_eq!(intra, ["HCC", "Base", "B+M", "B+I", "B+M+I"]);
         let inter: Vec<_> = InterConfig::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(inter, ["HCC", "Base", "Addr", "Addr+L"]);
+    }
+
+    #[test]
+    fn dragon_is_an_extension_not_a_table2_row() {
+        assert!(!IntraConfig::ALL.contains(&IntraConfig::Dragon));
+        assert!(!InterConfig::ALL.contains(&InterConfig::Dragon));
+        assert!(IntraConfig::Dragon.is_coherent());
+        assert!(Config::Intra(IntraConfig::Dragon).is_dragon());
+        assert!(Config::Inter(InterConfig::Dragon).is_dragon());
+        assert!(!Config::Intra(IntraConfig::Hcc).is_dragon());
     }
 
     #[test]
@@ -163,5 +274,32 @@ mod tests {
         assert_eq!(Config::Inter(InterConfig::Base).num_threads(), 32);
         assert!(Config::Intra(IntraConfig::Hcc).is_coherent());
         assert!(!Config::Inter(InterConfig::AddrL).is_coherent());
+    }
+
+    #[test]
+    fn with_topology_retargets_matching_shapes() {
+        let eight_by_eight = TopologyBuilder::new(8, 8).validate().unwrap();
+        let c = Config::Inter(InterConfig::Base)
+            .with_topology(eight_by_eight)
+            .unwrap();
+        assert_eq!(c.num_threads(), 64);
+        assert_eq!(c.name(), "Base");
+        let flat = TopologyBuilder::new(1, 4).validate().unwrap();
+        let c = Config::Intra(IntraConfig::BMI).with_topology(flat).unwrap();
+        assert_eq!(c.num_threads(), 4);
+    }
+
+    #[test]
+    fn with_topology_rejects_scheme_mismatch() {
+        let flat = TopologyBuilder::new(1, 4).validate().unwrap();
+        let err = Config::Inter(InterConfig::Base)
+            .with_topology(flat)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SchemeMismatch { blocks: 1, .. }));
+        let hier = TopologyBuilder::new(2, 4).validate().unwrap();
+        let err = Config::Intra(IntraConfig::Base)
+            .with_topology(hier)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SchemeMismatch { blocks: 2, .. }));
     }
 }

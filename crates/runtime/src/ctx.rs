@@ -24,7 +24,7 @@ use hic_mem::{f32_to_word, word_to_f32, Region, Word, WordAddr};
 use hic_sim::{Cycle, ThreadId};
 use hic_sync::SyncId;
 
-use crate::config::{Config, InterConfig, IntraConfig};
+use crate::config::{Config, InterConfig, Scheme};
 use crate::engine::{EngineShared, Scheduler, Transport};
 use crate::plan::{EpochPlan, PlanOverrides};
 
@@ -368,7 +368,7 @@ impl ThreadCtx {
             self.issue(Op::BarrierArrive(b.0));
             return;
         }
-        let inter = matches!(self.shared.config, Config::Inter(_));
+        let inter = matches!(self.shared.config.scheme(), Scheme::Inter(_));
         match opts.wb {
             SyncData::All => {
                 // All incoherent inter configs communicate cross-block at
@@ -426,11 +426,13 @@ impl ThreadCtx {
     /// active configuration.
     pub fn lock(&self, l: LockId) {
         let info = self.shared.locks[l.0];
-        match self.shared.config {
-            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
-                self.issue(Op::LockAcquire(info.id));
-            }
-            Config::Intra(cfg) => {
+        if self.coherent() {
+            // HCC and Dragon: hardware moves the data.
+            self.issue(Op::LockAcquire(info.id));
+            return;
+        }
+        match self.shared.config.scheme() {
+            Scheme::Intra(cfg) => {
                 if info.occ {
                     // Post everything written since the last full WB so
                     // consumers of outside-critical-section data see it.
@@ -450,7 +452,7 @@ impl ThreadCtx {
                     self.issue(Op::MebBegin);
                 }
             }
-            Config::Inter(_) => {
+            Scheme::Inter(_) => {
                 if info.occ {
                     self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
                 }
@@ -470,11 +472,12 @@ impl ThreadCtx {
     /// Release a lock, inserting the exit annotations.
     pub fn unlock(&self, l: LockId) {
         let info = self.shared.locks[l.0];
-        match self.shared.config {
-            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {
-                self.issue(Op::LockRelease(info.id));
-            }
-            Config::Intra(cfg) => {
+        if self.coherent() {
+            self.issue(Op::LockRelease(info.id));
+            return;
+        }
+        match self.shared.config.scheme() {
+            Scheme::Intra(cfg) => {
                 if cfg.uses_ieb() {
                     self.issue(Op::IebEnd);
                 }
@@ -488,7 +491,7 @@ impl ThreadCtx {
                     self.issue(Op::Coh(CohInstr::inv_all()));
                 }
             }
-            Config::Inter(_) => {
+            Scheme::Inter(_) => {
                 self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
                 self.issue(Op::LockRelease(info.id));
                 if info.occ {
@@ -504,8 +507,8 @@ impl ThreadCtx {
     /// (§IV-A1, Figure 4c); with `raw: true` the set only orders.
     pub fn flag_set_opts(&self, f: FlagId, opts: FlagOpts) {
         if !opts.raw && !self.coherent() {
-            let instr = match self.shared.config {
-                Config::Inter(_) => CohInstr::wb_l3(Target::All),
+            let instr = match self.shared.config.scheme() {
+                Scheme::Inter(_) => CohInstr::wb_l3(Target::All),
                 _ => CohInstr::wb_all(),
             };
             self.issue(Op::Coh(instr));
@@ -519,8 +522,8 @@ impl ThreadCtx {
     pub fn flag_wait_opts(&self, f: FlagId, opts: FlagOpts) {
         self.issue(Op::FlagWait(f.0));
         if !opts.raw && !self.coherent() {
-            let instr = match self.shared.config {
-                Config::Inter(_) => CohInstr::inv_l2(Target::All),
+            let instr = match self.shared.config.scheme() {
+                Scheme::Inter(_) => CohInstr::inv_l2(Target::All),
                 _ => CohInstr::inv_all(),
             };
             self.issue(Op::Coh(instr));
@@ -563,17 +566,19 @@ impl ThreadCtx {
     }
 
     fn plan_wb_ops(&self, plan: &EpochPlan) {
-        match self.shared.config {
-            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
-            Config::Inter(InterConfig::Base) => {
+        if self.coherent() {
+            return;
+        }
+        match self.shared.config.scheme() {
+            Scheme::Inter(InterConfig::Base) => {
                 self.issue(Op::Coh(CohInstr::wb_l3(Target::All)));
             }
-            Config::Inter(InterConfig::Addr) => {
+            Scheme::Inter(InterConfig::Addr) => {
                 for op in &plan.wb {
                     self.issue(Op::Coh(CohInstr::wb_l3(Target::range(op.region))));
                 }
             }
-            Config::Inter(InterConfig::AddrL) => {
+            Scheme::Inter(InterConfig::AddrL) => {
                 for op in &plan.wb {
                     let t = Target::range(op.region);
                     let instr = match op.peer {
@@ -583,7 +588,7 @@ impl ThreadCtx {
                     self.issue(Op::Coh(instr));
                 }
             }
-            Config::Intra(_) => {
+            _ => {
                 // Model-2 programs can also run on the single-block
                 // machine; everything is local there.
                 for op in &plan.wb {
@@ -607,17 +612,19 @@ impl ThreadCtx {
     }
 
     fn plan_inv_ops(&self, plan: &EpochPlan) {
-        match self.shared.config {
-            Config::Intra(IntraConfig::Hcc) | Config::Inter(InterConfig::Hcc) => {}
-            Config::Inter(InterConfig::Base) => {
+        if self.coherent() {
+            return;
+        }
+        match self.shared.config.scheme() {
+            Scheme::Inter(InterConfig::Base) => {
                 self.issue(Op::Coh(CohInstr::inv_l2(Target::All)));
             }
-            Config::Inter(InterConfig::Addr) => {
+            Scheme::Inter(InterConfig::Addr) => {
                 for op in &plan.inv {
                     self.issue(Op::Coh(CohInstr::inv_l2(Target::range(op.region))));
                 }
             }
-            Config::Inter(InterConfig::AddrL) => {
+            Scheme::Inter(InterConfig::AddrL) => {
                 for op in &plan.inv {
                     let t = Target::range(op.region);
                     let instr = match op.peer {
@@ -627,7 +634,7 @@ impl ThreadCtx {
                     self.issue(Op::Coh(instr));
                 }
             }
-            Config::Intra(_) => {
+            _ => {
                 for op in &plan.inv {
                     self.issue(Op::Coh(CohInstr::inv(Target::range(op.region))));
                 }

@@ -27,7 +27,7 @@ pub mod plan;
 pub mod record;
 
 pub use builder::{ProgramBuilder, RunOutcome};
-pub use config::{Config, InterConfig, IntraConfig};
+pub use config::{Config, InterConfig, IntraConfig, Scheme};
 pub use ctx::{BarrierId, BarrierOpts, FlagId, FlagOpts, LockId, SyncData, ThreadCtx};
 pub use engine::{Scheduler, Transport};
 pub use hic_check::{CheckMode, Diagnostics, Finding, FindingKind};

@@ -13,7 +13,10 @@ pub mod config;
 pub mod rng;
 pub mod stats;
 
-pub use config::{CacheGeometry, InterBlockConfig, IntraBlockConfig, MachineConfig};
+pub use config::{
+    CacheGeometry, ConfigError, MachineConfig, SharedL3, Topology, TopologyBuilder, WORDS_PER_LINE,
+    WORD_BYTES,
+};
 pub use rng::SplitMix64;
 pub use stats::{EngineStats, StallCategory, StallLedger};
 

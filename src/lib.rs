@@ -33,6 +33,36 @@
 //! println!("took {} simulated cycles", out.stats().total_cycles);
 //! ```
 //!
+//! ## Configuring the machine
+//!
+//! The machine's shape is a validated [`sim::Topology`] built with
+//! [`sim::TopologyBuilder`]; the paper's two machines are presets, and
+//! `Config::with_topology` re-targets any scheme to any shape. A
+//! machine the paper never built — 2 blocks of 4 cores under the
+//! update-based Dragon protocol:
+//!
+//! ```
+//! use hic::runtime::{Config, InterConfig, ProgramBuilder};
+//! use hic::sim::TopologyBuilder;
+//!
+//! let topo = TopologyBuilder::new(2, 4).validate()?;
+//! let config = Config::Inter(InterConfig::Dragon).with_topology(topo)?;
+//!
+//! let mut p = ProgramBuilder::new(config);
+//! let data = p.alloc(64);
+//! let bar = p.barrier();
+//! let n = config.num_threads() as u64; // 8: one thread per core
+//! let out = p.run(n as usize, move |ctx| {
+//!     let t = ctx.tid() as u64;
+//!     ctx.write(data, t, (t * t) as u32);
+//!     ctx.barrier(bar); // Dragon is hardware-coherent: no WB/INV needed
+//!     assert_eq!(ctx.read(data, (t + 1) % n), (((t + 1) % n).pow(2)) as u32);
+//!     ctx.barrier(bar);
+//! });
+//! assert_eq!(out.peek(data, 3), 9);
+//! # Ok::<(), hic::sim::ConfigError>(())
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | crate | contents |
@@ -41,7 +71,7 @@
 //! | [`mem`] | `hic-mem` | caches with per-word dirty bits, memory, allocator |
 //! | [`noc`] | `hic-noc` | 2D mesh, flit traffic accounting |
 //! | [`core`] | `hic-core` | WB/INV ISA, ordering rules, MEB, IEB, ThreadMap, storage model |
-//! | [`coherence`] | `hic-coherence` | directory MESI (the HCC baseline) |
+//! | [`coherence`] | `hic-coherence` | the protocol zoo: directory MESI (HCC) + update-based Dragon |
 //! | [`sync`] | `hic-sync` | barriers/locks/flags in the shared-cache controller |
 //! | [`machine`] | `hic-machine` | the timing simulators and op interface |
 //! | [`runtime`] | `hic-runtime` | thread API + annotation policies (both programming models) |

@@ -77,3 +77,38 @@ inter_test!(ep_all_configs, "EP");
 inter_test!(is_all_configs, "IS");
 inter_test!(cg_all_configs, "CG");
 inter_test!(jacobi_all_configs, "Jacobi");
+
+/// The update-based Dragon backend runs the full suite. Every app checks
+/// its readable final memory against a deterministic host reference —
+/// the same values the flat `RefBackend` oracle produces by construction
+/// — so a pass here means Dragon's final memory agrees with the oracle
+/// bit for bit on every application.
+#[test]
+fn dragon_runs_the_full_intra_suite() {
+    for app in intra_apps(Scale::Test) {
+        let r = app.run(Config::Intra(IntraConfig::Dragon));
+        assert!(
+            r.correct,
+            "{} under Dragon computed a wrong result: {}",
+            app.name(),
+            r.detail
+        );
+        assert!(r.stats.total_cycles > 0);
+    }
+}
+
+/// Dragon on the hierarchical machine: cross-block update broadcasts and
+/// L3 recalls must preserve every app's host-verified result.
+#[test]
+fn dragon_runs_the_full_inter_suite() {
+    for app in inter_apps(Scale::Test) {
+        let r = app.run(Config::Inter(InterConfig::Dragon));
+        assert!(
+            r.correct,
+            "{} under Dragon computed a wrong result: {}",
+            app.name(),
+            r.detail
+        );
+        assert!(r.stats.total_cycles > 0);
+    }
+}
