@@ -6,10 +6,12 @@
 //!
 //! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
 //!                    [--out <path>] [--micro] [--check] [--faults] [--lint]
-//!                    [--geometry]`
+//!                    [--geometry] [--parallel]`
 //!
 //! `--baseline` records a pre-change wall-clock (seconds) in the JSON and
-//! computes the speedup against it. `--micro` additionally runs the
+//! computes the speedup against it; when omitted, the previous report at
+//! `--out` (if any) supplies the baseline, so the trajectory is tracked
+//! PR over PR without manual bookkeeping. `--micro` additionally runs the
 //! micro-benchmarks from the in-repo harness and embeds their timings.
 //! `--check` times the incoherent half of the suite with the incoherence
 //! sanitizer off and in Report mode and records the overhead (the checked
@@ -24,13 +26,18 @@
 //! topology grid (2x2x2 through 8x8x4) under the three protocol
 //! families — incoherent Base, invalidation-based HCC (MESI), and
 //! update-based Dragon — and records cycles plus per-category traffic
-//! for every (shape, scheme, app) cell.
+//! for every (shape, scheme, app) cell. `--parallel` sweeps the suite
+//! under the sequential linear oracle and then under the sharded
+//! parallel-in-host engine (`HIC_ENGINE=sharded:<n>`) across shard
+//! counts, asserting bit-identical simulated results and recording the
+//! suite-throughput scaling curve.
 
 use std::process::ExitCode;
 
 use hic_apps::Scale;
 use hic_bench::host::{
-    run_check_overhead, run_fault_suite, run_geometry_matrix, run_lint_suite, run_suite, to_json,
+    run_check_overhead, run_fault_suite, run_geometry_matrix, run_lint_suite, run_parallel_suite,
+    run_suite, to_json,
 };
 use hic_bench::{bench_with_setup, Timing};
 use hic_runtime::{Config, IntraConfig, ProgramBuilder};
@@ -73,6 +80,7 @@ fn main() -> ExitCode {
     let mut faults = false;
     let mut lint = false;
     let mut geometry = false;
+    let mut parallel = false;
     // Fixed seed for the canned fault plan: the sweep must be exactly
     // reproducible PR over PR.
     const FAULT_SEED: u64 = 2026;
@@ -112,15 +120,26 @@ fn main() -> ExitCode {
             "--faults" => faults = true,
             "--lint" => lint = true,
             "--geometry" => geometry = true,
+            "--parallel" => parallel = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro] [--check] [--faults] [--lint] [--geometry]"
+                     [--out <path>] [--micro] [--check] [--faults] [--lint] [--geometry] \
+                     [--parallel]"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Populate the baseline from the previous report at `--out` when not
+    // given explicitly: the last recorded `wall_s` is exactly the
+    // pre-change suite wall this run should be compared against.
+    if baseline.is_none() {
+        baseline = std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|prev| previous_wall_s(&prev));
     }
 
     let mut report = run_suite(scale);
@@ -138,6 +157,9 @@ fn main() -> ExitCode {
     }
     if geometry {
         report.geometry = run_geometry_matrix(scale);
+    }
+    if parallel {
+        report.parallel = Some(run_parallel_suite(scale, &[1, 2, 4, 8]));
     }
 
     let wall = report.wall.as_secs_f64();
@@ -216,6 +238,28 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(p) = &report.parallel {
+        println!(
+            "parallel: {} host cores, oracle {:.3}s, {}",
+            p.host_cores,
+            p.oracle_wall.as_secs_f64(),
+            if p.all_correct() {
+                "all curves bit-identical"
+            } else {
+                "ENGINE MISMATCH"
+            },
+        );
+        for c in &p.curves {
+            println!(
+                "  sharded:{:<3} {:>9.3}s  {:>6.2}x  {}",
+                c.shards,
+                c.wall.as_secs_f64(),
+                p.speedup(c),
+                if c.identical { "identical" } else { "MISMATCH" },
+            );
+        }
+    }
+
     for g in &report.geometry {
         println!(
             "geometry: {:<8} {:<7} {:<8} {:>12} cycles | flits: {} fill, {} wb, {} inv, \
@@ -256,5 +300,18 @@ fn main() -> ExitCode {
         eprintln!("hic-lint flagged a record or a minimized run went wrong");
         return ExitCode::FAILURE;
     }
+    if report.parallel.as_ref().is_some_and(|p| !p.all_correct()) {
+        eprintln!("the sharded engine diverged from the sequential oracle");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Extract the top-level `"wall_s"` value from a previous report without
+/// a JSON parser (the serde shim is inert). The writer emits it as the
+/// third line, `  "wall_s": <secs>,` — scan for exactly that shape.
+fn previous_wall_s(json: &str) -> Option<f64> {
+    json.lines()
+        .find_map(|l| l.trim().strip_prefix("\"wall_s\":"))
+        .and_then(|rest| rest.trim().trim_end_matches(',').parse::<f64>().ok())
 }

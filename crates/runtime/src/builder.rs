@@ -35,7 +35,12 @@ pub struct ProgramBuilder {
     alloc: BumpAllocator,
     locks: Vec<LockInfo>,
     transport: Transport,
-    scheduler: Scheduler,
+    /// Explicit scheduler choice; `None` defers to the `HIC_ENGINE`
+    /// environment variable (`linear`, `heap`, `sharded`, or
+    /// `sharded:N` — how CI runs the whole suite under the parallel
+    /// engine without code changes), which in turn defaults to
+    /// [`Scheduler::Heap`].
+    scheduler: Option<Scheduler>,
     /// Explicit sanitizer mode; `None` defers to the `HIC_CHECK`
     /// environment variable (how CI forces checking on without code
     /// changes), which in turn defaults to `Off`.
@@ -87,7 +92,7 @@ impl ProgramBuilder {
             alloc: BumpAllocator::new(),
             locks: Vec::new(),
             transport: Transport::default(),
-            scheduler: Scheduler::default(),
+            scheduler: None,
             check: None,
             regions: Vec::new(),
             barriers: Vec::new(),
@@ -112,7 +117,7 @@ impl ProgramBuilder {
             alloc: BumpAllocator::new(),
             locks: Vec::new(),
             transport: Transport::default(),
-            scheduler: Scheduler::default(),
+            scheduler: None,
             check: None,
             regions: Vec::new(),
             barriers: Vec::new(),
@@ -136,12 +141,14 @@ impl ProgramBuilder {
         self
     }
 
-    /// Select how the engine picks the next core (default:
+    /// Select how the engine picks the next core, overriding the
+    /// `HIC_ENGINE` environment variable (default:
     /// [`Scheduler::Heap`]). Simulated results are identical across
     /// schedulers; the heap is O(log ncores) per op instead of
-    /// O(ncores).
+    /// O(ncores), and [`Scheduler::Sharded`] executes core-local ops in
+    /// parallel on the host.
     pub fn scheduler(&mut self, s: Scheduler) -> &mut Self {
-        self.scheduler = s;
+        self.scheduler = Some(s);
         self
     }
 
@@ -305,12 +312,20 @@ impl ProgramBuilder {
         if let Some(plan) = fault {
             self.machine.enable_faults(plan);
         }
+        let scheduler = self
+            .scheduler
+            .or_else(|| {
+                std::env::var("HIC_ENGINE")
+                    .ok()
+                    .and_then(|s| Scheduler::parse(&s))
+            })
+            .unwrap_or_default();
         let shared = Arc::new(RtShared {
             config: self.config,
             locks: self.locks,
             nthreads,
             transport: self.transport,
-            scheduler: self.scheduler,
+            scheduler,
             checking: self.machine.checking(),
             overrides: self.overrides,
             watchdog_cycles: self.watchdog_cycles,

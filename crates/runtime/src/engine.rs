@@ -75,7 +75,7 @@ use crate::ctx::{RtShared, ThreadCtx};
 /// Unwind payload used to exit app threads once the run is dead. The
 /// thread wrapper in [`run_threads`] catches it (and only it) so the
 /// typed [`RunError`] — not a panic — is what reaches the caller.
-struct EngineDead;
+pub(crate) struct EngineDead;
 
 /// Suppress the default "thread panicked" stderr line for [`EngineDead`]
 /// unwinds; every other payload still reaches the previous hook.
@@ -130,6 +130,38 @@ pub enum Scheduler {
     /// Binary heaps keyed by `(time, core)` — O(log ncores) per op.
     #[default]
     Heap,
+    /// Bank-parallel conservative PDES: cores are partitioned over
+    /// `shards` event domains that run concurrently on host threads.
+    /// Core-local ops (L1 hits, computes, epoch markers) retire inside
+    /// the issuing thread's shard without any global lock; everything
+    /// that touches the shared hierarchy synchronizes through a global
+    /// event domain that replays exactly the sequential `(time, core)`
+    /// key order, so simulated results are bit-identical to
+    /// [`Scheduler::Linear`] (see `crate::sharded` and
+    /// `tests/prop_scheduler.rs`). `shards = 0` means "one per host
+    /// core"; the count is clamped to `[1, nthreads]`. Machines the
+    /// fast path cannot shard (coherent backends, an attached sanitizer,
+    /// a fault plan, or tracing — see `Machine::supports_sharding`)
+    /// transparently serialize through the sequential heap engine.
+    Sharded { shards: usize },
+}
+
+impl Scheduler {
+    /// Parse a `HIC_ENGINE` value: `linear`, `heap`, `sharded` (one
+    /// shard per host core), or `sharded:N`.
+    pub fn parse(s: &str) -> Option<Scheduler> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "linear" => Some(Scheduler::Linear),
+            "heap" => Some(Scheduler::Heap),
+            "sharded" => Some(Scheduler::Sharded { shards: 0 }),
+            other => {
+                let n = other.strip_prefix("sharded:")?;
+                n.parse::<usize>()
+                    .ok()
+                    .map(|shards| Scheduler::Sharded { shards })
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,12 +225,17 @@ struct EngineCore {
 }
 
 /// How many executed ops between host wall-clock watchdog checks.
-const WALL_CHECK_PERIOD: u32 = 1024;
+pub(crate) const WALL_CHECK_PERIOD: u32 = 1024;
 
 impl EngineCore {
     fn new(machine: Machine, shared: &RtShared) -> EngineCore {
         let nthreads = shared.nthreads;
-        let scheduler = shared.scheduler;
+        // A sharded run that cannot shard (see `EngineShared::new`)
+        // serializes through the default heap picker.
+        let scheduler = match shared.scheduler {
+            Scheduler::Sharded { .. } => Scheduler::Heap,
+            s => s,
+        };
         let mut idle_heap = BinaryHeap::with_capacity(nthreads + 4);
         if scheduler == Scheduler::Heap {
             // Every core starts op-less at time 0.
@@ -307,6 +344,9 @@ impl EngineCore {
                     (Some(r), Some(i)) => r < i,
                 }
             }
+            Scheduler::Sharded { .. } => {
+                unreachable!("sharded scheduler maps to Heap in EngineCore::new")
+            }
         }
     }
 
@@ -323,6 +363,9 @@ impl EngineCore {
                 .filter(|&c| self.state[c] == CoreState::HasOp)
                 .min_by_key(|&c| (self.time[c], c))
                 .expect("executable implies a HasOp core"),
+            Scheduler::Sharded { .. } => {
+                unreachable!("sharded scheduler maps to Heap in EngineCore::new")
+            }
         }
     }
 
@@ -448,8 +491,63 @@ impl EngineCore {
     }
 }
 
-/// The engine handle shared by all thread contexts of one run.
-pub(crate) struct EngineShared {
+/// The engine handle shared by all thread contexts of one run: either
+/// the sequential single-lock engine or the bank-parallel sharded one.
+/// `ThreadCtx` only ever calls `submit` / `submit_await` / `mark_dead`,
+/// so the two implementations are interchangeable behind this enum.
+pub(crate) enum EngineShared {
+    Seq(SeqEngine),
+    Sharded(crate::sharded::ShardedEngine),
+}
+
+impl EngineShared {
+    fn new(machine: Machine, shared: &RtShared) -> EngineShared {
+        if let Scheduler::Sharded { shards } = shared.scheduler {
+            if machine.supports_sharding() {
+                return EngineShared::Sharded(crate::sharded::ShardedEngine::new(
+                    machine, shared, shards,
+                ));
+            }
+            // Checker, fault plan, tracing, or a coherent backend: the
+            // core-local fast path would change observable order, so the
+            // whole run serializes through the sequential engine (the
+            // scheduler maps to `Heap` in `EngineCore::new`).
+        }
+        EngineShared::Seq(SeqEngine::new(machine, shared))
+    }
+
+    pub(crate) fn submit(&self, c: usize, msg: Op) {
+        match self {
+            EngineShared::Seq(e) => e.submit(c, msg),
+            EngineShared::Sharded(e) => e.submit(c, msg),
+        }
+    }
+
+    pub(crate) fn submit_await(&self, c: usize, op: Op) -> Option<Word> {
+        match self {
+            EngineShared::Seq(e) => e.submit_await(c, op),
+            EngineShared::Sharded(e) => e.submit_await(c, op),
+        }
+    }
+
+    pub(crate) fn mark_dead(&self, err: RunError) {
+        match self {
+            EngineShared::Seq(e) => e.mark_dead(err),
+            EngineShared::Sharded(e) => e.mark_dead(err),
+        }
+    }
+
+    fn await_completion(&self) -> Option<RunError> {
+        match self {
+            EngineShared::Seq(e) => e.await_completion(),
+            EngineShared::Sharded(e) => e.await_completion(),
+        }
+    }
+}
+
+/// The single-lock cooperative engine (`Scheduler::Linear` / `Heap`):
+/// submitting threads drive execution under one mutex.
+pub(crate) struct SeqEngine {
     core: Mutex<EngineCore>,
     /// One condvar per core: its thread blocks here awaiting a reply.
     cvs: Vec<Condvar>,
@@ -457,9 +555,9 @@ pub(crate) struct EngineShared {
     cv_main: Condvar,
 }
 
-impl EngineShared {
-    fn new(machine: Machine, shared: &RtShared) -> EngineShared {
-        EngineShared {
+impl SeqEngine {
+    fn new(machine: Machine, shared: &RtShared) -> SeqEngine {
+        SeqEngine {
             core: Mutex::new(EngineCore::new(machine, shared)),
             cvs: (0..shared.nthreads).map(|_| Condvar::new()).collect(),
             cv_main: Condvar::new(),
@@ -648,14 +746,19 @@ where
     let shared = Arc::try_unwrap(engine)
         .ok()
         .expect("all thread contexts are dropped after the scope joins");
-    let core = shared.core.into_inner().unwrap_or_else(|e| e.into_inner());
-    let mut stats = if error.is_some() {
-        core.machine.finish_after_failure()
-    } else {
-        core.machine.finish()
-    };
-    stats.engine = core.stats;
-    (core.machine, stats, error)
+    match shared {
+        EngineShared::Seq(seq) => {
+            let core = seq.core.into_inner().unwrap_or_else(|e| e.into_inner());
+            let mut stats = if error.is_some() {
+                core.machine.finish_after_failure()
+            } else {
+                core.machine.finish()
+            };
+            stats.engine = core.stats;
+            (core.machine, stats, error)
+        }
+        EngineShared::Sharded(sh) => sh.teardown(error),
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod mpi;
 pub mod plan;
 pub mod record;
+pub mod sharded;
 
 pub use builder::{ProgramBuilder, RunOutcome};
 pub use config::{Config, InterConfig, IntraConfig, Scheme};

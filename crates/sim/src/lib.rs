@@ -18,7 +18,7 @@ pub use config::{
     WORD_BYTES,
 };
 pub use rng::SplitMix64;
-pub use stats::{EngineStats, StallCategory, StallLedger};
+pub use stats::{EngineStats, ShardStats, StallCategory, StallLedger};
 
 /// Simulated time, measured in core clock cycles.
 pub type Cycle = u64;

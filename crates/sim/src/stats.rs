@@ -128,7 +128,7 @@ impl std::ops::AddAssign for StallLedger {
 /// the machine (channel round-trips, batch coalescing, wakeups), so they
 /// change with the transport configuration while `StallLedger` cycle
 /// counts must not.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Machine operations executed, counting each batch member once.
     pub ops_executed: u64,
@@ -143,6 +143,33 @@ pub struct EngineStats {
     pub wakeups: u64,
     /// Maximum number of simultaneously parked cores observed.
     pub peak_parked: u64,
+    /// Ops retired entirely inside a shard's event domain (sharded
+    /// engine only; zero under the sequential schedulers).
+    pub shard_local_ops: u64,
+    /// Ops that had to leave their shard and synchronize through the
+    /// global event domain (sharded engine only).
+    pub cross_shard_msgs: u64,
+    /// Times the global domain had a runnable op but had to wait for a
+    /// shard-local core to publish a safe clock first (sharded only).
+    pub lookahead_stalls: u64,
+    /// Contended acquisitions of the global-domain lock observed by
+    /// shard threads (sharded only; a cheap `try_lock` miss counter).
+    pub lock_waits: u64,
+    /// Per-shard breakdown of the contention counters above; empty under
+    /// the sequential schedulers.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Contention ledger of one shard of the sharded engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Ops retired inside this shard without touching the global domain.
+    pub local_ops: u64,
+    /// Ops this shard's cores routed through the global domain.
+    pub cross_shard_msgs: u64,
+    /// Global-lock acquisitions by this shard's cores that found the
+    /// lock already held.
+    pub lock_waits: u64,
 }
 
 impl EngineStats {

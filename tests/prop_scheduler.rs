@@ -11,8 +11,10 @@
 //! Randomized with the deterministic in-repo `SplitMix64` (fixed seeds).
 
 use hic_machine::RunStats;
-use hic_runtime::{Config, IntraConfig, ProgramBuilder, Scheduler, Transport};
-use hic_sim::SplitMix64;
+use hic_runtime::{
+    CheckMode, Config, FaultPlan, IntraConfig, ProgramBuilder, Scheduler, Transport,
+};
+use hic_sim::{EngineStats, SplitMix64, TopologyBuilder};
 
 const THREADS: usize = 4;
 const WORDS: u64 = 64;
@@ -107,6 +109,41 @@ fn run_with(
     out.stats().clone()
 }
 
+/// The sharded engine's host-side counters (shard-local op counts,
+/// cross-shard messages, lookahead stalls, lock waits) are legitimately
+/// nonzero only under `Scheduler::Sharded`; every *simulated* engine
+/// quantity must still match the sequential ledger exactly. Zero the
+/// host-only fields so full-struct equality compares the rest.
+fn simulated_engine_view(e: &EngineStats) -> EngineStats {
+    EngineStats {
+        shard_local_ops: 0,
+        cross_shard_msgs: 0,
+        lookahead_stalls: 0,
+        lock_waits: 0,
+        per_shard: Vec::new(),
+        ..e.clone()
+    }
+}
+
+/// Assert that two runs are observationally identical: simulated time,
+/// stall ledgers, traffic categories, and the simulated engine ledger.
+fn assert_same_sim(tag: &str, got: &RunStats, oracle: &RunStats) {
+    assert_eq!(
+        got.total_cycles, oracle.total_cycles,
+        "{tag}: engine changed simulated time"
+    );
+    assert_eq!(
+        got.ledgers, oracle.ledgers,
+        "{tag}: engine changed stall ledgers"
+    );
+    assert_eq!(got.traffic, oracle.traffic, "{tag}: engine changed traffic");
+    assert_eq!(
+        simulated_engine_view(&got.engine),
+        simulated_engine_view(&oracle.engine),
+        "{tag}: engine changed the simulated op ledger"
+    );
+}
+
 /// Heap and linear schedulers agree on every simulated quantity — and on
 /// the full engine ledger, since the op stream itself must be identical —
 /// for every intra config, under both transports.
@@ -139,4 +176,250 @@ fn schedulers_are_observationally_identical() {
             }
         }
     }
+}
+
+/// The parallel-in-host sharded engine is a pure host-side optimization
+/// too: for random deadlock-free programs it must reproduce the linear
+/// scheduler's results bit-for-bit — simulated cycles, every stall
+/// ledger, every traffic category, and the simulated op ledger — for
+/// every intra config, under both transports.
+#[test]
+fn sharded_engine_is_observationally_identical() {
+    let mut rng = SplitMix64::new(0x5AAD);
+    for case in 0..6 {
+        let script = gen_script(&mut rng);
+        for cfg in IntraConfig::ALL {
+            for transport in [Transport::Sync, Transport::Batched { cap: 64 }] {
+                let linear = run_with(cfg, Scheduler::Linear, transport, &script);
+                let sharded = run_with(cfg, Scheduler::Sharded { shards: 4 }, transport, &script);
+                let tag = format!("case {case}, {} {transport:?}", cfg.name());
+                assert_same_sim(&tag, &sharded, &linear);
+            }
+        }
+    }
+}
+
+/// Shard-count extremes: one shard (fully serialized mailboxes) and far
+/// more shards than host cores or simulated cores (oversubscription —
+/// `shards` is clamped to the core count). Both must still match the
+/// linear oracle exactly.
+#[test]
+fn sharded_engine_shard_count_extremes_are_identical() {
+    let mut rng = SplitMix64::new(0x5AAE);
+    for case in 0..3 {
+        let script = gen_script(&mut rng);
+        let linear = run_with(
+            IntraConfig::BMI,
+            Scheduler::Linear,
+            Transport::default(),
+            &script,
+        );
+        for shards in [1usize, 64] {
+            let sharded = run_with(
+                IntraConfig::BMI,
+                Scheduler::Sharded { shards },
+                Transport::default(),
+                &script,
+            );
+            assert_same_sim(&format!("case {case}, shards={shards}"), &sharded, &linear);
+        }
+    }
+}
+
+/// Run a script on an arbitrary topology/config pair (the flat 4-core
+/// harness above hard-codes the paper's intra shape). Threads beyond the
+/// script's width replay a rotated column so every core does work.
+fn run_geom(config: Config, scheduler: Scheduler, script: &Script) -> RunStats {
+    let mut p = ProgramBuilder::new(config);
+    p.scheduler(scheduler);
+    let nthreads = p.num_threads();
+    let data = p.alloc(WORDS);
+    let counter = p.alloc(1);
+    let l = p.lock_occ(false);
+    let bar = p.barrier_of(nthreads);
+    let rounds = script.rounds.clone();
+    let out = p.run(nthreads, move |ctx| {
+        for round in &rounds {
+            for action in &round[ctx.tid() % THREADS] {
+                match *action {
+                    Action::Store { idx, val } => {
+                        ctx.write(data, (idx + ctx.tid() as u64) % WORDS, val)
+                    }
+                    Action::Load { idx } => {
+                        ctx.read(data, (idx + ctx.tid() as u64) % WORDS);
+                    }
+                    Action::Compute { cycles } => ctx.compute(cycles),
+                    Action::Critical { bumps } => {
+                        ctx.lock(l);
+                        let v = ctx.read(counter, 0);
+                        ctx.write(counter, 0, v + bumps);
+                        ctx.unlock(l);
+                    }
+                }
+            }
+            ctx.barrier(bar);
+        }
+    });
+    out.stats().clone()
+}
+
+/// The sharded engine is geometry-generic: a hierarchical 8x8x4 machine
+/// (8 blocks x 8 cores x 4 L2 banks — 64 cores, a non-paper shape)
+/// produces bit-identical results under sharding, including when cores
+/// outnumber shards by a non-power-of-two factor.
+#[test]
+fn sharded_engine_identical_on_8x8x4_inter_geometry() {
+    use hic_runtime::InterConfig;
+    let topo = TopologyBuilder::new(8, 8)
+        .l2_banks_per_block(4)
+        .validate()
+        .expect("valid shape");
+    let mut rng = SplitMix64::new(0x5AAF);
+    let script = gen_script(&mut rng);
+    let config = Config::Inter(InterConfig::Addr)
+        .with_topology(topo)
+        .unwrap();
+    let linear = run_geom(config, Scheduler::Linear, &script);
+    for shards in [3usize, 8] {
+        let sharded = run_geom(config, Scheduler::Sharded { shards }, &script);
+        assert_same_sim(&format!("8x8 inter, shards={shards}"), &sharded, &linear);
+    }
+}
+
+/// Fault injection and the incoherence sanitizer both disable the
+/// core-local fast path (their observations depend on the global
+/// interleaving of *every* op). `Scheduler::Sharded` must transparently
+/// serialize in those modes and still match the linear oracle.
+#[test]
+fn sharded_engine_falls_back_under_faults_and_checker() {
+    let mut rng = SplitMix64::new(0x5AB0);
+    let script = gen_script(&mut rng);
+
+    // Deterministic fault plan: timing-only perturbations, same seed on
+    // both engines.
+    for scheduler in [Scheduler::Linear, Scheduler::Sharded { shards: 4 }] {
+        let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::BMI));
+        p.scheduler(scheduler);
+        p.fault_plan(FaultPlan::from_seed(2026));
+        let data = p.alloc(WORDS);
+        let bar = p.barrier_of(THREADS);
+        let rounds = script.rounds.clone();
+        let out = p.run(THREADS, move |ctx| {
+            for round in &rounds {
+                for action in &round[ctx.tid()] {
+                    if let Action::Store { idx, val } = *action {
+                        ctx.write(data, idx, val);
+                    }
+                }
+                ctx.barrier(bar);
+            }
+        });
+        assert!(out.result().is_ok(), "faulted run failed: {scheduler:?}");
+    }
+    let runs: Vec<RunStats> = [Scheduler::Linear, Scheduler::Sharded { shards: 4 }]
+        .into_iter()
+        .map(|s| {
+            let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::BMI));
+            p.scheduler(s);
+            p.fault_plan(FaultPlan::from_seed(2026));
+            let data = p.alloc(WORDS);
+            let bar = p.barrier_of(THREADS);
+            let rounds = script.rounds.clone();
+            let out = p.run(THREADS, move |ctx| {
+                for round in &rounds {
+                    for action in &round[ctx.tid()] {
+                        if let Action::Store { idx, val } = *action {
+                            ctx.write(data, idx, val);
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+            });
+            out.stats().clone()
+        })
+        .collect();
+    assert_same_sim("fault fallback", &runs[1], &runs[0]);
+
+    // Strict sanitizer mode: race-free scripts must pass cleanly and
+    // identically under both engines.
+    let strict: Vec<RunStats> = [Scheduler::Linear, Scheduler::Sharded { shards: 4 }]
+        .into_iter()
+        .map(|s| {
+            let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::BMI));
+            p.scheduler(s);
+            p.check_mode(CheckMode::Strict);
+            let data = p.alloc(WORDS);
+            let counter = p.alloc(1);
+            let l = p.lock_occ(false);
+            let bar = p.barrier_of(THREADS);
+            let rounds = script.rounds.clone();
+            let out = p.run(THREADS, move |ctx| {
+                for round in &rounds {
+                    for action in &round[ctx.tid()] {
+                        match *action {
+                            Action::Store { idx, val } => ctx.write(data, idx, val),
+                            Action::Load { idx } => {
+                                ctx.read(data, idx);
+                            }
+                            Action::Compute { cycles } => ctx.compute(cycles),
+                            Action::Critical { bumps } => {
+                                ctx.lock(l);
+                                let v = ctx.read(counter, 0);
+                                ctx.write(counter, 0, v + bumps);
+                                ctx.unlock(l);
+                            }
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+            });
+            assert!(out.result().is_ok(), "strict run failed under {s:?}");
+            out.stats().clone()
+        })
+        .collect();
+    assert_same_sim("strict-check fallback", &strict[1], &strict[0]);
+}
+
+/// Readable memory is part of the observational contract too: final
+/// per-word contents after the run must match the linear oracle.
+#[test]
+fn sharded_engine_preserves_readable_memory() {
+    let mut rng = SplitMix64::new(0x5AB1);
+    let script = gen_script(&mut rng);
+    let mems: Vec<Vec<u32>> = [Scheduler::Linear, Scheduler::Sharded { shards: 4 }]
+        .into_iter()
+        .map(|s| {
+            let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::BM));
+            p.scheduler(s);
+            let data = p.alloc(WORDS);
+            let counter = p.alloc(1);
+            let l = p.lock_occ(false);
+            let bar = p.barrier_of(THREADS);
+            let rounds = script.rounds.clone();
+            let out = p.run(THREADS, move |ctx| {
+                for round in &rounds {
+                    for action in &round[ctx.tid()] {
+                        match *action {
+                            Action::Store { idx, val } => ctx.write(data, idx, val),
+                            Action::Load { idx } => {
+                                ctx.read(data, idx);
+                            }
+                            Action::Compute { cycles } => ctx.compute(cycles),
+                            Action::Critical { bumps } => {
+                                ctx.lock(l);
+                                let v = ctx.read(counter, 0);
+                                ctx.write(counter, 0, v + bumps);
+                                ctx.unlock(l);
+                            }
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+            });
+            let mut mem = out.peek_all(data);
+            mem.push(out.peek(counter, 0));
+            mem
+        })
+        .collect();
+    assert_eq!(mems[1], mems[0], "sharded engine changed readable memory");
 }
