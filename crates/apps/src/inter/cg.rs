@@ -18,14 +18,13 @@
 
 use hic_analysis::{inspect_indirect, Chunks};
 use hic_mem::Region;
-use hic_runtime::{
-    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
-};
+use hic_runtime::{BarrierId, CommOp, Config, EpochPlan, ProgramBuilder, ProgramRecord};
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Cg {
+    scale: Scale,
     n: usize,
     nnz_per_row: usize,
     iters: usize,
@@ -42,9 +41,12 @@ impl Cg {
         let (n, nnz, iters) = match scale {
             Scale::Test => (64, 4, 2),
             Scale::Small => (1024, 8, 3),
+            Scale::Medium => (2048, 10, 4),
+            Scale::Large => (6000, 12, 8),
             Scale::Paper => (14000, 13, 15), // NAS CG class-S-ish shape
         };
         Cg {
+            scale,
             n,
             nnz_per_row: nnz,
             iters,
@@ -243,8 +245,8 @@ impl App for Cg {
         PatternInfo::new(&[SyncPattern::Barrier], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
-        self.run_with(config, None)
+    fn scale(&self) -> Scale {
+        self.scale
     }
 
     fn record(&self, config: Config) -> Option<ProgramRecord> {
@@ -356,13 +358,12 @@ impl App for Cg {
         Some(rec)
     }
 
-    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let iters = self.iters;
         let (mut p, s) = self.setup(config);
-        if let Some(o) = overrides {
-            p.override_plans(o);
-        }
+        p.apply_request(req);
         let CgSetup {
             m,
             nthreads,
@@ -521,14 +522,13 @@ impl App for Cg {
             let got = out.peek_f32(xv, i as u64);
             max_err = max_err.max((got - want[i]).abs() / want[i].abs().max(1e-3));
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-2,
-            detail: format!("n={n}, nnz={nnz}, {iters} iters, max rel err {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-2,
+            format!("n={n}, nnz={nnz}, {iters} iters, max rel err {max_err:.2e}"),
+        )
     }
 }
 
@@ -541,6 +541,7 @@ mod tests {
     #[test]
     fn host_cg_reduces_the_residual() {
         let cg = Cg {
+            scale: Scale::Test,
             n: 128,
             nnz_per_row: 6,
             iters: 8,
@@ -569,6 +570,7 @@ mod tests {
     #[test]
     fn matrix_is_diagonally_dominant_csr() {
         let cg = Cg {
+            scale: Scale::Test,
             n: 64,
             nnz_per_row: 5,
             iters: 1,

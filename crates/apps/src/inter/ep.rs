@@ -8,17 +8,16 @@
 //! `Addr+L` degenerates to `Addr` (paper §VII-C: "EP and IS show no
 //! impact").
 
-use hic_runtime::{
-    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
-};
+use hic_runtime::{BarrierId, CommOp, Config, EpochPlan, ProgramBuilder, ProgramRecord};
 use hic_sim::rng::SplitMix64;
 use hic_sim::ThreadId;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 const BINS: usize = 10;
 
 pub struct Ep {
+    scale: Scale,
     pairs_per_thread: usize,
 }
 
@@ -27,9 +26,14 @@ impl Ep {
         let pairs_per_thread = match scale {
             Scale::Test => 64,
             Scale::Small => 8192,
+            Scale::Medium => 1 << 14,
+            Scale::Large => 1 << 15,
             Scale::Paper => 1 << 16,
         };
-        Ep { pairs_per_thread }
+        Ep {
+            scale,
+            pairs_per_thread,
+        }
     }
 
     /// Host reference of one thread's generation loop.
@@ -64,10 +68,16 @@ impl App for Ep {
         PatternInfo::new(&[SyncPattern::Critical], &[SyncPattern::Barrier])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let pairs = self.pairs_per_thread;
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let q_global = p.alloc(BINS as u64);
         let sums = p.alloc(2);
@@ -135,17 +145,16 @@ impl App for Ep {
         let ex = (out.peek_f32(sums, 0) - wx).abs();
         let ey = (out.peek_f32(sums, 1) - wy).abs();
         ok &= ex <= 1e-2 * wx.abs().max(1.0) && ey <= 1e-2 * wy.abs().max(1.0);
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: ok,
-            detail: format!(
+            &out,
+            ok,
+            format!(
                 "{} pairs/thread, counts {:?}, sum err ({ex:.2e}, {ey:.2e})",
                 pairs, wq
             ),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+        )
     }
 }
 
@@ -156,6 +165,7 @@ impl App for Ep {
 /// localize), then reduces the four block sums globally — so `Addr+L`
 /// finally has something to win on in a reduction code.
 pub struct EpHier {
+    scale: Scale,
     pairs_per_thread: usize,
 }
 
@@ -164,9 +174,14 @@ impl EpHier {
         let pairs_per_thread = match scale {
             Scale::Test => 64,
             Scale::Small => 8192,
+            Scale::Medium => 1 << 14,
+            Scale::Large => 1 << 15,
             Scale::Paper => 1 << 16,
         };
-        EpHier { pairs_per_thread }
+        EpHier {
+            scale,
+            pairs_per_thread,
+        }
     }
 
     /// Builder with allocations and barriers. Shared by [`App::run_with`]
@@ -221,8 +236,8 @@ impl App for EpHier {
         PatternInfo::new(&[SyncPattern::Barrier], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
-        self.run_with(config, None)
+    fn scale(&self) -> Scale {
+        self.scale
     }
 
     fn record(&self, config: Config) -> Option<ProgramRecord> {
@@ -266,12 +281,11 @@ impl App for EpHier {
         Some(rec)
     }
 
-    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let pairs = self.pairs_per_thread;
         let (mut p, s) = self.setup(config);
-        if let Some(o) = overrides {
-            p.override_plans(o);
-        }
+        p.apply_request(req);
         let EpHierSetup {
             nthreads,
             cpb,
@@ -345,13 +359,12 @@ impl App for EpHier {
         for b in 0..BINS {
             ok &= out.peek(global, b as u64) == wq[b];
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: ok,
-            detail: format!("{pairs} pairs/thread, hierarchical reduction, counts {wq:?}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            ok,
+            format!("{pairs} pairs/thread, hierarchical reduction, counts {wq:?}"),
+        )
     }
 }

@@ -14,12 +14,13 @@
 //! Like EP, the reduction structure leaves nothing for level-adaptive
 //! instructions to localize: `Addr+L` matches `Addr` (paper Figure 11).
 
-use hic_runtime::{CommOp, Config, EpochPlan, ProgramBuilder};
+use hic_runtime::{CommOp, EpochPlan, ProgramBuilder};
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Is {
+    scale: Scale,
     n: usize,
     buckets: usize,
 }
@@ -29,9 +30,11 @@ impl Is {
         let (n, buckets) = match scale {
             Scale::Test => (256, 16),
             Scale::Small => (8192, 32),
+            Scale::Medium => (1 << 14, 64),
+            Scale::Large => (1 << 15, 256),
             Scale::Paper => (1 << 16, 1024),
         };
-        Is { n, buckets }
+        Is { scale, n, buckets }
     }
 
     fn keys(&self) -> Vec<u32> {
@@ -51,12 +54,18 @@ impl App for Is {
         PatternInfo::new(&[SyncPattern::Critical], &[SyncPattern::Barrier])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let nb = self.buckets;
         let keys_in = self.keys();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let keys = p.alloc(n as u64);
         let counts = p.alloc((nthreads * nb) as u64); // row per thread
@@ -155,13 +164,12 @@ impl App for Is {
         for b in 0..nb {
             ok &= out.peek(hist, b as u64) == wh[b];
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: ok,
-            detail: format!("n={n}, {nb} buckets"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            ok,
+            format!("n={n}, {nb} buckets"),
+        )
     }
 }

@@ -11,14 +11,13 @@
 
 use hic_analysis::{Access, Analyzer, ArrayId, Chunks, Node, NodePlans, Pattern, Program};
 use hic_mem::Region;
-use hic_runtime::{
-    BarrierId, CommOp, Config, EpochPlan, PlanOverrides, ProgramBuilder, ProgramRecord,
-};
+use hic_runtime::{BarrierId, CommOp, Config, EpochPlan, ProgramBuilder, ProgramRecord};
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Jacobi {
+    scale: Scale,
     rows: usize,
     cols: usize,
     iters: usize,
@@ -29,9 +28,16 @@ impl Jacobi {
         let (rows, cols, iters) = match scale {
             Scale::Test => (34, 16, 2),
             Scale::Small => (130, 16, 3),
+            Scale::Medium => (258, 32, 4),
+            Scale::Large => (514, 64, 6),
             Scale::Paper => (1024, 1024, 10),
         };
-        Jacobi { rows, cols, iters }
+        Jacobi {
+            scale,
+            rows,
+            cols,
+            iters,
+        }
     }
 
     fn input(&self) -> Vec<f32> {
@@ -180,8 +186,8 @@ impl App for Jacobi {
         PatternInfo::new(&[SyncPattern::Barrier], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
-        self.run_with(config, None)
+    fn scale(&self) -> Scale {
+        self.scale
     }
 
     fn record(&self, config: Config) -> Option<ProgramRecord> {
@@ -218,12 +224,11 @@ impl App for Jacobi {
         Some(rec)
     }
 
-    fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let (r, c, iters) = (self.rows, self.cols, self.iters);
         let (mut p, s) = self.setup(config);
-        if let Some(o) = overrides {
-            p.override_plans(o);
-        }
+        p.apply_request(req);
         let JacobiSetup {
             nthreads,
             ga,
@@ -278,13 +283,12 @@ impl App for Jacobi {
         for i in 0..r * c {
             max_err = max_err.max((out.peek_f32(ga, i as u64) - want[i]).abs());
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-5,
-            detail: format!("{r}x{c}, {iters} iters, max err {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-5,
+            format!("{r}x{c}, {iters} iters, max err {max_err:.2e}"),
+        )
     }
 }

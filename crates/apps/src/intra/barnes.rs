@@ -14,10 +14,10 @@
 //! **Critical**.
 
 use hic_mem::Region;
-use hic_runtime::{Config, ProgramBuilder, ThreadCtx};
+use hic_runtime::{ProgramBuilder, ThreadCtx};
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 /// Node record layout inside the node pool (words):
 /// 0: kind (0 empty leaf slot, 1 leaf, 2 internal)
@@ -36,6 +36,7 @@ const K_LEAF: u32 = 1;
 const K_INTERNAL: u32 = 2;
 
 pub struct Barnes {
+    scale: Scale,
     n: usize,
     theta: f32,
 }
@@ -51,9 +52,15 @@ impl Barnes {
         let n = match scale {
             Scale::Test => 48,
             Scale::Small => 160,
+            Scale::Medium => 512,
+            Scale::Large => 4096,
             Scale::Paper => 16384, // the paper's 16K particles
         };
-        Barnes { n, theta: 0.6 }
+        Barnes {
+            scale,
+            n,
+            theta: 0.6,
+        }
     }
 
     fn particles(&self) -> Vec<Particle> {
@@ -335,12 +342,18 @@ impl App for Barnes {
         )
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let theta = self.theta;
         let ps = self.particles();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let px = p.alloc(n as u64);
         let py = p.alloc(n as u64);
@@ -477,13 +490,12 @@ impl App for Barnes {
                 .max((gx - want[i].0).abs())
                 .max((gy - want[i].1).abs());
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-3,
-            detail: format!("n={n}, max force error {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-3,
+            format!("n={n}, max force error {max_err:.2e}"),
+        )
     }
 }

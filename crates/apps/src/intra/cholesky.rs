@@ -8,12 +8,13 @@
 //! sections — plus **Barrier**, **Critical**, and **Flag** (the paper
 //! converted Cholesky's busy-waiting to flag synchronization; so do we).
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Cholesky {
+    scale: Scale,
     n: usize,
 }
 
@@ -22,9 +23,11 @@ impl Cholesky {
         let n = match scale {
             Scale::Test => 16,
             Scale::Small => 40,
+            Scale::Medium => 64,
+            Scale::Large => 128,
             Scale::Paper => 256, // stands in for tk15.O's factor dimension
         };
-        Cholesky { n }
+        Cholesky { scale, n }
     }
 
     /// SPD input: A = B·Bᵀ scaled + n·I, generated deterministically.
@@ -88,11 +91,17 @@ impl App for Cholesky {
         )
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let input = self.input();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         // Column-major storage: the column a task owns is contiguous, as
         // in SPLASH-2 Cholesky's panel layout. (Row-major would make every
@@ -177,14 +186,13 @@ impl App for Cholesky {
                 max_err = max_err.max((got - want).abs() / want.abs().max(1.0));
             }
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-3,
-            detail: format!("n={n}, max rel error {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-3,
+            format!("n={n}, max rel error {max_err:.2e}"),
+        )
     }
 }
 
@@ -195,7 +203,10 @@ mod tests {
     /// The host factor must satisfy L * L^T = A.
     #[test]
     fn host_cholesky_reconstructs_the_input() {
-        let ch = Cholesky { n: 24 };
+        let ch = Cholesky {
+            scale: Scale::Test,
+            n: 24,
+        };
         let a0 = ch.input();
         let mut l = ch.input();
         ch.host_chol(&mut l);
@@ -218,7 +229,10 @@ mod tests {
     /// The factor is lower triangular with a positive diagonal.
     #[test]
     fn host_cholesky_factor_is_lower_triangular() {
-        let ch = Cholesky { n: 16 };
+        let ch = Cholesky {
+            scale: Scale::Test,
+            n: 16,
+        };
         let mut l = ch.input();
         ch.host_chol(&mut l);
         for i in 0..16 {

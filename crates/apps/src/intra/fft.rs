@@ -7,12 +7,13 @@
 //! The simulated kernel and the host reference execute the identical f32
 //! operation sequence, so results are compared with a tight tolerance.
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Fft {
+    scale: Scale,
     n: usize,
 }
 
@@ -21,9 +22,11 @@ impl Fft {
         let n = match scale {
             Scale::Test => 256,
             Scale::Small => 8192,
+            Scale::Medium => 16384,
+            Scale::Large => 32768,
             Scale::Paper => 65536, // the paper's 64K points
         };
-        Fft { n }
+        Fft { scale, n }
     }
 
     /// Host reference: identical algorithm, identical operation order.
@@ -72,16 +75,22 @@ impl App for Fft {
         "FFT"
     }
 
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn patterns(&self) -> PatternInfo {
         PatternInfo::new(&[SyncPattern::Barrier], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let logn = n.trailing_zeros();
         let (in_re, in_im) = self.input();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let src_re = p.alloc(n as u64);
         let src_im = p.alloc(n as u64);
@@ -146,15 +155,14 @@ impl App for Fft {
             let di = (out.peek_f32(im, i as u64) - himf[i]).abs();
             max_err = max_err.max(dr).max(di);
         }
-        let scale = (n as f32).sqrt();
-        AppRun {
-            name: self.name().to_string(),
+        let tol = 1e-3 * (n as f32).sqrt();
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-3 * scale,
-            detail: format!("n={n}, max abs error {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= tol,
+            format!("n={n}, max abs error {max_err:.2e}"),
+        )
     }
 }
 
@@ -167,7 +175,10 @@ mod tests {
     #[test]
     fn host_fft_matches_naive_dft() {
         let n = 64usize;
-        let fft = Fft { n };
+        let fft = Fft {
+            scale: Scale::Test,
+            n,
+        };
         let (re_in, im_in) = fft.input();
         let (mut re, mut im) = (re_in.clone(), im_in.clone());
         Fft::host_fft(&mut re, &mut im);
@@ -190,7 +201,10 @@ mod tests {
     /// Parseval's identity as an independent energy check.
     #[test]
     fn host_fft_preserves_energy() {
-        let fft = Fft { n: 256 };
+        let fft = Fft {
+            scale: Scale::Test,
+            n: 256,
+        };
         let (re_in, im_in) = fft.input();
         let (mut re, mut im) = (re_in.clone(), im_in.clone());
         Fft::host_fft(&mut re, &mut im);

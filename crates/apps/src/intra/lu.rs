@@ -12,12 +12,13 @@
 //! are separated by global barriers.
 
 use hic_mem::Region;
-use hic_runtime::{Config, ProgramBuilder, ThreadCtx};
+use hic_runtime::{ProgramBuilder, ThreadCtx};
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Lu {
+    scale: Scale,
     n: usize,
     b: usize,
     contiguous: bool,
@@ -53,9 +54,16 @@ impl Lu {
             // so the non-contiguous layout differs in locality, not in
             // artificial false sharing.
             Scale::Small => (64, 16),
+            Scale::Medium => (128, 16),
+            Scale::Large => (256, 16),
             Scale::Paper => (512, 16), // the paper's 512x512
         };
-        Lu { n, b, contiguous }
+        Lu {
+            scale,
+            n,
+            b,
+            contiguous,
+        }
     }
 
     fn input(&self) -> Vec<f32> {
@@ -155,11 +163,16 @@ impl App for Lu {
         }
     }
 
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn patterns(&self) -> PatternInfo {
         PatternInfo::new(&[SyncPattern::Barrier], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let (n, b) = (self.n, self.b);
         let nb = n / b;
         let layout = Layout {
@@ -170,6 +183,7 @@ impl App for Lu {
         let input = self.input();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let m = p.alloc((n * n) as u64);
         for i in 0..n {
@@ -272,14 +286,13 @@ impl App for Lu {
                 max_err = max_err.max((got - want).abs() / want.abs().max(1.0));
             }
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-3,
-            detail: format!("n={n}, b={b}, max rel error {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-3,
+            format!("n={n}, b={b}, max rel error {max_err:.2e}"),
+        )
     }
 }
 
@@ -292,6 +305,7 @@ mod tests {
     #[test]
     fn host_lu_reconstructs_the_input() {
         let lu = Lu {
+            scale: Scale::Test,
             n: 32,
             b: 8,
             contiguous: true,

@@ -10,12 +10,13 @@
 //!
 //! Table I: main **Barrier, Critical**.
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Ocean {
+    scale: Scale,
     rows: usize,
     cols: usize,
     iters: usize,
@@ -27,9 +28,12 @@ impl Ocean {
         let (rows, cols, iters) = match scale {
             Scale::Test => (18, 10, 2),
             Scale::Small => (34, 18, 4),
+            Scale::Medium => (66, 34, 6),
+            Scale::Large => (130, 66, 10),
             Scale::Paper => (258, 258, 20), // the paper's 258x258
         };
         Ocean {
+            scale,
             rows,
             cols,
             iters,
@@ -92,12 +96,18 @@ impl App for Ocean {
         PatternInfo::new(&[SyncPattern::Barrier, SyncPattern::Critical], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let (r, c, iters) = (self.rows, self.cols, self.iters);
         let pitch = self.pitch();
         let input = self.input();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         // Two grids; packed allocation so the non-contiguous layout really
         // shares lines at band boundaries.
@@ -164,15 +174,14 @@ impl App for Ocean {
         // The last residual must also match (reduction correctness).
         let got_res = out.peek_f32(residual, 0);
         let res_err = (got_res - residuals[iters - 1]).abs();
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-5 && res_err <= 1e-5,
-            detail: format!(
+            &out,
+            max_err <= 1e-5 && res_err <= 1e-5,
+            format!(
                 "{r}x{c} (pitch {pitch}), {iters} iters, grid err {max_err:.2e}, residual err {res_err:.2e}"
             ),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+        )
     }
 }

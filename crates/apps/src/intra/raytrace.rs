@@ -9,15 +9,16 @@
 //! Table I classification: main **Critical**, other **Barrier, Data
 //! race**.
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 /// Sphere record: cx, cy, cz, r, shade (5 words).
 const SPHERE_WORDS: u64 = 5;
 
 pub struct Raytrace {
+    scale: Scale,
     width: usize,
     height: usize,
     tile: usize,
@@ -29,9 +30,12 @@ impl Raytrace {
         let (w, ns) = match scale {
             Scale::Test => (16, 4),
             Scale::Small => (64, 8),
+            Scale::Medium => (128, 12),
+            Scale::Large => (256, 16),
             Scale::Paper => (512, 32), // stands in for the teapot scene
         };
         Raytrace {
+            scale,
             width: w,
             height: w,
             tile: 4,
@@ -105,7 +109,12 @@ impl App for Raytrace {
         )
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let (w, h, tile) = (self.width, self.height, self.tile);
         let ns = self.nspheres;
         let scene = self.scene();
@@ -114,6 +123,7 @@ impl App for Raytrace {
         let njobs = tiles_x * tiles_y;
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let spheres = p.alloc(ns as u64 * SPHERE_WORDS);
         let image = p.alloc((w * h) as u64);
@@ -193,15 +203,14 @@ impl App for Raytrace {
         // The racy counter must be visible and nonzero (its exact value is
         // racy by design).
         let progress_seen = out.peek(progress, 0);
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-4 && progress_seen > 0,
-            detail: format!(
+            &out,
+            max_err <= 1e-4 && progress_seen > 0,
+            format!(
                 "{w}x{h}, {njobs} tile jobs, max pixel error {max_err:.2e}, progress {progress_seen}"
             ),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+        )
     }
 }

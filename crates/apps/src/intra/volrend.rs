@@ -8,11 +8,12 @@
 //! threads after their own queue operations — the **Outside critical**
 //! pattern. Table I: main **Barrier, Outside critical**.
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Volrend {
+    scale: Scale,
     /// Volume is `n x n x n` density samples.
     n: usize,
     /// Image is `w x w`.
@@ -24,9 +25,11 @@ impl Volrend {
         let (n, w) = match scale {
             Scale::Test => (8, 12),
             Scale::Small => (16, 28),
+            Scale::Medium => (32, 64),
+            Scale::Large => (64, 128),
             Scale::Paper => (128, 256), // stands in for the "head" dataset
         };
-        Volrend { n, w }
+        Volrend { scale, n, w }
     }
 
     /// Synthetic density volume: a soft sphere plus a diagonal ramp.
@@ -89,11 +92,17 @@ impl App for Volrend {
         PatternInfo::new(&[SyncPattern::Barrier, SyncPattern::OutsideCritical], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let (n, w) = (self.n, self.w);
         let opacities = [1.2f32, 2.4f32];
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let volume = p.alloc((n * n * n) as u64);
         let image = p.alloc((w * w) as u64 * opacities.len() as u64);
@@ -154,13 +163,12 @@ impl App for Volrend {
                 max_err = max_err.max((got - want[i]).abs());
             }
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-4,
-            detail: format!("vol {n}^3, image {w}x{w}, 2 frames, max error {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-4,
+            format!("vol {n}^3, image {w}x{w}, 2 frames, max error {max_err:.2e}"),
+        )
     }
 }

@@ -9,12 +9,13 @@
 //!   interact only with neighbor cells — coarse-grained, barrier-only
 //!   (the paper groups Water Spatial with the low-synchronization codes).
 
-use hic_runtime::{Config, ProgramBuilder};
+use hic_runtime::ProgramBuilder;
 use hic_sim::rng::SplitMix64;
 
-use crate::{App, AppRun, PatternInfo, Scale, SyncPattern};
+use crate::{App, AppRun, PatternInfo, RunRequest, Scale, SyncPattern};
 
 pub struct Water {
+    scale: Scale,
     n: usize,
     steps: usize,
     nsquared: bool,
@@ -25,9 +26,16 @@ impl Water {
         let (n, steps) = match scale {
             Scale::Test => (24, 1),
             Scale::Small => (48, 2),
+            Scale::Medium => (96, 3),
+            Scale::Large => (256, 4),
             Scale::Paper => (512, 5), // the paper's 512 molecules
         };
-        Water { n, steps, nsquared }
+        Water {
+            scale,
+            n,
+            steps,
+            nsquared,
+        }
     }
 
     fn positions(&self) -> Vec<(f32, f32, f32)> {
@@ -175,22 +183,28 @@ impl App for Water {
         PatternInfo::new(&[SyncPattern::Barrier, SyncPattern::Critical], &[])
     }
 
-    fn run(&self, config: Config) -> AppRun {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn run_req(&self, req: &RunRequest) -> AppRun {
         if self.nsquared {
-            self.run_nsq(config)
+            self.run_nsq(req)
         } else {
-            self.run_spatial(config)
+            self.run_spatial(req)
         }
     }
 }
 
 impl Water {
-    fn run_nsq(&self, config: Config) -> AppRun {
+    fn run_nsq(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let steps = self.steps;
         let init = self.positions();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let (px, py, pz) = (p.alloc(n as u64), p.alloc(n as u64), p.alloc(n as u64));
         // Private per-thread partial-force bands (still in shared memory).
@@ -283,25 +297,24 @@ impl Water {
         }
         let got_pot = out.peek_f32(pot, 0);
         let pot_err = (got_pot - want_pot).abs() / want_pot.abs().max(1.0);
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-4 && pot_err <= 1e-3,
-            detail: format!(
-                "n={n}, {steps} steps, pos err {max_err:.2e}, potential err {pot_err:.2e}"
-            ),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-4 && pot_err <= 1e-3,
+            format!("n={n}, {steps} steps, pos err {max_err:.2e}, potential err {pot_err:.2e}"),
+        )
     }
 
-    fn run_spatial(&self, config: Config) -> AppRun {
+    fn run_spatial(&self, req: &RunRequest) -> AppRun {
+        let config = req.config();
         let n = self.n;
         let steps = self.steps;
         let cells = 4usize;
         let init = self.positions();
 
         let mut p = ProgramBuilder::new(config);
+        p.apply_request(req);
         let nthreads = p.num_threads();
         let (px, py, pz) = (p.alloc(n as u64), p.alloc(n as u64), p.alloc(n as u64));
         let (gx, gy, gz) = (p.alloc(n as u64), p.alloc(n as u64), p.alloc(n as u64));
@@ -393,14 +406,13 @@ impl Water {
             max_err = max_err.max((out.peek_f32(py, i as u64) - want[i].1).abs());
             max_err = max_err.max((out.peek_f32(pz, i as u64) - want[i].2).abs());
         }
-        AppRun {
-            name: self.name().to_string(),
+        AppRun::finish(
+            self.name(),
             config,
-            correct: max_err <= 1e-4,
-            detail: format!("n={n}, {steps} steps, cells {cells}^3, pos err {max_err:.2e}"),
-            stats: out.stats().clone(),
-            diagnostics: out.diagnostics().clone(),
-        }
+            &out,
+            max_err <= 1e-4,
+            format!("n={n}, {steps} steps, cells {cells}^3, pos err {max_err:.2e}"),
+        )
     }
 }
 

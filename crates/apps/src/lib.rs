@@ -27,18 +27,11 @@ pub mod patterns;
 pub use patterns::{PatternInfo, SyncPattern};
 
 use hic_machine::RunStats;
-use hic_runtime::{Config, PlanOverrides, ProgramRecord};
+use hic_runtime::{Config, PlanOverrides, ProgramRecord, RunError};
 
-/// Input-size class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scale {
-    /// Tiny inputs for unit/integration tests (sub-second per run).
-    Test,
-    /// The default figure-harness inputs (seconds per run).
-    Small,
-    /// Paper-sized inputs (64K-point FFT, 512x512 LU, ... — minutes).
-    Paper,
-}
+// `Scale` lives with `RunRequest` in hic-runtime now (a request names
+// its scale); re-exported here so `hic_apps::Scale` keeps working.
+pub use hic_runtime::{RunRequest, Scale};
 
 /// The result of one application run.
 #[derive(Debug, Clone)]
@@ -46,25 +39,77 @@ pub struct AppRun {
     pub name: String,
     pub config: Config,
     pub stats: RunStats,
-    /// What the incoherence sanitizer observed (empty/`Off` unless a
-    /// check mode was requested via `HIC_CHECK` — see hic-check).
+    /// What the incoherence sanitizer observed (empty/`Off` unless the
+    /// request asked for a check mode — see hic-check).
     pub diagnostics: hic_runtime::Diagnostics,
     /// Did the simulated result match the host reference?
     pub correct: bool,
     /// Human-readable note (what was checked, residuals, ...).
     pub detail: String,
+    /// The typed error that killed the run, when it failed. A failed
+    /// run's `stats` cover the simulation up to the failure point and
+    /// `correct` is `false` (the result was never produced).
+    pub error: Option<RunError>,
+}
+
+impl AppRun {
+    /// Assemble the result of a finished run. `correct` is the app's
+    /// host-reference verdict over the final memory; a run that died
+    /// never produced its result, so the verdict is forced to `false`
+    /// and the typed error is attached.
+    pub fn finish(
+        name: &str,
+        config: Config,
+        out: &hic_runtime::RunOutcome,
+        correct: bool,
+        detail: String,
+    ) -> AppRun {
+        let error = out.result().err().cloned();
+        AppRun {
+            name: name.to_string(),
+            config,
+            stats: out.stats().clone(),
+            diagnostics: out.diagnostics().clone(),
+            correct: correct && error.is_none(),
+            detail,
+            error,
+        }
+    }
 }
 
 /// A runnable application.
+///
+/// The primary entry point is [`App::run_req`]: the app executes exactly
+/// what the [`RunRequest`] describes — nothing is read from the
+/// environment, so concurrent runs (the `hic-serve` worker pool) cannot
+/// leak state into each other, and a request's `cache_key` fully
+/// determines the result. [`App::run`] and [`App::run_with`] are thin
+/// wrappers that build the request via [`RunRequest::from_env`],
+/// preserving the historical env-knob behavior for the CLI binaries.
 pub trait App: Sync {
     /// Short name, as used in the paper's figures.
     fn name(&self) -> &'static str;
 
+    /// The input-size class this instance was constructed with.
+    fn scale(&self) -> Scale;
+
     /// Communication patterns (Table I).
     fn patterns(&self) -> PatternInfo;
 
-    /// Run under a configuration and validate the result.
-    fn run(&self, config: Config) -> AppRun;
+    /// Run exactly what `req` describes and validate the result. The
+    /// request's `config` selects the scheme and machine; its check /
+    /// fault / engine / watchdog / override fields are applied to the
+    /// run verbatim (`ProgramBuilder::apply_request`).
+    fn run_req(&self, req: &RunRequest) -> AppRun;
+
+    /// Run under a configuration, with the remaining knobs taken from
+    /// the environment ([`RunRequest::from_env`]). Panics on malformed
+    /// env values — CLI entry points want the loud failure.
+    fn run(&self, config: Config) -> AppRun {
+        let req = RunRequest::from_env(self.name(), config, self.scale())
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.run_req(&req)
+    }
 
     /// The app's declarative [`ProgramRecord`] under a configuration —
     /// its sync structure, per-epoch region access summaries, and the
@@ -78,11 +123,13 @@ pub trait App: Sync {
     }
 
     /// Run with plan substitutions from `hic-lint`'s optimizer installed
-    /// at the matching call sites. Apps without plan sites (or without a
-    /// recorded form) ignore the overrides.
+    /// at the matching call sites. Apps without plan sites ignore the
+    /// overrides (`run_req` never installs what the app cannot consume).
     fn run_with(&self, config: Config, overrides: Option<PlanOverrides>) -> AppRun {
-        let _ = overrides;
-        self.run(config)
+        let mut req = RunRequest::from_env(self.name(), config, self.scale())
+            .unwrap_or_else(|e| panic!("{e}"));
+        req.plan_overrides = overrides;
+        self.run_req(&req)
     }
 }
 
@@ -111,6 +158,20 @@ pub fn inter_apps(scale: Scale) -> Vec<Box<dyn App>> {
         Box::new(inter::cg::Cg::new(scale)),
         Box::new(inter::jacobi::Jacobi::new(scale)),
     ]
+}
+
+/// Both suites at a given scale: the 11 intra-block apps followed by the
+/// 4 inter-block apps, in the paper's figure order.
+pub fn all_apps(scale: Scale) -> Vec<Box<dyn App>> {
+    let mut apps = intra_apps(scale);
+    apps.extend(inter_apps(scale));
+    apps
+}
+
+/// Resolve an app by the name [`App::name`] reports, at a given scale —
+/// how a [`RunRequest`]'s `app` field becomes a runnable instance.
+pub fn app_by_name(name: &str, scale: Scale) -> Option<Box<dyn App>> {
+    all_apps(scale).into_iter().find(|a| a.name() == name)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! `BENCH_host.json` with suite wall-clock, sim-ops/sec, and the engine
 //! transport ledger, so simulator performance is tracked PR over PR.
 //!
-//! Usage: `bench_host [--scale test|small|paper] [--baseline <secs>]
+//! Usage: `bench_host [--scale <scale>] [--baseline <secs>]
 //!                    [--out <path>] [--micro] [--check] [--faults] [--lint]
 //!                    [--geometry] [--parallel]`
 //!
@@ -35,6 +35,7 @@
 use std::process::ExitCode;
 
 use hic_apps::Scale;
+use hic_bench::cli::parse_scale;
 use hic_bench::host::{
     run_check_overhead, run_fault_suite, run_geometry_matrix, run_lint_suite, run_parallel_suite,
     run_suite, to_json,
@@ -72,7 +73,6 @@ fn micro_timings() -> Vec<Timing> {
 }
 
 fn main() -> ExitCode {
-    let mut scale = Scale::Small;
     let mut baseline: Option<f64> = None;
     let mut out_path = "BENCH_host.json".to_string();
     let mut micro = false;
@@ -85,19 +85,14 @@ fn main() -> ExitCode {
     // reproducible PR over PR.
     const FAULT_SEED: u64 = 2026;
 
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&argv, Scale::Small);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = match args.next().as_deref() {
-                    Some("test") => Scale::Test,
-                    Some("small") => Scale::Small,
-                    Some("paper") => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale {other:?} (expected test|small|paper)");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                // Value already consumed by `parse_scale`.
+                args.next();
             }
             "--baseline" => {
                 baseline = match args.next().map(|v| v.parse::<f64>()) {
@@ -124,9 +119,9 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_host [--scale test|small|paper] [--baseline <secs>] \
-                     [--out <path>] [--micro] [--check] [--faults] [--lint] [--geometry] \
-                     [--parallel]"
+                    "usage: bench_host [--scale test|small|medium|large|paper] \
+                     [--baseline <secs>] [--out <path>] [--micro] [--check] [--faults] \
+                     [--lint] [--geometry] [--parallel]"
                 );
                 return ExitCode::FAILURE;
             }

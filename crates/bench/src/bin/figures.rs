@@ -1,30 +1,20 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! figures table1|table2|table3|storage|fig9|fig10|fig11|fig12|ablation|all [--scale test|small|paper]
+//! figures table1|table2|table3|storage|fig9|fig10|fig11|fig12|ablation|all
+//!         [--scale test|small|medium|large|paper]
 //! ```
 //!
 //! Output is printed as text tables shaped like the paper's figures;
 //! `EXPERIMENTS.md` records a captured run against the paper's claims.
 
 use hic_apps::{intra_apps, Scale};
+use hic_bench::parse_scale;
 use hic_bench::{fig10_rows, fig11_rows, fig12_rows, fig9_rows};
 use hic_bench::{hop_latency_sweep, ieb_capacity_sweep, meb_capacity_sweep};
 use hic_core::storage::{coherent_storage_bits, incoherent_storage_bits, savings_kb};
 use hic_runtime::{InterConfig, IntraConfig};
 use hic_sim::{MachineConfig, StallCategory};
-
-fn parse_scale(args: &[String]) -> Scale {
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
-            Some("test") => Scale::Test,
-            Some("small") => Scale::Small,
-            Some("paper") => Scale::Paper,
-            other => panic!("unknown scale {other:?} (use test|small|paper)"),
-        },
-        None => Scale::Small,
-    }
-}
 
 fn table1() {
     println!("Table I: communication patterns observed in our applications");
@@ -266,7 +256,7 @@ fn ablation() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
+    let scale = parse_scale(&args, Scale::Small);
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     match what {
         "table1" => table1(),

@@ -1,26 +1,16 @@
 //! Run the application suite and print a results table.
 //!
 //! ```text
-//! suite [--scale test|small|paper] [--intra|--inter] [name-filter ...]
+//! suite [--scale test|small|medium|large|paper] [--intra|--inter]
+//!       [name-filter ...]
 //! ```
 //!
 //! Every run is validated against its host reference; the binary exits
 //! nonzero if any run is incorrect, so it doubles as an end-to-end check.
 
 use hic_apps::{inter_apps, intra_apps, Scale};
+use hic_bench::cli::{is_scale_name, parse_scale};
 use hic_runtime::{Config, InterConfig, IntraConfig};
-
-fn parse_scale(args: &[String]) -> Scale {
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
-            Some("test") => Scale::Test,
-            Some("small") => Scale::Small,
-            Some("paper") => Scale::Paper,
-            other => panic!("unknown scale {other:?} (use test|small|paper)"),
-        },
-        None => Scale::Test,
-    }
-}
 
 fn wanted(args: &[String], name: &str) -> bool {
     let filters: Vec<&String> = args
@@ -29,16 +19,13 @@ fn wanted(args: &[String], name: &str) -> bool {
         .filter(|a| !a.starts_with("--"))
         .collect();
     // Skip the value that follows --scale.
-    let filters: Vec<&&String> = filters
-        .iter()
-        .filter(|a| !matches!(a.as_str(), "test" | "small" | "paper"))
-        .collect();
+    let filters: Vec<&&String> = filters.iter().filter(|a| !is_scale_name(a)).collect();
     filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
+    let scale = parse_scale(&args, Scale::Test);
     let run_intra = !args.iter().any(|a| a == "--inter");
     let run_inter = !args.iter().any(|a| a == "--intra");
     let mut failures = 0usize;

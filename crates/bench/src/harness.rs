@@ -16,9 +16,10 @@ use std::time::{Duration, Instant};
 const BUDGET: Duration = Duration::from_millis(1000);
 
 fn budget() -> Duration {
-    match std::env::var("HIC_BENCH_BUDGET_MS") {
-        Ok(v) => v.parse().map(Duration::from_millis).unwrap_or(BUDGET),
-        Err(_) => BUDGET,
+    match hic_runtime::request::env::bench_budget_ms() {
+        Ok(Some(ms)) => Duration::from_millis(ms),
+        Ok(None) => BUDGET,
+        Err(e) => panic!("{e}"),
     }
 }
 /// Iteration caps: at least MIN (for stable means), at most MAX (so a

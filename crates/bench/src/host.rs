@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use hic_apps::{inter_apps, intra_apps, Scale};
 use hic_machine::{ResilienceStats, TrafficLedger};
-use hic_runtime::{Config, InterConfig, IntraConfig};
+use hic_runtime::{CheckMode, Config, FaultSpec, InterConfig, IntraConfig, RunRequest, Scheduler};
 use hic_sim::{EngineStats, Topology, TopologyBuilder};
 
 use crate::harness::Timing;
@@ -45,7 +45,8 @@ impl HostRun {
 }
 
 /// Sanitizer-overhead measurement (`--check`): the incoherent half of
-/// the suite timed with `hic-check` off and in Report mode. Each mode is
+/// the suite timed with `hic-check` off and in Report mode (explicit
+/// `RunRequest`s; nothing is read from or written to the environment). Each mode is
 /// swept [`CHECK_REPS`] times, interleaved, and the minimum wall time per
 /// mode is reported — a single off-then-report pass charges all the
 /// process warm-up (lazy page faults, allocator growth, branch training)
@@ -54,7 +55,7 @@ impl HostRun {
 pub struct CheckOverhead {
     /// Minimum wall time of the sweep with checking off.
     pub wall_off: Duration,
-    /// Minimum wall time of the same sweep under `HIC_CHECK=report`.
+    /// Minimum wall time of the same sweep in Report mode.
     pub wall_report: Duration,
     /// Total loads/stores the sanitizer inspected across the sweep.
     pub checks: u64,
@@ -75,7 +76,7 @@ impl CheckOverhead {
 
 /// Fault-resilience measurement (`--faults`): the incoherent half of the
 /// suite timed twice, clean and under the canned recoverable fault plan
-/// (`HIC_FAULTS=<seed>`). The faulted sweep must still produce correct
+/// (`FaultSpec::Recoverable`). The faulted sweep must still produce correct
 /// results — every fault in the canned plan is recoverable.
 #[derive(Debug, Clone)]
 pub struct FaultOverhead {
@@ -306,14 +307,6 @@ impl HostReport {
     }
 }
 
-fn scale_name(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Test => "test",
-        Scale::Small => "small",
-        Scale::Paper => "paper",
-    }
-}
-
 /// Run the full suite (all apps, all configs) at `scale`, timing each run.
 pub fn run_suite(scale: Scale) -> HostReport {
     let t0 = Instant::now();
@@ -349,7 +342,7 @@ pub fn run_suite(scale: Scale) -> HostReport {
         }
     }
     HostReport {
-        scale: scale_name(scale),
+        scale: scale.name(),
         runs,
         timings: Vec::new(),
         check: None,
@@ -371,13 +364,16 @@ pub const CHECK_REPS: usize = 3;
 /// interchangeable iff they produce equal signatures for every run.
 type RunSignature = (String, String, bool, u64, TrafficLedger);
 
-/// Sweep the full app suite once, returning (wall, signatures).
-fn signature_sweep(scale: Scale) -> (Duration, Vec<RunSignature>) {
+/// Sweep the full app suite once under an explicit engine, returning
+/// (wall, signatures).
+fn signature_sweep(scale: Scale, engine: Scheduler) -> (Duration, Vec<RunSignature>) {
     let t0 = Instant::now();
     let mut sigs = Vec::new();
     for app in intra_apps(scale) {
         for cfg in IntraConfig::ALL {
-            let r = app.run(Config::Intra(cfg));
+            let mut req = RunRequest::new(app.name(), Config::Intra(cfg), scale);
+            req.engine = Some(engine);
+            let r = app.run_req(&req);
             sigs.push((
                 app.name().to_string(),
                 cfg.name().to_string(),
@@ -389,7 +385,9 @@ fn signature_sweep(scale: Scale) -> (Duration, Vec<RunSignature>) {
     }
     for app in inter_apps(scale) {
         for cfg in InterConfig::ALL {
-            let r = app.run(Config::Inter(cfg));
+            let mut req = RunRequest::new(app.name(), Config::Inter(cfg), scale);
+            req.engine = Some(engine);
+            let r = app.run_req(&req);
             sigs.push((
                 app.name().to_string(),
                 cfg.name().to_string(),
@@ -403,24 +401,22 @@ fn signature_sweep(scale: Scale) -> (Duration, Vec<RunSignature>) {
 }
 
 /// Sweep the suite under the sequential linear oracle, then under the
-/// sharded engine for each shard count in `shard_counts`
-/// (`HIC_ENGINE=sharded:<n>`), asserting observational equality and
-/// timing suite throughput. Every engine mode is swept [`CHECK_REPS`]
-/// times and the minimum wall is kept, interleaved oracle-first so
-/// warm-up lands on the oracle (biasing *against* the sharded speedup,
-/// never for it).
+/// sharded engine for each shard count in `shard_counts` (explicit
+/// `Scheduler::Sharded` requests — the sweep no longer mutates
+/// `HIC_ENGINE`), asserting observational equality and timing suite
+/// throughput. Every engine mode is swept [`CHECK_REPS`] times and the
+/// minimum wall is kept, interleaved oracle-first so warm-up lands on
+/// the oracle (biasing *against* the sharded speedup, never for it).
 pub fn run_parallel_suite(scale: Scale, shard_counts: &[usize]) -> ParallelReport {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    std::env::set_var("HIC_ENGINE", "linear");
-    let (mut oracle_wall, oracle_sigs) = signature_sweep(scale);
+    let (mut oracle_wall, oracle_sigs) = signature_sweep(scale, Scheduler::Linear);
     let oracle_correct = oracle_sigs.iter().all(|s| s.2);
 
     let mut curves: Vec<ParallelCurve> = shard_counts
         .iter()
         .map(|&shards| {
-            std::env::set_var("HIC_ENGINE", format!("sharded:{shards}"));
-            let (wall, sigs) = signature_sweep(scale);
+            let (wall, sigs) = signature_sweep(scale, Scheduler::Sharded { shards });
             ParallelCurve {
                 shards,
                 wall,
@@ -430,14 +426,14 @@ pub fn run_parallel_suite(scale: Scale, shard_counts: &[usize]) -> ParallelRepor
         .collect();
 
     for _ in 1..CHECK_REPS {
-        std::env::set_var("HIC_ENGINE", "linear");
-        oracle_wall = oracle_wall.min(signature_sweep(scale).0);
+        oracle_wall = oracle_wall.min(signature_sweep(scale, Scheduler::Linear).0);
         for c in curves.iter_mut() {
-            std::env::set_var("HIC_ENGINE", format!("sharded:{}", c.shards));
-            c.wall = c.wall.min(signature_sweep(scale).0);
+            let shards = c.shards;
+            c.wall = c
+                .wall
+                .min(signature_sweep(scale, Scheduler::Sharded { shards }).0);
         }
     }
-    std::env::remove_var("HIC_ENGINE");
 
     ParallelReport {
         host_cores,
@@ -448,13 +444,14 @@ pub fn run_parallel_suite(scale: Scale, shard_counts: &[usize]) -> ParallelRepor
 }
 
 /// Time the incoherent half of the suite twice — clean, then under the
-/// canned recoverable fault plan (`HIC_FAULTS=<seed>`) — and report the
+/// canned recoverable fault plan (`FaultSpec::Recoverable`, explicit
+/// requests rather than `HIC_FAULTS` mutation) — and report the
 /// host-time overhead plus the summed resilience ledger. The faulted
 /// sweep must stay correct: the canned plan only injects recoverable
 /// faults, and the paper's timing-independence argument says recoverable
 /// perturbation cannot change race-free results.
 pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
-    fn sweep(scale: Scale) -> (Duration, bool, ResilienceStats) {
+    fn sweep(scale: Scale, fault: Option<FaultSpec>) -> (Duration, bool, ResilienceStats) {
         let t0 = Instant::now();
         let mut correct = true;
         let mut stats = ResilienceStats::default();
@@ -463,7 +460,9 @@ pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
                 if cfg.is_coherent() {
                     continue;
                 }
-                let r = app.run(Config::Intra(cfg));
+                let mut req = RunRequest::new(app.name(), Config::Intra(cfg), scale);
+                req.fault = fault;
+                let r = app.run_req(&req);
                 correct &= r.correct;
                 stats += r.stats.resilience;
             }
@@ -473,7 +472,9 @@ pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
                 if cfg.is_coherent() {
                     continue;
                 }
-                let r = app.run(Config::Inter(cfg));
+                let mut req = RunRequest::new(app.name(), Config::Inter(cfg), scale);
+                req.fault = fault;
+                let r = app.run_req(&req);
                 correct &= r.correct;
                 stats += r.stats.resilience;
             }
@@ -481,11 +482,8 @@ pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
         (t0.elapsed(), correct, stats)
     }
 
-    std::env::remove_var("HIC_FAULTS");
-    let (wall_clean, _, _) = sweep(scale);
-    std::env::set_var("HIC_FAULTS", seed.to_string());
-    let (wall_faulted, correct, stats) = sweep(scale);
-    std::env::remove_var("HIC_FAULTS");
+    let (wall_clean, _, _) = sweep(scale, None);
+    let (wall_faulted, correct, stats) = sweep(scale, Some(FaultSpec::Recoverable { seed }));
     FaultOverhead {
         seed,
         wall_clean,
@@ -547,10 +545,10 @@ pub fn run_lint_suite(scale: Scale) -> Vec<LintRun> {
 }
 
 /// Time the incoherent half of the suite (the only configurations the
-/// sanitizer can attach to) with checking off and under
-/// `HIC_CHECK=report`, and report the host-time overhead. The checked
-/// sweep must stay clean: any finding on the unmodified suite is a
-/// sanitizer bug.
+/// sanitizer can attach to) with checking off and in Report mode
+/// (explicit requests — the sweep no longer mutates `HIC_CHECK`), and
+/// report the host-time overhead. The checked sweep must stay clean:
+/// any finding on the unmodified suite is a sanitizer bug.
 ///
 /// Each mode is swept [`CHECK_REPS`] times, interleaved off/report, and
 /// the *minimum* wall per mode is kept. A single off-then-report pass
@@ -558,7 +556,7 @@ pub fn run_lint_suite(scale: Scale) -> Vec<LintRun> {
 /// growth) inside the off sweep and reported a nonsensical negative
 /// overhead (`overhead_pct: -39.7` in earlier reports).
 pub fn run_check_overhead(scale: Scale) -> CheckOverhead {
-    fn sweep(scale: Scale) -> (Duration, u64, bool) {
+    fn sweep(scale: Scale, check: CheckMode) -> (Duration, u64, bool) {
         let t0 = Instant::now();
         let mut checks = 0;
         let mut clean = true;
@@ -567,7 +565,9 @@ pub fn run_check_overhead(scale: Scale) -> CheckOverhead {
                 if cfg.is_coherent() {
                     continue;
                 }
-                let r = app.run(Config::Intra(cfg));
+                let mut req = RunRequest::new(app.name(), Config::Intra(cfg), scale);
+                req.check = check;
+                let r = app.run_req(&req);
                 checks += r.diagnostics.checks;
                 clean &= r.diagnostics.is_clean();
             }
@@ -577,7 +577,9 @@ pub fn run_check_overhead(scale: Scale) -> CheckOverhead {
                 if cfg.is_coherent() {
                     continue;
                 }
-                let r = app.run(Config::Inter(cfg));
+                let mut req = RunRequest::new(app.name(), Config::Inter(cfg), scale);
+                req.check = check;
+                let r = app.run_req(&req);
                 checks += r.diagnostics.checks;
                 clean &= r.diagnostics.is_clean();
             }
@@ -590,16 +592,13 @@ pub fn run_check_overhead(scale: Scale) -> CheckOverhead {
     let mut checks = 0;
     let mut clean = true;
     for _ in 0..CHECK_REPS {
-        std::env::remove_var("HIC_CHECK");
-        let (off, _, _) = sweep(scale);
+        let (off, _, _) = sweep(scale, CheckMode::Off);
         wall_off = wall_off.min(off);
-        std::env::set_var("HIC_CHECK", "report");
-        let (report, c, cl) = sweep(scale);
+        let (report, c, cl) = sweep(scale, CheckMode::Report);
         wall_report = wall_report.min(report);
         checks = c;
         clean = cl;
     }
-    std::env::remove_var("HIC_CHECK");
     CheckOverhead {
         wall_off,
         wall_report,

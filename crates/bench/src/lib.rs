@@ -7,11 +7,13 @@
 //! [`harness`].
 
 pub mod ablation;
+pub mod cli;
 pub mod harness;
 pub mod host;
 pub mod report;
 
 pub use ablation::{hop_latency_sweep, ieb_capacity_sweep, meb_capacity_sweep, AblationPoint};
+pub use cli::parse_scale;
 pub use harness::{bench, bench_with_setup, Timing};
 pub use host::{geometry_grid, run_geometry_matrix, GeometryRun, HostReport, HostRun};
 pub use report::{

@@ -124,6 +124,21 @@ impl FaultPlan {
         }
     }
 
+    /// A deliberately *unrecoverable* plan: [`FaultPlan::from_seed`]'s
+    /// timing faults plus aggressive bit flips allowed to land in dirty
+    /// lines. A dirty-line flip destroys the only copy of the data, so
+    /// any run that writes to memory fails with a typed
+    /// `RunError::CorruptDirtyLine`. This exists to *poison* a run on
+    /// purpose — e.g. proving that one failing job in a sweep-server
+    /// batch surfaces its error without taking the other jobs down.
+    pub fn corrupting(seed: u64) -> FaultPlan {
+        FaultPlan {
+            flip_period: 1,
+            flip_dirty: true,
+            ..FaultPlan::from_seed(seed)
+        }
+    }
+
     /// True when no amplitude is nonzero (installing the plan cannot
     /// change anything).
     pub fn is_zero(&self) -> bool {

@@ -60,6 +60,13 @@ pub struct ProgramBuilder {
     watchdog_cycles: Option<Cycle>,
     /// Host wall-clock watchdog for the run, in milliseconds.
     watchdog_wall_ms: Option<u64>,
+    /// Whether unset knobs fall back to the environment variables.
+    /// `true` for hand-built runs (the historical behavior);
+    /// [`ProgramBuilder::apply_request`] sets it to `false` because a
+    /// [`RunRequest`] is complete by definition — a server running many
+    /// jobs concurrently must not let process-global env state leak into
+    /// them.
+    env_fallback: bool,
 }
 
 impl ProgramBuilder {
@@ -100,6 +107,7 @@ impl ProgramBuilder {
             fault: None,
             watchdog_cycles: None,
             watchdog_wall_ms: None,
+            env_fallback: true,
         }
     }
 
@@ -125,7 +133,28 @@ impl ProgramBuilder {
             fault: None,
             watchdog_cycles: None,
             watchdog_wall_ms: None,
+            env_fallback: true,
         }
+    }
+
+    /// Configure this run exactly as `req` describes: check mode, fault
+    /// plan, scheduler, watchdogs, and plan overrides, all set
+    /// explicitly. Environment fallback is disabled — the request is the
+    /// complete description, so two runs of the same request behave
+    /// identically no matter what `HIC_*` variables the process carries.
+    /// (The builder must already have been constructed with
+    /// `req.config()`; the request's app name and scale are the caller's
+    /// concern.)
+    pub fn apply_request(&mut self, req: &crate::request::RunRequest) -> &mut Self {
+        debug_assert_eq!(self.config, req.config());
+        self.check = Some(req.check);
+        self.fault = req.fault_plan();
+        self.scheduler = Some(req.engine.unwrap_or_default());
+        self.watchdog_cycles = req.watchdog_cycles;
+        self.watchdog_wall_ms = req.watchdog_wall_ms;
+        self.overrides = req.plan_overrides.clone().map(Arc::new);
+        self.env_fallback = false;
+        self
     }
 
     pub fn config(&self) -> Config {
@@ -293,21 +322,32 @@ impl ProgramBuilder {
     where
         F: Fn(&ThreadCtx) + Send + Sync,
     {
+        // Unset knobs fall back to the environment (unless an
+        // `apply_request` made this run self-contained), parsed by the
+        // one set of parsers in `crate::request::env`. A malformed value
+        // is a loud typed error at every call site — historically some
+        // sites ignored `HIC_ENGINE=sharded:x` and others panicked.
+        let env_err = |e: crate::request::RequestError| -> ! { panic!("{e}") };
         let mode = self.check.unwrap_or_else(|| {
-            std::env::var("HIC_CHECK")
-                .ok()
-                .and_then(|s| CheckMode::parse(&s))
-                .unwrap_or(CheckMode::Off)
+            if self.env_fallback {
+                crate::request::env::check_mode().unwrap_or_else(|e| env_err(e))
+            } else {
+                None
+            }
+            .unwrap_or(CheckMode::Off)
         });
         if mode != CheckMode::Off {
             self.machine
                 .enable_check(mode, std::mem::take(&mut self.regions));
         }
         let fault = self.fault.or_else(|| {
-            std::env::var("HIC_FAULTS")
-                .ok()
-                .and_then(|s| s.trim().parse::<u64>().ok())
-                .map(FaultPlan::from_seed)
+            if self.env_fallback {
+                crate::request::env::fault_seed()
+                    .unwrap_or_else(|e| env_err(e))
+                    .map(FaultPlan::from_seed)
+            } else {
+                None
+            }
         });
         if let Some(plan) = fault {
             self.machine.enable_faults(plan);
@@ -315,9 +355,11 @@ impl ProgramBuilder {
         let scheduler = self
             .scheduler
             .or_else(|| {
-                std::env::var("HIC_ENGINE")
-                    .ok()
-                    .and_then(|s| Scheduler::parse(&s))
+                if self.env_fallback {
+                    crate::request::env::engine().unwrap_or_else(|e| env_err(e))
+                } else {
+                    None
+                }
             })
             .unwrap_or_default();
         let shared = Arc::new(RtShared {

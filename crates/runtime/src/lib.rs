@@ -25,6 +25,7 @@ pub mod engine;
 pub mod mpi;
 pub mod plan;
 pub mod record;
+pub mod request;
 pub mod sharded;
 
 pub use builder::{ProgramBuilder, RunOutcome};
@@ -36,3 +37,4 @@ pub use hic_machine::{FaultPlan, ResilienceStats, RunError};
 pub use mpi::MpiWorld;
 pub use plan::{coalesce_ops, CommOp, EpochPlan, PlanOverrides};
 pub use record::{ProgramRecord, RecEvent, RecSync, RecThread};
+pub use request::{FaultSpec, RequestError, RunRequest, Scale};

@@ -1,0 +1,57 @@
+//! The job queue's ordering: priority first, FIFO within a priority.
+
+use std::cmp::Ordering;
+
+use crate::job::JobId;
+
+/// One queued entry. Ordered so that `BinaryHeap::pop` yields the
+/// highest priority first and, within a priority, the oldest submission
+/// (smallest sequence number) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    pub priority: i64,
+    /// Monotonic submission counter; the FIFO tiebreaker.
+    pub seq: u64,
+    pub job: JobId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &QueueEntry) -> Ordering {
+        // Max-heap: higher priority wins; then *lower* seq wins, so the
+        // seq comparison is reversed.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &QueueEntry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        for (seq, (priority, job)) in [(0, 10), (5, 11), (0, 12), (5, 13), (-2, 14)]
+            .into_iter()
+            .enumerate()
+        {
+            heap.push(QueueEntry {
+                priority,
+                seq: seq as u64,
+                job,
+            });
+        }
+        let order: Vec<JobId> = std::iter::from_fn(|| heap.pop().map(|e| e.job)).collect();
+        // Priority 5 first (seq order 11 then 13), then priority 0
+        // (10 then 12), then -2.
+        assert_eq!(order, vec![11, 13, 10, 12, 14]);
+    }
+}

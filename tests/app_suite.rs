@@ -3,11 +3,17 @@
 //! a broken MESI transition, a lost dirty word — fails these tests.
 
 use hic_apps::{inter_apps, intra_apps, App, Scale};
-use hic_runtime::{Config, InterConfig, IntraConfig};
+use hic_runtime::{Config, InterConfig, IntraConfig, RunRequest};
 
+// CI reruns this suite under the environment knobs (HIC_CHECK,
+// HIC_FAULTS, HIC_ENGINE), so requests are assembled with `from_env`:
+// the same explicit-RunRequest path the server uses, with the knobs
+// folded in up front instead of read per run.
 fn check_intra(app: &dyn App) {
     for cfg in IntraConfig::ALL {
-        let r = app.run(Config::Intra(cfg));
+        let req = RunRequest::from_env(app.name(), Config::Intra(cfg), app.scale())
+            .expect("well-formed HIC_* knobs");
+        let r = app.run_req(&req);
         assert!(
             r.correct,
             "{} under {} computed a wrong result: {}",
@@ -21,7 +27,9 @@ fn check_intra(app: &dyn App) {
 
 fn check_inter(app: &dyn App) {
     for cfg in InterConfig::ALL {
-        let r = app.run(Config::Inter(cfg));
+        let req = RunRequest::from_env(app.name(), Config::Inter(cfg), app.scale())
+            .expect("well-formed HIC_* knobs");
+        let r = app.run_req(&req);
         assert!(
             r.correct,
             "{} under {} computed a wrong result: {}",
@@ -86,7 +94,9 @@ inter_test!(jacobi_all_configs, "Jacobi");
 #[test]
 fn dragon_runs_the_full_intra_suite() {
     for app in intra_apps(Scale::Test) {
-        let r = app.run(Config::Intra(IntraConfig::Dragon));
+        let req = RunRequest::from_env(app.name(), Config::Intra(IntraConfig::Dragon), Scale::Test)
+            .expect("well-formed HIC_* knobs");
+        let r = app.run_req(&req);
         assert!(
             r.correct,
             "{} under Dragon computed a wrong result: {}",
@@ -102,7 +112,9 @@ fn dragon_runs_the_full_intra_suite() {
 #[test]
 fn dragon_runs_the_full_inter_suite() {
     for app in inter_apps(Scale::Test) {
-        let r = app.run(Config::Inter(InterConfig::Dragon));
+        let req = RunRequest::from_env(app.name(), Config::Inter(InterConfig::Dragon), Scale::Test)
+            .expect("well-formed HIC_* knobs");
+        let r = app.run_req(&req);
         assert!(
             r.correct,
             "{} under Dragon computed a wrong result: {}",
