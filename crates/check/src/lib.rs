@@ -105,6 +105,25 @@ impl FindingKind {
             FindingKind::WriteRace => "write race",
         }
     }
+
+    /// Stable machine-readable tag (JSON output, fuzz-corpus keys).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FindingKind::MissingWb => "missing-wb",
+            FindingKind::MissingInv => "missing-inv",
+            FindingKind::WriteRace => "write-race",
+        }
+    }
+
+    /// Inverse of [`FindingKind::tag`].
+    pub fn from_tag(s: &str) -> Option<FindingKind> {
+        match s {
+            "missing-wb" => Some(FindingKind::MissingWb),
+            "missing-inv" => Some(FindingKind::MissingInv),
+            "write-race" => Some(FindingKind::WriteRace),
+            _ => None,
+        }
+    }
 }
 
 /// The sync operation kinds a [`SyncRef`] can point at.
@@ -125,6 +144,17 @@ impl SyncOp {
             SyncOp::LockRelease => "lock release",
             SyncOp::FlagSet => "flag set",
             SyncOp::FlagWait => "flag wait",
+        }
+    }
+
+    /// Stable machine-readable tag (JSON output).
+    pub fn tag(self) -> &'static str {
+        match self {
+            SyncOp::Barrier => "barrier",
+            SyncOp::LockAcquire => "lock-acquire",
+            SyncOp::LockRelease => "lock-release",
+            SyncOp::FlagSet => "flag-set",
+            SyncOp::FlagWait => "flag-wait",
         }
     }
 }

@@ -1,0 +1,136 @@
+//! `hic-fuzz` — run or replay the differential fuzzing campaign.
+//!
+//! ```text
+//! hic-fuzz [--seed S] [--cases N] [--from N] [--budget-s S]
+//!          [--corpus DIR | --no-corpus]
+//! hic-fuzz replay FILE...     # replay corpus files, assert verdicts
+//! ```
+//!
+//! The campaign summary goes to stdout and is byte-identical across
+//! repeated runs of the same `(seed, from, cases)`; timing and corpus
+//! notes go to stderr. Exit status: 0 when the audit held, 1 on any
+//! violation (or replay mismatch), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hic_fuzz::{replay_line, run_campaign, CampaignOpts};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hic-fuzz [--seed S] [--cases N] [--from N] [--budget-s S] \
+         [--corpus DIR | --no-corpus]\n       hic-fuzz replay FILE..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        return replay(&args[1..]);
+    }
+
+    let mut opts = CampaignOpts {
+        seed: 2026,
+        cases: 200,
+        corpus_dir: Some(PathBuf::from("corpus")),
+        ..CampaignOpts::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--seed" => val("--seed").and_then(parse_u64).map(|v| opts.seed = v),
+            "--cases" => val("--cases")
+                .and_then(parse_u64)
+                .map(|v| opts.cases = v as usize),
+            "--from" => val("--from")
+                .and_then(parse_u64)
+                .map(|v| opts.from = v as usize),
+            "--budget-s" => val("--budget-s")
+                .and_then(parse_u64)
+                .map(|v| opts.budget_s = Some(v)),
+            "--corpus" => val("--corpus").map(|v| opts.corpus_dir = Some(PathBuf::from(v))),
+            "--no-corpus" => {
+                opts.corpus_dir = None;
+                Ok(())
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("hic-fuzz: {e}");
+            return usage();
+        }
+    }
+
+    let start = Instant::now();
+    let summary = run_campaign(&opts);
+    print!("{}", summary.render());
+    eprintln!(
+        "hic-fuzz: {} cases in {:.1}s",
+        summary.run,
+        start.elapsed().as_secs_f64()
+    );
+    for p in &summary.corpus_new {
+        eprintln!("hic-fuzz: new corpus case {}", p.display());
+    }
+    if summary.has_violations() {
+        eprintln!(
+            "hic-fuzz: AUDIT FAILED ({} violations)",
+            summary.violations.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_u64(s: String) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn replay(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut failed = 0usize;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hic-fuzz: {f}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match replay_line(line) {
+                Ok((outcome, expected)) => {
+                    let got = outcome.verdict.expect_tag();
+                    if got == expected {
+                        println!("{f}: ok ({got})");
+                    } else {
+                        println!(
+                            "{f}: MISMATCH expected {expected} got {got} {}",
+                            outcome.detail
+                        );
+                        failed += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("hic-fuzz: {f}: {e}");
+                    failed += 1;
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,386 @@
+//! Materialize a [`CaseDesc`] into the two artifacts under audit: the
+//! declarative [`ProgramRecord`] `hic-lint` verifies and the runnable
+//! program the backends execute. Both are driven by the same description
+//! and share [`plans_for`] for every `plan_wb` / `plan_inv` call site,
+//! so the record cannot drift from the run — the precondition for using
+//! lint-vs-sanitizer disagreement as a soundness signal.
+//!
+//! Program shape (per thread `t`, `n` threads, `R` rounds, slice `W`):
+//!
+//! 1. warm-up: read every other thread's `data` slice (captures copies
+//!    a missing INV would leave stale), then a global plan-barrier;
+//! 2. optional racy block: threads 0 and 1 `racy_store` one word of the
+//!    `racy` region, the last thread `racy_load`s it (value discarded);
+//! 3. per round: write own slice → `plan_wb` (per-edge WB ops) → the
+//!    round's sync shape (global barrier / raw per-edge flags / k-of-n
+//!    sub-barrier) → `plan_inv` (per-edge INV ops) → read each consumed
+//!    sub-range, write the sum into `out[t*R + r]` → closing global
+//!    plan-barrier (orders next round's overwrites after this round's
+//!    reads);
+//! 4. a final fully-annotated barrier (`WB ALL` / `INV ALL`) so every
+//!    backend's final state is host-peekable: `peek` deliberately
+//!    ignores L1-dirty data, and the closing `WB ALL` drains it.
+//!
+//! A stale read therefore persists into the `out` region (the sums),
+//! which is what the cross-backend memory comparison checks; the racy
+//! word is intentionally schedule-dependent and lives in its own
+//! excluded region.
+
+use hic_mem::Region;
+use hic_runtime::{
+    CheckMode, CommOp, Config, Diagnostics, EpochPlan, FaultPlan, PlanOverrides, ProgramBuilder,
+    ProgramRecord, RunError,
+};
+use hic_sim::{ThreadId, TopologyBuilder};
+
+use crate::desc::{CaseDesc, MutKind, SyncShape};
+
+/// Which backend executes the case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The incoherent scheme under audit (`desc.scheme`).
+    Subject,
+    /// Hierarchical directory MESI (`InterConfig::Hcc`).
+    Mesi,
+    /// Update-based Dragon.
+    Dragon,
+    /// The flat always-fresh reference oracle.
+    Reference,
+}
+
+/// One dynamic execution of a case.
+#[derive(Debug, Clone)]
+pub struct DynOutcome {
+    /// Typed run failure, if any (watchdog hang, deadlock, ...).
+    pub error: Option<String>,
+    pub diag: Diagnostics,
+    /// Final readable `data` region (empty when the run failed).
+    pub data: Vec<u32>,
+    /// Final readable `out` region (the per-round consumer sums).
+    pub out: Vec<u32>,
+}
+
+/// Cycle budget generous enough for every generated shape; a run that
+/// exceeds it is a hang, reported as a typed error, never a stuck fuzzer.
+const WATCHDOG_CYCLES: u64 = 50_000_000;
+const WATCHDOG_WALL_MS: u64 = 30_000;
+
+/// Deterministic per-word value written by thread `t` in round `r`.
+fn val(r: usize, t: usize, i: u64) -> u32 {
+    (r as u32 + 1) * 1_000_000 + t as u32 * 1_000 + i as u32
+}
+
+/// The WB and INV plans thread `t` passes in round `r` — including the
+/// case's mutation. The single shared definition both the runnable
+/// program and the record call.
+pub fn plans_for(desc: &CaseDesc, data: Region, t: usize, r: usize) -> (EpochPlan, EpochPlan) {
+    let slice_range = |p: usize, lo: u64, hi: u64| {
+        data.slice(p as u64 * desc.slice + lo, p as u64 * desc.slice + hi)
+    };
+    let mut wb = EpochPlan::new();
+    let mut inv = EpochPlan::new();
+    // (side, plan-local index) of the mutation's target op, when thread
+    // `t` owns it in this round.
+    let mut target: Option<(bool, usize)> = None;
+    let (mut wb_idx, mut inv_idx) = (0usize, 0usize);
+    for (ei, e) in desc.rounds[r].edges.iter().enumerate() {
+        let mutated = desc
+            .mutation
+            .as_ref()
+            .is_some_and(|m| m.round == r && m.edge == ei);
+        if e.p == t {
+            wb = wb.with_wb(CommOp::known(slice_range(e.p, e.lo, e.hi), ThreadId(e.c)));
+            if mutated && desc.mutation.as_ref().unwrap().wb {
+                target = Some((true, wb_idx));
+            }
+            wb_idx += 1;
+        }
+        if e.c == t {
+            inv = inv.with_inv(CommOp::known(slice_range(e.p, e.lo, e.hi), ThreadId(e.p)));
+            if mutated && !desc.mutation.as_ref().unwrap().wb {
+                target = Some((false, inv_idx));
+            }
+            inv_idx += 1;
+        }
+    }
+    if let (Some((side, idx)), Some(m)) = (target, &desc.mutation) {
+        let plan = if side { &mut wb } else { &mut inv };
+        match m.kind {
+            MutKind::Delete => {
+                plan.delete_op(side, idx);
+            }
+            MutKind::Duplicate => {
+                plan.duplicate_op(side, idx);
+            }
+            MutKind::Widen => {
+                plan.widen_op(side, idx, 0, m.amount);
+            }
+            MutKind::Narrow => {
+                plan.narrow_op(side, idx, 0, m.amount);
+            }
+        }
+    }
+    (wb, inv)
+}
+
+/// Threads participating in round `r` (producers and consumers).
+fn participants(desc: &CaseDesc, r: usize) -> Vec<usize> {
+    let mut ps: Vec<usize> = Vec::new();
+    for e in &desc.rounds[r].edges {
+        for t in [e.p, e.c] {
+            if !ps.contains(&t) {
+                ps.push(t);
+            }
+        }
+    }
+    ps.sort_unstable();
+    ps
+}
+
+/// The scheme config on the case's topology (for `backend`).
+fn config_for(desc: &CaseDesc, backend: Backend) -> Result<Config, String> {
+    let topo = TopologyBuilder::new(desc.blocks, desc.cores_per_block)
+        .validate()
+        .map_err(|e| format!("topology: {e:?}"))?;
+    let scheme = match backend {
+        Backend::Subject | Backend::Reference => desc.scheme,
+        Backend::Mesi => hic_runtime::InterConfig::Hcc,
+        Backend::Dragon => hic_runtime::InterConfig::Dragon,
+    };
+    Config::Inter(scheme)
+        .with_topology(topo)
+        .map_err(|e| format!("config: {e:?}"))
+}
+
+/// Sizes of the two compared regions.
+fn geometry(desc: &CaseDesc) -> (u64, u64) {
+    let n = desc.threads as u64;
+    (n * desc.slice, n * desc.rounds.len() as u64)
+}
+
+/// Build the declarative record of a case (what `hic-lint` verifies).
+pub fn record_of(desc: &CaseDesc) -> Result<ProgramRecord, String> {
+    let config = config_for(desc, Backend::Subject)?;
+    let (data_words, out_words) = geometry(desc);
+    let n = desc.threads;
+    let mut p = ProgramBuilder::new(config);
+    let data = p.alloc_named("data", data_words);
+    let out = p.alloc_named("out", out_words);
+    let racy = desc.racy.then(|| p.alloc_named("racy", 4));
+    let bar = p.barrier_of(n);
+    let sub_bars: Vec<_> = (0..desc.rounds.len())
+        .map(|r| {
+            (desc.rounds[r].sync == SyncShape::SubBarrier)
+                .then(|| p.barrier_of(participants(desc, r).len()))
+        })
+        .collect();
+    let flags: Vec<Vec<_>> = (0..desc.rounds.len())
+        .map(|r| {
+            if desc.rounds[r].sync == SyncShape::Flags {
+                desc.rounds[r].edges.iter().map(|_| p.flag()).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let mut rec = p.record(n);
+    rec.host_reads(data);
+    rec.host_reads(out);
+    let slice_of = |o: usize| data.slice(o as u64 * desc.slice, (o as u64 + 1) * desc.slice);
+    for t in 0..n {
+        let mut th = rec.thread(t);
+        for o in 0..n {
+            if o != t {
+                th.reads(slice_of(o));
+            }
+        }
+        th.plan_barrier(bar);
+        if let Some(racy) = racy {
+            // Reads before writes (DEF-USE convention) — relevant when
+            // n == 2 and thread 1 is both racy writer and racy reader.
+            if t == n - 1 {
+                th.reads(racy.slice(0, 1));
+            }
+            if t == 0 || t == 1 {
+                th.writes(racy.slice(0, 1));
+            }
+        }
+        for (r, round) in desc.rounds.iter().enumerate() {
+            th.writes(slice_of(t));
+            let (wb, inv) = plans_for(desc, data, t, r);
+            th.plan_wb(&wb);
+            match round.sync {
+                SyncShape::Barrier => {
+                    th.plan_barrier(bar);
+                }
+                SyncShape::SubBarrier => {
+                    if participants(desc, r).contains(&t) {
+                        th.plan_barrier(sub_bars[r].unwrap());
+                    }
+                }
+                SyncShape::Flags => {
+                    for (ei, e) in round.edges.iter().enumerate() {
+                        if e.p == t {
+                            th.flag_set(flags[r][ei], true);
+                        }
+                    }
+                    for (ei, e) in round.edges.iter().enumerate() {
+                        if e.c == t {
+                            th.flag_wait(flags[r][ei], true);
+                        }
+                    }
+                }
+            }
+            th.plan_inv(&inv);
+            let mut consumed = false;
+            for e in &round.edges {
+                if e.c == t {
+                    th.reads(data.slice(
+                        e.p as u64 * desc.slice + e.lo,
+                        e.p as u64 * desc.slice + e.hi,
+                    ));
+                    consumed = true;
+                }
+            }
+            if consumed {
+                let o = t as u64 * desc.rounds.len() as u64 + r as u64;
+                th.writes(out.slice(o, o + 1));
+            }
+            th.plan_barrier(bar);
+        }
+        th.barrier(bar);
+    }
+    Ok(rec)
+}
+
+/// Execute a case on one backend.
+pub fn run_dynamic(
+    desc: &CaseDesc,
+    backend: Backend,
+    check: CheckMode,
+    fault: Option<FaultPlan>,
+    overrides: Option<PlanOverrides>,
+) -> Result<DynOutcome, String> {
+    let config = config_for(desc, backend)?;
+    let (data_words, out_words) = geometry(desc);
+    let n = desc.threads;
+    let mut p = if backend == Backend::Reference {
+        ProgramBuilder::with_reference_backend(config)
+    } else {
+        ProgramBuilder::new(config)
+    };
+    p.check_mode(check);
+    p.watchdog_cycles(WATCHDOG_CYCLES);
+    p.watchdog_wall_ms(WATCHDOG_WALL_MS);
+    if let Some(f) = fault {
+        p.fault_plan(f);
+    }
+    if let Some(o) = overrides {
+        p.override_plans(o);
+    }
+    let data = p.alloc_named("data", data_words);
+    let out_r = p.alloc_named("out", out_words);
+    let racy = desc.racy.then(|| p.alloc_named("racy", 4));
+    let bar = p.barrier_of(n);
+    let sub_bars: Vec<_> = (0..desc.rounds.len())
+        .map(|r| {
+            (desc.rounds[r].sync == SyncShape::SubBarrier)
+                .then(|| p.barrier_of(participants(desc, r).len()))
+        })
+        .collect();
+    let flags: Vec<Vec<_>> = (0..desc.rounds.len())
+        .map(|r| {
+            if desc.rounds[r].sync == SyncShape::Flags {
+                desc.rounds[r].edges.iter().map(|_| p.flag()).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let d = desc.clone();
+    let outcome = p.run(n, move |ctx| {
+        let t = ctx.tid();
+        let n = d.threads;
+        for o in 0..n {
+            if o != t {
+                for i in 0..d.slice {
+                    ctx.read(data, o as u64 * d.slice + i);
+                }
+            }
+        }
+        ctx.plan_barrier(bar);
+        if let Some(racy) = racy {
+            if t == 0 {
+                ctx.racy_store(racy.at(0), 1_111);
+            }
+            if t == 1 {
+                ctx.racy_store(racy.at(0), 2_222);
+            }
+            if t == n - 1 {
+                let _ = ctx.racy_load(racy.at(0));
+            }
+        }
+        for (r, round) in d.rounds.iter().enumerate() {
+            for i in 0..d.slice {
+                ctx.write(data, t as u64 * d.slice + i, val(r, t, i));
+            }
+            let (wb, inv) = plans_for(&d, data, t, r);
+            ctx.plan_wb(&wb);
+            match round.sync {
+                SyncShape::Barrier => ctx.plan_barrier(bar),
+                SyncShape::SubBarrier => {
+                    if participants(&d, r).contains(&t) {
+                        ctx.plan_barrier(sub_bars[r].unwrap());
+                    }
+                }
+                SyncShape::Flags => {
+                    for (ei, e) in round.edges.iter().enumerate() {
+                        if e.p == t {
+                            ctx.flag_set_opts(flags[r][ei], hic_runtime::FlagOpts::raw());
+                        }
+                    }
+                    for (ei, e) in round.edges.iter().enumerate() {
+                        if e.c == t {
+                            ctx.flag_wait_opts(flags[r][ei], hic_runtime::FlagOpts::raw());
+                        }
+                    }
+                }
+            }
+            ctx.plan_inv(&inv);
+            let mut sum = 0u32;
+            let mut consumed = false;
+            for e in &round.edges {
+                if e.c == t {
+                    for i in e.lo..e.hi {
+                        sum = sum.wrapping_add(ctx.read(data, e.p as u64 * d.slice + i));
+                    }
+                    consumed = true;
+                }
+            }
+            if consumed {
+                ctx.write(out_r, t as u64 * d.rounds.len() as u64 + r as u64, sum);
+            }
+            ctx.plan_barrier(bar);
+        }
+        ctx.barrier(bar);
+    });
+
+    let error = outcome.result().err().map(render_err);
+    let (data_mem, out_mem) = if error.is_none() {
+        (outcome.peek_all(data), outcome.peek_all(out_r))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    Ok(DynOutcome {
+        error,
+        diag: outcome.diagnostics().clone(),
+        data: data_mem,
+        out: out_mem,
+    })
+}
+
+fn render_err(e: &RunError) -> String {
+    format!("{e:?}")
+}

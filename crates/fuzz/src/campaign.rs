@@ -1,0 +1,524 @@
+//! The campaign driver: deterministic, resumable, coverage-steered.
+//!
+//! A campaign derives one [`SplitMix64`] stream per case index from the
+//! campaign seed, generates a [`CaseDesc`] under the current
+//! [`GenBias`], classifies it with [`run_case`], folds the outcome into
+//! the running [`CampaignSummary`], and re-derives the bias from the
+//! observed feature counts (rarely-hit schemes, sync shapes and mutation
+//! operators get proportionally heavier weights). Because the per-case
+//! seed depends only on `(campaign seed, index)` — never on wall time or
+//! prior outcomes' timing — the same `(seed, cases)` pair always
+//! produces a byte-identical summary, and `--from N` replays the tail of
+//! a campaign without re-running its head.
+//!
+//! Interesting cases (every violation; the first case of each
+//! `scheme × expectation` signature) are delta-debugged by [`minimize`]
+//! and persisted to the corpus as replayable `key;expect=...` one-liners
+//! (see [`corpus_line`]), which `tests/fuzz_corpus.rs` replays on every
+//! CI run.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hic_check::FindingKind;
+use hic_lint::LintCoverage;
+use hic_runtime::InterConfig;
+use hic_sim::SplitMix64;
+
+use crate::desc::{scheme_tag, CaseDesc, GenBias, MutKind, SyncShape};
+use crate::run::{run_case, CaseOutcome, Verdict};
+
+/// Per-case seed derivation: golden-ratio spaced, so neighbouring case
+/// indices land in unrelated parts of the SplitMix64 stream.
+pub fn case_seed(campaign_seed: u64, index: usize) -> u64 {
+    campaign_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)
+}
+
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    pub seed: u64,
+    /// Number of case indices to attempt.
+    pub cases: usize,
+    /// First case index (resume support): `--from N` continues the same
+    /// campaign's per-index stream, with steering reset to default.
+    pub from: usize,
+    /// Soft wall-clock budget; checked between cases only, so a run
+    /// under budget is bit-identical to an unbudgeted run.
+    pub budget_s: Option<u64>,
+    /// Where to persist minimized interesting cases; `None` disables
+    /// corpus writes (used by the determinism tests).
+    pub corpus_dir: Option<PathBuf>,
+    /// Cap on classify-evaluations per minimization.
+    pub minimize_evals: usize,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> CampaignOpts {
+        CampaignOpts {
+            seed: 0,
+            cases: 0,
+            from: 0,
+            budget_s: None,
+            corpus_dir: None,
+            minimize_evals: 24,
+        }
+    }
+}
+
+fn scheme_idx(s: InterConfig) -> usize {
+    match s {
+        InterConfig::Addr => 1,
+        InterConfig::AddrL => 2,
+        _ => 0,
+    }
+}
+
+fn sync_idx(s: SyncShape) -> usize {
+    match s {
+        SyncShape::Barrier => 0,
+        SyncShape::Flags => 1,
+        SyncShape::SubBarrier => 2,
+    }
+}
+
+/// None / Delete / Duplicate / Widen / Narrow.
+fn mutation_idx(m: Option<MutKind>) -> usize {
+    match m {
+        None => 0,
+        Some(MutKind::Delete) => 1,
+        Some(MutKind::Duplicate) => 2,
+        Some(MutKind::Widen) => 3,
+        Some(MutKind::Narrow) => 4,
+    }
+}
+
+/// Feature counters that both steer generation and appear in the
+/// summary.
+#[derive(Debug, Clone, Default)]
+struct Steering {
+    schemes: [u64; 3],
+    sync: [u64; 3],
+    mutations: [u64; 5],
+    racy: u64,
+}
+
+impl Steering {
+    fn note(&mut self, desc: &CaseDesc) {
+        self.schemes[scheme_idx(desc.scheme)] += 1;
+        for r in &desc.rounds {
+            self.sync[sync_idx(r.sync)] += 1;
+        }
+        self.mutations[mutation_idx(desc.mutation.as_ref().map(|m| m.kind))] += 1;
+        self.racy += desc.racy as u64;
+    }
+
+    /// Inverse-frequency weights: a feature seen `c` times weighs
+    /// `1/(1+c)` relative to an unseen one, scaled by the default bias
+    /// so the campaign keeps its clean-baseline majority.
+    fn bias(&self) -> GenBias {
+        let d = GenBias::default();
+        let w = |c: u64| 1.0 / (1.0 + c as f64);
+        GenBias {
+            scheme: [0, 1, 2].map(|i| d.scheme[i] * w(self.schemes[i])),
+            sync: [0, 1, 2].map(|i| d.sync[i] * w(self.sync[i])),
+            mutation: [0, 1, 2, 3, 4].map(|i| d.mutation[i] * w(self.mutations[i])),
+            racy_rate: (d.racy_rate * 16.0 / (16.0 + self.racy as f64)).max(0.05),
+        }
+    }
+}
+
+const KIND_ORDER: [FindingKind; 3] = [
+    FindingKind::MissingWb,
+    FindingKind::MissingInv,
+    FindingKind::WriteRace,
+];
+
+fn kind_counts(label: &str, counts: &[u64; 3]) -> String {
+    let cells: Vec<String> = KIND_ORDER
+        .iter()
+        .zip(counts)
+        .map(|(k, c)| format!("{}={}", k.tag(), c))
+        .collect();
+    format!("{label}: {}", cells.join(" "))
+}
+
+fn kind_slot(k: FindingKind) -> usize {
+    KIND_ORDER.iter().position(|o| *o == k).unwrap_or(0)
+}
+
+/// The deterministic campaign report. [`CampaignSummary::render`]
+/// contains no timestamps, paths, or durations — repeating a campaign
+/// with the same `(seed, from, cases)` must reproduce it byte for byte.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    pub seed: u64,
+    pub from: usize,
+    pub cases: usize,
+    /// Cases actually executed (`< cases` only when the budget cut in).
+    pub run: usize,
+    /// clean / findings / precision / violation.
+    pub verdicts: [u64; 4],
+    pub schemes: [u64; 3],
+    pub sync: [u64; 3],
+    pub mutations: [u64; 5],
+    pub racy: u64,
+    /// Dynamic sanitizer finding kinds across subject runs.
+    pub dynamic_kinds: [u64; 3],
+    /// Static lint finding kinds.
+    pub lint_kinds: [u64; 3],
+    /// Merged static coverage over every case's lowered program.
+    pub coverage: LintCoverage,
+    /// One line per violating case: `expect key=... detail=...`.
+    pub violations: Vec<String>,
+    /// Corpus files written this run (reported on stderr, never part of
+    /// `render`, so pre-seeded corpora don't break determinism).
+    pub corpus_new: Vec<PathBuf>,
+}
+
+impl CampaignSummary {
+    fn absorb(&mut self, outcome: &CaseOutcome) {
+        self.run += 1;
+        let slot = match &outcome.verdict {
+            Verdict::Clean => 0,
+            Verdict::Findings(_) => 1,
+            Verdict::Precision(_) => 2,
+            Verdict::Violation(_) => 3,
+        };
+        self.verdicts[slot] += 1;
+        let desc = &outcome.desc;
+        self.schemes[scheme_idx(desc.scheme)] += 1;
+        for r in &desc.rounds {
+            self.sync[sync_idx(r.sync)] += 1;
+        }
+        self.mutations[mutation_idx(desc.mutation.as_ref().map(|m| m.kind))] += 1;
+        self.racy += desc.racy as u64;
+        for k in &outcome.dynamic_kinds {
+            self.dynamic_kinds[kind_slot(*k)] += 1;
+        }
+        for f in &outcome.lint.findings {
+            self.lint_kinds[kind_slot(f.kind)] += 1;
+        }
+        self.coverage.merge(&outcome.lint.coverage);
+        if outcome.verdict.is_violation() {
+            self.violations.push(format!(
+                "{} key={} detail={}",
+                outcome.verdict.expect_tag(),
+                desc.key(),
+                outcome.detail
+            ));
+        }
+    }
+
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("hic-fuzz campaign summary (format v1)\n");
+        s.push_str(&format!(
+            "seed={} from={} cases={} run={}\n",
+            self.seed, self.from, self.cases, self.run
+        ));
+        s.push_str(&format!(
+            "verdicts: clean={} findings={} precision={} violation={}\n",
+            self.verdicts[0], self.verdicts[1], self.verdicts[2], self.verdicts[3]
+        ));
+        s.push_str(&format!(
+            "schemes: base={} addr={} addrl={}\n",
+            self.schemes[0], self.schemes[1], self.schemes[2]
+        ));
+        s.push_str(&format!(
+            "sync-rounds: bar={} flag={} sub={}\n",
+            self.sync[0], self.sync[1], self.sync[2]
+        ));
+        s.push_str(&format!(
+            "mutations: none={} del={} dup={} wid={} nar={}\n",
+            self.mutations[0],
+            self.mutations[1],
+            self.mutations[2],
+            self.mutations[3],
+            self.mutations[4]
+        ));
+        s.push_str(&format!("racy-cases={}\n", self.racy));
+        s.push_str(&kind_counts("dynamic-findings", &self.dynamic_kinds));
+        s.push('\n');
+        s.push_str(&kind_counts("lint-findings", &self.lint_kinds));
+        s.push('\n');
+        let feats: Vec<String> = self
+            .coverage
+            .features()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        s.push_str(&format!("lint-coverage: {}\n", feats.join(" ")));
+        if self.violations.is_empty() {
+            s.push_str("violations: none\n");
+        } else {
+            s.push_str(&format!("violations: {}\n", self.violations.len()));
+            for v in &self.violations {
+                s.push_str(&format!("  {v}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Run a campaign per `opts`.
+pub fn run_campaign(opts: &CampaignOpts) -> CampaignSummary {
+    let mut steer = Steering::default();
+    let mut summary = CampaignSummary {
+        seed: opts.seed,
+        from: opts.from,
+        cases: opts.cases,
+        ..CampaignSummary::default()
+    };
+    // scheme × expectation signatures already persisted this run.
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let start = Instant::now();
+    for i in opts.from..opts.from + opts.cases {
+        if let Some(budget) = opts.budget_s {
+            if start.elapsed().as_secs() >= budget {
+                break;
+            }
+        }
+        let mut rng = SplitMix64::new(case_seed(opts.seed, i));
+        let desc = CaseDesc::generate(&mut rng, &steer.bias());
+        let outcome = run_case(&desc);
+        steer.note(&desc);
+        let expect = outcome.verdict.expect_tag();
+        summary.absorb(&outcome);
+
+        if let Some(dir) = &opts.corpus_dir {
+            let sig = format!("{}|{}", scheme_tag(desc.scheme), expect);
+            let interesting = outcome.verdict.is_violation()
+                || (!matches!(outcome.verdict, Verdict::Clean) && seen.insert(sig));
+            if interesting {
+                let min = minimize(&desc, &expect, opts.minimize_evals);
+                if let Ok((path, new)) = write_corpus(dir, &min, &expect) {
+                    if new {
+                        summary.corpus_new.push(path);
+                    }
+                }
+            }
+        }
+    }
+    summary
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+/// Structural size metric the minimizer descends on.
+fn cost(d: &CaseDesc) -> u64 {
+    let edges: usize = d.rounds.iter().map(|r| r.edges.len()).sum();
+    d.rounds.len() as u64 * 10_000
+        + edges as u64 * 1_000
+        + d.threads as u64 * 100
+        + (d.blocks * d.cores_per_block) as u64 * 10
+        + d.slice
+        + d.racy as u64 * 50
+        + (d.fault_seed != 0) as u64
+}
+
+/// Strictly-smaller candidate reductions of `d`, biggest wins first.
+fn candidates(d: &CaseDesc) -> Vec<CaseDesc> {
+    let mut out = Vec::new();
+    // Drop a whole round (never the mutation's own).
+    if d.rounds.len() > 1 {
+        for r in 0..d.rounds.len() {
+            if d.mutation.as_ref().is_some_and(|m| m.round == r) {
+                continue;
+            }
+            let mut c = d.clone();
+            c.rounds.remove(r);
+            if let Some(m) = &mut c.mutation {
+                if m.round > r {
+                    m.round -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+    // Drop a single edge (never the mutation's own).
+    for r in 0..d.rounds.len() {
+        if d.rounds[r].edges.len() < 2 {
+            continue;
+        }
+        for e in 0..d.rounds[r].edges.len() {
+            if d.mutation
+                .as_ref()
+                .is_some_and(|m| m.round == r && m.edge == e)
+            {
+                continue;
+            }
+            let mut c = d.clone();
+            c.rounds[r].edges.remove(e);
+            if let Some(m) = &mut c.mutation {
+                if m.round == r && m.edge > e {
+                    m.edge -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+    if d.racy {
+        let mut c = d.clone();
+        c.racy = false;
+        out.push(c);
+    }
+    // Shrink the thread count to the highest edge endpoint + 1.
+    let used = d
+        .rounds
+        .iter()
+        .flat_map(|r| r.edges.iter())
+        .map(|e| e.p.max(e.c))
+        .max()
+        .unwrap_or(1);
+    let want = (used + 1).max(2);
+    if want < d.threads {
+        let mut c = d.clone();
+        c.threads = want;
+        out.push(c);
+    }
+    // Shrink the machine to the smallest 2-block shape that seats them.
+    let min_cpb = d.threads.div_ceil(2).max(1);
+    if (d.blocks, d.cores_per_block) != (2, min_cpb) && 2 * min_cpb >= d.threads {
+        let mut c = d.clone();
+        c.blocks = 2;
+        c.cores_per_block = min_cpb;
+        out.push(c);
+    }
+    // Shrink every slice to the highest word any edge touches.
+    let max_hi = d
+        .rounds
+        .iter()
+        .flat_map(|r| r.edges.iter())
+        .map(|e| e.hi)
+        .max()
+        .unwrap_or(1);
+    if max_hi < d.slice {
+        let mut c = d.clone();
+        c.slice = max_hi;
+        out.push(c);
+    }
+    // Shrink a non-mutated edge's range to one word.
+    for r in 0..d.rounds.len() {
+        for e in 0..d.rounds[r].edges.len() {
+            if d.mutation
+                .as_ref()
+                .is_some_and(|m| m.round == r && m.edge == e)
+            {
+                continue;
+            }
+            if d.rounds[r].edges[e].hi - d.rounds[r].edges[e].lo > 1 {
+                let mut c = d.clone();
+                c.rounds[r].edges[e].hi = c.rounds[r].edges[e].lo + 1;
+                out.push(c);
+            }
+        }
+    }
+    if d.fault_seed != 0 {
+        let mut c = d.clone();
+        c.fault_seed = 0;
+        out.push(c);
+    }
+    if let Some(m) = &d.mutation {
+        if m.amount > 1 {
+            let mut c = d.clone();
+            c.mutation.as_mut().unwrap().amount = 1;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedy delta-debugging: repeatedly adopt the first strictly-smaller
+/// candidate whose [`run_case`] expectation tag still equals `expect`,
+/// until a fixed point or `max_evals` classifications.
+pub fn minimize(desc: &CaseDesc, expect: &str, max_evals: usize) -> CaseDesc {
+    let mut best = desc.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if evals >= max_evals {
+                return best;
+            }
+            if cand.validate().is_err() || cost(&cand) >= cost(&best) {
+                continue;
+            }
+            evals += 1;
+            if run_case(&cand).verdict.expect_tag() == expect {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// The replayable one-line corpus format: `key;expect=<tag>`.
+pub fn corpus_line(desc: &CaseDesc, expect: &str) -> String {
+    format!("{};expect={}", desc.key(), expect)
+}
+
+/// Inverse of [`corpus_line`].
+pub fn parse_corpus_line(line: &str) -> Result<(CaseDesc, String), String> {
+    let line = line.trim();
+    let (key, expect) = line
+        .rsplit_once(";expect=")
+        .ok_or_else(|| format!("corpus line missing ;expect=: {line:?}"))?;
+    if expect.is_empty() {
+        return Err(format!("empty expectation in {line:?}"));
+    }
+    Ok((CaseDesc::parse_key(key)?, expect.to_string()))
+}
+
+/// FNV-1a, for content-addressed corpus file names.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Persist a case, content-addressed; returns `(path, newly_written)`.
+pub fn write_corpus(dir: &Path, desc: &CaseDesc, expect: &str) -> std::io::Result<(PathBuf, bool)> {
+    std::fs::create_dir_all(dir)?;
+    let line = corpus_line(desc, expect);
+    let class = expect.split(':').next().unwrap_or("case");
+    let path = dir.join(format!("{class}-{:016x}.case", fnv64(&line)));
+    if path.exists() {
+        return Ok((path, false));
+    }
+    std::fs::write(&path, format!("{line}\n"))?;
+    Ok((path, true))
+}
+
+/// Load every `*.case` file under `dir`, sorted by file name.
+pub fn load_corpus(dir: &Path) -> std::io::Result<Vec<(PathBuf, CaseDesc, String)>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(&p)?;
+        let (desc, expect) = parse_corpus_line(&text).map_err(std::io::Error::other)?;
+        out.push((p, desc, expect));
+    }
+    Ok(out)
+}

@@ -1,0 +1,484 @@
+//! The fuzzer's case grammar: one [`CaseDesc`] describes a whole
+//! differential test case — machine shape, communication schedule, sync
+//! skeleton, racy mix, fault seed, and an optional plan mutation — and is
+//! the *single* source both the runnable program and its
+//! [`ProgramRecord`](hic_runtime::ProgramRecord) are materialized from
+//! (see `build`), so the two cannot drift.
+//!
+//! Every description round-trips through a cache-key-style one-liner
+//! ([`CaseDesc::key`] / [`CaseDesc::parse_key`], version-tagged
+//! `hicfuzz1`), which is the corpus file format and the `replay` wire
+//! format.
+
+use hic_runtime::InterConfig;
+use hic_sim::SplitMix64;
+
+/// How a round's producers hand off to its consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncShape {
+    /// One global barrier arrival (all threads), release + acquire.
+    Barrier,
+    /// One raw flag per edge: producer sets, consumer waits. The flags
+    /// carry no WB/INV — the plans must.
+    Flags,
+    /// A k-of-n barrier among exactly the round's participants; bystander
+    /// threads skip straight to the round's closing barrier.
+    SubBarrier,
+}
+
+impl SyncShape {
+    pub const ALL: [SyncShape; 3] = [SyncShape::Barrier, SyncShape::Flags, SyncShape::SubBarrier];
+
+    pub fn tag(self) -> &'static str {
+        match self {
+            SyncShape::Barrier => "bar",
+            SyncShape::Flags => "flag",
+            SyncShape::SubBarrier => "sub",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<SyncShape> {
+        match s {
+            "bar" => Some(SyncShape::Barrier),
+            "flag" => Some(SyncShape::Flags),
+            "sub" => Some(SyncShape::SubBarrier),
+            _ => None,
+        }
+    }
+}
+
+/// One producer → consumer transfer: consumer `c` reads words
+/// `[lo, hi)` of producer `p`'s slice after the round's sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeDesc {
+    pub p: usize,
+    pub c: usize,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+/// One communication round: a sync shape plus edges with pairwise
+/// distinct producers (so a deleted WB cannot be masked by another WB of
+/// the same slice in the same round).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundDesc {
+    pub sync: SyncShape,
+    pub edges: Vec<EdgeDesc>,
+}
+
+/// The four plan mutation operators (over
+/// [`EpochPlan`](hic_runtime::EpochPlan)'s mutation helpers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutKind {
+    /// Remove the op: the classic seeded bug, must always be caught.
+    Delete,
+    /// Push a copy of the op: redundant, must stay clean.
+    Duplicate,
+    /// Grow the op's region: over-approximated, must stay clean.
+    Widen,
+    /// Shrink the op's region: under-covered words.
+    Narrow,
+}
+
+impl MutKind {
+    pub const ALL: [MutKind; 4] = [
+        MutKind::Delete,
+        MutKind::Duplicate,
+        MutKind::Widen,
+        MutKind::Narrow,
+    ];
+
+    pub fn tag(self) -> &'static str {
+        match self {
+            MutKind::Delete => "del",
+            MutKind::Duplicate => "dup",
+            MutKind::Widen => "wid",
+            MutKind::Narrow => "nar",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<MutKind> {
+        match s {
+            "del" => Some(MutKind::Delete),
+            "dup" => Some(MutKind::Duplicate),
+            "wid" => Some(MutKind::Widen),
+            "nar" => Some(MutKind::Narrow),
+            _ => None,
+        }
+    }
+}
+
+/// A mutation applied to one planned op: the op belonging to
+/// `rounds[round].edges[edge]`, on the WB (producer) or INV (consumer)
+/// side. `amount` is the word count for `Widen`/`Narrow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationDesc {
+    pub kind: MutKind,
+    pub wb: bool,
+    pub round: usize,
+    pub edge: usize,
+    pub amount: u64,
+}
+
+/// A complete fuzz case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseDesc {
+    /// Incoherent scheme under audit (`Base` / `Addr` / `AddrL`; the
+    /// coherent rows are the oracles, not the subject).
+    pub scheme: InterConfig,
+    pub blocks: usize,
+    pub cores_per_block: usize,
+    pub threads: usize,
+    /// Words per thread-owned slice of the `data` region.
+    pub slice: u64,
+    pub rounds: Vec<RoundDesc>,
+    /// Include the `MarkRacy` block: two threads racy-store one word,
+    /// one racy-loads it. Dynamically exempt; statically a write race —
+    /// the canonical lint *precision* case.
+    pub racy: bool,
+    /// Seed for the recoverable [`FaultPlan`](hic_runtime::FaultPlan)
+    /// the incoherent run executes under.
+    pub fault_seed: u64,
+    pub mutation: Option<MutationDesc>,
+}
+
+/// Stable tag for a scheme, as used in keys and campaign summaries.
+pub fn scheme_tag(s: InterConfig) -> &'static str {
+    match s {
+        InterConfig::Base => "base",
+        InterConfig::Addr => "addr",
+        InterConfig::AddrL => "addrl",
+        InterConfig::Hcc => "hcc",
+        InterConfig::Dragon => "dragon",
+    }
+}
+
+fn scheme_from_tag(s: &str) -> Option<InterConfig> {
+    match s {
+        "base" => Some(InterConfig::Base),
+        "addr" => Some(InterConfig::Addr),
+        "addrl" => Some(InterConfig::AddrL),
+        _ => None,
+    }
+}
+
+impl CaseDesc {
+    /// The canonical one-liner: corpus file format, replay wire format,
+    /// and minimization identity. [`CaseDesc::parse_key`] is its exact
+    /// inverse (round-trip pinned by tests).
+    pub fn key(&self) -> String {
+        let rounds: Vec<String> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                let edges: Vec<String> = r
+                    .edges
+                    .iter()
+                    .map(|e| format!("{}>{}:{}:{}", e.p, e.c, e.lo, e.hi))
+                    .collect();
+                format!("{}@{}", r.sync.tag(), edges.join(","))
+            })
+            .collect();
+        let m = match &self.mutation {
+            Some(m) => format!(
+                "{}:{}:{}:{}:{}",
+                m.kind.tag(),
+                if m.wb { "wb" } else { "inv" },
+                m.round,
+                m.edge,
+                m.amount
+            ),
+            None => "-".to_string(),
+        };
+        format!(
+            "hicfuzz1;scheme={};topo={}x{};threads={};slice={};fault={};racy={};rounds={};mut={}",
+            scheme_tag(self.scheme),
+            self.blocks,
+            self.cores_per_block,
+            self.threads,
+            self.slice,
+            self.fault_seed,
+            self.racy as u8,
+            rounds.join("|"),
+            m
+        )
+    }
+
+    /// Parse a [`CaseDesc::key`] one-liner.
+    pub fn parse_key(key: &str) -> Result<CaseDesc, String> {
+        let key = key.trim();
+        let mut parts = key.split(';');
+        if parts.next() != Some("hicfuzz1") {
+            return Err("missing hicfuzz1 version tag".to_string());
+        }
+        let mut scheme = None;
+        let mut topo = None;
+        let mut threads = None;
+        let mut slice = None;
+        let mut fault = None;
+        let mut racy = None;
+        let mut rounds = None;
+        let mut mutation: Option<Option<MutationDesc>> = None;
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {part:?}"))?;
+            match k {
+                "scheme" => {
+                    scheme =
+                        Some(scheme_from_tag(v).ok_or_else(|| format!("unknown scheme {v:?}"))?)
+                }
+                "topo" => {
+                    let (b, c) = v
+                        .split_once('x')
+                        .ok_or_else(|| format!("malformed topo {v:?}"))?;
+                    topo = Some((num(b)? as usize, num(c)? as usize));
+                }
+                "threads" => threads = Some(num(v)? as usize),
+                "slice" => slice = Some(num(v)?),
+                "fault" => fault = Some(num(v)?),
+                "racy" => racy = Some(num(v)? != 0),
+                "rounds" => rounds = Some(parse_rounds(v)?),
+                "mut" => mutation = Some(parse_mutation(v)?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        let (blocks, cores_per_block) = topo.ok_or("missing topo")?;
+        let desc = CaseDesc {
+            scheme: scheme.ok_or("missing scheme")?,
+            blocks,
+            cores_per_block,
+            threads: threads.ok_or("missing threads")?,
+            slice: slice.ok_or("missing slice")?,
+            rounds: rounds.ok_or("missing rounds")?,
+            racy: racy.ok_or("missing racy")?,
+            fault_seed: fault.ok_or("missing fault")?,
+            mutation: mutation.ok_or("missing mut")?,
+        };
+        desc.validate()?;
+        Ok(desc)
+    }
+
+    /// Structural sanity: everything in range, producers pairwise
+    /// distinct per round, mutation addressing an existing op.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks < 2 || self.cores_per_block < 1 {
+            return Err("inter-block cases need >= 2 blocks".to_string());
+        }
+        if self.threads < 2 || self.threads > self.blocks * self.cores_per_block {
+            return Err(format!(
+                "threads {} out of range for {}x{}",
+                self.threads, self.blocks, self.cores_per_block
+            ));
+        }
+        if self.slice == 0 {
+            return Err("empty slice".to_string());
+        }
+        if self.rounds.is_empty() {
+            return Err("no rounds".to_string());
+        }
+        for (r, round) in self.rounds.iter().enumerate() {
+            if round.edges.is_empty() {
+                return Err(format!("round {r} has no edges"));
+            }
+            for (i, e) in round.edges.iter().enumerate() {
+                if e.p >= self.threads || e.c >= self.threads || e.p == e.c {
+                    return Err(format!("round {r} edge {i}: bad pair {} -> {}", e.p, e.c));
+                }
+                if e.lo >= e.hi || e.hi > self.slice {
+                    return Err(format!("round {r} edge {i}: bad range {}..{}", e.lo, e.hi));
+                }
+                if round.edges[..i].iter().any(|o| o.p == e.p) {
+                    return Err(format!("round {r}: duplicate producer {}", e.p));
+                }
+            }
+        }
+        if let Some(m) = &self.mutation {
+            let round = self
+                .rounds
+                .get(m.round)
+                .ok_or_else(|| format!("mutation round {} out of range", m.round))?;
+            if m.edge >= round.edges.len() {
+                return Err(format!("mutation edge {} out of range", m.edge));
+            }
+            if matches!(m.kind, MutKind::Widen | MutKind::Narrow) && m.amount == 0 {
+                return Err("widen/narrow need a nonzero amount".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate a random valid case, biased by `bias` (coverage
+    /// steering). Deterministic in `rng`.
+    pub fn generate(rng: &mut SplitMix64, bias: &GenBias) -> CaseDesc {
+        let scheme =
+            [InterConfig::Base, InterConfig::Addr, InterConfig::AddrL][weighted(rng, &bias.scheme)];
+        let blocks = 2 + rng.below(3) as usize; // 2..=4
+        let cores_per_block = 2 + rng.below(7) as usize; // 2..=8
+        let cores = blocks * cores_per_block;
+        let threads = 2 + rng.below((cores.min(12) - 1) as u64) as usize; // 2..=min(12, cores)
+        let slice = 8 * (1 + rng.below(4)); // 8, 16, 24, 32 words
+        let nrounds = 1 + rng.below(3) as usize; // 1..=3
+        let rounds: Vec<RoundDesc> = (0..nrounds)
+            .map(|_| {
+                let sync = SyncShape::ALL[weighted(rng, &bias.sync)];
+                let want = 1 + rng.below(threads.min(4) as u64 - 1) as usize;
+                let mut edges: Vec<EdgeDesc> = Vec::new();
+                while edges.len() < want {
+                    let p = rng.below(threads as u64) as usize;
+                    let c = rng.below(threads as u64) as usize;
+                    if p == c || edges.iter().any(|e| e.p == p) {
+                        continue;
+                    }
+                    // A random sub-range of the producer's slice.
+                    let lo = rng.below(slice);
+                    let hi = lo + 1 + rng.below(slice - lo);
+                    edges.push(EdgeDesc { p, c, lo, hi });
+                }
+                RoundDesc { sync, edges }
+            })
+            .collect();
+        let racy = rng.unit_f64() < bias.racy_rate;
+        // 0 = no mutation, 1.. = MutKind::ALL.
+        let mutation = match weighted(rng, &bias.mutation) {
+            0 => None,
+            k => {
+                let kind = MutKind::ALL[k - 1];
+                let round = rng.below(rounds.len() as u64) as usize;
+                let edge = rng.below(rounds[round].edges.len() as u64) as usize;
+                let e = rounds[round].edges[edge];
+                let words = e.hi - e.lo;
+                let amount = match kind {
+                    MutKind::Narrow if words > 1 => 1 + rng.below(words - 1),
+                    MutKind::Narrow => 0, // 1-word op: narrowing would empty it
+                    _ => 1 + rng.below(2 * slice),
+                };
+                if kind == MutKind::Narrow && amount == 0 {
+                    None
+                } else {
+                    Some(MutationDesc {
+                        kind,
+                        wb: rng.below(2) == 0,
+                        round,
+                        edge,
+                        amount,
+                    })
+                }
+            }
+        };
+        let desc = CaseDesc {
+            scheme,
+            blocks,
+            cores_per_block,
+            threads,
+            slice,
+            rounds,
+            racy,
+            fault_seed: rng.next_u64() >> 16,
+            mutation,
+        };
+        debug_assert!(desc.validate().is_ok(), "{:?}", desc.validate());
+        desc
+    }
+}
+
+/// Generation weights derived from coverage (see `campaign`): a feature
+/// the campaign has exercised often gets a low weight, steering new
+/// cases toward untouched analysis territory.
+#[derive(Debug, Clone)]
+pub struct GenBias {
+    /// Base / Addr / Addr+L.
+    pub scheme: [f64; 3],
+    /// Barrier / Flags / SubBarrier.
+    pub sync: [f64; 3],
+    /// None / Delete / Duplicate / Widen / Narrow.
+    pub mutation: [f64; 5],
+    /// Probability of including the racy block.
+    pub racy_rate: f64,
+}
+
+impl Default for GenBias {
+    fn default() -> GenBias {
+        GenBias {
+            scheme: [1.0; 3],
+            sync: [1.0; 3],
+            // Half the cases unmutated: they are the clean baseline the
+            // divergence + precision checks need.
+            mutation: [4.0, 1.0, 1.0, 1.0, 1.0],
+            racy_rate: 0.25,
+        }
+    }
+}
+
+/// Deterministic weighted choice over `weights` (all > 0).
+fn weighted(rng: &mut SplitMix64, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.unit_f64() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn parse_rounds(v: &str) -> Result<Vec<RoundDesc>, String> {
+    v.split('|')
+        .map(|r| {
+            let (sync, edges) = r
+                .split_once('@')
+                .ok_or_else(|| format!("malformed round {r:?}"))?;
+            let sync = SyncShape::from_tag(sync).ok_or_else(|| format!("unknown sync {sync:?}"))?;
+            let edges = edges
+                .split(',')
+                .map(|e| {
+                    let mut it = e.split(':');
+                    let pair = it.next().ok_or_else(|| format!("malformed edge {e:?}"))?;
+                    let (p, c) = pair
+                        .split_once('>')
+                        .ok_or_else(|| format!("malformed edge {e:?}"))?;
+                    let lo = num(it.next().ok_or("edge missing lo")?)?;
+                    let hi = num(it.next().ok_or("edge missing hi")?)?;
+                    if it.next().is_some() {
+                        return Err(format!("trailing edge fields in {e:?}"));
+                    }
+                    Ok(EdgeDesc {
+                        p: num(p)? as usize,
+                        c: num(c)? as usize,
+                        lo,
+                        hi,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(RoundDesc { sync, edges })
+        })
+        .collect()
+}
+
+fn parse_mutation(v: &str) -> Result<Option<MutationDesc>, String> {
+    if v == "-" {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = v.split(':').collect();
+    if fields.len() != 5 {
+        return Err(format!("malformed mutation {v:?}"));
+    }
+    let kind = MutKind::from_tag(fields[0]).ok_or_else(|| format!("unknown mutation {v:?}"))?;
+    let wb = match fields[1] {
+        "wb" => true,
+        "inv" => false,
+        other => return Err(format!("bad mutation side {other:?}")),
+    };
+    Ok(Some(MutationDesc {
+        kind,
+        wb,
+        round: num(fields[2])? as usize,
+        edge: num(fields[3])? as usize,
+        amount: num(fields[4])?,
+    }))
+}

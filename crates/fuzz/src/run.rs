@@ -1,0 +1,261 @@
+//! Differential execution and verdict classification for one case.
+//!
+//! A case is judged by running its program five ways — the incoherent
+//! subject scheme under a seeded recoverable fault plan and again
+//! fault-free (both under report-mode checking), plus the MESI, Dragon
+//! and flat-reference coherent oracles — and statically verifying its
+//! record with `hic-lint`. The verdict encodes the audit:
+//!
+//! * **soundness** — every dynamic sanitizer finding must be explained
+//!   by a static finding ([`LintReport::covers`]); an uncovered dynamic
+//!   finding means the linter's abstract model missed a real staleness
+//!   path and is a [`Violation::Uncovered`];
+//! * **divergence** — when the sanitizer is clean, the readable `data` +
+//!   `out` memory must be bit-identical across all five runs (the racy
+//!   region is excluded by construction); a mismatch with no finding is
+//!   a [`Violation::SilentDivergence`] (either a backend bug or a
+//!   sanitizer blind spot);
+//! * **optimizer** — on statically-clean cases, `optimize`'s minimized
+//!   plans must re-verify clean and re-run strict-clean with
+//!   bit-identical memory, else [`Violation::OptimizerBroke`];
+//! * otherwise the case lands in [`Verdict::Findings`] (expected,
+//!   covered findings), [`Verdict::Precision`] (static findings on a
+//!   dynamically-clean program — overapproximation, not unsoundness), or
+//!   [`Verdict::Clean`].
+
+use hic_check::FindingKind;
+use hic_lint::{lint, optimize, LintReport};
+use hic_runtime::{CheckMode, FaultPlan};
+
+use crate::build::{record_of, run_dynamic, Backend, DynOutcome};
+use crate::desc::CaseDesc;
+
+/// A campaign-stopping audit failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A dynamic finding no static finding explains (lint unsoundness).
+    Uncovered,
+    /// Backends disagree on readable memory with a clean sanitizer.
+    SilentDivergence,
+    /// Minimized plans failed re-verification or changed the result.
+    OptimizerBroke,
+    /// The case could not be executed/interleaved at all (generator,
+    /// watchdog, or scheduler defect).
+    Structural,
+}
+
+impl Violation {
+    pub fn tag(self) -> &'static str {
+        match self {
+            Violation::Uncovered => "uncovered",
+            Violation::SilentDivergence => "divergence",
+            Violation::OptimizerBroke => "optimizer",
+            Violation::Structural => "structural",
+        }
+    }
+}
+
+/// Classification of one executed case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Lint clean, sanitizer clean, all backends bit-identical.
+    Clean,
+    /// Sanitizer findings of these kinds, every one statically covered.
+    Findings(Vec<FindingKind>),
+    /// Static findings of these kinds on a dynamically-clean program.
+    Precision(Vec<FindingKind>),
+    Violation(Violation),
+}
+
+impl Verdict {
+    /// The stable expectation tag persisted in corpus lines and asserted
+    /// on replay: `clean`, `findings:missing-wb[,...]`,
+    /// `precision:write-race[,...]`, `violation:<kind>`.
+    pub fn expect_tag(&self) -> String {
+        fn kinds(ks: &[FindingKind]) -> String {
+            let mut tags: Vec<&str> = ks.iter().map(|k| k.tag()).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            tags.join(",")
+        }
+        match self {
+            Verdict::Clean => "clean".to_string(),
+            Verdict::Findings(ks) => format!("findings:{}", kinds(ks)),
+            Verdict::Precision(ks) => format!("precision:{}", kinds(ks)),
+            Verdict::Violation(v) => format!("violation:{}", v.tag()),
+        }
+    }
+
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation(_))
+    }
+}
+
+/// Everything the campaign needs from one executed case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    pub desc: CaseDesc,
+    pub verdict: Verdict,
+    /// The static report (drives coverage steering).
+    pub lint: LintReport,
+    /// Dynamic finding kinds across both subject runs.
+    pub dynamic_kinds: Vec<FindingKind>,
+    /// Human-readable context for violations.
+    pub detail: String,
+}
+
+fn mem_equal(label: &str, a: &DynOutcome, b: &DynOutcome) -> Result<(), String> {
+    if a.data != b.data {
+        let i = a.data.iter().zip(&b.data).position(|(x, y)| x != y);
+        return Err(format!("{label}: data diverges at word {i:?}"));
+    }
+    if a.out != b.out {
+        let i = a.out.iter().zip(&b.out).position(|(x, y)| x != y);
+        return Err(format!("{label}: out diverges at word {i:?}"));
+    }
+    Ok(())
+}
+
+/// Run the full differential audit for one case.
+pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
+    let fail = |verdict: Violation, detail: String, lint: LintReport| CaseOutcome {
+        desc: desc.clone(),
+        verdict: Verdict::Violation(verdict),
+        lint,
+        dynamic_kinds: Vec::new(),
+        detail,
+    };
+    let empty_report =
+        || LintReport::trivially_clean(hic_runtime::Config::Inter(hic_runtime::InterConfig::Hcc));
+
+    let record = match record_of(desc) {
+        Ok(r) => r,
+        Err(e) => return fail(Violation::Structural, e, empty_report()),
+    };
+    let report = lint(&record);
+    if !report.errors.is_empty() {
+        let detail = report.errors.join("; ");
+        return fail(Violation::Structural, detail, report);
+    }
+
+    let fault = FaultPlan::from_seed(desc.fault_seed);
+    let runs = [
+        (
+            "subject+fault",
+            Backend::Subject,
+            CheckMode::Report,
+            Some(fault),
+        ),
+        ("subject", Backend::Subject, CheckMode::Report, None),
+        ("mesi", Backend::Mesi, CheckMode::Off, None),
+        ("dragon", Backend::Dragon, CheckMode::Off, None),
+        ("reference", Backend::Reference, CheckMode::Off, None),
+    ];
+    let mut outs = Vec::with_capacity(runs.len());
+    for (label, backend, check, fault) in runs {
+        match run_dynamic(desc, backend, check, fault, None) {
+            Ok(o) => {
+                if let Some(e) = &o.error {
+                    return fail(Violation::Structural, format!("{label}: {e}"), report);
+                }
+                outs.push((label, o));
+            }
+            Err(e) => return fail(Violation::Structural, format!("{label}: {e}"), report),
+        }
+    }
+    let subject_fault = &outs[0].1;
+    let subject = &outs[1].1;
+
+    // Soundness: every dynamic finding must be statically explained.
+    let mut dynamic_kinds: Vec<FindingKind> = Vec::new();
+    for (label, o) in outs.iter().take(2) {
+        for f in &o.diag.findings {
+            dynamic_kinds.push(f.kind);
+            if !report.covers(f) {
+                let detail = format!("{label}: uncovered dynamic finding: {}", f.render());
+                return CaseOutcome {
+                    desc: desc.clone(),
+                    verdict: Verdict::Violation(Violation::Uncovered),
+                    lint: report,
+                    dynamic_kinds,
+                    detail,
+                };
+            }
+        }
+    }
+
+    let dyn_clean = subject_fault.diag.is_clean() && subject.diag.is_clean();
+    if !dyn_clean && dynamic_kinds.is_empty() {
+        // `suppressed` without findings cannot normally happen; surface
+        // it rather than misclassifying the case as clean.
+        return fail(
+            Violation::Structural,
+            "sanitizer suppressed findings but reported none".to_string(),
+            report,
+        );
+    }
+
+    if !dyn_clean {
+        return CaseOutcome {
+            desc: desc.clone(),
+            verdict: Verdict::Findings(dynamic_kinds.clone()),
+            lint: report,
+            dynamic_kinds,
+            detail: String::new(),
+        };
+    }
+
+    // Sanitizer clean: all five runs must agree on readable memory.
+    for (label, o) in &outs[1..] {
+        if let Err(e) = mem_equal(label, subject_fault, o) {
+            return fail(Violation::SilentDivergence, e, report);
+        }
+    }
+
+    // Optimizer audit on statically-clean cases: minimized plans must
+    // re-verify and re-run (strict, fault-free) bit-identical.
+    if report.is_clean() {
+        let opt = optimize(&record);
+        if opt.stats.fallback || !opt.reverify.is_clean() {
+            return fail(
+                Violation::OptimizerBroke,
+                format!("re-verification failed: {}", opt.reverify.render()),
+                report,
+            );
+        }
+        match run_dynamic(
+            desc,
+            Backend::Subject,
+            CheckMode::Strict,
+            None,
+            Some(opt.overrides),
+        ) {
+            Ok(o) => {
+                if let Some(e) = &o.error {
+                    return fail(
+                        Violation::OptimizerBroke,
+                        format!("strict re-run failed: {e}"),
+                        report,
+                    );
+                }
+                if let Err(e) = mem_equal("optimized", subject, &o) {
+                    return fail(Violation::OptimizerBroke, e, report);
+                }
+            }
+            Err(e) => return fail(Violation::OptimizerBroke, e, report),
+        }
+    }
+
+    let verdict = if report.is_clean() {
+        Verdict::Clean
+    } else {
+        Verdict::Precision(report.findings.iter().map(|f| f.kind).collect())
+    };
+    CaseOutcome {
+        desc: desc.clone(),
+        verdict,
+        lint: report,
+        dynamic_kinds,
+        detail: String::new(),
+    }
+}

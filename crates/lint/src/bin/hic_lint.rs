@@ -6,16 +6,22 @@
 //! what it pruned / downgraded. Exit status is nonzero when any record
 //! has findings or structural errors.
 //!
-//! Usage: `hic-lint [--scale test|small] [--verbose] [name-filter ...]`
+//! `--json` emits one machine-readable document instead of the human
+//! report (same exit status): `{"records":[{"app","config","report",
+//! "opt"}],"checked":N,"dirty":N}` with the stable finding schema of
+//! [`LintFinding::to_json`](hic_lint::LintFinding::to_json).
+//!
+//! Usage: `hic-lint [--scale test|small] [--json] [--verbose] [name-filter ...]`
 
 use hic_apps::inter::ep::EpHier;
 use hic_apps::{inter_apps, App, Scale};
-use hic_lint::{lint, optimize};
+use hic_lint::{json_str, lint, optimize};
 use hic_runtime::{Config, InterConfig};
 
 fn main() {
     let mut scale = Scale::Test;
     let mut verbose = false;
+    let mut json = false;
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,8 +38,11 @@ fn main() {
                 }
             }
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: hic-lint [--scale test|small|paper] [--verbose] [name ...]");
+                eprintln!(
+                    "usage: hic-lint [--scale test|small|paper] [--json] [--verbose] [name ...]"
+                );
                 return;
             }
             f => filters.push(f.to_ascii_lowercase()),
@@ -50,6 +59,7 @@ fn main() {
 
     let mut checked = 0usize;
     let mut dirty = 0usize;
+    let mut records: Vec<String> = Vec::new();
     for app in &apps {
         let name = app.name();
         if !filters.is_empty()
@@ -67,6 +77,25 @@ fn main() {
             any_record = true;
             checked += 1;
             let report = lint(&rec);
+            if !report.is_clean() {
+                dirty += 1;
+            }
+            if json {
+                let opt = if report.is_clean() {
+                    let out = optimize(&rec);
+                    format!("{{\"stats\":{},\"clean\":true}}", out.stats.to_json())
+                } else {
+                    "null".to_string()
+                };
+                records.push(format!(
+                    "{{\"app\":{},\"config\":{},\"report\":{},\"opt\":{}}}",
+                    json_str(name),
+                    json_str(config.name()),
+                    report.to_json(),
+                    opt
+                ));
+                continue;
+            }
             if report.is_clean() {
                 let out = optimize(&rec);
                 println!(
@@ -80,7 +109,6 @@ fn main() {
                     println!("         reverify: {}", out.reverify.render().trim_end());
                 }
             } else {
-                dirty += 1;
                 println!(
                     "{name:>8} {:<6} {} finding(s), {} error(s)",
                     config.name(),
@@ -90,12 +118,19 @@ fn main() {
                 print!("{}", report.render());
             }
         }
-        if !any_record {
+        if !any_record && !json {
             println!("{name:>8} (no record — skipped)");
         }
     }
-    println!("---");
-    println!("{checked} records linted, {dirty} with findings");
+    if json {
+        println!(
+            "{{\"records\":[{}],\"checked\":{checked},\"dirty\":{dirty}}}",
+            records.join(",")
+        );
+    } else {
+        println!("---");
+        println!("{checked} records linted, {dirty} with findings");
+    }
     if dirty > 0 {
         std::process::exit(1);
     }

@@ -44,7 +44,7 @@ use hic_mem::Region;
 use hic_runtime::{CommOp, InterConfig, ProgramRecord, RecEvent, RecSync, Scheme};
 use hic_sim::ThreadId;
 
-use crate::report::{LintFinding, LintReport};
+use crate::report::{LintCoverage, LintFinding, LintReport};
 
 /// Cap on distinct raw (kind, word, actor) findings before aggregation.
 const MAX_RAW_FINDINGS: usize = 65536;
@@ -443,6 +443,7 @@ struct Interp<'a> {
     findings: Vec<RawFinding>,
     seen: FxHashSet<(u8, u64, usize)>,
     checks: u64,
+    poisoned_fills: u64,
     errors: Vec<String>,
     attrib: Option<Attrib>,
     /// Last op that dropped a *stale* copy of (word) from (thread)'s L1.
@@ -474,6 +475,7 @@ impl<'a> Interp<'a> {
             findings: Vec::new(),
             seen: FxHashSet::default(),
             checks: 0,
+            poisoned_fills: 0,
             errors: Vec::new(),
             attrib: track.then(Attrib::default),
             l1_drop: FxHashMap::default(),
@@ -508,6 +510,7 @@ impl<'a> Interp<'a> {
         let fill_l2 = ls.l2 & (1 << b as u8) == 0;
         ls.l2 |= 1 << b as u8;
         ls.l1 |= 1 << t;
+        let mut poisoned = 0u64;
         for i in 0..WORDS_PER_LINE as u64 {
             let w = line * WORDS_PER_LINE as u64 + i;
             if let Some(aw) = self.words.get_mut(&w) {
@@ -515,6 +518,7 @@ impl<'a> Interp<'a> {
                 // indeterminate: poison it so no later ordered read can
                 // benefit from a favorably-interleaved abstract schedule.
                 let racy = aw.version != 0 && !self.clocks[t].covers(aw.writer, aw.epoch);
+                poisoned += racy as u64;
                 if fill_l2 {
                     aw.l2_v[b] = if racy { POISON_V } else { aw.mem_v };
                     aw.l2_dirty &= !(1 << b as u8);
@@ -529,6 +533,7 @@ impl<'a> Interp<'a> {
                 }
             }
         }
+        self.poisoned_fills += poisoned;
     }
 
     fn read_word(&mut self, t: usize, w: u64) {
@@ -1032,12 +1037,52 @@ pub(crate) fn interp(
     let lowered = lower(rec);
     let mut it = Interp::new(rec, track);
     it.run(&lowered.streams);
+    let mut coverage = coverage_of(&lowered.streams);
+    coverage.poisoned_fills = it.poisoned_fills;
     let report = LintReport {
         config: rec.config,
         findings: it.aggregate(),
         errors: std::mem::take(&mut it.errors),
         checks: it.checks,
         tracked_words: it.words.len(),
+        coverage,
     };
     (report, it.attrib.take(), lowered.ops)
+}
+
+/// Count what the lowered streams exercise — the static half of
+/// [`LintCoverage`] (the interpreter fills in the dynamic counters).
+fn coverage_of(streams: &[Vec<AOp>]) -> LintCoverage {
+    let mut cov = LintCoverage::default();
+    for op in streams.iter().flatten() {
+        match op {
+            AOp::Read(_) => cov.reads += 1,
+            AOp::Write(_) => cov.writes += 1,
+            AOp::Wb { target, global, .. } => {
+                if *global {
+                    cov.wb_global += 1;
+                } else {
+                    cov.wb_local += 1;
+                }
+                if matches!(target, ATarget::All) {
+                    cov.wb_all += 1;
+                }
+            }
+            AOp::Inv { target, global, .. } => {
+                if *global {
+                    cov.inv_global += 1;
+                } else {
+                    cov.inv_local += 1;
+                }
+                if matches!(target, ATarget::All) {
+                    cov.inv_all += 1;
+                }
+            }
+            AOp::Barrier(_) => cov.barriers += 1,
+            AOp::FlagSet(_) => cov.flag_sets += 1,
+            AOp::FlagWait(_) => cov.flag_waits += 1,
+            AOp::FlagClear(_) => cov.flag_clears += 1,
+        }
+    }
+    cov
 }

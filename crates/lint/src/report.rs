@@ -13,6 +13,114 @@ use hic_mem::{Region, WordAddr};
 use hic_runtime::{Config, PlanOverrides};
 use hic_sim::ThreadId;
 
+/// Quote and escape `s` as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which parts of the static analysis a verification exercised — the
+/// coverage signal the fuzzer's generation feedback loop consumes.
+/// Counters over the *lowered* abstract-op streams (so they reflect the
+/// per-config lowering rules, not the record's surface syntax) plus the
+/// interpreter events that only some programs reach.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintCoverage {
+    /// Lowered region-read / region-write events.
+    pub reads: u64,
+    pub writes: u64,
+    /// Lowered WB instructions by scope (block-local vs global).
+    pub wb_local: u64,
+    pub wb_global: u64,
+    /// ... and INV instructions.
+    pub inv_local: u64,
+    pub inv_global: u64,
+    /// WB/INV with an `ALL` target (vs an address range).
+    pub wb_all: u64,
+    pub inv_all: u64,
+    /// Lowered sync ops.
+    pub barriers: u64,
+    pub flag_sets: u64,
+    pub flag_waits: u64,
+    pub flag_clears: u64,
+    /// Line fills whose captured copy raced the word's last write and was
+    /// poisoned (the schedule-independence pessimization fired).
+    pub poisoned_fills: u64,
+}
+
+impl LintCoverage {
+    /// Accumulate another report's coverage into this one.
+    pub fn merge(&mut self, o: &LintCoverage) {
+        for (mine, theirs) in self
+            .features_mut()
+            .into_iter()
+            .zip(o.features().iter().map(|&(_, v)| v))
+        {
+            *mine.1 += theirs;
+        }
+    }
+
+    /// Named counters, in a stable order.
+    pub fn features(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("wb_local", self.wb_local),
+            ("wb_global", self.wb_global),
+            ("inv_local", self.inv_local),
+            ("inv_global", self.inv_global),
+            ("wb_all", self.wb_all),
+            ("inv_all", self.inv_all),
+            ("barriers", self.barriers),
+            ("flag_sets", self.flag_sets),
+            ("flag_waits", self.flag_waits),
+            ("flag_clears", self.flag_clears),
+            ("poisoned_fills", self.poisoned_fills),
+        ]
+    }
+
+    fn features_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+        vec![
+            ("reads", &mut self.reads),
+            ("writes", &mut self.writes),
+            ("wb_local", &mut self.wb_local),
+            ("wb_global", &mut self.wb_global),
+            ("inv_local", &mut self.inv_local),
+            ("inv_global", &mut self.inv_global),
+            ("wb_all", &mut self.wb_all),
+            ("inv_all", &mut self.inv_all),
+            ("barriers", &mut self.barriers),
+            ("flag_sets", &mut self.flag_sets),
+            ("flag_waits", &mut self.flag_waits),
+            ("flag_clears", &mut self.flag_clears),
+            ("poisoned_fills", &mut self.poisoned_fills),
+        ]
+    }
+
+    /// One stable JSON object, all counters by name.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .features()
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
 /// One statically-proven protocol violation over a word range.
 #[derive(Debug, Clone)]
 pub struct LintFinding {
@@ -84,6 +192,35 @@ impl LintFinding {
             hint
         )
     }
+
+    /// Stable machine-readable JSON object (the `--json` schema).
+    pub fn to_json(&self) -> String {
+        let region = match &self.region {
+            Some(r) => json_str(r),
+            None => "null".to_string(),
+        };
+        let hint = match &self.sync_hint {
+            Some(s) => format!(
+                "{{\"op\":{},\"id\":{},\"at\":{}}}",
+                json_str(s.op.tag()),
+                s.id,
+                s.at
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":{},\"producer\":{},\"consumer\":{},\"start\":{},\"words\":{},\
+             \"region\":{},\"write_epoch\":{},\"sync_hint\":{}}}",
+            json_str(self.kind.tag()),
+            self.producer.0,
+            self.consumer.0,
+            self.start.0,
+            self.words,
+            region,
+            self.write_epoch,
+            hint
+        )
+    }
 }
 
 /// The outcome of statically verifying one [`hic_runtime::ProgramRecord`].
@@ -100,6 +237,8 @@ pub struct LintReport {
     pub checks: u64,
     /// Distinct words the abstract memory model materialized.
     pub tracked_words: usize,
+    /// What the verification exercised (fuzzer steering signal).
+    pub coverage: LintCoverage,
 }
 
 impl LintReport {
@@ -112,6 +251,7 @@ impl LintReport {
             errors: Vec::new(),
             checks: 0,
             tracked_words: 0,
+            coverage: LintCoverage::default(),
         }
     }
 
@@ -142,6 +282,23 @@ impl LintReport {
             ));
         }
         out
+    }
+
+    /// Stable machine-readable JSON object (the `--json` schema).
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(LintFinding::to_json).collect();
+        let errors: Vec<String> = self.errors.iter().map(|e| json_str(e)).collect();
+        format!(
+            "{{\"config\":{},\"clean\":{},\"findings\":[{}],\"errors\":[{}],\
+             \"checks\":{},\"tracked_words\":{},\"coverage\":{}}}",
+            json_str(self.config.name()),
+            self.is_clean(),
+            findings.join(","),
+            errors.join(","),
+            self.checks,
+            self.tracked_words,
+            self.coverage.to_json()
+        )
     }
 }
 
@@ -179,6 +336,20 @@ impl OptStats {
             } else {
                 ""
             }
+        )
+    }
+
+    /// Stable machine-readable JSON object (the `--json` schema).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ops_before\":{},\"ops_after\":{},\"pruned\":{},\"downgraded\":{},\
+             \"sites_overridden\":{},\"fallback\":{}}}",
+            self.ops_before,
+            self.ops_after,
+            self.pruned,
+            self.downgraded,
+            self.sites_overridden,
+            self.fallback
         )
     }
 }

@@ -36,5 +36,5 @@ pub use hic_check::{CheckMode, Diagnostics, Finding, FindingKind};
 pub use hic_machine::{FaultPlan, ResilienceStats, RunError};
 pub use mpi::MpiWorld;
 pub use plan::{coalesce_ops, CommOp, EpochPlan, PlanOverrides};
-pub use record::{ProgramRecord, RecEvent, RecSync, RecThread};
+pub use record::{PlanOpRef, ProgramRecord, RecEvent, RecSync, RecThread};
 pub use request::{FaultSpec, RequestError, RunRequest, Scale};

@@ -80,6 +80,93 @@ impl EpochPlan {
     pub fn num_ops(&self) -> usize {
         self.wb.len() + self.inv.len()
     }
+
+    /// One half of the plan: the WB ops (`wb = true`) or the INV ops.
+    pub fn side(&self, wb: bool) -> &[CommOp] {
+        if wb {
+            &self.wb
+        } else {
+            &self.inv
+        }
+    }
+
+    fn side_mut(&mut self, wb: bool) -> &mut Vec<CommOp> {
+        if wb {
+            &mut self.wb
+        } else {
+            &mut self.inv
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation helpers (fuzzing / fault-injection harnesses)
+    //
+    // `hic-fuzz` perturbs plans through these four operators — delete,
+    // duplicate, widen, narrow — so that the same mutation applies
+    // identically to a program's runnable closure and to its
+    // `ProgramRecord` (both materialize their plans through one shared
+    // description). They are deliberately total: out-of-range indices
+    // return `false`/`None` instead of panicking, because a fuzzer's
+    // mutation coordinates may outlive a shrunk plan.
+    // ------------------------------------------------------------------
+
+    /// Remove op `idx` of the given half. Returns the removed op, or
+    /// `None` when the index is out of range.
+    pub fn delete_op(&mut self, wb: bool, idx: usize) -> Option<CommOp> {
+        let ops = self.side_mut(wb);
+        if idx < ops.len() {
+            Some(ops.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Append an exact copy of op `idx` of the given half (a redundancy
+    /// the verifier must tolerate and the optimizer should prune).
+    pub fn duplicate_op(&mut self, wb: bool, idx: usize) -> bool {
+        let ops = self.side_mut(wb);
+        if let Some(op) = ops.get(idx).copied() {
+            ops.push(op);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Grow op `idx`'s region by `front` words downward (saturating at
+    /// address zero) and `back` words upward. Widening keeps a plan
+    /// sufficient: it can only move *more* data.
+    pub fn widen_op(&mut self, wb: bool, idx: usize, front: u64, back: u64) -> bool {
+        let Some(op) = self.side_mut(wb).get_mut(idx) else {
+            return false;
+        };
+        let front = front.min(op.region.start.0);
+        op.region = Region::new(
+            hic_mem::WordAddr(op.region.start.0 - front),
+            op.region.words + front + back,
+        );
+        true
+    }
+
+    /// Shrink op `idx`'s region by `front` words from the start and
+    /// `back` words from the end. Refuses mutations that would empty or
+    /// invert the region (use [`EpochPlan::delete_op`] for removal), so a
+    /// successful narrow always leaves a strict, non-empty sub-range —
+    /// the uncovered remainder is what a soundness audit expects the
+    /// analyses to flag.
+    pub fn narrow_op(&mut self, wb: bool, idx: usize, front: u64, back: u64) -> bool {
+        let Some(op) = self.side_mut(wb).get_mut(idx) else {
+            return false;
+        };
+        if front + back == 0 || front + back >= op.region.words {
+            return false;
+        }
+        op.region = Region::new(
+            hic_mem::WordAddr(op.region.start.0 + front),
+            op.region.words - front - back,
+        );
+        true
+    }
 }
 
 /// Merge a list of planned operations into the minimal equivalent list:

@@ -143,6 +143,76 @@ impl ProgramRecord {
     pub fn num_events(&self) -> usize {
         self.threads.iter().map(Vec::len).sum()
     }
+
+    /// Every planned WB/INV op in the record, in (thread, program-order)
+    /// order — the mutation space a fuzzing harness enumerates. Each ref
+    /// addresses one [`crate::CommOp`] inside one plan call site.
+    pub fn plan_op_refs(&self) -> Vec<PlanOpRef> {
+        let mut out = Vec::new();
+        for (t, evs) in self.threads.iter().enumerate() {
+            let (mut wb_site, mut inv_site) = (0usize, 0usize);
+            for ev in evs {
+                match ev {
+                    RecEvent::PlanWb(plan) => {
+                        for index in 0..plan.wb.len() {
+                            out.push(PlanOpRef {
+                                thread: t,
+                                is_wb: true,
+                                site: wb_site,
+                                index,
+                            });
+                        }
+                        wb_site += 1;
+                    }
+                    RecEvent::PlanInv(plan) => {
+                        for index in 0..plan.inv.len() {
+                            out.push(PlanOpRef {
+                                thread: t,
+                                is_wb: false,
+                                site: inv_site,
+                                index,
+                            });
+                        }
+                        inv_site += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Mutable access to thread `t`'s `site`-th `plan_wb` (`wb = true`)
+    /// or `plan_inv` plan, for in-place mutation. `None` when the thread
+    /// or site does not exist.
+    pub fn plan_mut(&mut self, t: usize, site: usize, wb: bool) -> Option<&mut EpochPlan> {
+        let mut seen = 0usize;
+        for ev in self.threads.get_mut(t)? {
+            let plan = match ev {
+                RecEvent::PlanWb(p) if wb => p,
+                RecEvent::PlanInv(p) if !wb => p,
+                _ => continue,
+            };
+            if seen == site {
+                return Some(plan);
+            }
+            seen += 1;
+        }
+        None
+    }
+}
+
+/// Identity of one planned op inside a [`ProgramRecord`]: thread `t`'s
+/// `site`-th `plan_wb`/`plan_inv` call, op `index` within that plan's
+/// WB (resp. INV) vector. Produced by [`ProgramRecord::plan_op_refs`];
+/// resolves through [`ProgramRecord::plan_mut`] +
+/// [`EpochPlan::side`](crate::EpochPlan::side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOpRef {
+    pub thread: usize,
+    pub is_wb: bool,
+    pub site: usize,
+    pub index: usize,
 }
 
 /// Append-only cursor mirroring the [`crate::ThreadCtx`] API, so a

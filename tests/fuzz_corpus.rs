@@ -1,0 +1,57 @@
+//! Replay every checked-in `corpus/` case and assert its recorded
+//! verdict still holds. The corpus is the fuzzer's regression memory:
+//! hand-minimized seed cases (missing-WB, missing-INV, the racy-write
+//! precision case, a narrowed plan, clean sync shapes) plus whatever
+//! past campaigns minimized and persisted. A mismatch means an analysis
+//! changed its verdict on a previously-audited program — either an
+//! intentional semantic change (update the expectation) or a regression.
+
+use std::path::Path;
+
+use hic_fuzz::{load_corpus, run_case};
+
+#[test]
+fn corpus_replays_with_expected_verdicts() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let cases = load_corpus(&dir).expect("corpus/ must be present and parseable");
+    assert!(
+        cases.len() >= 5,
+        "seed corpus eroded: only {} cases in {}",
+        cases.len(),
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for (path, desc, expected) in &cases {
+        let outcome = run_case(desc);
+        let got = outcome.verdict.expect_tag();
+        if got != *expected {
+            failures.push(format!(
+                "{}: expected {expected} got {got} ({})",
+                path.display(),
+                outcome.detail
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_all_audit_classes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let cases = load_corpus(&dir).expect("corpus/ must be present and parseable");
+    for want in [
+        "clean",
+        "findings:missing-wb",
+        "findings:missing-inv",
+        "precision:write-race",
+    ] {
+        assert!(
+            cases.iter().any(|(_, _, e)| e == want),
+            "no corpus case with expectation {want}"
+        );
+    }
+}
