@@ -212,6 +212,23 @@ fn main() -> ExitCode {
                 "WRONG RESULTS"
             },
         );
+        println!(
+            "recovery (seed {}): {:.3}s clean -> {:.3}s corrupting+rollback \
+             ({:+.1}% host time), {} rollbacks / {} rollback cycles, \
+             {} checkpoint words, {}",
+            fo.seed,
+            fo.wall_clean.as_secs_f64(),
+            fo.wall_recovered.as_secs_f64(),
+            fo.recover_overhead_pct(),
+            fo.recover_stats.rollbacks,
+            fo.recover_stats.rollback_cycles,
+            fo.recover_stats.checkpoint_words,
+            if fo.recover_correct {
+                "correct"
+            } else {
+                "WRONG RESULTS"
+            },
+        );
     }
 
     for l in &report.lint {

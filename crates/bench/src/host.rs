@@ -75,21 +75,34 @@ impl CheckOverhead {
 }
 
 /// Fault-resilience measurement (`--faults`): the incoherent half of the
-/// suite timed twice, clean and under the canned recoverable fault plan
-/// (`FaultSpec::Recoverable`). The faulted sweep must still produce correct
-/// results — every fault in the canned plan is recoverable.
+/// suite timed three ways — clean, under the canned recoverable fault
+/// plan (`FaultSpec::Recoverable`), and under the corrupting-but-
+/// recoverable plan (`FaultSpec::CorruptingRecover`, which flips dirty
+/// lines and survives them via epoch-checkpoint rollback). The arms are
+/// interleaved [`CHECK_REPS`] times and the minimum wall per arm is
+/// kept, so process warm-up cannot be charged to whichever arm runs
+/// first. Both faulted sweeps must still produce correct results.
 #[derive(Debug, Clone)]
 pub struct FaultOverhead {
     /// Seed of the canned plan (`FaultPlan::from_seed`).
     pub seed: u64,
-    /// Wall time of the sweep with no faults installed.
+    /// Minimum wall time of the sweep with no faults installed.
     pub wall_clean: Duration,
-    /// Wall time of the same sweep under the fault plan.
+    /// Minimum wall time of the same sweep under the recoverable plan.
     pub wall_faulted: Duration,
+    /// Minimum wall time under the corrupting + rollback-recovery plan.
+    pub wall_recovered: Duration,
     /// True when every faulted run still matched its reference.
     pub correct: bool,
+    /// True when every corrupting-recover run still matched its
+    /// reference (rollback replay repaired each corruption).
+    pub recover_correct: bool,
     /// Injected faults and recovery work, summed over the faulted sweep.
     pub stats: ResilienceStats,
+    /// The corrupting-recover sweep's ledger: rollbacks, rollback
+    /// cycles, and checkpoint words captured, on top of the usual
+    /// retry/flip counters.
+    pub recover_stats: ResilienceStats,
 }
 
 impl FaultOverhead {
@@ -100,6 +113,15 @@ impl FaultOverhead {
             return 0.0;
         }
         (self.wall_faulted.as_secs_f64() / clean - 1.0) * 100.0
+    }
+
+    /// Host-time overhead of checkpointed rollback recovery, in percent.
+    pub fn recover_overhead_pct(&self) -> f64 {
+        let clean = self.wall_clean.as_secs_f64();
+        if clean == 0.0 {
+            return 0.0;
+        }
+        (self.wall_recovered.as_secs_f64() / clean - 1.0) * 100.0
     }
 }
 
@@ -443,13 +465,14 @@ pub fn run_parallel_suite(scale: Scale, shard_counts: &[usize]) -> ParallelRepor
     }
 }
 
-/// Time the incoherent half of the suite twice — clean, then under the
-/// canned recoverable fault plan (`FaultSpec::Recoverable`, explicit
-/// requests rather than `HIC_FAULTS` mutation) — and report the
-/// host-time overhead plus the summed resilience ledger. The faulted
-/// sweep must stay correct: the canned plan only injects recoverable
-/// faults, and the paper's timing-independence argument says recoverable
-/// perturbation cannot change race-free results.
+/// Time the incoherent half of the suite three ways — clean, under the
+/// canned recoverable fault plan (`FaultSpec::Recoverable`), and under
+/// the corrupting + rollback-recovery plan
+/// (`FaultSpec::CorruptingRecover`) — with the arms interleaved
+/// [`CHECK_REPS`] times and the minimum wall per arm kept (the same
+/// warm-up discipline as [`run_check_overhead`]). Both faulted sweeps
+/// must stay correct: recoverable faults are absorbed by retries, and
+/// corrupted dirty lines are repaired by epoch-checkpoint rollback.
 pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
     fn sweep(scale: Scale, fault: Option<FaultSpec>) -> (Duration, bool, ResilienceStats) {
         let t0 = Instant::now();
@@ -482,14 +505,34 @@ pub fn run_fault_suite(scale: Scale, seed: u64) -> FaultOverhead {
         (t0.elapsed(), correct, stats)
     }
 
-    let (wall_clean, _, _) = sweep(scale, None);
-    let (wall_faulted, correct, stats) = sweep(scale, Some(FaultSpec::Recoverable { seed }));
+    let mut wall_clean = Duration::MAX;
+    let mut wall_faulted = Duration::MAX;
+    let mut wall_recovered = Duration::MAX;
+    let mut correct = true;
+    let mut recover_correct = true;
+    let mut stats = ResilienceStats::default();
+    let mut recover_stats = ResilienceStats::default();
+    for _ in 0..CHECK_REPS {
+        let (clean, _, _) = sweep(scale, None);
+        wall_clean = wall_clean.min(clean);
+        let (faulted, c, s) = sweep(scale, Some(FaultSpec::Recoverable { seed }));
+        wall_faulted = wall_faulted.min(faulted);
+        correct = c;
+        stats = s;
+        let (recovered, rc, rs) = sweep(scale, Some(FaultSpec::CorruptingRecover { seed }));
+        wall_recovered = wall_recovered.min(recovered);
+        recover_correct = rc;
+        recover_stats = rs;
+    }
     FaultOverhead {
         seed,
         wall_clean,
         wall_faulted,
+        wall_recovered,
         correct,
+        recover_correct,
         stats,
+        recover_stats,
     }
 }
 
@@ -697,14 +740,19 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
     match &report.faults {
         Some(fo) => out.push_str(&format!(
             "  \"faults\": {{\"seed\":{},\"wall_s_clean\":{},\"wall_s_faulted\":{},\
-             \"overhead_pct\":{},\"correct\":{},\"retries\":{},\"retry_flits\":{},\
+             \"wall_s_recovered\":{},\"overhead_pct\":{},\"recover_overhead_pct\":{},\
+             \"correct\":{},\"recover_correct\":{},\"retries\":{},\"retry_flits\":{},\
              \"retry_cycles\":{},\"bit_flips\":{},\"flips_recovered\":{},\
-             \"recovery_flits\":{},\"delayed_acks\":{},\"ack_delay_cycles\":{}}},\n",
+             \"recovery_flits\":{},\"delayed_acks\":{},\"ack_delay_cycles\":{},\
+             \"rollbacks\":{},\"rollback_cycles\":{},\"checkpoint_words\":{}}},\n",
             fo.seed,
             f(fo.wall_clean.as_secs_f64()),
             f(fo.wall_faulted.as_secs_f64()),
+            f(fo.wall_recovered.as_secs_f64()),
             f(fo.overhead_pct()),
+            f(fo.recover_overhead_pct()),
             fo.correct,
+            fo.recover_correct,
             fo.stats.retries,
             fo.stats.retry_flits,
             fo.stats.retry_cycles,
@@ -713,6 +761,9 @@ pub fn to_json(report: &HostReport, baseline_wall_s: Option<f64>) -> String {
             fo.stats.recovery_flits,
             fo.stats.delayed_acks,
             fo.stats.ack_delay_cycles,
+            fo.recover_stats.rollbacks,
+            fo.recover_stats.rollback_cycles,
+            fo.recover_stats.checkpoint_words,
         )),
         None => out.push_str("  \"faults\": null,\n"),
     }
@@ -875,7 +926,9 @@ mod tests {
                 seed: 2026,
                 wall_clean: Duration::from_millis(100),
                 wall_faulted: Duration::from_millis(105),
+                wall_recovered: Duration::from_millis(112),
                 correct: true,
+                recover_correct: true,
                 stats: ResilienceStats {
                     retries: 12,
                     retry_flits: 108,
@@ -883,6 +936,12 @@ mod tests {
                     flips_recovered: 5,
                     recovery_flits: 85,
                     delayed_acks: 9,
+                    ..ResilienceStats::default()
+                },
+                recover_stats: ResilienceStats {
+                    rollbacks: 4,
+                    rollback_cycles: 260,
+                    checkpoint_words: 512,
                     ..ResilienceStats::default()
                 },
             }),
@@ -970,6 +1029,12 @@ mod tests {
         assert!(j.contains("\"flips_recovered\":5"));
         assert!(j.contains("\"recovery_flits\":85"));
         assert!(j.contains("\"overhead_pct\":5.000"));
+        assert!(j.contains("\"wall_s_recovered\":0.112"));
+        assert!(j.contains("\"recover_overhead_pct\":12.000"));
+        assert!(j.contains("\"recover_correct\":true"));
+        assert!(j.contains("\"rollbacks\":4"));
+        assert!(j.contains("\"rollback_cycles\":260"));
+        assert!(j.contains("\"checkpoint_words\":512"));
         let mut r = sample_report();
         r.faults = None;
         assert!(to_json(&r, None).contains("\"faults\": null"));

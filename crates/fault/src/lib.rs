@@ -26,8 +26,14 @@
 //! * **Single-bit flips in cache lines** — detected by per-line parity in
 //!   `hic-mem`. A flip in a *clean* line recovers by invalidate + refetch
 //!   from the next level (recovery traffic is counted); a flip in a
-//!   *dirty* line destroys the only copy of the data and must surface as
-//!   a typed fatal error, never as a silently wrong answer.
+//!   *dirty* line destroys the only copy of the data and — without
+//!   checkpoint recovery ([`FaultPlan::recover`]) — must surface as a
+//!   typed fatal error, never as a silently wrong answer. With recovery
+//!   enabled the backend restores the line from its epoch checkpoint and
+//!   replays the journaled stores, charging `rollbacks`/`rollback_cycles`
+//!   in [`ResilienceStats`]; only a second upset striking the same line
+//!   during its own replay window ([`FaultState::replay_flip`]) still
+//!   surfaces the fatal.
 
 use hic_noc::{mix64, LinkFaults};
 use serde::{Deserialize, Serialize};
@@ -64,10 +70,17 @@ pub struct FaultPlan {
     /// being read (before the read observes it). 0 disables.
     pub flip_period: u64,
     /// Allow flips to land in lines holding dirty words. A dirty-line
-    /// flip is unrecoverable and surfaces as a fatal `RunError`; plans
-    /// with `flip_dirty == false` only ever corrupt clean lines, so they
-    /// must always recover.
+    /// flip destroys the only copy of the data; without `recover` it
+    /// surfaces as a fatal `RunError`. Plans with `flip_dirty == false`
+    /// only ever corrupt clean lines, so they must always recover.
     pub flip_dirty: bool,
+    /// Enable epoch-checkpoint rollback recovery: the backend keeps a
+    /// copy-on-write image + store journal per dirty L1 line and, when
+    /// parity detects a dirty-line flip, restores the line and replays
+    /// the journaled stores instead of latching `CorruptDirtyLine`. The
+    /// fatal remains reachable only via a second upset during the replay
+    /// window itself ([`FaultState::replay_flip`]).
+    pub recover: bool,
 }
 
 impl FaultPlan {
@@ -87,6 +100,7 @@ impl FaultPlan {
             ack_delay_cycles: 0,
             flip_period: 0,
             flip_dirty: false,
+            recover: false,
         }
     }
 
@@ -108,6 +122,7 @@ impl FaultPlan {
             ack_delay_cycles: 10 + r(0x08) % 40,
             flip_period: 0,
             flip_dirty: false,
+            recover: false,
         }
     }
 
@@ -135,6 +150,22 @@ impl FaultPlan {
         FaultPlan {
             flip_period: 1,
             flip_dirty: true,
+            ..FaultPlan::from_seed(seed)
+        }
+    }
+
+    /// [`FaultPlan::from_seed`]'s timing faults plus bit flips allowed to
+    /// land in dirty lines — but with epoch-checkpoint rollback recovery
+    /// enabled, so dirty-line corruption is repaired by restore + replay
+    /// instead of killing the run. Every fault in this plan is
+    /// recoverable modulo the (deterministically seeded, rare at
+    /// `flip_period = 400`) second-upset-during-replay case, so race-free
+    /// programs must complete with bit-identical readable memory and
+    /// `ResilienceStats::rollbacks` accounting the repairs.
+    pub fn corrupting_recoverable(seed: u64) -> FaultPlan {
+        FaultPlan {
+            flip_dirty: true,
+            recover: true,
             ..FaultPlan::from_seed(seed)
         }
     }
@@ -167,7 +198,7 @@ impl FaultPlan {
         }
         format!(
             "fault plan seed={}: jitter<={}cyc, slowdown {}/{} x{}, drop 1/{} (retry {}cyc, <= {}), \
-             ack delay 1/{} +{}cyc, bit flip 1/{} ({} lines)",
+             ack delay 1/{} +{}cyc, bit flip 1/{} ({} lines{})",
             self.seed,
             self.link_jitter_max,
             self.slow_len,
@@ -180,6 +211,7 @@ impl FaultPlan {
             self.ack_delay_cycles,
             self.flip_period,
             if self.flip_dirty { "any" } else { "clean" },
+            if self.recover { ", rollback recovery" } else { "" },
         )
     }
 }
@@ -209,6 +241,15 @@ pub struct ResilienceStats {
     pub delayed_acks: u64,
     /// Extra cycles added to delayed acks.
     pub ack_delay_cycles: u64,
+    /// Dirty-line corruptions repaired by checkpoint restore + replay
+    /// (only nonzero under `FaultPlan::recover`).
+    pub rollbacks: u64,
+    /// Extra cycles charged to rollbacks: the restore round-trip plus
+    /// one cycle per replayed journal store.
+    pub rollback_cycles: u64,
+    /// Words captured into copy-on-write epoch checkpoints (each first
+    /// store to an untracked line snapshots the full line image).
+    pub checkpoint_words: u64,
 }
 
 impl ResilienceStats {
@@ -228,6 +269,9 @@ impl ResilienceStats {
             recovery_flits: self.recovery_flits + o.recovery_flits,
             delayed_acks: self.delayed_acks + o.delayed_acks,
             ack_delay_cycles: self.ack_delay_cycles + o.ack_delay_cycles,
+            rollbacks: self.rollbacks + o.rollbacks,
+            rollback_cycles: self.rollback_cycles + o.rollback_cycles,
+            checkpoint_words: self.checkpoint_words + o.checkpoint_words,
         }
     }
 }
@@ -249,6 +293,7 @@ pub struct FaultState {
     transfers: u64,
     acks: u64,
     reads: u64,
+    replays: u64,
     /// Injected-fault accounting, merged into `RunStats` at finish.
     pub stats: ResilienceStats,
 }
@@ -266,6 +311,7 @@ impl FaultState {
             transfers: 0,
             acks: 0,
             reads: 0,
+            replays: 0,
             stats: ResilienceStats::default(),
         }
     }
@@ -356,6 +402,33 @@ impl FaultState {
     /// Whether flips may land in dirty lines (unrecoverable).
     pub fn flip_dirty_allowed(&self) -> bool {
         self.plan.flip_dirty
+    }
+
+    /// Whether dirty-line corruption is repaired by checkpoint rollback.
+    pub fn recover_enabled(&self) -> bool {
+        self.plan.recover
+    }
+
+    /// Decide whether a *second* upset strikes the line being rolled
+    /// back during its own replay of `replayed_stores` journaled stores.
+    /// The replay window is `replayed_stores` accesses long and the
+    /// upset must land back in the very line under repair, so the
+    /// per-rollback probability is `replayed_stores / flip_period²` —
+    /// vanishing for the canned 1/400 plans, but `flip_period == 1`
+    /// (the poison plans) makes any non-empty replay deterministically
+    /// re-corrupt, which is how the two-corruptions-in-one-epoch fatal
+    /// is forced in tests. Draws from its own counter + salt so the
+    /// primary flip stream is unperturbed by recovery.
+    #[inline]
+    pub fn replay_flip(&mut self, replayed_stores: u64) -> bool {
+        if self.plan.flip_period == 0 || replayed_stores == 0 {
+            return false;
+        }
+        let n = self.replays;
+        self.replays += 1;
+        let window = self.plan.flip_period.saturating_mul(self.plan.flip_period);
+        mix64(self.plan.seed ^ self.salt ^ 0x7270_6C79 ^ n.wrapping_mul(0x9E37)) % window
+            < replayed_stores
     }
 }
 
@@ -448,5 +521,65 @@ mod tests {
     fn summary_mentions_the_seed() {
         assert!(FaultPlan::from_seed(99).summary().contains("seed=99"));
         assert!(FaultPlan::zero(5).summary().contains("zero"));
+        assert!(FaultPlan::corrupting_recoverable(99)
+            .summary()
+            .contains("rollback recovery"));
+    }
+
+    #[test]
+    fn recoverable_corrupting_plan_keeps_the_canned_rates() {
+        let p = FaultPlan::corrupting_recoverable(7);
+        assert!(p.recover && p.flip_dirty);
+        assert_eq!(p.flip_period, FaultPlan::from_seed(7).flip_period);
+        // The poison plan stays unrecoverable: serve's failure-isolation
+        // contract depends on it latching the typed fatal.
+        assert!(!FaultPlan::corrupting(7).recover);
+    }
+
+    #[test]
+    fn replay_flip_is_deterministic_and_forced_at_period_one() {
+        // flip_period == 1: any non-empty replay re-corrupts.
+        let mut s = FaultState::new(FaultPlan::corrupting(3), SALT_MEM);
+        assert!(!s.replay_flip(0), "empty replay exposes no window");
+        assert!(s.replay_flip(1));
+        assert!(s.replay_flip(5));
+        // Canned 1/400 plans: second upsets are rare but reproducible.
+        let draw = || {
+            let mut s = FaultState::new(FaultPlan::corrupting_recoverable(11), SALT_MEM);
+            (0..10_000).map(|_| s.replay_flip(4)).collect::<Vec<_>>()
+        };
+        let hits = draw().iter().filter(|&&b| b).count();
+        assert!(hits < 10, "~replayed/period^2 per rollback, got {hits}/10k");
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn replay_flips_do_not_perturb_the_primary_streams() {
+        let run = |with_replays: bool| {
+            let mut s = FaultState::new(FaultPlan::corrupting_recoverable(42), SALT_MEM);
+            (0..2000)
+                .map(|i| {
+                    if with_replays && i % 7 == 0 {
+                        s.replay_flip(3);
+                    }
+                    (s.on_transfer(9), s.flip_decision())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn rollback_stats_merge() {
+        let a = ResilienceStats {
+            rollbacks: 2,
+            rollback_cycles: 40,
+            checkpoint_words: 64,
+            ..ResilienceStats::default()
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.rollbacks, 4);
+        assert_eq!(m.rollback_cycles, 80);
+        assert_eq!(m.checkpoint_words, 128);
     }
 }

@@ -58,6 +58,9 @@ pub struct DynOutcome {
     pub data: Vec<u32>,
     /// Final readable `out` region (the per-round consumer sums).
     pub out: Vec<u32>,
+    /// Epoch-checkpoint rollbacks charged during the run (nonzero only
+    /// under a corrupting-but-recoverable fault plan).
+    pub rollbacks: u64,
 }
 
 /// Cycle budget generous enough for every generated shape; a run that
@@ -378,6 +381,7 @@ pub fn run_dynamic(
         diag: outcome.diagnostics().clone(),
         data: data_mem,
         out: out_mem,
+        rollbacks: outcome.stats().resilience.rollbacks,
     })
 }
 

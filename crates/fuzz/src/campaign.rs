@@ -101,6 +101,7 @@ struct Steering {
     sync: [u64; 3],
     mutations: [u64; 5],
     racy: u64,
+    corrupt: u64,
 }
 
 impl Steering {
@@ -111,6 +112,7 @@ impl Steering {
         }
         self.mutations[mutation_idx(desc.mutation.as_ref().map(|m| m.kind))] += 1;
         self.racy += desc.racy as u64;
+        self.corrupt += desc.corrupt as u64;
     }
 
     /// Inverse-frequency weights: a feature seen `c` times weighs
@@ -124,6 +126,7 @@ impl Steering {
             sync: [0, 1, 2].map(|i| d.sync[i] * w(self.sync[i])),
             mutation: [0, 1, 2, 3, 4].map(|i| d.mutation[i] * w(self.mutations[i])),
             racy_rate: (d.racy_rate * 16.0 / (16.0 + self.racy as f64)).max(0.05),
+            corrupt_rate: (d.corrupt_rate * 16.0 / (16.0 + self.corrupt as f64)).max(0.05),
         }
     }
 }
@@ -163,6 +166,10 @@ pub struct CampaignSummary {
     pub sync: [u64; 3],
     pub mutations: [u64; 5],
     pub racy: u64,
+    /// Cases that also ran the corrupting-recovery audit.
+    pub corrupt: u64,
+    /// Rollbacks summed across every recovery-audit run.
+    pub rollbacks: u64,
     /// Dynamic sanitizer finding kinds across subject runs.
     pub dynamic_kinds: [u64; 3],
     /// Static lint finding kinds.
@@ -193,6 +200,8 @@ impl CampaignSummary {
         }
         self.mutations[mutation_idx(desc.mutation.as_ref().map(|m| m.kind))] += 1;
         self.racy += desc.racy as u64;
+        self.corrupt += desc.corrupt as u64;
+        self.rollbacks += outcome.rollbacks;
         for k in &outcome.dynamic_kinds {
             self.dynamic_kinds[kind_slot(*k)] += 1;
         }
@@ -242,6 +251,10 @@ impl CampaignSummary {
             self.mutations[4]
         ));
         s.push_str(&format!("racy-cases={}\n", self.racy));
+        s.push_str(&format!(
+            "recovery-audits={} rollbacks={}\n",
+            self.corrupt, self.rollbacks
+        ));
         s.push_str(&kind_counts("dynamic-findings", &self.dynamic_kinds));
         s.push('\n');
         s.push_str(&kind_counts("lint-findings", &self.lint_kinds));
@@ -320,6 +333,7 @@ fn cost(d: &CaseDesc) -> u64 {
         + (d.blocks * d.cores_per_block) as u64 * 10
         + d.slice
         + d.racy as u64 * 50
+        + d.corrupt as u64 * 50
         + (d.fault_seed != 0) as u64
 }
 
@@ -367,6 +381,11 @@ fn candidates(d: &CaseDesc) -> Vec<CaseDesc> {
     if d.racy {
         let mut c = d.clone();
         c.racy = false;
+        out.push(c);
+    }
+    if d.corrupt {
+        let mut c = d.clone();
+        c.corrupt = false;
         out.push(c);
     }
     // Shrink the thread count to the highest edge endpoint + 1.

@@ -139,6 +139,12 @@ pub struct CaseDesc {
     /// Seed for the recoverable [`FaultPlan`](hic_runtime::FaultPlan)
     /// the incoherent run executes under.
     pub fault_seed: u64,
+    /// Also run the subject under a corrupting-but-recoverable plan
+    /// (`FaultPlan::corrupting_recoverable(fault_seed)`) and audit the
+    /// rollback-recovery machinery: the run must complete without a
+    /// typed error, and on sanitizer-clean cases its readable memory
+    /// must be bit-identical to the fault-free run.
+    pub corrupt: bool,
     pub mutation: Option<MutationDesc>,
 }
 
@@ -190,8 +196,11 @@ impl CaseDesc {
             ),
             None => "-".to_string(),
         };
+        // `corrupt` is emitted only when set, so pre-recovery corpus
+        // keys keep parsing (and re-rendering) unchanged.
+        let corrupt = if self.corrupt { ";corrupt=1" } else { "" };
         format!(
-            "hicfuzz1;scheme={};topo={}x{};threads={};slice={};fault={};racy={};rounds={};mut={}",
+            "hicfuzz1;scheme={};topo={}x{};threads={};slice={};fault={};racy={};rounds={};mut={}{}",
             scheme_tag(self.scheme),
             self.blocks,
             self.cores_per_block,
@@ -200,7 +209,8 @@ impl CaseDesc {
             self.fault_seed,
             self.racy as u8,
             rounds.join("|"),
-            m
+            m,
+            corrupt
         )
     }
 
@@ -218,6 +228,7 @@ impl CaseDesc {
         let mut fault = None;
         let mut racy = None;
         let mut rounds = None;
+        let mut corrupt = None;
         let mut mutation: Option<Option<MutationDesc>> = None;
         for part in parts {
             let (k, v) = part
@@ -238,6 +249,7 @@ impl CaseDesc {
                 "slice" => slice = Some(num(v)?),
                 "fault" => fault = Some(num(v)?),
                 "racy" => racy = Some(num(v)? != 0),
+                "corrupt" => corrupt = Some(num(v)? != 0),
                 "rounds" => rounds = Some(parse_rounds(v)?),
                 "mut" => mutation = Some(parse_mutation(v)?),
                 other => return Err(format!("unknown field {other:?}")),
@@ -253,6 +265,8 @@ impl CaseDesc {
             rounds: rounds.ok_or("missing rounds")?,
             racy: racy.ok_or("missing racy")?,
             fault_seed: fault.ok_or("missing fault")?,
+            // Absent on keys written before the recovery audit existed.
+            corrupt: corrupt.unwrap_or(false),
             mutation: mutation.ok_or("missing mut")?,
         };
         desc.validate()?;
@@ -339,6 +353,7 @@ impl CaseDesc {
             })
             .collect();
         let racy = rng.unit_f64() < bias.racy_rate;
+        let corrupt = rng.unit_f64() < bias.corrupt_rate;
         // 0 = no mutation, 1.. = MutKind::ALL.
         let mutation = match weighted(rng, &bias.mutation) {
             0 => None,
@@ -375,6 +390,7 @@ impl CaseDesc {
             rounds,
             racy,
             fault_seed: rng.next_u64() >> 16,
+            corrupt,
             mutation,
         };
         debug_assert!(desc.validate().is_ok(), "{:?}", desc.validate());
@@ -395,6 +411,8 @@ pub struct GenBias {
     pub mutation: [f64; 5],
     /// Probability of including the racy block.
     pub racy_rate: f64,
+    /// Probability of adding the corrupting-recovery audit run.
+    pub corrupt_rate: f64,
 }
 
 impl Default for GenBias {
@@ -406,6 +424,7 @@ impl Default for GenBias {
             // divergence + precision checks need.
             mutation: [4.0, 1.0, 1.0, 1.0, 1.0],
             racy_rate: 0.25,
+            corrupt_rate: 0.25,
         }
     }
 }

@@ -94,6 +94,7 @@ mod tests {
             ],
             racy: false,
             fault_seed: 7,
+            corrupt: false,
             mutation: None,
         }
     }
@@ -181,6 +182,27 @@ mod tests {
             "{}",
             out.detail
         );
+    }
+
+    #[test]
+    fn recovery_audit_survives_on_a_clean_case() {
+        let mut d = base_clean_desc();
+        d.corrupt = true;
+        let out = run_case(&d);
+        assert_eq!(out.verdict.expect_tag(), "clean", "{}", out.detail);
+        assert!(d.key().ends_with(";corrupt=1"), "{}", d.key());
+    }
+
+    #[test]
+    fn keys_without_the_corrupt_field_still_parse() {
+        // Corpus lines written before the recovery audit existed carry
+        // no corrupt field; they must parse (default false) and
+        // re-render to the same key.
+        let legacy = base_clean_desc();
+        assert!(!legacy.key().contains("corrupt"), "{}", legacy.key());
+        let parsed = CaseDesc::parse_key(&legacy.key()).unwrap();
+        assert!(!parsed.corrupt);
+        assert_eq!(parsed.key(), legacy.key());
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! subject scheme under a seeded recoverable fault plan and again
 //! fault-free (both under report-mode checking), plus the MESI, Dragon
 //! and flat-reference coherent oracles — and statically verifying its
-//! record with `hic-lint`. The verdict encodes the audit:
+//! record with `hic-lint`. Cases with `corrupt` set add a sixth run
+//! under a corrupting-but-recoverable plan
+//! ([`FaultPlan::corrupting_recoverable`]) that must be survived by
+//! rollback recovery ([`Violation::RecoveryBroke`] otherwise). The
+//! verdict encodes the audit:
 //!
 //! * **soundness** — every dynamic sanitizer finding must be explained
 //!   by a static finding ([`LintReport::covers`]); an uncovered dynamic
@@ -39,6 +43,12 @@ pub enum Violation {
     SilentDivergence,
     /// Minimized plans failed re-verification or changed the result.
     OptimizerBroke,
+    /// The rollback-recovery audit failed: the subject under a
+    /// corrupting-but-recoverable plan either surfaced a typed error
+    /// (recovery did not survive the corruption) or, on a
+    /// sanitizer-clean case, produced memory that differs from the
+    /// fault-free run (recovery changed the answer).
+    RecoveryBroke,
     /// The case could not be executed/interleaved at all (generator,
     /// watchdog, or scheduler defect).
     Structural,
@@ -50,6 +60,7 @@ impl Violation {
             Violation::Uncovered => "uncovered",
             Violation::SilentDivergence => "divergence",
             Violation::OptimizerBroke => "optimizer",
+            Violation::RecoveryBroke => "recovery",
             Violation::Structural => "structural",
         }
     }
@@ -100,6 +111,9 @@ pub struct CaseOutcome {
     pub lint: LintReport,
     /// Dynamic finding kinds across both subject runs.
     pub dynamic_kinds: Vec<FindingKind>,
+    /// Rollbacks the recovery-audit run charged (0 unless
+    /// `desc.corrupt` and the corrupting plan actually struck).
+    pub rollbacks: u64,
     /// Human-readable context for violations.
     pub detail: String,
 }
@@ -123,6 +137,7 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
         verdict: Verdict::Violation(verdict),
         lint,
         dynamic_kinds: Vec::new(),
+        rollbacks: 0,
         detail,
     };
     let empty_report =
@@ -166,6 +181,38 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
     let subject_fault = &outs[0].1;
     let subject = &outs[1].1;
 
+    // Recovery audit (when the case opts in): the same program under a
+    // corrupting-but-recoverable plan must be *survived* — rollback
+    // recovery repairs every corrupted dirty line, so a typed error
+    // (including CorruptDirtyLine) is a recovery-machinery failure. On
+    // sanitizer-clean cases the recovered memory is compared against
+    // the fault-free run below.
+    let recovered = if desc.corrupt {
+        let plan = FaultPlan::corrupting_recoverable(desc.fault_seed);
+        match run_dynamic(desc, Backend::Subject, CheckMode::Report, Some(plan), None) {
+            Ok(o) => {
+                if let Some(e) = &o.error {
+                    return fail(
+                        Violation::RecoveryBroke,
+                        format!("subject+corrupt: {e}"),
+                        report,
+                    );
+                }
+                Some(o)
+            }
+            Err(e) => {
+                return fail(
+                    Violation::RecoveryBroke,
+                    format!("subject+corrupt: {e}"),
+                    report,
+                )
+            }
+        }
+    } else {
+        None
+    };
+    let rollbacks = recovered.as_ref().map_or(0, |o| o.rollbacks);
+
     // Soundness: every dynamic finding must be statically explained.
     let mut dynamic_kinds: Vec<FindingKind> = Vec::new();
     for (label, o) in outs.iter().take(2) {
@@ -178,6 +225,7 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
                     verdict: Verdict::Violation(Violation::Uncovered),
                     lint: report,
                     dynamic_kinds,
+                    rollbacks,
                     detail,
                 };
             }
@@ -201,6 +249,7 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
             verdict: Verdict::Findings(dynamic_kinds.clone()),
             lint: report,
             dynamic_kinds,
+            rollbacks,
             detail: String::new(),
         };
     }
@@ -209,6 +258,14 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
     for (label, o) in &outs[1..] {
         if let Err(e) = mem_equal(label, subject_fault, o) {
             return fail(Violation::SilentDivergence, e, report);
+        }
+    }
+    // ... and so must the recovered run: rollback + replay repaired the
+    // corrupted lines, so the readable memory must be bit-identical to
+    // the fault-free subject.
+    if let Some(rec) = &recovered {
+        if let Err(e) = mem_equal("subject+corrupt", subject, rec) {
+            return fail(Violation::RecoveryBroke, e, report);
         }
     }
 
@@ -256,6 +313,7 @@ pub fn run_case(desc: &CaseDesc) -> CaseOutcome {
         verdict,
         lint: report,
         dynamic_kinds,
+        rollbacks,
         detail: String::new(),
     }
 }

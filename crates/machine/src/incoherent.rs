@@ -241,20 +241,29 @@ impl IncoherentSystem {
     /// Install a fault plan: link perturbation on this system's mesh,
     /// transfer drop/retry, and (when the plan flips bits) per-line
     /// parity on every L1 so corruption is detected instead of silently
-    /// returning wrong data.
+    /// returning wrong data. Plans with rollback recovery additionally
+    /// enable copy-on-write dirty-line checkpoints on every L1, the
+    /// restore source for corrupted dirty lines.
     pub fn install_faults(&mut self, plan: &FaultPlan) {
         self.mesh.set_faults(plan.link_faults());
         if plan.flip_period > 0 {
             for c in &mut self.l1 {
                 c.enable_parity();
+                if plan.recover {
+                    c.enable_checkpoints();
+                }
             }
         }
         self.faults = Some(Box::new(FaultState::new(*plan, SALT_MEM)));
     }
 
-    /// Resilience ledger (zeros when no faults are installed).
+    /// Resilience ledger (zeros when no faults are installed). The
+    /// checkpoint footprint lives in the L1s' checkpoint stores, not the
+    /// fault state, so it is folded in here.
     pub fn resilience(&self) -> ResilienceStats {
-        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+        let mut r = self.faults.as_ref().map(|f| f.stats).unwrap_or_default();
+        r.checkpoint_words += self.l1.iter().map(|c| c.checkpoint_words()).sum::<u64>();
+        r
     }
 
     /// The latched unrecoverable fault, delivered at most once.
@@ -284,13 +293,17 @@ impl IncoherentSystem {
     /// about to be read, then verify the line's parity. A corrupted
     /// clean line recovers by refetch — the copy below is intact, so the
     /// line is dropped and the read misses into a fresh fill (counted as
-    /// recovery traffic). A corrupted dirty line is unrecoverable: the
-    /// dirty words exist nowhere else, so a fatal finding is latched
-    /// instead of letting the run complete with silently wrong data.
-    fn fault_scrub(&mut self, c: CoreId, line: LineAddr) {
+    /// recovery traffic). A corrupted dirty line holds the only copy of
+    /// its dirty words: with rollback recovery enabled the line is
+    /// restored from its epoch checkpoint and the journaled stores are
+    /// replayed (returning the repair latency, charged to the read);
+    /// otherwise — or when a second upset strikes the line during its
+    /// own replay — a fatal finding is latched instead of letting the
+    /// run complete with silently wrong data.
+    fn fault_scrub(&mut self, c: CoreId, line: LineAddr) -> u64 {
         let decision = match self.faults.as_mut() {
             Some(fs) => fs.flip_decision(),
-            None => return,
+            None => return 0,
         };
         if let Some((wsel, bit)) = decision {
             if let Some(mask) = self.l1[c.0].view(line).map(|v| v.dirty) {
@@ -305,6 +318,37 @@ impl IncoherentSystem {
         if !self.l1[c.0].parity_ok(line) {
             let mask = self.l1[c.0].view(line).map(|v| v.dirty).unwrap_or(0);
             if mask != 0 {
+                let fs = self.faults.as_mut().expect("faults installed");
+                if fs.recover_enabled() {
+                    // Every dirtying path captures a checkpoint, so a
+                    // resident dirty line is always tracked; a `None`
+                    // here would be a checkpoint-store bug and falls
+                    // through to the fatal rather than mis-serving.
+                    if let Some(stores) = self.l1[c.0].rollback_line(line) {
+                        let fs = self.faults.as_mut().expect("faults installed");
+                        if fs.replay_flip(stores) {
+                            if self.fault_fatal.is_none() {
+                                self.fault_fatal = Some(format!(
+                                    "corrupt dirty line: a second upset struck \
+                                     {c}'s L1 copy of line {:#x} (dirty mask \
+                                     {mask:#06x}) during its own rollback replay \
+                                     of {stores} stores; the epoch checkpoint is \
+                                     no longer a clean recovery point, so the \
+                                     data cannot be recovered",
+                                    line.0
+                                ));
+                            }
+                            return 0;
+                        }
+                        // Restore round-trip plus one cycle per replayed
+                        // store, charged to the read that tripped parity.
+                        let cost = self.cfg.l1_rt + stores;
+                        let fs = self.faults.as_mut().expect("faults installed");
+                        fs.stats.rollbacks += 1;
+                        fs.stats.rollback_cycles += cost;
+                        return cost;
+                    }
+                }
                 if self.fault_fatal.is_none() {
                     self.fault_fatal = Some(format!(
                         "corrupt dirty line: parity error in {c}'s L1 copy of \
@@ -324,6 +368,7 @@ impl IncoherentSystem {
                 fs.stats.recovery_flits += flits;
             }
         }
+        0
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -525,9 +570,13 @@ impl IncoherentSystem {
         debug_assert!(!self.detached[c.0], "read while core{} detached", c.0);
         let line = w.line();
         let idx = w.index_in_line();
-        if self.faults.is_some() {
-            self.fault_scrub(c, line);
-        }
+        let scrub = if self.faults.is_some() {
+            // Rollback-repair latency (0 on the clean path), charged to
+            // the read that tripped parity.
+            self.fault_scrub(c, line)
+        } else {
+            0
+        };
         if self.ieb[c.0].active() {
             let hit = self.l1[c.0].probe(line).is_hit();
             let word_dirty = hit && self.l1[c.0].word_dirty(line, idx);
@@ -543,16 +592,16 @@ impl IncoherentSystem {
                     }
                     let lat = self.cfg.l1_rt + self.fetch_into_l1(c, line);
                     let v = self.l1[c.0].read_word(line, idx).expect("just filled");
-                    return (v, lat);
+                    return (v, scrub + lat);
                 }
             }
         }
         if let Some(v) = self.l1[c.0].read_word(line, idx) {
-            return (v, self.cfg.l1_rt);
+            return (v, scrub + self.cfg.l1_rt);
         }
         let lat = self.cfg.l1_rt + self.fetch_into_l1(c, line);
         let v = self.l1[c.0].read_word(line, idx).expect("just filled");
-        (v, lat)
+        (v, scrub + lat)
     }
 
     /// Incoherent store: write-allocate into the L1, set the word's dirty
@@ -953,16 +1002,21 @@ impl IncoherentSystem {
 
     pub fn meb_begin(&mut self, c: CoreId) {
         debug_assert!(!self.detached[c.0], "meb_begin while core{} detached", c.0);
+        // Epoch marker: collapse the core's rollback journals so no
+        // recovery replays past this point (no-op without checkpoints).
+        self.l1[c.0].epoch_mark();
         self.meb[c.0].begin_epoch();
     }
 
     pub fn ieb_begin(&mut self, c: CoreId) {
         debug_assert!(!self.detached[c.0], "ieb_begin while core{} detached", c.0);
+        self.l1[c.0].epoch_mark();
         self.ieb[c.0].begin_epoch();
     }
 
     pub fn ieb_end(&mut self, c: CoreId) {
         debug_assert!(!self.detached[c.0], "ieb_end while core{} detached", c.0);
+        self.l1[c.0].epoch_mark();
         self.ieb[c.0].end_epoch();
     }
 

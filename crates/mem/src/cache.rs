@@ -10,6 +10,7 @@
 //! its dirty words down the hierarchy.
 
 use crate::addr::{LineAddr, WORDS_PER_LINE};
+use crate::checkpoint::CheckpointStore;
 use crate::Word;
 use hic_sim::config::CacheGeometry;
 
@@ -107,6 +108,12 @@ pub struct Cache {
     /// [`Cache::parity_ok`] detects it on the next read.
     parity_enabled: bool,
     parity_bits: Vec<u64>,
+    /// Copy-on-write epoch checkpoints for dirty lines (rollback
+    /// recovery; see [`crate::checkpoint`]). Off by default — every
+    /// maintenance hook is behind the option, so recovery-disabled runs
+    /// pay one branch. Owned by the cache itself so no mutation path
+    /// can bypass the journal.
+    ckpt: Option<Box<CheckpointStore>>,
 }
 
 /// Even parity of a line's data: XOR-reduction of all its bits.
@@ -153,7 +160,57 @@ impl Cache {
             dirty_bits: vec![0; words],
             parity_enabled: false,
             parity_bits: vec![0; words],
+            ckpt: None,
         }
+    }
+
+    /// Turn on copy-on-write epoch checkpointing of dirty lines. Like
+    /// [`Cache::enable_parity`] it can be enabled mid-flight: every
+    /// already-dirty resident line is captured at its *current* image
+    /// (the best recovery point available once its epoch is underway).
+    pub fn enable_checkpoints(&mut self) {
+        let mut ck = Box::new(CheckpointStore::new());
+        for s in self.slots.iter().filter(|s| s.valid && s.dirty != 0) {
+            ck.rebase(s.addr, &s.data, s.dirty);
+        }
+        self.ckpt = Some(ck);
+    }
+
+    /// Whether dirty-line checkpointing is on.
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.ckpt.is_some()
+    }
+
+    /// Epoch boundary (MEB/IEB marker): collapse every line's store
+    /// journal into its checkpoint base, so no rollback replays past
+    /// this point. No-op when checkpointing is off.
+    pub fn epoch_mark(&mut self) {
+        if let Some(ck) = self.ckpt.as_mut() {
+            ck.epoch_mark();
+        }
+    }
+
+    /// Repair a (presumed corrupted) resident line from its checkpoint:
+    /// rewrite the line's data with the checkpoint reconstruction and
+    /// restore parity consistency. Returns the number of journaled
+    /// stores the restore replayed, or `None` when the line is resident
+    /// but untracked / checkpointing is off (the caller must fall back
+    /// to the fatal path).
+    pub fn rollback_line(&mut self, addr: LineAddr) -> Option<u64> {
+        let i = self.find(addr)?;
+        let (image, stores) = self.ckpt.as_ref()?.rollback_image(addr)?;
+        self.slots[i].data = image;
+        if self.parity_enabled {
+            let p = line_parity(&self.slots[i].data);
+            self.set_parity_bit(i, p);
+        }
+        Some(stores)
+    }
+
+    /// Total words captured into checkpoint bases (0 when checkpointing
+    /// is off). Charged to `ResilienceStats::checkpoint_words`.
+    pub fn checkpoint_words(&self) -> u64 {
+        self.ckpt.as_ref().map_or(0, |ck| ck.captured_words())
     }
 
     /// Turn on per-line parity tracking. Recomputes parity for every
@@ -334,6 +391,11 @@ impl Cache {
     pub fn write_word(&mut self, addr: LineAddr, word: usize, value: Word) -> Option<bool> {
         let i = self.find(addr)?;
         self.tick += 1;
+        if let Some(ck) = self.ckpt.as_mut() {
+            // Journal the store *before* it lands: the first store to an
+            // untracked line captures the pre-store image as its base.
+            ck.on_store(addr, word, value, &self.slots[i].data);
+        }
         let s = &mut self.slots[i];
         s.lru = self.tick;
         if s.dirty == 0 {
@@ -373,6 +435,13 @@ impl Cache {
                 self.dirty_bits[i / 64] |= 1 << (i % 64);
             }
             self.slots[i].dirty |= dirty;
+            let now_dirty = self.slots[i].dirty;
+            if let Some(ck) = self.ckpt.as_mut() {
+                // Wholesale data replacement: the old journal no longer
+                // reconstructs this line. Re-capture (still dirty) or
+                // drop (clean).
+                ck.rebase(addr, &data, now_dirty);
+            }
             return None;
         }
         let set = self.set_of(addr);
@@ -403,6 +472,9 @@ impl Cache {
         } else {
             None
         };
+        if let (Some(ev), Some(ck)) = (&evicted, self.ckpt.as_mut()) {
+            ck.prune(ev.addr);
+        }
         self.tick += 1;
         if dirty != 0 {
             self.dirty_line_count += 1;
@@ -420,6 +492,11 @@ impl Cache {
         if self.parity_enabled {
             let p = line_parity(&self.slots[victim_idx].data);
             self.set_parity_bit(victim_idx, p);
+        }
+        if dirty != 0 {
+            if let Some(ck) = self.ckpt.as_mut() {
+                ck.rebase(addr, &data, dirty);
+            }
         }
         evicted
     }
@@ -453,6 +530,12 @@ impl Cache {
                     self.dirty_bits[i / 64] |= 1 << (i % 64);
                 }
                 self.slots[i].dirty |= mask;
+                let (d, now_dirty) = (self.slots[i].data, self.slots[i].dirty);
+                if let Some(ck) = self.ckpt.as_mut() {
+                    // An incoming writeback replaced words out-of-band of
+                    // the store journal: re-capture at the merged image.
+                    ck.rebase(addr, &d, now_dirty);
+                }
                 true
             }
             None => false,
@@ -468,6 +551,9 @@ impl Cache {
                 if was != 0 {
                     self.dirty_line_count -= 1;
                     self.set_dirty_bit(i, false);
+                    if let Some(ck) = self.ckpt.as_mut() {
+                        ck.prune(addr);
+                    }
                 }
                 was
             }
@@ -485,6 +571,9 @@ impl Cache {
             if was != 0 && self.slots[i].dirty == 0 {
                 self.dirty_line_count -= 1;
                 self.set_dirty_bit(i, false);
+                if let Some(ck) = self.ckpt.as_mut() {
+                    ck.prune(addr);
+                }
             }
         }
     }
@@ -493,6 +582,9 @@ impl Cache {
     /// first write back dirty words (INV must not lose updates, §III-B).
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<EvictedLine> {
         let i = self.find(addr)?;
+        if let Some(ck) = self.ckpt.as_mut() {
+            ck.prune(addr);
+        }
         self.slots[i].valid = false;
         self.line_count_resident -= 1;
         if self.slots[i].dirty != 0 {
@@ -584,6 +676,9 @@ impl Cache {
         self.valid_bits.fill(0);
         self.dirty_bits.fill(0);
         self.parity_bits.fill(0);
+        if let Some(ck) = self.ckpt.as_mut() {
+            **ck = CheckpointStore::new();
+        }
     }
 }
 
@@ -792,6 +887,72 @@ mod tests {
         assert_eq!(c.read_word(LineAddr(1), 5), Some(12));
         // Corrupting a missing line is a no-op.
         assert!(!c.corrupt_bit(LineAddr(42), 0, 0));
+    }
+
+    #[test]
+    fn rollback_restores_a_corrupted_dirty_line() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(7), 0);
+        c.enable_parity();
+        c.enable_checkpoints();
+        c.write_word(LineAddr(1), 3, 0xAAAA).unwrap();
+        c.write_word(LineAddr(1), 3, 0xBBBB).unwrap();
+        c.write_word(LineAddr(1), 9, 0x1234).unwrap();
+        assert!(c.corrupt_bit(LineAddr(1), 4, 11));
+        assert!(!c.parity_ok(LineAddr(1)));
+        let stores = c.rollback_line(LineAddr(1)).expect("line is tracked");
+        assert_eq!(stores, 3);
+        assert!(c.parity_ok(LineAddr(1)), "rollback restores parity");
+        assert_eq!(c.read_word(LineAddr(1), 3), Some(0xBBBB));
+        assert_eq!(c.read_word(LineAddr(1), 9), Some(0x1234));
+        assert_eq!(c.read_word(LineAddr(1), 4), Some(11)); // pre-corruption
+        assert_eq!(c.checkpoint_words(), WORDS_PER_LINE as u64);
+    }
+
+    #[test]
+    fn epoch_mark_bounds_the_replay_window() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(0), 0);
+        c.enable_checkpoints();
+        c.write_word(LineAddr(1), 0, 1).unwrap();
+        c.epoch_mark();
+        assert_eq!(c.rollback_line(LineAddr(1)), Some(0));
+        c.write_word(LineAddr(1), 1, 2).unwrap();
+        assert_eq!(c.rollback_line(LineAddr(1)), Some(1));
+        assert_eq!(c.read_word(LineAddr(1), 0), Some(1));
+        assert_eq!(c.read_word(LineAddr(1), 1), Some(2));
+    }
+
+    #[test]
+    fn clean_and_invalidate_drop_checkpoints() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(0), 0);
+        c.fill(LineAddr(2), line_data(0), 0);
+        c.enable_checkpoints();
+        c.write_word(LineAddr(1), 0, 1).unwrap();
+        c.write_word(LineAddr(2), 0, 1).unwrap();
+        c.clean_line(LineAddr(1));
+        assert_eq!(c.rollback_line(LineAddr(1)), None, "clean line untracked");
+        c.invalidate(LineAddr(2));
+        assert_eq!(c.rollback_line(LineAddr(2)), None);
+        // Untouched caches report nothing and checkpointing stays off.
+        assert!(!small_cache().checkpoints_enabled());
+        assert_eq!(small_cache().rollback_line(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn checkpoints_survive_mid_flight_enable_and_refill() {
+        let mut c = small_cache();
+        c.fill(LineAddr(1), line_data(5), 0);
+        c.write_word(LineAddr(1), 2, 99).unwrap();
+        // Enabled with a dirty line already resident: captured as-is.
+        c.enable_checkpoints();
+        assert_eq!(c.rollback_line(LineAddr(1)), Some(0));
+        assert_eq!(c.read_word(LineAddr(1), 2), Some(99));
+        // A refill of a still-dirty line rebases its checkpoint.
+        c.fill(LineAddr(1), line_data(500), 0);
+        assert_eq!(c.rollback_line(LineAddr(1)), Some(0));
+        assert_eq!(c.read_word(LineAddr(1), 2), Some(502));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Copy-on-write epoch checkpoints for dirty L1 lines.
+//!
+//! In the paper's incoherent hierarchy a dirty L1 line is the *only*
+//! copy of produced data until the epoch-boundary WB pushes it down, so
+//! a detected corruption (parity mismatch) in a dirty line cannot be
+//! repaired by refetch — the next level holds stale words. This module
+//! gives the machine a software recovery point instead: the first store
+//! to an untracked line captures the line's pre-store image (the
+//! checkpoint "base"), and every subsequent store is journaled as a
+//! word overlay plus a store count. The invariant maintained by
+//! [`crate::Cache`]'s mutation hooks is
+//!
+//! > `base` with the journaled overlay applied == the line's current
+//! > data array,
+//!
+//! so a corrupted line is repaired exactly by rewriting that
+//! reconstruction ([`CheckpointStore::rollback_image`]) — the restore
+//! models replaying the epoch's stores onto the checkpointed image, and
+//! the journal's store count is the replay's exposure window for a
+//! second upset.
+//!
+//! Cost model: clean epochs cost ~zero (no entry is ever created until
+//! a store dirties a line — the existing per-line dirty bits gate every
+//! hook), a dirtied line costs one line image (`WORDS_PER_LINE` words,
+//! counted in [`CheckpointStore::captured_words`]) plus a fixed-size
+//! overlay. The journal never grows: later stores to the same word
+//! overwrite the overlay in place, only the store *count* advances.
+//!
+//! Epoch markers ([`CheckpointStore::epoch_mark`], driven by MEB/IEB
+//! begin/end in the machine) collapse each journal into its base, so a
+//! rollback never replays past the most recent epoch boundary. Lines
+//! that turn clean (written back) or leave the cache (invalidate,
+//! eviction) drop their entries — once the data is safely below L1,
+//! refetch is the cheaper repair and the old invalidate path handles it.
+
+use std::collections::HashMap;
+
+use crate::addr::{LineAddr, WORDS_PER_LINE};
+use crate::cache::DirtyMask;
+use crate::Word;
+
+#[derive(Debug, Clone)]
+struct LineCkpt {
+    /// Line image at capture / last epoch mark.
+    base: [Word; WORDS_PER_LINE],
+    /// Last journaled value per word (valid where `overlay_mask` is set).
+    overlay: [Word; WORDS_PER_LINE],
+    overlay_mask: DirtyMask,
+    /// Stores journaled since capture / last epoch mark: the number of
+    /// stores a rollback replays (its second-upset exposure window).
+    stores: u64,
+}
+
+impl LineCkpt {
+    fn capture(base: [Word; WORDS_PER_LINE]) -> LineCkpt {
+        LineCkpt {
+            base,
+            overlay: [0; WORDS_PER_LINE],
+            overlay_mask: 0,
+            stores: 0,
+        }
+    }
+
+    /// `base` with the overlay applied: the line's current data image.
+    fn image(&self) -> [Word; WORDS_PER_LINE] {
+        let mut img = self.base;
+        for (w, word) in img.iter_mut().enumerate() {
+            if self.overlay_mask & (1 << w) != 0 {
+                *word = self.overlay[w];
+            }
+        }
+        img
+    }
+
+    fn collapse(&mut self) {
+        self.base = self.image();
+        self.overlay_mask = 0;
+        self.stores = 0;
+    }
+}
+
+/// Copy-on-write checkpoint + store journal for the dirty lines of one
+/// cache. Owned by [`crate::Cache`] (behind an `Option<Box<..>>` so
+/// recovery-disabled runs pay nothing) and driven entirely by the
+/// cache's own mutation methods — there is no call site to forget.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    lines: HashMap<LineAddr, LineCkpt>,
+    captured_words: u64,
+}
+
+impl CheckpointStore {
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Journal one store. `pre` is the line's data array *before* the
+    /// store lands; the first store to an untracked line captures it as
+    /// the checkpoint base.
+    pub fn on_store(
+        &mut self,
+        addr: LineAddr,
+        word: usize,
+        value: Word,
+        pre: &[Word; WORDS_PER_LINE],
+    ) {
+        let e = self.lines.entry(addr).or_insert_with(|| {
+            self.captured_words += WORDS_PER_LINE as u64;
+            LineCkpt::capture(*pre)
+        });
+        e.overlay[word] = value;
+        e.overlay_mask |= 1 << word;
+        e.stores += 1;
+    }
+
+    /// The line's data array was replaced wholesale (refill, merge). A
+    /// still-dirty line re-captures the new image as a fresh base; a
+    /// clean one drops its entry.
+    pub fn rebase(&mut self, addr: LineAddr, data: &[Word; WORDS_PER_LINE], dirty: DirtyMask) {
+        if dirty == 0 {
+            self.lines.remove(&addr);
+        } else {
+            self.captured_words += WORDS_PER_LINE as u64;
+            self.lines.insert(addr, LineCkpt::capture(*data));
+        }
+    }
+
+    /// The line turned clean or left the cache: the data is safely held
+    /// below L1, so the checkpoint is no longer the only recovery path.
+    pub fn prune(&mut self, addr: LineAddr) {
+        self.lines.remove(&addr);
+    }
+
+    /// Epoch boundary: collapse every journal into its base so no
+    /// rollback ever replays past this point.
+    pub fn epoch_mark(&mut self) {
+        for e in self.lines.values_mut() {
+            e.collapse();
+        }
+    }
+
+    /// Reconstruct a tracked line: `(current data image, stores to
+    /// replay)`. `None` when the line is untracked (never stored to
+    /// since its last clean/evict — its data is refetchable instead).
+    pub fn rollback_image(&self, addr: LineAddr) -> Option<([Word; WORDS_PER_LINE], u64)> {
+        self.lines.get(&addr).map(|e| (e.image(), e.stores))
+    }
+
+    /// Lines currently tracked (dirty lines with a live checkpoint).
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total words captured into checkpoint bases over the store's
+    /// lifetime (the COW footprint charged to `ResilienceStats`).
+    pub fn captured_words(&self) -> u64 {
+        self.captured_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(seed: Word) -> [Word; WORDS_PER_LINE] {
+        std::array::from_fn(|i| seed.wrapping_add(i as Word))
+    }
+
+    #[test]
+    fn capture_on_first_store_and_overlay_reconstruction() {
+        let mut ck = CheckpointStore::new();
+        let pre = img(100);
+        ck.on_store(LineAddr(1), 3, 777, &pre);
+        ck.on_store(LineAddr(1), 3, 778, &img(999)); // pre ignored once tracked
+        ck.on_store(LineAddr(1), 0, 5, &img(999));
+        assert_eq!(ck.captured_words(), WORDS_PER_LINE as u64);
+        let (image, stores) = ck.rollback_image(LineAddr(1)).unwrap();
+        assert_eq!(stores, 3);
+        assert_eq!(image[3], 778);
+        assert_eq!(image[0], 5);
+        assert_eq!(image[1], pre[1]);
+        assert!(ck.rollback_image(LineAddr(2)).is_none());
+    }
+
+    #[test]
+    fn epoch_mark_collapses_the_journal() {
+        let mut ck = CheckpointStore::new();
+        ck.on_store(LineAddr(7), 2, 42, &img(0));
+        ck.epoch_mark();
+        let (image, stores) = ck.rollback_image(LineAddr(7)).unwrap();
+        assert_eq!(stores, 0, "no replay past an epoch boundary");
+        assert_eq!(image[2], 42);
+        ck.on_store(LineAddr(7), 4, 9, &img(0));
+        let (image, stores) = ck.rollback_image(LineAddr(7)).unwrap();
+        assert_eq!((image[2], image[4], stores), (42, 9, 1));
+    }
+
+    #[test]
+    fn prune_and_rebase() {
+        let mut ck = CheckpointStore::new();
+        ck.on_store(LineAddr(3), 0, 1, &img(0));
+        ck.prune(LineAddr(3));
+        assert!(ck.rollback_image(LineAddr(3)).is_none());
+        assert_eq!(ck.tracked_lines(), 0);
+
+        ck.rebase(LineAddr(4), &img(50), 0b10);
+        let (image, stores) = ck.rollback_image(LineAddr(4)).unwrap();
+        assert_eq!((image, stores), (img(50), 0));
+        ck.rebase(LineAddr(4), &img(60), 0); // turned clean: dropped
+        assert!(ck.rollback_image(LineAddr(4)).is_none());
+    }
+
+    #[test]
+    fn journal_is_constant_size_per_line() {
+        let mut ck = CheckpointStore::new();
+        for i in 0..10_000u32 {
+            ck.on_store(LineAddr(9), (i as usize) % WORDS_PER_LINE, i, &img(0));
+        }
+        // One capture, ever; only the store count grew.
+        assert_eq!(ck.captured_words(), WORDS_PER_LINE as u64);
+        let (_, stores) = ck.rollback_image(LineAddr(9)).unwrap();
+        assert_eq!(stores, 10_000);
+    }
+}

@@ -10,12 +10,14 @@
 pub mod addr;
 pub mod alloc;
 pub mod cache;
+pub mod checkpoint;
 pub mod memory;
 pub mod shadow;
 
 pub use addr::{Addr, LineAddr, Region, WordAddr};
 pub use alloc::BumpAllocator;
 pub use cache::{Cache, EvictedLine, LineView, LookupResult};
+pub use checkpoint::CheckpointStore;
 pub use memory::Memory;
 pub use shadow::ShadowMap;
 

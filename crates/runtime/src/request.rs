@@ -107,6 +107,12 @@ pub enum FaultSpec {
     /// `RunError::CorruptDirtyLine`. Used to poison jobs deliberately
     /// when testing the sweep server's per-job failure isolation.
     Corrupting { seed: u64 },
+    /// Dirty-line flips with epoch-checkpoint rollback recovery
+    /// ([`FaultPlan::corrupting_recoverable`]): corruption is repaired
+    /// by restore + replay, so the run must complete bit-identical and
+    /// chargeable rollbacks appear in `ResilienceStats`. This is what
+    /// `HIC_RECOVER=1` upgrades `HIC_FAULTS` to.
+    CorruptingRecover { seed: u64 },
 }
 
 impl FaultSpec {
@@ -115,6 +121,7 @@ impl FaultSpec {
         match self {
             FaultSpec::Recoverable { seed } => FaultPlan::from_seed(seed),
             FaultSpec::Corrupting { seed } => FaultPlan::corrupting(seed),
+            FaultSpec::CorruptingRecover { seed } => FaultPlan::corrupting_recoverable(seed),
         }
     }
 
@@ -122,10 +129,17 @@ impl FaultSpec {
         match self {
             FaultSpec::Recoverable { seed } => format!("r{seed}"),
             FaultSpec::Corrupting { seed } => format!("c{seed}"),
+            FaultSpec::CorruptingRecover { seed } => format!("cr{seed}"),
         }
     }
 
     fn parse(s: &str) -> Option<FaultSpec> {
+        // "cr<seed>" first: its single-letter parse ("c" + "r<seed>")
+        // fails on the seed, but order still matters for clarity.
+        if let Some(rest) = s.strip_prefix("cr") {
+            let seed = rest.parse::<u64>().ok()?;
+            return Some(FaultSpec::CorruptingRecover { seed });
+        }
         let seed = s.get(1..)?.parse::<u64>().ok()?;
         match s.as_bytes().first()? {
             b'r' => Some(FaultSpec::Recoverable { seed }),
@@ -235,12 +249,22 @@ impl RunRequest {
     /// `HIC_BENCH_BUDGET_MS`. Malformed values are typed errors — every
     /// call site now rejects `HIC_ENGINE=sharded:x` with the same
     /// message instead of silently running the default engine.
+    /// `HIC_RECOVER=1` upgrades the `HIC_FAULTS` seed from the canned
+    /// recoverable plan to the corrupting-with-rollback plan: dirty-line
+    /// flips land too, repaired by epoch-checkpoint restore + replay.
     pub fn from_env(app: &str, config: Config, scale: Scale) -> Result<RunRequest, RequestError> {
         let mut req = RunRequest::new(app, config, scale);
         if let Some(mode) = env::check_mode()? {
             req.check = mode;
         }
-        req.fault = env::fault_seed()?.map(|seed| FaultSpec::Recoverable { seed });
+        let recover = env::recover()?;
+        req.fault = env::fault_seed()?.map(|seed| {
+            if recover {
+                FaultSpec::CorruptingRecover { seed }
+            } else {
+                FaultSpec::Recoverable { seed }
+            }
+        });
         req.engine = env::engine()?;
         req.budget_ms = env::bench_budget_ms()?;
         Ok(req)
@@ -623,6 +647,28 @@ pub mod env {
         var("HIC_FAULTS").map(|v| parse_fault_seed(&v)).transpose()
     }
 
+    /// Parse a `HIC_RECOVER`-shaped value: `0`/`false` or `1`/`true`.
+    pub fn parse_recover(v: &str) -> Result<bool, RequestError> {
+        match v.trim() {
+            "1" | "true" => Ok(true),
+            "0" | "false" => Ok(false),
+            _ => Err(RequestError::BadEnv {
+                var: "HIC_RECOVER",
+                value: v.to_string(),
+                expected: "0|1|false|true",
+            }),
+        }
+    }
+
+    /// `HIC_RECOVER`: upgrade the `HIC_FAULTS` plan to dirty-line flips
+    /// with epoch-checkpoint rollback recovery. Unset means off.
+    pub fn recover() -> Result<bool, RequestError> {
+        var("HIC_RECOVER")
+            .map(|v| parse_recover(&v))
+            .transpose()
+            .map(|o| o.unwrap_or(false))
+    }
+
     /// `HIC_ENGINE`: `linear`, `heap`, `sharded`, or `sharded:N`.
     pub fn engine() -> Result<Option<Scheduler>, RequestError> {
         var("HIC_ENGINE").map(|v| parse_engine(&v)).transpose()
@@ -650,6 +696,30 @@ mod tests {
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("huge"), None);
         assert!(Scale::Test < Scale::Small && Scale::Large < Scale::Paper);
+    }
+
+    #[test]
+    fn fault_spec_keys_round_trip_and_do_not_collide() {
+        for spec in [
+            FaultSpec::Recoverable { seed: 7 },
+            FaultSpec::Corrupting { seed: 7 },
+            FaultSpec::CorruptingRecover { seed: 7 },
+        ] {
+            assert_eq!(FaultSpec::parse(&spec.key()), Some(spec));
+        }
+        // "cr7" must not parse as Corrupting with a mangled seed.
+        assert_eq!(
+            FaultSpec::parse("cr7"),
+            Some(FaultSpec::CorruptingRecover { seed: 7 })
+        );
+        assert_eq!(
+            FaultSpec::parse("r7"),
+            Some(FaultSpec::Recoverable { seed: 7 })
+        );
+        assert_eq!(FaultSpec::parse("x7"), None);
+        let recover = FaultSpec::CorruptingRecover { seed: 7 };
+        assert!(recover.plan().recover && recover.plan().flip_dirty);
+        assert!(!FaultSpec::Corrupting { seed: 7 }.plan().recover);
     }
 
     #[test]
@@ -713,6 +783,9 @@ mod tests {
         let mut faulted2 = base.clone();
         faulted2.fault = Some(FaultSpec::Corrupting { seed: 1 });
         variants.push(faulted2);
+        let mut faulted3 = base.clone();
+        faulted3.fault = Some(FaultSpec::CorruptingRecover { seed: 1 });
+        variants.push(faulted3);
         let keys: std::collections::HashSet<String> =
             variants.iter().map(|r| r.cache_key()).collect();
         assert_eq!(keys.len(), variants.len(), "key collision: {keys:?}");
@@ -774,5 +847,14 @@ mod tests {
         assert!(env::parse_check_mode("loud").is_err());
         assert!(env::parse_fault_seed("abc").is_err());
         assert!(env::parse_bench_budget_ms("fast").is_err());
+        assert_eq!(env::parse_recover("1"), Ok(true));
+        assert_eq!(env::parse_recover("false"), Ok(false));
+        assert!(matches!(
+            env::parse_recover("yes"),
+            Err(RequestError::BadEnv {
+                var: "HIC_RECOVER",
+                ..
+            })
+        ));
     }
 }

@@ -65,6 +65,13 @@ pub struct JobOutcome {
     pub error: Option<String>,
     /// Host wall-clock the worker spent on the run.
     pub wall: Duration,
+    /// How many times the worker ran the job (1 = first try stuck).
+    /// Only nondeterministic failures (hang, thread death, panic) are
+    /// retried; deterministic outcomes never re-run.
+    pub attempts: u32,
+    /// Total host milliseconds the worker slept backing off between
+    /// attempts (0 when `attempts == 1`).
+    pub backoff_ms: u64,
 }
 
 impl JobOutcome {
@@ -91,6 +98,8 @@ impl JobOutcome {
             findings: run.diagnostics.findings.len() as u64,
             error: run.error.as_ref().map(|e| e.kind().to_string()),
             wall,
+            attempts: 1,
+            backoff_ms: 0,
         }
     }
 
@@ -110,6 +119,8 @@ impl JobOutcome {
             findings: 0,
             error: Some(tag.to_string()),
             wall,
+            attempts: 1,
+            backoff_ms: 0,
         }
     }
 
@@ -148,6 +159,8 @@ impl JobOutcome {
                 },
             ),
             ("wall_ms", Json::uint(self.wall.as_millis() as u64)),
+            ("attempts", Json::uint(self.attempts as u64)),
+            ("backoff_ms", Json::uint(self.backoff_ms)),
             ("cached", Json::Bool(cached)),
         ])
     }

@@ -15,7 +15,11 @@
 //!    with its typed `RunError` tag and the server keeps serving.
 //! 4. Deterministic outcomes enter the cache; nondeterministic failures
 //!    (watchdog kills, host-thread deaths, panics) do not, so a
-//!    resubmission re-runs them.
+//!    resubmission re-runs them. Before publishing such a failure the
+//!    worker retries it in place — up to [`MAX_ATTEMPTS`] runs with
+//!    exponentially growing backoff sleeps — since a re-run under
+//!    kinder host timing may succeed; the outcome records the attempt
+//!    count and total backoff.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -266,7 +270,7 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
-        let outcome = Arc::new(run_job(&request, inner.default_watchdog_ms));
+        let outcome = Arc::new(run_with_retry(&request, inner.default_watchdog_ms));
 
         let mut st = inner.state.lock().unwrap();
         st.stats.completed += 1;
@@ -283,6 +287,35 @@ fn worker_loop(inner: &Inner) {
         drop(st);
         inner.done_cv.notify_all();
     }
+}
+
+/// How many times a worker will run one job before giving up on it.
+const MAX_ATTEMPTS: u32 = 3;
+/// First inter-attempt backoff sleep; doubles per retry (10, 20 ms).
+const BACKOFF_BASE_MS: u64 = 10;
+
+/// Run a job, retrying nondeterministic failures. Watchdog kills,
+/// host-thread deaths, and panics are functions of host timing, so a
+/// re-run may succeed; each retry waits exponentially longer to let a
+/// transiently overloaded host drain. Deterministic outcomes —
+/// successes and typed errors that are pure functions of the request —
+/// return after the first attempt, and the final outcome records how
+/// many attempts it took and the total backoff slept.
+fn run_with_retry(request: &RunRequest, default_watchdog_ms: Option<u64>) -> JobOutcome {
+    let mut backoff_ms = 0u64;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let mut outcome = run_job(request, default_watchdog_ms);
+        outcome.attempts = attempt;
+        outcome.backoff_ms = backoff_ms;
+        let nondeterministic = outcome.error.is_some() && !outcome.cacheable();
+        if !nondeterministic || attempt == MAX_ATTEMPTS {
+            return outcome;
+        }
+        let sleep = BACKOFF_BASE_MS << (attempt - 1);
+        std::thread::sleep(std::time::Duration::from_millis(sleep));
+        backoff_ms += sleep;
+    }
+    unreachable!("the loop returns on its final attempt")
 }
 
 /// Drive one request to completion. The worker survives anything the
@@ -361,6 +394,45 @@ mod tests {
         let mut r = req();
         r.app = "NoSuchApp".into();
         assert!(server.submit(r, 0).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn nondeterministic_failures_are_retried_with_backoff_and_not_cached() {
+        // A 10-cycle watchdog budget hangs every attempt, so the worker
+        // burns through all retries, sleeping 10 then 20 ms between
+        // them, and publishes the exhausted outcome uncached.
+        let server = Server::start(1, None);
+        let mut r = req();
+        r.watchdog_cycles = Some(10);
+        let (id, cached) = server.submit(r.clone(), 0).unwrap();
+        assert!(!cached);
+        let (outcome, _) = server.wait(id).unwrap();
+        assert_eq!(outcome.error.as_deref(), Some("hang"), "{}", outcome.detail);
+        assert_eq!(outcome.attempts, MAX_ATTEMPTS);
+        assert_eq!(outcome.backoff_ms, BACKOFF_BASE_MS + 2 * BACKOFF_BASE_MS);
+        let (_, cached2) = server.submit(r, 0).unwrap();
+        assert!(!cached2, "a hang must not be served from the cache");
+        server.shutdown();
+    }
+
+    #[test]
+    fn recovered_corrupting_jobs_succeed_first_try_and_cache() {
+        // Rollback recovery turns an injected dirty-line corruption into
+        // a deterministic success: one attempt, cacheable.
+        let server = Server::start(1, None);
+        let mut r = req();
+        r.fault = Some(hic_runtime::FaultSpec::CorruptingRecover { seed: 11 });
+        let (id, _) = server.submit(r.clone(), 0).unwrap();
+        let (outcome, _) = server.wait(id).unwrap();
+        assert_eq!(outcome.error, None, "{}", outcome.detail);
+        assert!(outcome.correct, "{}", outcome.detail);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.backoff_ms, 0);
+        let (id2, cached2) = server.submit(r, 0).unwrap();
+        assert!(cached2, "recovered runs are deterministic and cacheable");
+        let (outcome2, _) = server.wait(id2).unwrap();
+        assert_eq!(outcome2.cycles, outcome.cycles);
         server.shutdown();
     }
 

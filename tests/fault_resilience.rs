@@ -12,7 +12,8 @@
 //! surface as typed [`RunError`]s that leave the process reusable.
 
 use hic_runtime::{
-    CheckMode, Config, FaultPlan, IntraConfig, ProgramBuilder, RunError, RunOutcome,
+    CheckMode, Config, FaultPlan, FaultSpec, IntraConfig, ProgramBuilder, RunError, RunOutcome,
+    RunRequest, Scheduler,
 };
 
 const NT: usize = 4;
@@ -217,6 +218,212 @@ fn flag_deadlock_returns_typed_error_and_process_stays_usable() {
     let (clean, snap) = run_workload(|_| {});
     assert!(clean.result().is_ok());
     assert!(!snap.is_empty());
+}
+
+/// Like [`run_workload`], but each thread prefix-sums its own freshly
+/// written chunk *before* the barrier — so reads land on locally-dirty
+/// lines, the case only epoch-checkpoint rollback (not refetch) can
+/// repair.
+fn run_rmw_workload(configure: impl FnOnce(&mut ProgramBuilder)) -> (RunOutcome, Vec<u32>) {
+    let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
+    configure(&mut p);
+    let data = p.alloc_named("data", WORDS);
+    let out = p.alloc_named("out", NT as u64 * 16);
+    let bar = p.barrier_of(NT);
+    let outcome = p.run(NT, move |ctx| {
+        let t = ctx.tid() as u64;
+        let chunk = WORDS / NT as u64;
+        for round in 0..4u64 {
+            for i in 0..chunk {
+                ctx.write(data, t * chunk + i, (round * 1000 + t * 100 + i) as u32);
+            }
+            // Read-after-write on the thread's own dirty lines.
+            for i in 1..chunk {
+                let prev = ctx.read(data, t * chunk + i - 1);
+                let cur = ctx.read(data, t * chunk + i);
+                ctx.write(data, t * chunk + i, prev.wrapping_add(cur));
+            }
+            ctx.barrier(bar);
+            let src = ((t + 1) % NT as u64) * chunk;
+            let mut sum = 0u32;
+            for i in 0..chunk {
+                sum = sum.wrapping_add(ctx.read(data, src + i));
+            }
+            ctx.write(out, t * 16 + round, sum);
+            ctx.barrier(bar);
+        }
+    });
+    let mut snap = outcome.peek_all(data);
+    snap.extend(outcome.peek_all(out));
+    (outcome, snap)
+}
+
+/// The tentpole invariant: dirty-line corruption under a recovery plan
+/// is repaired by checkpoint restore + replay — readable memory stays
+/// bit-identical to the zero-fault run (even under strict checking),
+/// rollbacks are counted, and no `CorruptDirtyLine` ever surfaces.
+#[test]
+fn corrupting_recoverable_plans_roll_back_and_preserve_results() {
+    let (_, base_snap) = run_rmw_workload(|_| {});
+    let mut total_rollbacks = 0u64;
+    for seed in 1..=6u64 {
+        let plan = FaultPlan::corrupting_recoverable(seed);
+        let (faulted, snap) = run_rmw_workload(|p| {
+            p.fault_plan(plan);
+            p.check_mode(CheckMode::Strict);
+        });
+        assert!(
+            faulted.result().is_ok(),
+            "recovery plan seed={seed} killed the run: {:?}",
+            faulted.result()
+        );
+        assert_eq!(
+            snap, base_snap,
+            "recovery plan seed={seed} changed readable memory"
+        );
+        let r = faulted.stats().resilience;
+        total_rollbacks += r.rollbacks;
+        assert!(
+            r.checkpoint_words > 0,
+            "seed={seed}: dirty lines were written but never checkpointed: {r:?}"
+        );
+        if r.rollbacks > 0 {
+            assert!(r.rollback_cycles > 0, "seed={seed}: free rollbacks: {r:?}");
+        }
+    }
+    assert!(
+        total_rollbacks > 0,
+        "no dirty-line flip ever fired across 6 seeds — the plans tested nothing"
+    );
+}
+
+/// An aggressive custom recovery plan: every ~40th read flips a bit,
+/// dirty lines included. The run must still complete bit-identical,
+/// with a substantial rollback ledger. (At this rate the probability of
+/// a second upset inside a replay window — `replayed/period²` per
+/// rollback — is ~1%, so the seeded run below survives; the preceding
+/// test pins the fatal that fires when it does not.)
+#[test]
+fn aggressive_recovery_plan_is_survived_with_counted_rollbacks() {
+    let (_, base_snap) = run_rmw_workload(|_| {});
+    let plan = FaultPlan {
+        flip_period: 40,
+        flip_dirty: true,
+        recover: true,
+        ..FaultPlan::zero(7)
+    };
+    let (faulted, snap) = run_rmw_workload(|p| {
+        p.fault_plan(plan);
+    });
+    assert!(
+        faulted.result().is_ok(),
+        "aggressive recovery plan killed the run: {:?}",
+        faulted.result()
+    );
+    assert_eq!(snap, base_snap);
+    let r = faulted.stats().resilience;
+    assert!(r.rollbacks > 0, "no rollback at a 1/20 flip rate: {r:?}");
+    assert!(r.rollback_cycles > 0);
+    assert!(r.checkpoint_words > 0);
+}
+
+/// Two corruptions in one epoch — a second upset striking the line
+/// during its own rollback replay — still surfaces the typed fatal:
+/// recovery narrows the fatal's reach, it does not hide real data loss.
+#[test]
+fn second_corruption_during_replay_is_still_a_typed_fatal() {
+    let mut p = ProgramBuilder::new(Config::Intra(IntraConfig::Base));
+    // flip_period == 1: the first dirty read both corrupts the line and
+    // deterministically re-corrupts it during the replay window.
+    p.fault_plan(FaultPlan {
+        flip_period: 1,
+        flip_dirty: true,
+        recover: true,
+        ..FaultPlan::zero(9)
+    });
+    let data = p.alloc(16);
+    let outcome = p.run(1, move |ctx| {
+        ctx.write(data, 0, 7);
+        for _ in 0..64 {
+            let _ = ctx.read(data, 0);
+        }
+    });
+    let Err(RunError::CorruptDirtyLine { detail }) = outcome.result() else {
+        unreachable!("expected replay corruption, got {:?}", outcome.result());
+    };
+    assert!(detail.contains("second upset"), "{detail}");
+    assert!(detail.contains("replay"), "{detail}");
+
+    // The failed run tore down cleanly: the same process still recovers
+    // a survivable plan afterwards.
+    let (clean, snap) = run_rmw_workload(|p| {
+        p.fault_plan(FaultPlan::corrupting_recoverable(1));
+    });
+    assert!(clean.result().is_ok());
+    assert!(!snap.is_empty());
+}
+
+/// Recovery plans force the sequential engine (PR 7's
+/// `supports_sharding` gate): requesting the sharded scheduler must
+/// silently fall back, complete, and stay bit-identical.
+#[test]
+fn sharded_engine_request_falls_back_under_recovery_plan() {
+    let (_, base_snap) = run_rmw_workload(|_| {});
+    let (faulted, snap) = run_rmw_workload(|p| {
+        p.fault_plan(FaultPlan::corrupting_recoverable(3));
+        p.scheduler(Scheduler::Sharded { shards: 2 });
+    });
+    assert!(
+        faulted.result().is_ok(),
+        "sharded+recovery fallback failed: {:?}",
+        faulted.result()
+    );
+    assert_eq!(snap, base_snap);
+}
+
+/// The metamorphic recovery suite over the paper's applications: under
+/// the seeded `CorruptingRecover` plan every app still matches its host
+/// reference (the zero-fault result) with zero `CorruptDirtyLine`
+/// errors, and the suite as a whole performs rollbacks.
+#[test]
+fn app_suite_survives_corrupting_recoverable_plan() {
+    use hic_apps::{inter_apps, intra_apps, Scale};
+    use hic_runtime::InterConfig;
+
+    let mut rollbacks = 0u64;
+    let mut checkpoint_words = 0u64;
+    let mut audit = |name: &str, r: hic_apps::AppRun| {
+        assert!(
+            r.error.is_none(),
+            "{name} died under the recovery plan: {:?}",
+            r.error
+        );
+        assert!(
+            r.correct,
+            "{name} diverged from host reference: {}",
+            r.detail
+        );
+        rollbacks += r.stats.resilience.rollbacks;
+        checkpoint_words += r.stats.resilience.checkpoint_words;
+    };
+    for app in intra_apps(Scale::Test) {
+        let mut req = RunRequest::new(app.name(), Config::Intra(IntraConfig::BMI), Scale::Test);
+        req.fault = Some(FaultSpec::CorruptingRecover { seed: 2026 });
+        audit(app.name(), app.run_req(&req));
+    }
+    for app in inter_apps(Scale::Test) {
+        let mut req = RunRequest::new(app.name(), Config::Inter(InterConfig::AddrL), Scale::Test);
+        req.fault = Some(FaultSpec::CorruptingRecover { seed: 2026 });
+        audit(app.name(), app.run_req(&req));
+    }
+    assert!(
+        checkpoint_words > 0,
+        "no app ever captured a checkpoint under the recovery plan"
+    );
+    assert!(
+        rollbacks > 0,
+        "no app ever rolled back under seed 2026 — the suite tested nothing"
+    );
 }
 
 /// The simulated-cycle watchdog converts a runaway run into a typed

@@ -54,4 +54,10 @@ fn corpus_covers_all_audit_classes() {
             "no corpus case with expectation {want}"
         );
     }
+    // At least one case must exercise the corrupting-fault rollback
+    // recovery audit (survive the corruption, stay bit-identical).
+    assert!(
+        cases.iter().any(|(_, d, _)| d.corrupt),
+        "no corpus case with the recovery audit enabled"
+    );
 }
